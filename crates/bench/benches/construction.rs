@@ -1,0 +1,83 @@
+//! Construction benchmarks: every bulk loader, in-memory and external.
+//!
+//! Wall-clock complements the experiments binary's I/O counts (the
+//! paper's Figure 9/10 time rows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pr_data::uniform_points;
+use pr_em::{BlockDevice, MemDevice, Stream};
+use pr_tree::bulk::external::{load_hilbert_external, ExternalConfig};
+use pr_tree::bulk::pr_external::PrExternalLoader;
+use pr_tree::bulk::tgs_external::TgsExternalLoader;
+use pr_tree::bulk::LoaderKind;
+use pr_tree::{Entry, TreeParams};
+use std::sync::Arc;
+
+fn bench_in_memory(c: &mut Criterion) {
+    let n = 20_000u32;
+    let items = uniform_points(n, 42);
+    let params = TreeParams::paper_2d();
+    let mut group = c.benchmark_group("bulk_load_in_memory");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+    for kind in LoaderKind::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            b.iter(|| {
+                let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
+                k.loader::<2>().load(dev, params, items.clone()).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_external(c: &mut Criterion) {
+    let n = 20_000u32;
+    let items = uniform_points(n, 43);
+    let params = TreeParams::paper_2d();
+    let config = ExternalConfig::with_memory((n as usize / 9) * 36);
+    let mut group = c.benchmark_group("bulk_load_external");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+    for kind in LoaderKind::paper_four() {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            b.iter(|| {
+                let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
+                let input = Stream::from_iter(
+                    dev.as_ref(),
+                    items.iter().map(|&i| Entry::<2>::from_item(i)),
+                )
+                .unwrap();
+                match k {
+                    LoaderKind::Pr => PrExternalLoader::new(config)
+                        .load::<2>(Arc::clone(&dev), params, &input)
+                        .unwrap(),
+                    LoaderKind::Tgs => TgsExternalLoader::new(config)
+                        .load::<2>(Arc::clone(&dev), params, &input)
+                        .unwrap(),
+                    LoaderKind::Hilbert => load_hilbert_external::<2>(
+                        Arc::clone(&dev),
+                        params,
+                        &input,
+                        config,
+                        false,
+                    )
+                    .unwrap(),
+                    LoaderKind::Hilbert4 => load_hilbert_external::<2>(
+                        Arc::clone(&dev),
+                        params,
+                        &input,
+                        config,
+                        true,
+                    )
+                    .unwrap(),
+                    LoaderKind::Str => unreachable!(),
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_in_memory, bench_external);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Query benchmarks: window queries on each tree variant, plus the
+//! pseudo-PR-tree and the LPR-tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pr_data::queries::square_queries;
+use pr_data::uniform_points;
+use pr_em::{BlockDevice, MemDevice};
+use pr_geom::Rect;
+use pr_tree::bulk::LoaderKind;
+use pr_tree::dynamic::LprTree;
+use pr_tree::pseudo::PseudoPrTree;
+use pr_tree::TreeParams;
+use std::sync::Arc;
+
+fn bench_window_queries(c: &mut Criterion) {
+    let n = 50_000u32;
+    let items = uniform_points(n, 7);
+    let params = TreeParams::paper_2d();
+    let queries = square_queries(&Rect::xyxy(0.0, 0.0, 1.0, 1.0), 0.01, 50, 3);
+
+    let mut group = c.benchmark_group("window_query_1pct");
+    group.sample_size(20);
+    for kind in LoaderKind::all() {
+        let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
+        let tree = kind.loader::<2>().load(dev, params, items.clone()).unwrap();
+        tree.warm_cache().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &tree, |b, t| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for q in &queries {
+                    total += t.window_count(q).unwrap().0;
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pseudo_and_lpr(c: &mut Criterion) {
+    let n = 50_000u32;
+    let items = uniform_points(n, 8);
+    let params = TreeParams::paper_2d();
+    let queries = square_queries(&Rect::xyxy(0.0, 0.0, 1.0, 1.0), 0.01, 50, 4);
+
+    let mut group = c.benchmark_group("window_query_structures");
+    group.sample_size(20);
+
+    let pseudo = PseudoPrTree::build(items.clone(), params.leaf_cap);
+    group.bench_function("pseudo_pr_tree", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for q in &queries {
+                total += pseudo.window(q).len();
+            }
+            total
+        });
+    });
+
+    let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
+    let mut lpr = LprTree::<2>::new(dev, params, 4096);
+    for &it in &items {
+        lpr.insert(it).unwrap();
+    }
+    group.bench_function("lpr_tree", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for q in &queries {
+                total += lpr.window(q).unwrap().0.len();
+            }
+            total
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_window_queries, bench_pseudo_and_lpr);
+criterion_main!(benches);

@@ -1,0 +1,367 @@
+//! Block devices with I/O accounting.
+//!
+//! A device is a flat array of fixed-size blocks. Reads and writes are
+//! whole-block and each one bumps the shared [`IoCounters`]. The in-memory
+//! device is what experiments use (the paper's metric is the *count* of
+//! transfers, not their latency); the file-backed device demonstrates that
+//! the same algorithms run unchanged against a real file.
+
+use crate::error::EmError;
+use crate::stats::{IoCounters, IoStats};
+use crate::Result;
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Identifier of a block on a device (its index).
+pub type BlockId = u64;
+
+/// The paper's disk block size: 4KB (§3.1).
+pub const DEFAULT_BLOCK_SIZE: usize = 4096;
+
+/// A device of fixed-size blocks with exact transfer accounting.
+///
+/// All methods take `&self`; implementations synchronize internally so
+/// devices can be shared across threads (parallel bulk loading).
+pub trait BlockDevice: Send + Sync {
+    /// Size of one block in bytes.
+    fn block_size(&self) -> usize;
+
+    /// Number of allocated blocks.
+    fn num_blocks(&self) -> u64;
+
+    /// Appends `n` zeroed blocks, returning the id of the first new block.
+    /// Allocation itself is free (it models reserving address space, not a
+    /// transfer).
+    fn allocate(&self, n: u64) -> BlockId;
+
+    /// Reads block `block` into `buf` (`buf.len()` must equal
+    /// [`BlockDevice::block_size`]). Counts one read.
+    fn read_block(&self, block: BlockId, buf: &mut [u8]) -> Result<()>;
+
+    /// Writes `buf` to block `block`. Counts one write.
+    fn write_block(&self, block: BlockId, buf: &[u8]) -> Result<()>;
+
+    /// The shared counters for this device.
+    fn counters(&self) -> &Arc<IoCounters>;
+
+    /// Convenience: a snapshot of the counters.
+    fn io_stats(&self) -> IoStats {
+        self.counters().snapshot()
+    }
+
+    /// Releases the storage of `blocks` (temporary-file deletion in the
+    /// TPIE model). Freed ids are *not* reused; reading a discarded block
+    /// is an error. Discarding is free of I/O cost. The default
+    /// implementation is a no-op (file-backed devices may keep the bytes).
+    fn discard(&self, blocks: &[BlockId]) {
+        let _ = blocks;
+    }
+}
+
+/// In-memory block device: blocks live in a `Vec`, transfers are memcpys.
+///
+/// Deterministic and fast; the default substrate for all experiments.
+pub struct MemDevice {
+    block_size: usize,
+    blocks: Mutex<Vec<Option<Box<[u8]>>>>,
+    counters: Arc<IoCounters>,
+}
+
+impl MemDevice {
+    /// Creates an empty device with the given block size.
+    pub fn new(block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        MemDevice {
+            block_size,
+            blocks: Mutex::new(Vec::new()),
+            counters: IoCounters::new(),
+        }
+    }
+
+    /// Creates an empty device with the paper's 4KB blocks.
+    pub fn default_size() -> Self {
+        MemDevice::new(DEFAULT_BLOCK_SIZE)
+    }
+
+    /// Bytes currently held, excluding discarded blocks (for capacity
+    /// assertions in tests).
+    pub fn resident_bytes(&self) -> usize {
+        self.blocks.lock().iter().filter(|b| b.is_some()).count() * self.block_size
+    }
+}
+
+impl BlockDevice for MemDevice {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.blocks.lock().len() as u64
+    }
+
+    fn allocate(&self, n: u64) -> BlockId {
+        let mut blocks = self.blocks.lock();
+        let first = blocks.len() as u64;
+        for _ in 0..n {
+            blocks.push(Some(vec![0u8; self.block_size].into_boxed_slice()));
+        }
+        first
+    }
+
+    fn read_block(&self, block: BlockId, buf: &mut [u8]) -> Result<()> {
+        if buf.len() != self.block_size {
+            return Err(EmError::BadBufferSize {
+                got: buf.len(),
+                want: self.block_size,
+            });
+        }
+        let blocks = self.blocks.lock();
+        let slot = blocks.get(block as usize).ok_or(EmError::BlockOutOfRange {
+            block,
+            len: blocks.len() as u64,
+        })?;
+        let src = slot
+            .as_ref()
+            .ok_or_else(|| EmError::Corrupt(format!("read of discarded block {block}")))?;
+        buf.copy_from_slice(src);
+        drop(blocks);
+        self.counters.add_reads(1);
+        Ok(())
+    }
+
+    fn write_block(&self, block: BlockId, buf: &[u8]) -> Result<()> {
+        if buf.len() != self.block_size {
+            return Err(EmError::BadBufferSize {
+                got: buf.len(),
+                want: self.block_size,
+            });
+        }
+        let mut blocks = self.blocks.lock();
+        let len = blocks.len() as u64;
+        let slot = blocks
+            .get_mut(block as usize)
+            .ok_or(EmError::BlockOutOfRange { block, len })?;
+        match slot {
+            Some(dst) => dst.copy_from_slice(buf),
+            None => *slot = Some(buf.to_vec().into_boxed_slice()),
+        }
+        drop(blocks);
+        self.counters.add_writes(1);
+        Ok(())
+    }
+
+    fn counters(&self) -> &Arc<IoCounters> {
+        &self.counters
+    }
+
+    fn discard(&self, ids: &[BlockId]) {
+        let mut blocks = self.blocks.lock();
+        for &id in ids {
+            if let Some(slot) = blocks.get_mut(id as usize) {
+                *slot = None;
+            }
+        }
+    }
+}
+
+/// File-backed block device. Blocks are stored contiguously in one file.
+pub struct FileDevice {
+    block_size: usize,
+    file: Mutex<File>,
+    num_blocks: Mutex<u64>,
+    counters: Arc<IoCounters>,
+}
+
+impl FileDevice {
+    /// Creates (truncating) a device backed by the file at `path`.
+    pub fn create(path: &Path, block_size: usize) -> Result<Self> {
+        assert!(block_size > 0, "block size must be positive");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileDevice {
+            block_size,
+            file: Mutex::new(file),
+            num_blocks: Mutex::new(0),
+            counters: IoCounters::new(),
+        })
+    }
+}
+
+impl BlockDevice for FileDevice {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn num_blocks(&self) -> u64 {
+        *self.num_blocks.lock()
+    }
+
+    fn allocate(&self, n: u64) -> BlockId {
+        let mut num = self.num_blocks.lock();
+        let first = *num;
+        *num += n;
+        // The file is grown lazily on write; sparse files make allocation
+        // cheap, matching the in-memory device's free allocation.
+        first
+    }
+
+    fn read_block(&self, block: BlockId, buf: &mut [u8]) -> Result<()> {
+        if buf.len() != self.block_size {
+            return Err(EmError::BadBufferSize {
+                got: buf.len(),
+                want: self.block_size,
+            });
+        }
+        let len = self.num_blocks();
+        if block >= len {
+            return Err(EmError::BlockOutOfRange { block, len });
+        }
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(block * self.block_size as u64))?;
+        // A block beyond the materialized end of a sparse file reads as
+        // zeros, mirroring MemDevice's zero-initialized allocation.
+        let mut read_total = 0;
+        while read_total < buf.len() {
+            let n = file.read(&mut buf[read_total..])?;
+            if n == 0 {
+                for b in &mut buf[read_total..] {
+                    *b = 0;
+                }
+                break;
+            }
+            read_total += n;
+        }
+        drop(file);
+        self.counters.add_reads(1);
+        Ok(())
+    }
+
+    fn write_block(&self, block: BlockId, buf: &[u8]) -> Result<()> {
+        if buf.len() != self.block_size {
+            return Err(EmError::BadBufferSize {
+                got: buf.len(),
+                want: self.block_size,
+            });
+        }
+        let len = self.num_blocks();
+        if block >= len {
+            return Err(EmError::BlockOutOfRange { block, len });
+        }
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(block * self.block_size as u64))?;
+        file.write_all(buf)?;
+        drop(file);
+        self.counters.add_writes(1);
+        Ok(())
+    }
+
+    fn counters(&self) -> &Arc<IoCounters> {
+        &self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(dev: &dyn BlockDevice) {
+        let bs = dev.block_size();
+        let first = dev.allocate(3);
+        assert_eq!(dev.num_blocks(), 3);
+        let mut buf = vec![0xABu8; bs];
+        buf[0] = 1;
+        dev.write_block(first + 1, &buf).unwrap();
+        let mut out = vec![0u8; bs];
+        dev.read_block(first + 1, &mut out).unwrap();
+        assert_eq!(out, buf);
+        // Unwritten blocks read as zeros.
+        dev.read_block(first, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+        // Accounting: 1 write, 2 reads.
+        let s = dev.io_stats();
+        assert_eq!((s.reads, s.writes), (2, 1));
+    }
+
+    #[test]
+    fn mem_device_roundtrip_and_accounting() {
+        roundtrip(&MemDevice::new(512));
+    }
+
+    #[test]
+    fn file_device_roundtrip_and_accounting() {
+        let dir = std::env::temp_dir().join(format!("pr-em-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dev.bin");
+        roundtrip(&FileDevice::create(&path, 512).unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn out_of_range_is_an_error() {
+        let dev = MemDevice::new(64);
+        dev.allocate(1);
+        let mut buf = vec![0u8; 64];
+        assert!(matches!(
+            dev.read_block(5, &mut buf),
+            Err(EmError::BlockOutOfRange { block: 5, len: 1 })
+        ));
+        assert!(matches!(
+            dev.write_block(1, &buf),
+            Err(EmError::BlockOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_buffer_size_is_an_error() {
+        let dev = MemDevice::new(64);
+        dev.allocate(1);
+        let mut small = vec![0u8; 32];
+        assert!(matches!(
+            dev.read_block(0, &mut small),
+            Err(EmError::BadBufferSize { got: 32, want: 64 })
+        ));
+    }
+
+    #[test]
+    fn allocation_is_free_of_io() {
+        let dev = MemDevice::new(64);
+        dev.allocate(100);
+        assert_eq!(dev.io_stats().total(), 0);
+        assert_eq!(dev.resident_bytes(), 6400);
+    }
+
+    #[test]
+    fn discard_reclaims_memory_and_poisons_reads() {
+        let dev = MemDevice::new(64);
+        dev.allocate(4);
+        let buf = vec![1u8; 64];
+        dev.write_block(0, &buf).unwrap();
+        dev.write_block(1, &buf).unwrap();
+        dev.discard(&[0, 1]);
+        assert_eq!(dev.resident_bytes(), 2 * 64);
+        let mut out = vec![0u8; 64];
+        assert!(matches!(
+            dev.read_block(0, &mut out),
+            Err(EmError::Corrupt(_))
+        ));
+        // Rewriting a discarded block revives it.
+        dev.write_block(0, &buf).unwrap();
+        dev.read_block(0, &mut out).unwrap();
+        assert_eq!(out, buf);
+        // Discard is free of I/O cost: 3 writes + 1 read so far.
+        let s = dev.io_stats();
+        assert_eq!((s.reads, s.writes), (1, 3));
+    }
+
+    #[test]
+    fn default_block_size_matches_paper() {
+        assert_eq!(MemDevice::default_size().block_size(), 4096);
+    }
+}

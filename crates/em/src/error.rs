@@ -1,0 +1,74 @@
+//! Substrate error type.
+
+use std::fmt;
+
+/// Errors surfaced by the external-memory substrate.
+#[derive(Debug)]
+pub enum EmError {
+    /// Underlying OS-level I/O failure (file-backed devices only).
+    Io(std::io::Error),
+    /// A block id outside the device's allocated range was accessed.
+    BlockOutOfRange {
+        /// Requested block.
+        block: u64,
+        /// Number of allocated blocks.
+        len: u64,
+    },
+    /// A buffer with a size different from the device block size was used.
+    BadBufferSize {
+        /// Buffer length supplied by the caller.
+        got: usize,
+        /// Device block size.
+        want: usize,
+    },
+    /// The memory budget is too small for the requested operation.
+    BudgetTooSmall(String),
+    /// A record failed to decode (corrupt page or logic error).
+    Corrupt(String),
+}
+
+impl fmt::Display for EmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmError::Io(e) => write!(f, "I/O error: {e}"),
+            EmError::BlockOutOfRange { block, len } => {
+                write!(f, "block {block} out of range (device has {len} blocks)")
+            }
+            EmError::BadBufferSize { got, want } => {
+                write!(f, "buffer size {got} does not match block size {want}")
+            }
+            EmError::BudgetTooSmall(msg) => write!(f, "memory budget too small: {msg}"),
+            EmError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EmError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for EmError {
+    fn from(e: std::io::Error) -> Self {
+        EmError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = EmError::BlockOutOfRange { block: 9, len: 4 };
+        assert!(e.to_string().contains("block 9"));
+        let e = EmError::BadBufferSize { got: 100, want: 4096 };
+        assert!(e.to_string().contains("4096"));
+        let e: EmError = std::io::Error::other("boom").into();
+        assert!(e.to_string().contains("boom"));
+    }
+}

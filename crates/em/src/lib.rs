@@ -1,0 +1,43 @@
+//! External-memory substrate: a miniature TPIE.
+//!
+//! The PR-tree paper implements and *measures* everything in the
+//! external-memory (I/O) model of Aggarwal–Vitter: data lives on disk in
+//! blocks of `B` records, main memory holds `M` records, and the unit of
+//! cost is one block transfer. Its experimental numbers are 4KB-block read
+//! and write counts collected through the TPIE library. This crate plays
+//! TPIE's role:
+//!
+//! * [`device`] — block devices with exact I/O accounting: an in-memory
+//!   device for experiments (fast, deterministic) and a file-backed device
+//!   proving the same code runs against a real disk,
+//! * [`stats`] — shared read/write counters and snapshots,
+//! * [`pool`] — an LRU buffer pool with write-back, used for the paper's
+//!   "cache all internal nodes" query setup and for cache ablations,
+//! * [`stream`] — sequential typed streams of fixed-size records, the
+//!   workhorse of every bulk-loading algorithm,
+//! * [`sort`] — external multiway merge sort under a configurable memory
+//!   budget `M`, giving the `O(N/B · log_{M/B} N/B)` sorting bound every
+//!   construction algorithm in the paper leans on,
+//! * [`lru`] — the intrusive LRU used by the pool (public: the R-tree node
+//!   cache reuses it).
+//!
+//! All counters are cheap atomics; devices are `Sync` so parallel builds
+//! can share them.
+
+pub mod device;
+pub mod error;
+pub mod lru;
+pub mod pool;
+pub mod sort;
+pub mod stats;
+pub mod stream;
+
+pub use device::{BlockDevice, BlockId, FileDevice, MemDevice, DEFAULT_BLOCK_SIZE};
+pub use error::EmError;
+pub use pool::BufferPool;
+pub use sort::{external_sort, external_sort_by, SortConfig};
+pub use stats::{IoCounters, IoStats};
+pub use stream::{Record, Stream, StreamReader, StreamWriter};
+
+/// Result alias for substrate operations.
+pub type Result<T> = std::result::Result<T, EmError>;

@@ -1,0 +1,37 @@
+//! Geometry kernel for the PR-tree reproduction.
+//!
+//! Everything in the paper operates on axis-parallel `d`-dimensional
+//! (hyper-)rectangles. This crate provides:
+//!
+//! * [`Point<D>`] and [`Rect<D>`] with the predicates and measures every
+//!   R-tree variant needs (intersection, containment, area, margin,
+//!   enlargement, minimal bounding boxes),
+//! * the *corner mapping* `R ↦ R*` of a `D`-dimensional rectangle to a
+//!   `2D`-dimensional point (`(xmin, ymin, xmax, ymax)` in the plane), which
+//!   is the heart of both the pseudo-PR-tree and the four-dimensional
+//!   Hilbert R-tree — see [`mapped`],
+//! * [`Item<D>`]: a rectangle tagged with a `u32` payload id, matching the
+//!   paper's 36-byte input records (4 × 8-byte coordinates + 4-byte
+//!   pointer).
+//!
+//! Coordinates are `f64`. The paper assumes all defining coordinates are
+//! distinct; real datasets are not that polite, so all orderings exposed
+//! here break ties by item id (see [`mapped::cmp_items_on_axis`]), making
+//! every ordering total and deterministic.
+
+pub mod item;
+pub mod mapped;
+pub mod point;
+pub mod rect;
+
+pub use item::Item;
+pub use mapped::{Axis, MappedOrd};
+pub use point::Point;
+pub use rect::Rect;
+
+/// A 2-dimensional rectangle, the shape used by all paper experiments.
+pub type Rect2 = Rect<2>;
+/// A 2-dimensional point.
+pub type Point2 = Point<2>;
+/// A 2-dimensional labeled rectangle.
+pub type Item2 = Item<2>;

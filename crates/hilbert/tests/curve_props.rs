@@ -1,0 +1,105 @@
+//! Property-based tests for the Hilbert curve.
+
+use pr_hilbert::{hilbert_index, hilbert_point, HilbertMapper};
+use proptest::prelude::*;
+
+proptest! {
+    /// index → point → index is the identity for every dimension/order
+    /// combination that fits the u128 index.
+    #[test]
+    fn point_index_roundtrip(
+        dims in 1usize..6,
+        order in 1u32..12,
+        seed in any::<u64>(),
+    ) {
+        let mut x = seed;
+        let mut coords = vec![0u32; dims];
+        for c in coords.iter_mut() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *c = (x as u32) & ((1u32 << order) - 1).max(1);
+            if order < 32 {
+                *c %= 1 << order;
+            }
+        }
+        let h = hilbert_index(&coords, order);
+        prop_assert_eq!(hilbert_point(h, dims, order), coords);
+    }
+
+    /// The index is bounded by the grid volume.
+    #[test]
+    fn index_in_range(dims in 1usize..5, order in 1u32..10, seed in any::<u64>()) {
+        let mut x = seed;
+        let coords: Vec<u32> = (0..dims)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((x >> 33) as u32) % (1 << order)
+            })
+            .collect();
+        let h = hilbert_index(&coords, order);
+        prop_assert!(h < (1u128 << (dims as u32 * order)));
+    }
+
+    /// Consecutive curve positions are grid neighbors (continuity) in 2-D.
+    #[test]
+    fn continuity_2d(order in 2u32..8, pos in any::<u64>()) {
+        let total = 1u128 << (2 * order);
+        let h = (pos as u128) % (total - 1);
+        let a = hilbert_point(h, 2, order);
+        let b = hilbert_point(h + 1, 2, order);
+        let dist = a[0].abs_diff(b[0]) + a[1].abs_diff(b[1]);
+        prop_assert_eq!(dist, 1, "jump between h={} and h+1", h);
+    }
+
+    /// Distinct grid points get distinct indices (injectivity sample).
+    #[test]
+    fn injective_on_samples(
+        pts in prop::collection::hash_set((0u32..64, 0u32..64, 0u32..64), 2..50)
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        for (a, b, c) in &pts {
+            let h = hilbert_index(&[*a, *b, *c], 6);
+            prop_assert!(seen.insert(h), "collision at {:?}", (a, b, c));
+        }
+    }
+
+    /// The uniform mapper preserves coordinate order along each axis and
+    /// never exceeds the grid.
+    #[test]
+    fn mapper_monotone_and_bounded(
+        xs in prop::collection::vec(0.0f64..100.0, 2..50),
+        order in 4u32..16,
+    ) {
+        let m = HilbertMapper::new_uniform(&[0.0, 0.0], &[100.0, 50.0], order);
+        let max_cell = (1u64 << order) - 1;
+        let mut prev: Option<(f64, u32)> = None;
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        for x in sorted {
+            let q = m.quantize(&[x, 0.0]);
+            prop_assert!((q[0] as u64) <= max_cell);
+            if let Some((px, pq)) = prev {
+                if x >= px {
+                    prop_assert!(q[0] >= pq, "quantization not monotone");
+                }
+            }
+            prev = Some((x, q[0]));
+        }
+    }
+
+    /// Uniform scaling: equal distances in different axes quantize to
+    /// (nearly) equal cell distances — the property the per-dimension
+    /// mapper lacks and Theorem 3 needs.
+    #[test]
+    fn uniform_mapper_is_isotropic(d in 0.1f64..10.0) {
+        let m = HilbertMapper::new_uniform(&[0.0, 0.0], &[100.0, 10.0], 20);
+        let qx0 = m.quantize(&[0.0, 0.0])[0];
+        let qx1 = m.quantize(&[d, 0.0])[0];
+        let qy0 = m.quantize(&[0.0, 0.0])[1];
+        let qy1 = m.quantize(&[0.0, d])[1];
+        let dx = qx1 - qx0;
+        let dy = qy1 - qy0;
+        prop_assert!(dx.abs_diff(dy) <= 1, "dx={dx} dy={dy}");
+    }
+}

@@ -1,0 +1,224 @@
+//! Shared pseudo-PR-tree splitting primitives.
+//!
+//! Both the standalone [`crate::pseudo::PseudoPrTree`] and the PR-tree
+//! bulk loader are built from two operations on a working set of entries:
+//!
+//! 1. **priority extraction** — remove the `k` most extreme entries along
+//!    a mapped axis (leftmost left edges, bottommost bottom edges,
+//!    rightmost right edges, topmost top edges — §2.1),
+//! 2. **median split** — divide the remainder by the median of the
+//!    current round-robin kd axis, optionally snapping the split to a
+//!    multiple of the leaf capacity so almost every leaf comes out full
+//!    (the ">99% space utilization" trick at the end of §2.1).
+//!
+//! Keeping them here guarantees the in-memory and external construction
+//! paths produce *identical* trees (a property the tests rely on).
+
+use crate::entry::Entry;
+use pr_geom::mapped::{cmp_extreme_on_axis, cmp_items_on_axis};
+use pr_geom::{Axis, Item};
+
+fn entry_as_item<const D: usize>(e: &Entry<D>) -> Item<D> {
+    Item {
+        rect: e.rect,
+        id: e.ptr,
+    }
+}
+
+/// Removes and returns the `k` most extreme entries along `axis`
+/// (`k` is clamped to the set size). Order within the returned leaf and
+/// within the remainder is unspecified but deterministic.
+pub fn extract_priority<const D: usize>(
+    items: &mut Vec<Entry<D>>,
+    axis: Axis,
+    k: usize,
+) -> Vec<Entry<D>> {
+    let k = k.min(items.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    if k < items.len() {
+        items.select_nth_unstable_by(k - 1, |a, b| {
+            cmp_extreme_on_axis(axis, &entry_as_item(a), &entry_as_item(b))
+        });
+    }
+    let rest = items.split_off(k);
+    std::mem::replace(items, rest)
+}
+
+/// Splits `items` at the median of `axis` into `(left, right)`.
+///
+/// With `snap_to = Some(cap)` the split point is moved to the nearest
+/// multiple of `cap` (keeping both sides non-empty), so that fully-packed
+/// leaves fall out of the recursion; `None` gives the exact median of the
+/// paper's structural definition. Each side always receives at most
+/// `half + cap` entries, preserving the kd-tree analysis of Lemma 2.
+pub fn median_split<const D: usize>(
+    mut items: Vec<Entry<D>>,
+    axis: Axis,
+    snap_to: Option<usize>,
+) -> (Vec<Entry<D>>, Vec<Entry<D>>) {
+    let n = items.len();
+    debug_assert!(n >= 2, "cannot split fewer than two items");
+    let mut mid = n / 2;
+    if let Some(cap) = snap_to {
+        if cap > 0 && n > cap {
+            // Nearest multiple of cap; never 0 and never ≥ n (mid + cap/2
+            // < n because cap < n), so both sides stay non-empty.
+            let mut snapped = ((mid + cap / 2) / cap) * cap;
+            if snapped == 0 {
+                snapped = cap;
+            }
+            mid = snapped.min(n - 1);
+        }
+    }
+    mid = mid.clamp(1, n - 1);
+    items.select_nth_unstable_by(mid, |a, b| {
+        cmp_items_on_axis(axis, &entry_as_item(a), &entry_as_item(b))
+    });
+    let right = items.split_off(mid);
+    (items, right)
+}
+
+/// One pseudo-PR-tree node's worth of work: extracts up to `2D` priority
+/// leaves of size `prio` (in the paper's xmin, ymin, …, xmax, ymax order)
+/// and returns them along with the remaining entries.
+pub fn extract_all_priority_leaves<const D: usize>(
+    items: &mut Vec<Entry<D>>,
+    prio: usize,
+) -> Vec<Vec<Entry<D>>> {
+    let mut leaves = Vec::with_capacity(2 * D);
+    for axis in Axis::all::<D>() {
+        if items.is_empty() {
+            break;
+        }
+        let leaf = extract_priority(items, axis, prio);
+        if !leaf.is_empty() {
+            leaves.push(leaf);
+        }
+    }
+    leaves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pr_geom::Rect;
+
+    fn entry(xmin: f64, ymin: f64, xmax: f64, ymax: f64, id: u32) -> Entry<2> {
+        Entry::new(Rect::xyxy(xmin, ymin, xmax, ymax), id)
+    }
+
+    fn row(n: usize) -> Vec<Entry<2>> {
+        (0..n)
+            .map(|i| {
+                let f = i as f64;
+                entry(f, 0.0, f + 0.5, 1.0, i as u32)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn extract_priority_takes_most_extreme() {
+        let mut items = row(10);
+        // xmin axis: smallest lo — ids 0, 1, 2.
+        let leaf = extract_priority(&mut items, Axis(0), 3);
+        let mut ids: Vec<_> = leaf.iter().map(|e| e.ptr).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, [0, 1, 2]);
+        assert_eq!(items.len(), 7);
+        // xmax axis on the remainder: largest hi — ids 7, 8, 9.
+        let leaf = extract_priority(&mut items, Axis(2), 3);
+        let mut ids: Vec<_> = leaf.iter().map(|e| e.ptr).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, [7, 8, 9]);
+    }
+
+    #[test]
+    fn extract_priority_clamps_and_handles_empty() {
+        let mut items = row(2);
+        let leaf = extract_priority(&mut items, Axis(0), 5);
+        assert_eq!(leaf.len(), 2);
+        assert!(items.is_empty());
+        assert!(extract_priority::<2>(&mut items, Axis(0), 3).is_empty());
+    }
+
+    #[test]
+    fn median_split_exact() {
+        let (l, r) = median_split(row(10), Axis(0), None);
+        assert_eq!(l.len(), 5);
+        assert_eq!(r.len(), 5);
+        let lmax = l.iter().map(|e| e.ptr).max().unwrap();
+        let rmin = r.iter().map(|e| e.ptr).min().unwrap();
+        assert!(lmax < rmin, "all left xmin < all right xmin");
+    }
+
+    #[test]
+    fn median_split_snaps_to_capacity() {
+        // 10 items, cap 4: exact mid = 5, snapped to 4.
+        let (l, r) = median_split(row(10), Axis(0), Some(4));
+        assert_eq!(l.len(), 4);
+        assert_eq!(r.len(), 6);
+        // 9 items, cap 4: mid = 4 (already a multiple).
+        let (l, r) = median_split(row(9), Axis(0), Some(4));
+        assert_eq!((l.len(), r.len()), (4, 5));
+        // 6 items, cap 4: mid = 3 → snapped to 4, right side non-empty.
+        let (l, r) = median_split(row(6), Axis(0), Some(4));
+        assert_eq!((l.len(), r.len()), (4, 2));
+    }
+
+    #[test]
+    fn median_split_both_sides_nonempty() {
+        for n in 2..40 {
+            for cap in [1usize, 2, 3, 4, 7] {
+                let (l, r) = median_split(row(n), Axis(0), Some(cap));
+                assert!(!l.is_empty() && !r.is_empty(), "n={n} cap={cap}");
+                assert_eq!(l.len() + r.len(), n);
+            }
+            let (l, r) = median_split(row(n), Axis(1), None);
+            assert!(!l.is_empty() && !r.is_empty());
+        }
+    }
+
+    #[test]
+    fn all_priority_leaves_cycle_axes() {
+        let mut items = row(20);
+        let leaves = extract_all_priority_leaves(&mut items, 4);
+        assert_eq!(leaves.len(), 4);
+        assert_eq!(items.len(), 4);
+        // First leaf: smallest xmin (ids 0..4). Fourth leaf: largest ymax
+        // among what remained; all ymax equal → tie-break by id.
+        let mut first: Vec<_> = leaves[0].iter().map(|e| e.ptr).collect();
+        first.sort_unstable();
+        assert_eq!(first, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn all_priority_leaves_small_input() {
+        let mut items = row(6);
+        let leaves = extract_all_priority_leaves(&mut items, 4);
+        // 4 + 2: second leaf partial, then nothing left.
+        assert_eq!(leaves.len(), 2);
+        assert_eq!(leaves[0].len(), 4);
+        assert_eq!(leaves[1].len(), 2);
+        assert!(items.is_empty());
+    }
+
+    #[test]
+    fn ties_broken_by_id_deterministically() {
+        // All rectangles identical: extraction must still be deterministic
+        // (by id) so external and in-memory builds agree.
+        let mut items: Vec<Entry<2>> =
+            (0..10).map(|i| entry(0.0, 0.0, 1.0, 1.0, i)).collect();
+        let leaf = extract_priority(&mut items, Axis(0), 3);
+        let mut ids: Vec<_> = leaf.iter().map(|e| e.ptr).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, [0, 1, 2]);
+        // ymax axis (max side): extreme = largest ymax; ties resolve to
+        // the largest id (exact reverse of the ascending order).
+        let leaf = extract_priority(&mut items, Axis(3), 3);
+        let mut ids: Vec<_> = leaf.iter().map(|e| e.ptr).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, [7, 8, 9]);
+    }
+}

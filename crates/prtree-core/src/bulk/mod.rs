@@ -1,0 +1,120 @@
+//! Bulk-loading algorithms.
+//!
+//! Five ways to build the same page-level [`crate::tree::RTree`]:
+//!
+//! | module | paper name | strategy |
+//! |--------|-----------|----------|
+//! | [`pr`] | PR-tree (the contribution) | bottom-up stages of pseudo-PR-trees |
+//! | [`hilbert`] (centers) | packed Hilbert R-tree, "H" | sort by D-dim Hilbert value of centers, pack |
+//! | [`hilbert`] (corners) | 4-D Hilbert R-tree, "H4" | sort by 2D-dim Hilbert value of corner mapping, pack |
+//! | [`tgs`] | Top-down Greedy Split, "TGS" | recursive greedy binary partitions |
+//! | [`str_`] | STR (extra baseline, reference 18 in the paper) | sort-tile-recursive |
+//!
+//! Each loader has an **in-memory** form (this module's [`BulkLoader`]
+//! trait, fast, used for query experiments) and an **external-memory**
+//! form in [`external`] that runs against `pr-em` streams under a memory
+//! budget and whose I/O counts reproduce the paper's construction-cost
+//! figures.
+
+pub mod external;
+pub mod hilbert;
+pub mod kd_split;
+pub mod pr;
+pub mod pr_external;
+pub mod pr_parallel;
+pub mod str_;
+pub mod tgs;
+pub mod tgs_external;
+
+use crate::params::TreeParams;
+use crate::tree::RTree;
+use pr_em::{BlockDevice, EmError};
+use pr_geom::Item;
+use std::sync::Arc;
+
+/// A bulk-loading strategy producing a page-level R-tree.
+pub trait BulkLoader<const D: usize> {
+    /// Short name used in experiment tables ("PR", "H", "H4", "TGS", "STR").
+    fn name(&self) -> &'static str;
+
+    /// Builds a tree over `items` on `dev`.
+    fn load(
+        &self,
+        dev: Arc<dyn BlockDevice>,
+        params: TreeParams,
+        items: Vec<Item<D>>,
+    ) -> Result<RTree<D>, EmError>;
+}
+
+/// The four R-tree variants compared throughout the paper, plus STR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoaderKind {
+    /// Priority R-tree (§2).
+    Pr,
+    /// Packed Hilbert R-tree on centers (Kamel–Faloutsos).
+    Hilbert,
+    /// Four-dimensional Hilbert R-tree on the corner mapping.
+    Hilbert4,
+    /// Top-down Greedy Split (García–López–Leutenegger).
+    Tgs,
+    /// Sort-Tile-Recursive (Leutenegger–López–Edgington).
+    Str,
+}
+
+impl LoaderKind {
+    /// All variants in the paper's presentation order (PR first, then the
+    /// competitors, then the extra STR baseline).
+    pub fn all() -> [LoaderKind; 5] {
+        [
+            LoaderKind::Pr,
+            LoaderKind::Hilbert,
+            LoaderKind::Hilbert4,
+            LoaderKind::Tgs,
+            LoaderKind::Str,
+        ]
+    }
+
+    /// The four variants measured in the paper's figures.
+    pub fn paper_four() -> [LoaderKind; 4] {
+        [
+            LoaderKind::Pr,
+            LoaderKind::Hilbert,
+            LoaderKind::Hilbert4,
+            LoaderKind::Tgs,
+        ]
+    }
+
+    /// Display name matching the paper's abbreviations.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LoaderKind::Pr => "PR",
+            LoaderKind::Hilbert => "H",
+            LoaderKind::Hilbert4 => "H4",
+            LoaderKind::Tgs => "TGS",
+            LoaderKind::Str => "STR",
+        }
+    }
+
+    /// Instantiates the default in-memory loader for this kind.
+    pub fn loader<const D: usize>(&self) -> Box<dyn BulkLoader<D>> {
+        match self {
+            LoaderKind::Pr => Box::new(pr::PrTreeLoader::default()),
+            LoaderKind::Hilbert => Box::new(hilbert::HilbertLoader::centers()),
+            LoaderKind::Hilbert4 => Box::new(hilbert::HilbertLoader::corners()),
+            LoaderKind::Tgs => Box::new(tgs::TgsLoader),
+            LoaderKind::Str => Box::new(str_::StrLoader),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_abbreviations() {
+        let names: Vec<_> = LoaderKind::all().iter().map(|k| k.name()).collect();
+        assert_eq!(names, ["PR", "H", "H4", "TGS", "STR"]);
+        assert_eq!(LoaderKind::paper_four().len(), 4);
+    }
+}

@@ -1,0 +1,240 @@
+//! Multi-threaded PR-tree bulk loading.
+//!
+//! An extension beyond the paper (which predates multicore ubiquity):
+//! the pseudo-PR-tree stage is a divide-and-conquer over disjoint entry
+//! sets, so after the first few sequential kd splits the recursion
+//! parallelizes embarrassingly. The grouping produced is *identical* to
+//! the sequential loader's — both drive the same
+//! `PrTreeLoader::node_step` — only the schedule differs; a test pins
+//! that down.
+//!
+//! Page writing stays sequential: allocation on the shared device is a
+//! synchronization point anyway, and writing is a small fraction of the
+//! stage cost.
+
+use crate::bulk::pr::PrTreeLoader;
+use crate::bulk::BulkLoader;
+use crate::entry::Entry;
+use crate::page::NodePage;
+use crate::params::TreeParams;
+use crate::tree::RTree;
+use crate::writer::write_level;
+use pr_em::{BlockDevice, EmError};
+use pr_geom::{Axis, Item};
+use std::sync::Arc;
+
+/// PR-tree loader that fans the kd recursion out over threads.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParallelPrLoader {
+    /// Structural knobs, shared with [`PrTreeLoader`].
+    pub inner: PrTreeLoader,
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+}
+
+impl ParallelPrLoader {
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// One stage's grouping, computed in parallel.
+    fn stage_groups_parallel<const D: usize>(
+        &self,
+        entries: Vec<Entry<D>>,
+        cap: usize,
+    ) -> Vec<Vec<Entry<D>>> {
+        let threads = self.effective_threads();
+        if threads <= 1 || entries.len() < 4 * cap * threads {
+            return self.inner.stage_groups(entries, cap);
+        }
+
+        // Peel the top of the recursion sequentially until there are
+        // enough independent sub-problems to saturate the workers.
+        let mut out: Vec<Vec<Entry<D>>> = Vec::new();
+        let mut tasks: Vec<(Vec<Entry<D>>, Axis)> = vec![(entries, Axis(0))];
+        while tasks.len() < 2 * threads {
+            // Expand the largest pending task.
+            let Some(idx) = tasks
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, (set, _))| set.len())
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            if tasks[idx].0.len() <= 4 * cap {
+                break; // everything left is small; no point splitting more
+            }
+            let (set, axis) = tasks.swap_remove(idx);
+            if let Some(children) = self.inner.node_step(set, axis, cap, &mut out) {
+                tasks.extend(children);
+            }
+            if tasks.is_empty() {
+                break;
+            }
+        }
+
+        // Fan the sub-problems out; each worker runs the sequential
+        // grouping on its disjoint set.
+        let inner = self.inner;
+        let results = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = tasks
+                .into_iter()
+                .map(|(set, axis)| {
+                    scope.spawn(move |_| inner.stage_groups_from(set, cap, axis))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("thread scope");
+        for groups in results {
+            out.extend(groups);
+        }
+        out
+    }
+}
+
+impl<const D: usize> BulkLoader<D> for ParallelPrLoader {
+    fn name(&self) -> &'static str {
+        "PR(par)"
+    }
+
+    fn load(
+        &self,
+        dev: Arc<dyn BlockDevice>,
+        params: TreeParams,
+        items: Vec<Item<D>>,
+    ) -> Result<RTree<D>, EmError> {
+        if items.is_empty() {
+            return RTree::new_empty(dev, params);
+        }
+        let len = items.len() as u64;
+        let mut entries: Vec<Entry<D>> = items.into_iter().map(Entry::from_item).collect();
+        let mut level: u8 = 0;
+        loop {
+            let cap = params.cap_at_level(level);
+            if entries.len() == 1 && level > 0 {
+                let root = entries[0].ptr as u64;
+                return Ok(RTree::attach(dev, params, root, level - 1, len));
+            }
+            if entries.len() <= cap {
+                let root = NodePage::new(level, entries).append(dev.as_ref())?;
+                return Ok(RTree::attach(dev, params, root, level, len));
+            }
+            let groups = self.stage_groups_parallel(entries, cap);
+            entries = write_level(dev.as_ref(), level, groups)?;
+            level = level.checked_add(1).expect("tree height exceeds 255");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pr_em::MemDevice;
+    use pr_geom::Rect;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_items(n: u32, seed: u64) -> Vec<Item<2>> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let x: f64 = rng.gen_range(0.0..100.0);
+                let y: f64 = rng.gen_range(0.0..100.0);
+                Item::new(Rect::xyxy(x, y, x + 0.5, y + 0.5), i)
+            })
+            .collect()
+    }
+
+    fn leaf_groups(t: &RTree<2>) -> Vec<Vec<u32>> {
+        let mut out = Vec::new();
+        let mut stack = vec![t.root()];
+        while let Some(p) = stack.pop() {
+            let (node, _) = t.read_node(p).unwrap();
+            if node.is_leaf() {
+                let mut ids: Vec<u32> = node.entries.iter().map(|e| e.ptr).collect();
+                ids.sort_unstable();
+                out.push(ids);
+            } else {
+                for e in &node.entries {
+                    stack.push(e.ptr as u64);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn parallel_build_equals_sequential_build() {
+        let items = random_items(20_000, 3);
+        let params = TreeParams::with_cap::<2>(16);
+
+        let dev_a: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
+        let seq = PrTreeLoader::default()
+            .load(Arc::clone(&dev_a), params, items.clone())
+            .unwrap();
+
+        for threads in [1usize, 2, 4, 8] {
+            let dev_b: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
+            let par = ParallelPrLoader {
+                inner: PrTreeLoader::default(),
+                threads,
+            }
+            .load(Arc::clone(&dev_b), params, items.clone())
+            .unwrap();
+            par.validate().unwrap().assert_ok();
+            assert_eq!(seq.height(), par.height(), "threads={threads}");
+            assert_eq!(
+                leaf_groups(&seq),
+                leaf_groups(&par),
+                "threads={threads}: parallel grouping diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn small_inputs_fall_back_to_sequential() {
+        let items = random_items(100, 4);
+        let params = TreeParams::with_cap::<2>(16);
+        let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
+        let t = ParallelPrLoader::default()
+            .load(dev, params, items)
+            .unwrap();
+        t.validate().unwrap().assert_ok();
+        assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn queries_correct_after_parallel_build() {
+        let items = random_items(8_000, 9);
+        let params = TreeParams::with_cap::<2>(8);
+        let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
+        let t = ParallelPrLoader {
+            inner: PrTreeLoader::default(),
+            threads: 4,
+        }
+        .load(dev, params, items.clone())
+        .unwrap();
+        let q = Rect::xyxy(20.0, 20.0, 60.0, 40.0);
+        let mut got: Vec<u32> = t.window(&q).unwrap().iter().map(|i| i.id).collect();
+        got.sort_unstable();
+        let mut want: Vec<u32> = items
+            .iter()
+            .filter(|i| i.rect.intersects(&q))
+            .map(|i| i.id)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,189 @@
+//! Node cache policies.
+//!
+//! The paper's query experiments keep *all internal nodes* cached ("they
+//! never occupied more than 6MB", §3.3), so reported query I/O equals the
+//! number of leaves fetched. Footnote 5 also reports a run with the cache
+//! disabled. Both policies, plus a bounded LRU for ablations, live here.
+
+use crate::page::NodePage;
+use pr_em::lru::LruCache;
+use pr_em::BlockId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What a tree keeps in memory between queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// No caching: every node visit is a device read.
+    None,
+    /// Cache every internal node forever; leaves are always read from the
+    /// device. This is the paper's experimental setup.
+    InternalNodes,
+    /// LRU over all nodes (internal and leaves) with the given capacity in
+    /// pages.
+    Lru(usize),
+}
+
+/// A node cache implementing one [`CachePolicy`].
+pub struct NodeCache<const D: usize> {
+    policy: CachePolicy,
+    pinned: HashMap<BlockId, Arc<NodePage<D>>>,
+    lru: Option<LruCache<BlockId, Arc<NodePage<D>>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<const D: usize> NodeCache<D> {
+    /// Creates a cache with the given policy.
+    pub fn new(policy: CachePolicy) -> Self {
+        let lru = match policy {
+            CachePolicy::Lru(cap) => Some(LruCache::new(cap.max(1))),
+            _ => None,
+        };
+        NodeCache {
+            policy,
+            pinned: HashMap::new(),
+            lru,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// Looks up a node.
+    pub fn get(&mut self, page: BlockId) -> Option<Arc<NodePage<D>>> {
+        let found = match self.policy {
+            CachePolicy::None => None,
+            CachePolicy::InternalNodes => self.pinned.get(&page).cloned(),
+            CachePolicy::Lru(_) => self
+                .lru
+                .as_mut()
+                .and_then(|l| l.get(&page).cloned()),
+        };
+        if found.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        found
+    }
+
+    /// Offers a freshly read node to the cache; the policy decides whether
+    /// to keep it.
+    pub fn admit(&mut self, page: BlockId, node: &Arc<NodePage<D>>) {
+        match self.policy {
+            CachePolicy::None => {}
+            CachePolicy::InternalNodes => {
+                if !node.is_leaf() {
+                    self.pinned.insert(page, Arc::clone(node));
+                }
+            }
+            CachePolicy::Lru(_) => {
+                if let Some(l) = self.lru.as_mut() {
+                    l.insert(page, Arc::clone(node));
+                }
+            }
+        }
+    }
+
+    /// Drops a page (after it is rewritten by a dynamic update).
+    pub fn invalidate(&mut self, page: BlockId) {
+        self.pinned.remove(&page);
+        if let Some(l) = self.lru.as_mut() {
+            l.remove(&page);
+        }
+    }
+
+    /// Empties the cache (does not reset hit statistics).
+    pub fn clear(&mut self) {
+        self.pinned.clear();
+        if let Some(l) = self.lru.as_mut() {
+            l.drain();
+        }
+    }
+
+    /// Number of cached pages.
+    pub fn len(&self) -> usize {
+        self.pinned.len() + self.lru.as_ref().map_or(0, |l| l.len())
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::Entry;
+    use pr_geom::Rect;
+
+    fn node(level: u8) -> Arc<NodePage<2>> {
+        Arc::new(NodePage::new(
+            level,
+            vec![Entry::new(Rect::xyxy(0.0, 0.0, 1.0, 1.0), 0)],
+        ))
+    }
+
+    #[test]
+    fn none_policy_never_caches() {
+        let mut c = NodeCache::new(CachePolicy::None);
+        c.admit(1, &node(2));
+        assert!(c.get(1).is_none());
+        assert!(c.is_empty());
+        assert_eq!(c.hit_stats(), (0, 1));
+    }
+
+    #[test]
+    fn internal_policy_skips_leaves() {
+        let mut c = NodeCache::new(CachePolicy::InternalNodes);
+        c.admit(1, &node(0)); // leaf: not cached
+        c.admit(2, &node(1)); // internal: cached
+        assert!(c.get(1).is_none());
+        assert!(c.get(2).is_some());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.hit_stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_policy_caches_everything_with_bound() {
+        let mut c = NodeCache::new(CachePolicy::Lru(2));
+        c.admit(1, &node(0));
+        c.admit(2, &node(1));
+        c.admit(3, &node(0)); // evicts page 1
+        assert!(c.get(1).is_none());
+        assert!(c.get(2).is_some());
+        assert!(c.get(3).is_some());
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = NodeCache::new(CachePolicy::InternalNodes);
+        c.admit(2, &node(1));
+        c.invalidate(2);
+        assert!(c.get(2).is_none());
+        let mut c = NodeCache::new(CachePolicy::Lru(4));
+        c.admit(2, &node(1));
+        c.invalidate(2);
+        assert!(c.get(2).is_none());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = NodeCache::new(CachePolicy::InternalNodes);
+        c.admit(2, &node(1));
+        c.admit(3, &node(3));
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

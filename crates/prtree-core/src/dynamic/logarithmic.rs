@@ -1,0 +1,443 @@
+//! The LPR-tree: a dynamized PR-tree via the external logarithmic method.
+//!
+//! §1.2 of the paper: "the external logarithmic method [4, 20] can be
+//! used to develop a structure that supports insertions and deletions in
+//! `O(log_B N/M + (1/B)(log_{M/B} N/B)(log₂ N/M))` and `O(log_B N/M)`
+//! I/Os amortized, respectively, while maintaining the optimal query
+//! performance"; §4 lists experimenting with it as future work — done
+//! here.
+//!
+//! Structure: an in-memory buffer of up to `buffer_cap` items plus
+//! components `T_0, T_1, …` where `T_i` is a bulk-loaded PR-tree of at
+//! most `buffer_cap · 2^i` items. A buffer overflow rebuilds into the
+//! first empty slot `j`, merging the buffer with all of `T_0..T_{j-1}`
+//! (whose combined size always fits, since capacities are geometric).
+//! Deletions are tombstones, compacted by a global rebuild once half the
+//! stored items are dead. A window query fans out over the buffer and
+//! every component and filters tombstones — each component is a PR-tree,
+//! so the per-component cost keeps the `O(√(N/B) + T/B)` guarantee, at
+//! the price of an `O(log N)` multiplicative fan-out.
+
+use crate::bulk::pr::PrTreeLoader;
+use crate::bulk::BulkLoader;
+use crate::params::TreeParams;
+use crate::query::QueryStats;
+use crate::tree::RTree;
+use pr_em::{BlockDevice, BlockId, EmError};
+use pr_geom::{Item, Rect};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// A dynamized PR-tree (logarithmic method).
+pub struct LprTree<const D: usize> {
+    dev: Arc<dyn BlockDevice>,
+    params: TreeParams,
+    loader: PrTreeLoader,
+    buffer_cap: usize,
+    buffer: Vec<Item<D>>,
+    components: Vec<Option<RTree<D>>>,
+    tombstones: HashSet<u32>,
+    live: u64,
+    rebuilds: u64,
+}
+
+impl<const D: usize> LprTree<D> {
+    /// Creates an empty LPR-tree. `buffer_cap` is the in-memory buffer
+    /// size (the method's `M`-analogue); a multiple of the leaf capacity
+    /// keeps component 0 at least one full leaf.
+    pub fn new(dev: Arc<dyn BlockDevice>, params: TreeParams, buffer_cap: usize) -> Self {
+        LprTree {
+            dev,
+            params,
+            loader: PrTreeLoader::default(),
+            buffer_cap: buffer_cap.max(1),
+            buffer: Vec::new(),
+            components: Vec::new(),
+            tombstones: HashSet::new(),
+            live: 0,
+            rebuilds: 0,
+        }
+    }
+
+    /// Live item count (inserted − deleted).
+    pub fn len(&self) -> u64 {
+        self.live
+    }
+
+    /// True when no live items remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of non-empty components (the query fan-out).
+    pub fn num_components(&self) -> usize {
+        self.components.iter().flatten().count()
+    }
+
+    /// How many component rebuilds have happened (amortization metric).
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// The backing device (for I/O accounting).
+    pub fn device(&self) -> &Arc<dyn BlockDevice> {
+        &self.dev
+    }
+
+    /// Inserts an item (ids must be unique among live items).
+    pub fn insert(&mut self, item: Item<D>) -> Result<(), EmError> {
+        self.buffer.push(item);
+        self.live += 1;
+        if self.buffer.len() >= self.buffer_cap {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Deletes by id (+ rectangle, checked against live items). Returns
+    /// `false` if no live item matches.
+    pub fn delete(&mut self, item: &Item<D>) -> Result<bool, EmError> {
+        if let Some(pos) = self
+            .buffer
+            .iter()
+            .position(|b| b.id == item.id && b.rect == item.rect)
+        {
+            self.buffer.swap_remove(pos);
+            self.live -= 1;
+            return Ok(true);
+        }
+        // Is it actually stored in a component (and not yet dead)?
+        if self.tombstones.contains(&item.id) {
+            return Ok(false);
+        }
+        let mut found = false;
+        for c in self.components.iter().flatten() {
+            let (hits, _) = c.window_with_stats(&item.rect)?;
+            if hits.iter().any(|h| h.id == item.id && h.rect == item.rect) {
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            return Ok(false);
+        }
+        self.tombstones.insert(item.id);
+        self.live -= 1;
+        // Compact once half the stored items are dead.
+        let stored: u64 = self
+            .components
+            .iter()
+            .flatten()
+            .map(|c| c.len())
+            .sum::<u64>();
+        if stored > 0 && self.tombstones.len() as u64 * 2 > stored {
+            self.rebuild_all()?;
+        }
+        Ok(true)
+    }
+
+    /// Window query over buffer + all components, filtering tombstones.
+    /// The buffer is main-memory resident and costs no I/O.
+    pub fn window(&self, query: &Rect<D>) -> Result<(Vec<Item<D>>, QueryStats), EmError> {
+        let mut out: Vec<Item<D>> = self
+            .buffer
+            .iter()
+            .filter(|i| i.rect.intersects(query))
+            .copied()
+            .collect();
+        let mut stats = QueryStats::default();
+        for c in self.components.iter().flatten() {
+            let (hits, s) = c.window_with_stats(query)?;
+            stats.nodes_visited += s.nodes_visited;
+            stats.leaves_visited += s.leaves_visited;
+            stats.internal_visited += s.internal_visited;
+            stats.device_reads += s.device_reads;
+            out.extend(hits.into_iter().filter(|h| !self.tombstones.contains(&h.id)));
+        }
+        stats.results = out.len() as u64;
+        Ok((out, stats))
+    }
+
+    /// All live items (test helper; costs a full scan).
+    pub fn items(&self) -> Result<Vec<Item<D>>, EmError> {
+        let mut out = self.buffer.clone();
+        for c in self.components.iter().flatten() {
+            for it in c.items()? {
+                if !self.tombstones.contains(&it.id) {
+                    out.push(it);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Capacity of component slot `i`.
+    fn slot_cap(&self, i: usize) -> u64 {
+        (self.buffer_cap as u64) << i
+    }
+
+    /// Buffer overflow: merge buffer + components `0..j` into slot `j`,
+    /// where `j` is the first empty slot (geometric capacities guarantee
+    /// the fit).
+    fn flush(&mut self) -> Result<(), EmError> {
+        let j = (0..)
+            .find(|&i| i >= self.components.len() || self.components[i].is_none())
+            .expect("unbounded search finds an empty slot");
+        let mut items: Vec<Item<D>> = std::mem::take(&mut self.buffer);
+        let mut freed_pages: Vec<BlockId> = Vec::new();
+        for i in 0..j.min(self.components.len()) {
+            if let Some(c) = self.components[i].take() {
+                collect_pages(&c, &mut freed_pages)?;
+                for it in c.items()? {
+                    if self.tombstones.remove(&it.id) {
+                        continue; // drop dead items during the merge
+                    }
+                    items.push(it);
+                }
+            }
+        }
+        debug_assert!(items.len() as u64 <= self.slot_cap(j));
+        if self.components.len() <= j {
+            self.components.resize_with(j + 1, || None);
+        }
+        if !items.is_empty() {
+            let tree = self
+                .loader
+                .load(Arc::clone(&self.dev), self.params, items)?;
+            self.components[j] = Some(tree);
+        }
+        self.dev.discard(&freed_pages);
+        self.rebuilds += 1;
+        Ok(())
+    }
+
+    /// Global compaction: everything into one fresh PR-tree.
+    fn rebuild_all(&mut self) -> Result<(), EmError> {
+        let mut items: Vec<Item<D>> = std::mem::take(&mut self.buffer);
+        let mut freed_pages: Vec<BlockId> = Vec::new();
+        for slot in &mut self.components {
+            if let Some(c) = slot.take() {
+                collect_pages(&c, &mut freed_pages)?;
+                for it in c.items()? {
+                    if !self.tombstones.contains(&it.id) {
+                        items.push(it);
+                    }
+                }
+            }
+        }
+        self.tombstones.clear();
+        self.components.clear();
+        if !items.is_empty() {
+            // Place into the smallest slot that fits.
+            let mut j = 0;
+            while self.slot_cap(j) < items.len() as u64 {
+                j += 1;
+            }
+            self.components.resize_with(j + 1, || None);
+            let tree = self
+                .loader
+                .load(Arc::clone(&self.dev), self.params, items)?;
+            self.components[j] = Some(tree);
+        }
+        self.dev.discard(&freed_pages);
+        self.rebuilds += 1;
+        Ok(())
+    }
+}
+
+fn collect_pages<const D: usize>(
+    tree: &RTree<D>,
+    out: &mut Vec<BlockId>,
+) -> Result<(), EmError> {
+    let mut stack = vec![tree.root()];
+    while let Some(p) = stack.pop() {
+        out.push(p);
+        let (node, _) = tree.read_node(p)?;
+        if !node.is_leaf() {
+            stack.extend(node.entries.iter().map(|e| e.ptr as BlockId));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::brute_force_window;
+    use pr_em::MemDevice;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn make(buffer_cap: usize) -> LprTree<2> {
+        let params = TreeParams::with_cap::<2>(8);
+        let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
+        LprTree::new(dev, params, buffer_cap)
+    }
+
+    fn item(id: u32, rng: &mut SmallRng) -> Item<2> {
+        let x: f64 = rng.gen_range(0.0..100.0);
+        let y: f64 = rng.gen_range(0.0..100.0);
+        Item::new(Rect::xyxy(x, y, x + 1.0, y + 1.0), id)
+    }
+
+    #[test]
+    fn inserts_queryable_across_flushes() {
+        let mut t = make(16);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut all = Vec::new();
+        for id in 0..500 {
+            let it = item(id, &mut rng);
+            t.insert(it).unwrap();
+            all.push(it);
+        }
+        assert_eq!(t.len(), 500);
+        assert!(t.num_components() >= 1);
+        for _ in 0..20 {
+            let x: f64 = rng.gen_range(0.0..90.0);
+            let y: f64 = rng.gen_range(0.0..90.0);
+            let q = Rect::xyxy(x, y, x + 10.0, y + 10.0);
+            let (mut got, _) = t.window(&q).unwrap();
+            let mut want = brute_force_window(&all, &q);
+            got.sort_by_key(|i| i.id);
+            want.sort_by_key(|i| i.id);
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn component_sizes_respect_geometric_caps() {
+        let mut t = make(8);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for id in 0..300 {
+            t.insert(item(id, &mut rng)).unwrap();
+        }
+        for (i, slot) in t.components.iter().enumerate() {
+            if let Some(c) = slot {
+                assert!(
+                    c.len() <= t.slot_cap(i),
+                    "component {i} holds {} > cap {}",
+                    c.len(),
+                    t.slot_cap(i)
+                );
+                c.validate().unwrap().assert_ok();
+            }
+        }
+    }
+
+    #[test]
+    fn delete_from_buffer_and_components() {
+        let mut t = make(8);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut all = Vec::new();
+        for id in 0..100 {
+            let it = item(id, &mut rng);
+            t.insert(it).unwrap();
+            all.push(it);
+        }
+        // Delete half (some live in components, some in the buffer).
+        for it in all.iter().take(50) {
+            assert!(t.delete(it).unwrap(), "missing {it:?}");
+        }
+        assert_eq!(t.len(), 50);
+        let survivors: Vec<Item<2>> = all[50..].to_vec();
+        let q = Rect::xyxy(0.0, 0.0, 100.0, 100.0);
+        let (mut got, _) = t.window(&q).unwrap();
+        got.sort_by_key(|i| i.id);
+        let mut want = survivors.clone();
+        want.sort_by_key(|i| i.id);
+        assert_eq!(got, want);
+        // Double delete fails.
+        assert!(!t.delete(&all[0]).unwrap());
+    }
+
+    #[test]
+    fn tombstone_compaction_triggers() {
+        let mut t = make(8);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut all = Vec::new();
+        for id in 0..128 {
+            let it = item(id, &mut rng);
+            t.insert(it).unwrap();
+            all.push(it);
+        }
+        // Flush the buffer fully into components, then kill 80%.
+        while !t.buffer.is_empty() {
+            let pad = item(10_000 + t.live as u32, &mut rng);
+            t.insert(pad).unwrap();
+            all.push(pad);
+        }
+        let victims: Vec<Item<2>> = all.iter().take(all.len() * 4 / 5).copied().collect();
+        let rebuilds_before = t.rebuilds();
+        for v in &victims {
+            t.delete(v).unwrap();
+        }
+        // The invariant: at most half the stored items are dead, enforced
+        // by at least one compaction during this delete storm.
+        let stored: u64 = t.components.iter().flatten().map(|c| c.len()).sum();
+        assert!(
+            t.tombstones.len() as u64 * 2 <= stored.max(1),
+            "{} tombstones vs {stored} stored",
+            t.tombstones.len()
+        );
+        assert!(t.rebuilds() > rebuilds_before, "no compaction happened");
+        let (got, _) = t.window(&Rect::xyxy(0.0, 0.0, 100.0, 100.0)).unwrap();
+        assert_eq!(got.len() as u64, t.len());
+    }
+
+    #[test]
+    fn interleaved_ops_match_reference() {
+        let mut t = make(12);
+        let mut reference: Vec<Item<2>> = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut next = 0u32;
+        for step in 0..1500 {
+            if reference.is_empty() || rng.gen_bool(0.65) {
+                let it = item(next, &mut rng);
+                next += 1;
+                t.insert(it).unwrap();
+                reference.push(it);
+            } else {
+                let pos = rng.gen_range(0..reference.len());
+                let victim = reference.swap_remove(pos);
+                assert!(t.delete(&victim).unwrap());
+            }
+            if step % 250 == 249 {
+                let q = Rect::xyxy(20.0, 20.0, 60.0, 60.0);
+                let (mut got, _) = t.window(&q).unwrap();
+                let mut want = brute_force_window(&reference, &q);
+                got.sort_by_key(|i| i.id);
+                want.sort_by_key(|i| i.id);
+                assert_eq!(got, want, "step {step}");
+            }
+        }
+        assert_eq!(t.len(), reference.len() as u64);
+    }
+
+    #[test]
+    fn memory_is_reclaimed_on_rebuild() {
+        let params = TreeParams::with_cap::<2>(8);
+        let dev = Arc::new(MemDevice::new(params.page_size));
+        let mut t = LprTree::<2>::new(
+            Arc::clone(&dev) as Arc<dyn BlockDevice>,
+            params,
+            8,
+        );
+        let mut rng = SmallRng::seed_from_u64(6);
+        for id in 0..2000 {
+            t.insert(item(id, &mut rng)).unwrap();
+        }
+        // Stored pages should be near the live tree sizes, not the sum of
+        // every tree ever built.
+        let live_pages: u64 = t
+            .components
+            .iter()
+            .flatten()
+            .map(|c| c.stats().unwrap().num_nodes())
+            .sum();
+        let resident = dev.resident_bytes() as u64 / params.page_size as u64;
+        assert!(
+            resident < live_pages * 3,
+            "resident {resident} blocks vs live {live_pages}: rebuilds leak pages"
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Tree entries: the 36-byte record everything is made of.
+
+use pr_em::Record;
+use pr_geom::{Item, Rect};
+
+/// One slot of an R-tree node: a rectangle plus a 32-bit pointer.
+///
+/// * In a **leaf**, `ptr` is the data id of the input rectangle (the
+///   paper's "pointer to the original object").
+/// * In an **internal node**, `rect` is the minimal bounding box of a
+///   child subtree and `ptr` is the page id of the child.
+///
+/// In 2-D this is exactly the paper's 36-byte layout (§3.1): 4 × 8-byte
+/// coordinates + 4-byte pointer, for both input rectangles and bounding
+/// boxes in internal nodes — which is what pins the fanout at 113 for 4KB
+/// blocks.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Entry<const D: usize> {
+    /// Data rectangle or child bounding box.
+    pub rect: Rect<D>,
+    /// Data id (leaves) or child page id (internal nodes).
+    pub ptr: u32,
+}
+
+impl<const D: usize> Entry<D> {
+    /// Creates an entry.
+    pub fn new(rect: Rect<D>, ptr: u32) -> Self {
+        Entry { rect, ptr }
+    }
+
+    /// Views an input item as a leaf entry.
+    pub fn from_item(item: Item<D>) -> Self {
+        Entry {
+            rect: item.rect,
+            ptr: item.id,
+        }
+    }
+
+    /// Views a leaf entry as an input item.
+    pub fn to_item(self) -> Item<D> {
+        Item {
+            rect: self.rect,
+            id: self.ptr,
+        }
+    }
+
+    /// Minimal bounding rectangle of a slice of entries.
+    pub fn mbr(entries: &[Entry<D>]) -> Rect<D> {
+        entries
+            .iter()
+            .fold(Rect::EMPTY, |acc, e| acc.mbr_with(&e.rect))
+    }
+}
+
+impl<const D: usize> Record for Entry<D> {
+    const SIZE: usize = 2 * D * 8 + 4;
+
+    fn encode(&self, buf: &mut [u8]) {
+        debug_assert_eq!(buf.len(), Self::SIZE);
+        let mut off = 0;
+        for i in 0..D {
+            buf[off..off + 8].copy_from_slice(&self.rect.lo_at(i).to_le_bytes());
+            off += 8;
+        }
+        for i in 0..D {
+            buf[off..off + 8].copy_from_slice(&self.rect.hi_at(i).to_le_bytes());
+            off += 8;
+        }
+        buf[off..off + 4].copy_from_slice(&self.ptr.to_le_bytes());
+    }
+
+    fn decode(buf: &[u8]) -> Self {
+        debug_assert_eq!(buf.len(), Self::SIZE);
+        let mut lo = [0.0; D];
+        let mut hi = [0.0; D];
+        let mut off = 0;
+        for v in lo.iter_mut() {
+            *v = f64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes"));
+            off += 8;
+        }
+        for v in hi.iter_mut() {
+            *v = f64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes"));
+            off += 8;
+        }
+        let ptr = u32::from_le_bytes(buf[off..off + 4].try_into().expect("4 bytes"));
+        Entry {
+            rect: Rect::new(lo, hi),
+            ptr,
+        }
+    }
+}
+
+/// A keyed entry used by sort-based loaders (Hilbert value + entry).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KeyedEntry<const D: usize> {
+    /// Sort key (Hilbert index).
+    pub key: u128,
+    /// The entry itself.
+    pub entry: Entry<D>,
+}
+
+impl<const D: usize> Record for KeyedEntry<D> {
+    const SIZE: usize = 16 + Entry::<D>::SIZE;
+
+    fn encode(&self, buf: &mut [u8]) {
+        buf[..16].copy_from_slice(&self.key.to_le_bytes());
+        self.entry.encode(&mut buf[16..]);
+    }
+
+    fn decode(buf: &[u8]) -> Self {
+        KeyedEntry {
+            key: u128::from_le_bytes(buf[..16].try_into().expect("16 bytes")),
+            entry: Entry::decode(&buf[16..]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_size_matches_paper() {
+        assert_eq!(Entry::<2>::SIZE, 36);
+        assert_eq!(Entry::<3>::SIZE, 52);
+    }
+
+    #[test]
+    fn entry_roundtrip() {
+        let e = Entry::new(Rect::xyxy(1.0, -2.0, 3.5, 4.25), 77);
+        let mut buf = vec![0u8; Entry::<2>::SIZE];
+        e.encode(&mut buf);
+        assert_eq!(Entry::<2>::decode(&buf), e);
+    }
+
+    #[test]
+    fn keyed_entry_roundtrip() {
+        let k = KeyedEntry {
+            key: u128::MAX - 5,
+            entry: Entry::new(Rect::xyxy(0.0, 0.0, 1.0, 1.0), 9),
+        };
+        let mut buf = vec![0u8; KeyedEntry::<2>::SIZE];
+        k.encode(&mut buf);
+        assert_eq!(KeyedEntry::<2>::decode(&buf), k);
+    }
+
+    #[test]
+    fn item_conversions() {
+        let item = Item::new(Rect::xyxy(0.0, 1.0, 2.0, 3.0), 5);
+        let e = Entry::from_item(item);
+        assert_eq!(e.ptr, 5);
+        assert_eq!(e.to_item(), item);
+    }
+
+    #[test]
+    fn mbr_of_entries() {
+        let es = [
+            Entry::new(Rect::xyxy(0.0, 0.0, 1.0, 1.0), 0),
+            Entry::new(Rect::xyxy(2.0, -1.0, 3.0, 0.5), 1),
+        ];
+        assert_eq!(Entry::mbr(&es), Rect::xyxy(0.0, -1.0, 3.0, 1.0));
+        assert!(Entry::<2>::mbr(&[]).is_empty());
+    }
+}

@@ -1,0 +1,210 @@
+//! On-disk node pages.
+//!
+//! Every node of every tree variant is one device block:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "PRTN"
+//! 4       1     level      (0 = leaf)
+//! 5       1     flags      (reserved)
+//! 6       2     count      (number of entries, little-endian u16)
+//! 8       8     reserved
+//! 16      36·k  entries    (see `Entry`)
+//! ```
+//!
+//! The 16-byte header plus 36-byte entries on a 4KB page give the paper's
+//! fanout of 113.
+
+use crate::entry::Entry;
+use pr_em::{BlockDevice, BlockId, EmError, Record};
+
+/// Bytes of page header before the entry array.
+pub const PAGE_HEADER_SIZE: usize = 16;
+
+const MAGIC: [u8; 4] = *b"PRTN";
+
+/// A decoded R-tree node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodePage<const D: usize> {
+    /// Level in the tree: 0 for leaves, increasing toward the root.
+    pub level: u8,
+    /// Node entries (data rectangles or child bounding boxes).
+    pub entries: Vec<Entry<D>>,
+}
+
+impl<const D: usize> NodePage<D> {
+    /// Creates a node.
+    pub fn new(level: u8, entries: Vec<Entry<D>>) -> Self {
+        NodePage { level, entries }
+    }
+
+    /// True for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the node has no entries (only legal transiently during
+    /// dynamic deletion).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Minimal bounding rectangle of all entries.
+    pub fn mbr(&self) -> pr_geom::Rect<D> {
+        Entry::mbr(&self.entries)
+    }
+
+    /// Serializes into a page buffer of exactly `page_size` bytes.
+    ///
+    /// # Panics
+    /// Panics if the entries do not fit in the page.
+    pub fn encode(&self, buf: &mut [u8]) {
+        let cap = (buf.len() - PAGE_HEADER_SIZE) / Entry::<D>::SIZE;
+        assert!(
+            self.entries.len() <= cap && self.entries.len() <= u16::MAX as usize,
+            "node with {} entries exceeds page capacity {cap}",
+            self.entries.len()
+        );
+        buf[..4].copy_from_slice(&MAGIC);
+        buf[4] = self.level;
+        buf[5] = 0;
+        buf[6..8].copy_from_slice(&(self.entries.len() as u16).to_le_bytes());
+        buf[8..16].fill(0);
+        let mut off = PAGE_HEADER_SIZE;
+        for e in &self.entries {
+            e.encode(&mut buf[off..off + Entry::<D>::SIZE]);
+            off += Entry::<D>::SIZE;
+        }
+        buf[off..].fill(0);
+    }
+
+    /// Deserializes a page buffer.
+    pub fn decode(buf: &[u8]) -> Result<Self, EmError> {
+        if buf.len() < PAGE_HEADER_SIZE || buf[..4] != MAGIC {
+            return Err(EmError::Corrupt("bad node page magic".into()));
+        }
+        let level = buf[4];
+        let count = u16::from_le_bytes(buf[6..8].try_into().expect("2 bytes")) as usize;
+        let cap = (buf.len() - PAGE_HEADER_SIZE) / Entry::<D>::SIZE;
+        if count > cap {
+            return Err(EmError::Corrupt(format!(
+                "node count {count} exceeds page capacity {cap}"
+            )));
+        }
+        let mut entries = Vec::with_capacity(count);
+        let mut off = PAGE_HEADER_SIZE;
+        for _ in 0..count {
+            entries.push(Entry::decode(&buf[off..off + Entry::<D>::SIZE]));
+            off += Entry::<D>::SIZE;
+        }
+        Ok(NodePage { level, entries })
+    }
+
+    /// Reads and decodes the node stored at `page` on `dev`.
+    pub fn read(dev: &dyn BlockDevice, page: BlockId) -> Result<Self, EmError> {
+        let mut buf = vec![0u8; dev.block_size()];
+        dev.read_block(page, &mut buf)?;
+        NodePage::decode(&buf)
+    }
+
+    /// Encodes and writes the node to `page` on `dev`.
+    pub fn write(&self, dev: &dyn BlockDevice, page: BlockId) -> Result<(), EmError> {
+        let mut buf = vec![0u8; dev.block_size()];
+        self.encode(&mut buf);
+        dev.write_block(page, &buf)
+    }
+
+    /// Allocates a fresh page and writes the node there, returning its id.
+    pub fn append(&self, dev: &dyn BlockDevice) -> Result<BlockId, EmError> {
+        let page = dev.allocate(1);
+        self.write(dev, page)?;
+        Ok(page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pr_em::MemDevice;
+    use pr_geom::Rect;
+
+    fn entries(n: usize) -> Vec<Entry<2>> {
+        (0..n)
+            .map(|i| {
+                let f = i as f64;
+                Entry::new(Rect::xyxy(f, f, f + 1.0, f + 2.0), i as u32)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn header_size_gives_paper_fanout() {
+        assert_eq!((4096 - PAGE_HEADER_SIZE) / Entry::<2>::SIZE, 113);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let node = NodePage::new(3, entries(7));
+        let mut buf = vec![0u8; 4096];
+        node.encode(&mut buf);
+        let back = NodePage::<2>::decode(&buf).unwrap();
+        assert_eq!(back, node);
+        assert!(!back.is_leaf());
+        assert_eq!(back.len(), 7);
+    }
+
+    #[test]
+    fn full_page_roundtrip() {
+        let node = NodePage::new(0, entries(113));
+        let mut buf = vec![0u8; 4096];
+        node.encode(&mut buf);
+        let back = NodePage::<2>::decode(&buf).unwrap();
+        assert_eq!(back.entries.len(), 113);
+        assert!(back.is_leaf());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds page capacity")]
+    fn overfull_page_panics() {
+        let node = NodePage::new(0, entries(114));
+        let mut buf = vec![0u8; 4096];
+        node.encode(&mut buf);
+    }
+
+    #[test]
+    fn corrupt_magic_is_error() {
+        let buf = vec![0u8; 4096];
+        assert!(NodePage::<2>::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn corrupt_count_is_error() {
+        let node = NodePage::new(0, entries(3));
+        let mut buf = vec![0u8; 4096];
+        node.encode(&mut buf);
+        buf[6..8].copy_from_slice(&500u16.to_le_bytes());
+        assert!(NodePage::<2>::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn device_roundtrip() {
+        let dev = MemDevice::new(4096);
+        let node = NodePage::new(1, entries(5));
+        let page = node.append(&dev).unwrap();
+        let back = NodePage::<2>::read(&dev, page).unwrap();
+        assert_eq!(back, node);
+        assert_eq!(dev.io_stats().writes, 1);
+        assert_eq!(dev.io_stats().reads, 1);
+    }
+
+    #[test]
+    fn mbr_of_node() {
+        let node = NodePage::new(0, entries(3));
+        assert_eq!(node.mbr(), Rect::xyxy(0.0, 0.0, 3.0, 4.0));
+    }
+}

@@ -1,0 +1,368 @@
+//! The page-level R-tree runtime shared by all variants.
+//!
+//! An [`RTree`] is a handle: a device, a root page id, the root's level,
+//! and a node cache. Every bulk loader in [`crate::bulk`] produces this
+//! same representation, so query costs are directly comparable — only the
+//! *shape* of the tree differs between variants, exactly as in the paper.
+
+use crate::cache::{CachePolicy, NodeCache};
+use crate::page::NodePage;
+use crate::params::TreeParams;
+use pr_em::{BlockDevice, BlockId, EmError};
+use pr_geom::Item;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A height-balanced R-tree stored on a block device.
+pub struct RTree<const D: usize> {
+    dev: Arc<dyn BlockDevice>,
+    params: TreeParams,
+    root: BlockId,
+    root_level: u8,
+    len: u64,
+    cache: Mutex<NodeCache<D>>,
+}
+
+impl<const D: usize> RTree<D> {
+    /// Wraps an existing tree: `root` is the page id of the root node at
+    /// `root_level` (0 for a single-leaf tree), `len` the number of items.
+    ///
+    /// Bulk loaders call this; it is public so trees can be reattached
+    /// after a device is persisted elsewhere.
+    pub fn attach(
+        dev: Arc<dyn BlockDevice>,
+        params: TreeParams,
+        root: BlockId,
+        root_level: u8,
+        len: u64,
+    ) -> Self {
+        RTree {
+            dev,
+            params,
+            root,
+            root_level,
+            len,
+            cache: Mutex::new(NodeCache::new(CachePolicy::InternalNodes)),
+        }
+    }
+
+    /// Creates an empty tree (a zero-entry leaf root) — the starting point
+    /// for dynamic insertion.
+    pub fn new_empty(dev: Arc<dyn BlockDevice>, params: TreeParams) -> Result<Self, EmError> {
+        let root = NodePage::<D>::new(0, Vec::new()).append(dev.as_ref())?;
+        Ok(RTree::attach(dev, params, root, 0, 0))
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the tree holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height in levels (1 for a single-leaf tree).
+    pub fn height(&self) -> u32 {
+        self.root_level as u32 + 1
+    }
+
+    /// Root page id.
+    pub fn root(&self) -> BlockId {
+        self.root
+    }
+
+    /// Level of the root node (height − 1).
+    pub fn root_level(&self) -> u8 {
+        self.root_level
+    }
+
+    /// Tree parameters.
+    pub fn params(&self) -> &TreeParams {
+        &self.params
+    }
+
+    /// The backing device (shared).
+    pub fn device(&self) -> &Arc<dyn BlockDevice> {
+        &self.dev
+    }
+
+    /// Swaps the cache policy, dropping all cached nodes.
+    pub fn set_cache_policy(&self, policy: CachePolicy) {
+        *self.cache.lock() = NodeCache::new(policy);
+    }
+
+    /// `(hits, misses)` of the node cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.lock().hit_stats()
+    }
+
+    /// Reads a node through the cache. Returns the node and whether the
+    /// read hit the device (`true` = one real I/O).
+    pub fn read_node(&self, page: BlockId) -> Result<(Arc<NodePage<D>>, bool), EmError> {
+        if let Some(n) = self.cache.lock().get(page) {
+            return Ok((n, false));
+        }
+        let node = Arc::new(NodePage::read(self.dev.as_ref(), page)?);
+        self.cache.lock().admit(page, &node);
+        Ok((node, true))
+    }
+
+    /// Writes a node page and invalidates (then re-admits) its cache slot.
+    /// Used by dynamic updates.
+    pub fn write_node(&self, page: BlockId, node: &NodePage<D>) -> Result<(), EmError> {
+        node.write(self.dev.as_ref(), page)?;
+        let arc = Arc::new(node.clone());
+        let mut cache = self.cache.lock();
+        cache.invalidate(page);
+        cache.admit(page, &arc);
+        Ok(())
+    }
+
+    /// Allocates a fresh page for a new node and writes it.
+    pub fn append_node(&self, node: &NodePage<D>) -> Result<BlockId, EmError> {
+        let page = self.dev.allocate(1);
+        self.write_node(page, node)?;
+        Ok(page)
+    }
+
+    /// Pre-loads every internal node into the cache (the paper's setup:
+    /// "in all our experiments we cached all internal nodes"). A no-op
+    /// under [`CachePolicy::None`].
+    pub fn warm_cache(&self) -> Result<(), EmError> {
+        if self.root_level == 0 {
+            // Single-leaf tree: nothing internal to cache.
+            return Ok(());
+        }
+        let mut stack = vec![(self.root, self.root_level)];
+        while let Some((page, level)) = stack.pop() {
+            let (node, _) = self.read_node(page)?;
+            if level > 1 {
+                for e in &node.entries {
+                    stack.push((e.ptr as BlockId, level - 1));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies `f` to every item in the tree (DFS order).
+    pub fn for_each_item(&self, mut f: impl FnMut(Item<D>)) -> Result<(), EmError> {
+        let mut stack = vec![self.root];
+        while let Some(page) = stack.pop() {
+            let (node, _) = self.read_node(page)?;
+            if node.is_leaf() {
+                for e in &node.entries {
+                    f(e.to_item());
+                }
+            } else {
+                for e in &node.entries {
+                    stack.push(e.ptr as BlockId);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// All items in the tree (test/rebuild helper).
+    pub fn items(&self) -> Result<Vec<Item<D>>, EmError> {
+        let mut out = Vec::with_capacity(self.len as usize);
+        self.for_each_item(|i| out.push(i))?;
+        Ok(out)
+    }
+
+    /// Structural statistics: node counts and fill per level.
+    pub fn stats(&self) -> Result<TreeStructure, EmError> {
+        let levels = self.root_level as usize + 1;
+        let mut nodes = vec![0u64; levels];
+        let mut entries = vec![0u64; levels];
+        let mut stack = vec![self.root];
+        while let Some(page) = stack.pop() {
+            let (node, _) = self.read_node(page)?;
+            let l = node.level as usize;
+            nodes[l] += 1;
+            entries[l] += node.len() as u64;
+            if !node.is_leaf() {
+                for e in &node.entries {
+                    stack.push(e.ptr as BlockId);
+                }
+            }
+        }
+        Ok(TreeStructure {
+            nodes_per_level: nodes,
+            entries_per_level: entries,
+            leaf_cap: self.params.leaf_cap,
+            node_cap: self.params.node_cap,
+        })
+    }
+
+    // Internal accessors for sibling modules (dynamic updates).
+    pub(crate) fn set_root(&mut self, root: BlockId, root_level: u8) {
+        self.root = root;
+        self.root_level = root_level;
+    }
+
+    pub(crate) fn bump_len(&mut self, delta: i64) {
+        self.len = (self.len as i64 + delta) as u64;
+    }
+}
+
+/// Node counts and fill factors, per level and overall.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeStructure {
+    /// Number of nodes at each level (index 0 = leaves).
+    pub nodes_per_level: Vec<u64>,
+    /// Total entries at each level.
+    pub entries_per_level: Vec<u64>,
+    /// Leaf capacity (for utilization).
+    pub leaf_cap: usize,
+    /// Internal capacity.
+    pub node_cap: usize,
+}
+
+impl TreeStructure {
+    /// Number of leaf pages.
+    pub fn num_leaves(&self) -> u64 {
+        self.nodes_per_level[0]
+    }
+
+    /// Total number of nodes.
+    pub fn num_nodes(&self) -> u64 {
+        self.nodes_per_level.iter().sum()
+    }
+
+    /// Space utilization over all nodes: entries stored divided by entry
+    /// slots available. The paper reports >99% for all bulk loaders.
+    pub fn utilization(&self) -> f64 {
+        let mut used = 0.0;
+        let mut avail = 0.0;
+        for (level, (&n, &e)) in self
+            .nodes_per_level
+            .iter()
+            .zip(&self.entries_per_level)
+            .enumerate()
+        {
+            let cap = if level == 0 { self.leaf_cap } else { self.node_cap };
+            used += e as f64;
+            avail += (n as usize * cap) as f64;
+        }
+        if avail == 0.0 {
+            0.0
+        } else {
+            used / avail
+        }
+    }
+
+    /// Leaf-only utilization (what dominates space usage).
+    pub fn leaf_utilization(&self) -> f64 {
+        let avail = self.nodes_per_level[0] as f64 * self.leaf_cap as f64;
+        if avail == 0.0 {
+            0.0
+        } else {
+            self.entries_per_level[0] as f64 / avail
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::Entry;
+    use pr_em::MemDevice;
+    use pr_geom::Rect;
+
+    fn leaf_entry(i: u32) -> Entry<2> {
+        let f = i as f64;
+        Entry::new(Rect::xyxy(f, 0.0, f + 0.5, 1.0), i)
+    }
+
+    /// Builds a tiny 2-level tree by hand: two leaves under one root.
+    fn two_leaf_tree() -> RTree<2> {
+        let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(4096));
+        let params = TreeParams::with_cap::<2>(4);
+        let l0 = NodePage::new(0, vec![leaf_entry(0), leaf_entry(1)])
+            .append(dev.as_ref())
+            .unwrap();
+        let l1 = NodePage::new(0, vec![leaf_entry(2), leaf_entry(3)])
+            .append(dev.as_ref())
+            .unwrap();
+        let root = NodePage::new(
+            1,
+            vec![
+                Entry::new(Rect::xyxy(0.0, 0.0, 1.5, 1.0), l0 as u32),
+                Entry::new(Rect::xyxy(2.0, 0.0, 3.5, 1.0), l1 as u32),
+            ],
+        )
+        .append(dev.as_ref())
+        .unwrap();
+        RTree::attach(dev, params, root, 1, 4)
+    }
+
+    #[test]
+    fn attach_and_basic_accessors() {
+        let t = two_leaf_tree();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.height(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn items_are_all_reachable() {
+        let t = two_leaf_tree();
+        let mut ids: Vec<u32> = t.items().unwrap().iter().map(|i| i.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cache_policy_controls_device_reads() {
+        let t = two_leaf_tree();
+        t.warm_cache().unwrap();
+        let before = t.device().io_stats();
+        let (_, io1) = t.read_node(t.root()).unwrap();
+        assert!(!io1, "root cached after warm_cache");
+        assert_eq!(t.device().io_stats().since(before).reads, 0);
+
+        t.set_cache_policy(CachePolicy::None);
+        let before = t.device().io_stats();
+        let (_, io2) = t.read_node(t.root()).unwrap();
+        assert!(io2);
+        assert_eq!(t.device().io_stats().since(before).reads, 1);
+    }
+
+    #[test]
+    fn stats_and_utilization() {
+        let t = two_leaf_tree();
+        let s = t.stats().unwrap();
+        assert_eq!(s.nodes_per_level, vec![2, 1]);
+        assert_eq!(s.entries_per_level, vec![4, 2]);
+        assert_eq!(s.num_leaves(), 2);
+        assert_eq!(s.num_nodes(), 3);
+        // leaves: 4/8; root: 2/4 → (4+2)/(8+4) = 0.5
+        assert!((s.utilization() - 0.5).abs() < 1e-12);
+        assert!((s.leaf_utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(4096));
+        let t = RTree::<2>::new_empty(dev, TreeParams::with_cap::<2>(4)).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        assert!(t.items().unwrap().is_empty());
+    }
+
+    #[test]
+    fn write_node_updates_cache() {
+        let t = two_leaf_tree();
+        t.warm_cache().unwrap();
+        let (root_node, _) = t.read_node(t.root()).unwrap();
+        let mut modified = (*root_node).clone();
+        modified.entries.pop();
+        t.write_node(t.root(), &modified).unwrap();
+        let (back, io) = t.read_node(t.root()).unwrap();
+        assert!(!io, "rewritten node re-admitted to cache");
+        assert_eq!(back.len(), 1);
+    }
+}

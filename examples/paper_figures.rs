@@ -1,0 +1,104 @@
+//! Regenerates the paper's dataset illustrations (Figures 3, 5–8) as
+//! ASCII density plots and PGM images.
+//!
+//! * Figure 3 — the worst-case shifted grid (§2.4)
+//! * Figure 5 — SIZE(0.001)
+//! * Figure 6 — ASPECT(10)
+//! * Figure 7 — SKEWED(5)
+//! * Figure 8 — CLUSTER
+//!
+//! ```text
+//! cargo run --release --example paper_figures [out_dir]
+//! ```
+//!
+//! Without an argument only the ASCII plots are printed; with one, PGM
+//! files are also written to `out_dir`.
+
+use pr_data::{aspect_dataset, cluster_dataset, size_dataset, skewed_dataset, worst_case_grid};
+use prtree::prelude::*;
+
+const W: usize = 72;
+const H: usize = 24;
+
+fn density(items: &[Item<2>], window: &Rect<2>, w: usize, h: usize) -> Vec<f64> {
+    let mut grid = vec![0.0f64; w * h];
+    for it in items {
+        let c = it.rect.center();
+        if !window.contains_point(&c) {
+            continue;
+        }
+        let gx = (((c.coord(0) - window.lo_at(0)) / window.extent(0)) * w as f64) as usize;
+        let gy = (((c.coord(1) - window.lo_at(1)) / window.extent(1)) * h as f64) as usize;
+        grid[gy.min(h - 1) * w + gx.min(w - 1)] += 1.0;
+    }
+    grid
+}
+
+fn ascii_plot(title: &str, items: &[Item<2>], window: &Rect<2>) {
+    let grid = density(items, window, W, H);
+    let max = grid.iter().cloned().fold(0.0f64, f64::max).max(1.0);
+    let shades = [' ', '.', ':', '+', '*', '#', '@'];
+    println!("--- {title} ---");
+    // y grows upward, terminal rows grow downward.
+    for row in (0..H).rev() {
+        let mut line = String::with_capacity(W);
+        for col in 0..W {
+            let v = grid[row * W + col];
+            let idx = ((v / max).powf(0.4) * (shades.len() - 1) as f64).round() as usize;
+            line.push(shades[idx.min(shades.len() - 1)]);
+        }
+        println!("|{line}|");
+    }
+    println!();
+}
+
+fn write_pgm(path: &std::path::Path, items: &[Item<2>], window: &Rect<2>) {
+    let (w, h) = (512usize, 512usize);
+    let grid = density(items, window, w, h);
+    let max = grid.iter().cloned().fold(0.0f64, f64::max).max(1.0);
+    let mut data = format!("P2\n{w} {h}\n255\n");
+    for row in (0..h).rev() {
+        for col in 0..w {
+            let v = grid[row * w + col];
+            let px = 255 - ((v / max).powf(0.4) * 255.0).round() as u32;
+            data.push_str(&px.to_string());
+            data.push(' ');
+        }
+        data.push('\n');
+    }
+    std::fs::write(path, data).expect("write pgm");
+}
+
+fn main() {
+    let out_dir = std::env::args().nth(1).map(std::path::PathBuf::from);
+    if let Some(d) = &out_dir {
+        std::fs::create_dir_all(d).expect("create out dir");
+    }
+    let unit = Rect::xyxy(0.0, 0.0, 1.0, 1.0);
+
+    // Figure 3: the worst-case grid (zoom into the first 64 columns so
+    // the shifted-column structure is visible, like the paper's crop).
+    let grid = worst_case_grid(8, 16);
+    let crop = Rect::xyxy(0.0, 0.0, 64.0, 1.0);
+    let figures: Vec<(&str, Vec<Item<2>>, Rect<2>)> = vec![
+        ("fig3: worst-case grid (first 64 columns)", grid, crop),
+        ("fig5: SIZE(0.001)", size_dataset(40_000, 0.001, 1), unit),
+        ("fig6: ASPECT(10)", aspect_dataset(40_000, 10.0, 2), unit),
+        ("fig7: SKEWED(5)", skewed_dataset(40_000, 5, 3), unit),
+        (
+            "fig8: CLUSTER (zoom on the cluster line)",
+            cluster_dataset(60, 400, 1e-5, 4),
+            Rect::xyxy(0.0, 0.4999, 1.0, 0.5001),
+        ),
+    ];
+    for (title, items, window) in &figures {
+        ascii_plot(title, items, window);
+        if let Some(d) = &out_dir {
+            let file = title.split(':').next().unwrap_or("fig");
+            write_pgm(&d.join(format!("{file}.pgm")), items, window);
+        }
+    }
+    if let Some(d) = &out_dir {
+        println!("PGM images written to {}", d.display());
+    }
+}

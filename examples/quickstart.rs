@@ -1,0 +1,50 @@
+//! Quickstart: bulk-load a PR-tree and run window queries.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use prtree::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // 100k rectangles on a jittered grid — stand-ins for map features.
+    let items: Vec<Item<2>> = (0..100_000u32)
+        .map(|i| {
+            let x = (i % 1000) as f64 + (i as f64 * 0.618).fract() * 0.5;
+            let y = (i / 1000) as f64 + (i as f64 * 0.414).fract() * 0.5;
+            Item::new(Rect::xyxy(x, y, x + 0.4, y + 0.4), i)
+        })
+        .collect();
+    println!("indexing {} rectangles…", items.len());
+
+    // The paper's exact setup: 4KB pages, 36-byte entries, fanout 113.
+    let params = TreeParams::paper_2d();
+    let dev = Arc::new(MemDevice::default_size());
+    let tree = PrTreeLoader::default()
+        .load(dev, params, items)
+        .expect("bulk load");
+
+    println!(
+        "built a PR-tree: height {}, {} items, {:.1}% space utilization",
+        tree.height(),
+        tree.len(),
+        tree.stats().unwrap().utilization() * 100.0
+    );
+
+    // Cache internal nodes (the paper's query configuration), then query.
+    tree.warm_cache().unwrap();
+    for (label, q) in [
+        ("small window", Rect::xyxy(500.0, 50.0, 510.0, 60.0)),
+        ("wide strip", Rect::xyxy(0.0, 42.0, 1000.0, 42.5)),
+        ("empty area", Rect::xyxy(2000.0, 2000.0, 2100.0, 2100.0)),
+    ] {
+        let (hits, stats) = tree.window_with_stats(&q).expect("query");
+        println!(
+            "{label:>12}: {} hits, {} leaf I/Os (optimal ⌈T/B⌉ = {})",
+            hits.len(),
+            stats.leaves_visited,
+            stats.output_blocks(params.leaf_cap),
+        );
+    }
+}

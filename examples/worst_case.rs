@@ -1,0 +1,63 @@
+//! Theorem 3, live: the dataset that defeats every classic bulk loader.
+//!
+//! Builds the paper's shifted-grid point set (§2.4, Figure 3) and runs a
+//! horizontal line query that reports *nothing*. The packed Hilbert,
+//! 4-D Hilbert and TGS trees all read essentially every leaf; the
+//! PR-tree reads `O(√(N/B))`.
+//!
+//! ```text
+//! cargo run --release --example worst_case
+//! ```
+
+use pr_data::{worst_case::worst_case_line_query, worst_case_grid};
+use prtree::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let params = TreeParams::paper_2d();
+    let k = 10; // 2^10 = 1024 columns
+    let b = params.leaf_cap as u32; // 113 rows — one column = one leaf
+    let items = worst_case_grid(k, b);
+    let query = worst_case_line_query(k, b);
+    println!(
+        "worst-case grid: {} points in {} columns × {} rows",
+        items.len(),
+        1 << k,
+        b
+    );
+    println!("query: a horizontal line between the rows (output size 0)\n");
+
+    println!(
+        "{:<6} {:>14} {:>14} {:>10}",
+        "tree", "leaves visited", "total leaves", "fraction"
+    );
+    for kind in [
+        LoaderKind::Hilbert,
+        LoaderKind::Hilbert4,
+        LoaderKind::Tgs,
+        LoaderKind::Str,
+        LoaderKind::Pr,
+    ] {
+        let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
+        let tree = kind
+            .loader::<2>()
+            .load(dev, params, items.clone())
+            .expect("build");
+        tree.warm_cache().unwrap();
+        let (hits, stats) = tree.window_with_stats(&query).expect("query");
+        assert!(hits.is_empty(), "the line must not touch any point");
+        let leaves = tree.stats().unwrap().num_leaves();
+        println!(
+            "{:<6} {:>14} {:>14} {:>9.1}%",
+            kind.name(),
+            stats.leaves_visited,
+            leaves,
+            stats.leaves_visited as f64 / leaves as f64 * 100.0
+        );
+    }
+    let bound = ((items.len() as f64) / b as f64).sqrt();
+    println!(
+        "\nTheorem 2 bound for the PR-tree: O(√(N/B)) ≈ {bound:.0} leaves; \
+         Theorem 3: the others need Θ(N/B)."
+    );
+}

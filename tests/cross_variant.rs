@@ -1,0 +1,132 @@
+//! Cross-crate integration: every bulk loader × every dataset family,
+//! all answering every query identically (and identically to brute
+//! force), with valid structure.
+
+use pr_data::queries::square_queries;
+use pr_data::{
+    aspect_dataset, cluster_dataset, size_dataset, skewed_dataset, uniform_points,
+    worst_case_grid, TigerProfile,
+};
+use prtree::prelude::*;
+use std::sync::Arc;
+
+fn datasets() -> Vec<(&'static str, Vec<Item<2>>)> {
+    vec![
+        ("uniform", uniform_points(3_000, 1)),
+        ("size", size_dataset(3_000, 0.05, 2)),
+        ("aspect", aspect_dataset(3_000, 100.0, 3)),
+        ("skewed", skewed_dataset(3_000, 5, 4)),
+        ("cluster", cluster_dataset(30, 100, 1e-5, 5)),
+        ("tiger", TigerProfile::eastern().generate(3_000, 5)),
+        ("worstcase", worst_case_grid(5, 64)),
+    ]
+}
+
+fn brute(items: &[Item<2>], q: &Rect<2>) -> Vec<u32> {
+    let mut ids: Vec<u32> = items
+        .iter()
+        .filter(|i| i.rect.intersects(q))
+        .map(|i| i.id)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+#[test]
+fn all_variants_agree_with_brute_force_on_all_datasets() {
+    let params = TreeParams::with_cap::<2>(16);
+    for (name, items) in datasets() {
+        let domain = Rect::mbr_of(items.iter().map(|i| &i.rect));
+        let queries = square_queries(&domain, 0.01, 15, 42);
+        let expected: Vec<Vec<u32>> = queries.iter().map(|q| brute(&items, q)).collect();
+        for kind in LoaderKind::all() {
+            let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
+            let tree = kind
+                .loader::<2>()
+                .load(dev, params, items.clone())
+                .unwrap_or_else(|e| panic!("{name}/{}: {e}", kind.name()));
+            let report = tree.validate().unwrap();
+            assert!(
+                report.is_ok(),
+                "{name}/{}: {:?}",
+                kind.name(),
+                report.errors
+            );
+            assert_eq!(tree.len(), items.len() as u64);
+            for (q, want) in queries.iter().zip(&expected) {
+                let mut got: Vec<u32> =
+                    tree.window(q).unwrap().iter().map(|i| i.id).collect();
+                got.sort_unstable();
+                assert_eq!(&got, want, "{name}/{} query {q:?}", kind.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn pseudo_pr_tree_agrees_with_pr_tree_results() {
+    let items = uniform_points(4_000, 9);
+    let params = TreeParams::with_cap::<2>(16);
+    let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
+    let tree = PrTreeLoader::default()
+        .load(dev, params, items.clone())
+        .unwrap();
+    let pseudo = PseudoPrTree::build(items.clone(), 16);
+    for q in square_queries(&Rect::xyxy(0.0, 0.0, 1.0, 1.0), 0.02, 20, 3) {
+        let mut a: Vec<u32> = tree.window(&q).unwrap().iter().map(|i| i.id).collect();
+        let mut b: Vec<u32> = pseudo.window(&q).iter().map(|i| i.id).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn utilization_is_high_for_all_bulk_loaders() {
+    let items = uniform_points(6_000, 11);
+    let params = TreeParams::with_cap::<2>(32);
+    for kind in LoaderKind::all() {
+        let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
+        let tree = kind.loader::<2>().load(dev, params, items.clone()).unwrap();
+        let util = tree.stats().unwrap().utilization();
+        assert!(
+            util > 0.9,
+            "{}: utilization {util:.3} below the paper's ~100%",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn duplicate_coordinates_are_handled_by_every_loader() {
+    // Many identical rectangles: orderings fall back to id tie-breaks.
+    let items: Vec<Item<2>> = (0..500)
+        .map(|i| Item::new(Rect::xyxy(1.0, 1.0, 2.0, 2.0), i))
+        .collect();
+    let params = TreeParams::with_cap::<2>(8);
+    for kind in LoaderKind::all() {
+        let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
+        let tree = kind.loader::<2>().load(dev, params, items.clone()).unwrap();
+        tree.validate().unwrap().assert_ok();
+        let hits = tree.window(&Rect::xyxy(0.0, 0.0, 3.0, 3.0)).unwrap();
+        assert_eq!(hits.len(), 500, "{}", kind.name());
+    }
+}
+
+#[test]
+fn paper_parameters_work_end_to_end() {
+    // Full 4KB pages / fanout 113, as in every experiment.
+    let items = uniform_points(30_000, 13);
+    let params = TreeParams::paper_2d();
+    let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
+    let tree = PrTreeLoader::default()
+        .load(dev, params, items.clone())
+        .unwrap();
+    assert_eq!(tree.height(), 3); // 30000/113 = 266 leaves; /113 = 3 nodes; root
+    tree.validate().unwrap().assert_ok();
+    let q = Rect::xyxy(0.25, 0.25, 0.75, 0.75);
+    assert_eq!(
+        tree.window(&q).unwrap().len(),
+        brute(&items, &q).len()
+    );
+}

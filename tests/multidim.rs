@@ -1,0 +1,103 @@
+//! Integration: the d-dimensional generalization (§2.3) — every loader
+//! in 1-D and 3-D, checked against brute force.
+
+use prtree::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn random_boxes_3d(n: u32, seed: u64) -> Vec<Item<3>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|id| {
+            let p = [
+                rng.gen_range(0.0..10.0),
+                rng.gen_range(0.0..10.0),
+                rng.gen_range(0.0..10.0),
+            ];
+            let e = [
+                rng.gen_range(0.0..0.5),
+                rng.gen_range(0.0..0.5),
+                rng.gen_range(0.0..0.5),
+            ];
+            Item::new(
+                Rect::new(p, [p[0] + e[0], p[1] + e[1], p[2] + e[2]]),
+                id,
+            )
+        })
+        .collect()
+}
+
+fn brute3(items: &[Item<3>], q: &Rect<3>) -> Vec<u32> {
+    let mut ids: Vec<u32> = items
+        .iter()
+        .filter(|i| i.rect.intersects(q))
+        .map(|i| i.id)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+#[test]
+fn three_dimensional_loaders_agree_with_brute_force() {
+    let items = random_boxes_3d(2_000, 5);
+    let params = TreeParams::with_cap::<3>(16);
+    let mut rng = SmallRng::seed_from_u64(8);
+    let loaders: Vec<(&str, Box<dyn BulkLoader<3>>)> = vec![
+        ("PR", Box::new(PrTreeLoader::default())),
+        ("H", Box::new(HilbertLoader::centers())),
+        ("H4(6d)", Box::new(HilbertLoader::corners())),
+        ("TGS", Box::new(TgsLoader)),
+        ("STR", Box::new(StrLoader)),
+    ];
+    for (name, loader) in loaders {
+        let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
+        let tree = loader.load(dev, params, items.clone()).unwrap();
+        tree.validate().unwrap().assert_ok();
+        for _ in 0..10 {
+            let lo = [
+                rng.gen_range(0.0..8.0),
+                rng.gen_range(0.0..8.0),
+                rng.gen_range(0.0..8.0),
+            ];
+            let q = Rect::new(lo, [lo[0] + 2.0, lo[1] + 2.0, lo[2] + 2.0]);
+            let mut got: Vec<u32> =
+                tree.window(&q).unwrap().iter().map(|i| i.id).collect();
+            got.sort_unstable();
+            assert_eq!(got, brute3(&items, &q), "{name}");
+        }
+    }
+}
+
+#[test]
+fn one_dimensional_intervals_work() {
+    // Degenerate but legal: 1-D interval trees (2 mapped axes).
+    let mut rng = SmallRng::seed_from_u64(2);
+    let items: Vec<Item<1>> = (0..1_000)
+        .map(|id| {
+            let x: f64 = rng.gen_range(0.0..100.0);
+            Item::new(Rect::new([x], [x + rng.gen_range(0.0..2.0)]), id)
+        })
+        .collect();
+    let params = TreeParams::with_cap::<1>(8);
+    let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
+    let tree = PrTreeLoader::default()
+        .load(dev, params, items.clone())
+        .unwrap();
+    tree.validate().unwrap().assert_ok();
+    let q = Rect::new([25.0], [30.0]);
+    let want = items.iter().filter(|i| i.rect.intersects(&q)).count();
+    assert_eq!(tree.window(&q).unwrap().len(), want);
+}
+
+#[test]
+fn three_dimensional_pseudo_pr_tree() {
+    let items = random_boxes_3d(1_500, 11);
+    let pseudo = PseudoPrTree::build(items.clone(), 16);
+    assert_eq!(pseudo.len(), 1_500);
+    assert!(pseudo.max_leaf_len() <= 16);
+    let q = Rect::new([2.0, 2.0, 2.0], [6.0, 6.0, 6.0]);
+    let mut got: Vec<u32> = pseudo.window(&q).iter().map(|i| i.id).collect();
+    got.sort_unstable();
+    assert_eq!(got, brute3(&items, &q));
+}
