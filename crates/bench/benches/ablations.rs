@@ -117,8 +117,7 @@ fn bench_split_policy(c: &mut Criterion) {
             &policy,
             |b, &p| {
                 b.iter(|| {
-                    let dev: Arc<dyn BlockDevice> =
-                        Arc::new(MemDevice::new(params.page_size));
+                    let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
                     let mut tree = RTree::<2>::new_empty(dev, params).unwrap();
                     for &it in &items {
                         tree.insert(it, p).unwrap();
@@ -144,8 +143,7 @@ fn bench_parallel_build(c: &mut Criterion) {
             &threads,
             |b, &threads| {
                 b.iter(|| {
-                    let dev: Arc<dyn BlockDevice> =
-                        Arc::new(MemDevice::new(params.page_size));
+                    let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
                     ParallelPrLoader {
                         inner: PrTreeLoader::default(),
                         threads,

@@ -55,22 +55,14 @@ fn bench_external(c: &mut Criterion) {
                     LoaderKind::Tgs => TgsExternalLoader::new(config)
                         .load::<2>(Arc::clone(&dev), params, &input)
                         .unwrap(),
-                    LoaderKind::Hilbert => load_hilbert_external::<2>(
-                        Arc::clone(&dev),
-                        params,
-                        &input,
-                        config,
-                        false,
-                    )
-                    .unwrap(),
-                    LoaderKind::Hilbert4 => load_hilbert_external::<2>(
-                        Arc::clone(&dev),
-                        params,
-                        &input,
-                        config,
-                        true,
-                    )
-                    .unwrap(),
+                    LoaderKind::Hilbert => {
+                        load_hilbert_external::<2>(Arc::clone(&dev), params, &input, config, false)
+                            .unwrap()
+                    }
+                    LoaderKind::Hilbert4 => {
+                        load_hilbert_external::<2>(Arc::clone(&dev), params, &input, config, true)
+                            .unwrap()
+                    }
                     LoaderKind::Str => unreachable!(),
                 }
             });

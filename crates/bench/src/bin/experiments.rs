@@ -71,17 +71,14 @@ fn main() {
             }
             None => {
                 eprintln!("[experiments] unknown experiment '{name}'");
-                eprintln!(
-                    "known: all, {}",
-                    experiments::all_names().join(", ")
-                );
+                eprintln!("known: all, {}", experiments::all_names().join(", "));
                 std::process::exit(2);
             }
         }
     }
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&all_tables).expect("serialize tables");
+        let json = pr_bench::table::tables_to_json(&all_tables);
         let mut f = std::fs::File::create(&path).expect("create json file");
         f.write_all(json.as_bytes()).expect("write json");
         eprintln!("[experiments] wrote {path}");

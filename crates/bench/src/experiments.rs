@@ -21,8 +21,20 @@ use std::sync::Arc;
 /// All experiment ids, in paper order.
 pub fn all_names() -> &'static [&'static str] {
     &[
-        "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15size", "fig15aspect",
-        "fig15skew", "table1", "thm3", "util", "dyn", "ablation",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15size",
+        "fig15aspect",
+        "fig15skew",
+        "table1",
+        "thm3",
+        "util",
+        "dyn",
+        "ablation",
     ]
 }
 
@@ -220,8 +232,7 @@ pub fn fig14(scale: Scale) -> Table {
         let n = (n_full as f64 * frac) as u32;
         let items = profile.generate(n, r as u32 + 1);
         let domain = Rect::mbr_of(items.iter().map(|i| &i.rect));
-        let queries =
-            square_queries(&domain, 0.01, scale.queries_per_batch(), 0xF14 + r as u64);
+        let queries = square_queries(&domain, 0.01, scale.queries_per_batch(), 0xF14 + r as u64);
         let mut row = vec![format!("{n}")];
         let mut avg_t = 0.0;
         let mut costs = Vec::new();
@@ -316,7 +327,9 @@ pub fn fig15_aspect(scale: Scale) -> Table {
         row.extend(costs.into_iter().map(pct));
         t.row(row);
     }
-    t.note("paper (Fig 15 middle): H and TGS degrade with aspect ratio; PR ≈ H4 ≈ optimal throughout");
+    t.note(
+        "paper (Fig 15 middle): H and TGS degrade with aspect ratio; PR ≈ H4 ≈ optimal throughout",
+    );
     t
 }
 
@@ -431,10 +444,7 @@ pub fn util(scale: Scale) -> Table {
         ("SIZE(0.01)", size_dataset(n, 0.01, 0x51ED)),
         ("ASPECT(100)", aspect_dataset(n, 100.0, 0xA59E)),
         ("SKEWED(5)", skewed_dataset(n, 5, 0x5E3D)),
-        (
-            "TIGER-East",
-            TigerProfile::eastern().generate(n, 5),
-        ),
+        ("TIGER-East", TigerProfile::eastern().generate(n, 5)),
     ];
     let mut t = Table::new(
         "util",
@@ -491,7 +501,8 @@ pub fn dyn_experiment(scale: Scale) -> Vec<Table> {
     for _ in 0..n_updates {
         let idx = (next() % live.len() as u64) as usize;
         let victim = live.swap_remove(idx);
-        tree.delete(&victim, SplitPolicy::Quadratic).expect("delete");
+        tree.delete(&victim, SplitPolicy::Quadratic)
+            .expect("delete");
         let x = (next() % 1_000_000) as f64 / 1_000_000.0;
         let y = (next() % 1_000_000) as f64 / 1_000_000.0;
         let fresh = Item::new(Rect::xyxy(x, y, x, y), next_id);
@@ -522,7 +533,13 @@ pub fn dyn_experiment(scale: Scale) -> Vec<Table> {
     let mut lpr_table = Table::new(
         "dyn-lpr",
         "LPR-tree (logarithmic method) vs statically bulk-loaded PR-tree",
-        &["structure", "avg rel. cost", "avg leaf I/Os", "components", "amortized insert I/Os"],
+        &[
+            "structure",
+            "avg rel. cost",
+            "avg leaf I/Os",
+            "components",
+            "amortized insert I/Os",
+        ],
     );
     let p = params();
     let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(p.page_size));
@@ -547,7 +564,11 @@ pub fn dyn_experiment(scale: Scale) -> Vec<Table> {
             rel_n += 1;
         }
     }
-    let lpr_rel = if rel_n > 0 { rel_sum / rel_n as f64 } else { 0.0 };
+    let lpr_rel = if rel_n > 0 {
+        rel_sum / rel_n as f64
+    } else {
+        0.0
+    };
     lpr_table.row(vec![
         "LPR-tree".into(),
         pct(lpr_rel),
@@ -564,7 +585,8 @@ pub fn dyn_experiment(scale: Scale) -> Vec<Table> {
         "1".into(),
         "-".into(),
     ]);
-    lpr_table.note("§1.2: the logarithmic method keeps the query bound at an O(log) component fan-out");
+    lpr_table
+        .note("§1.2: the logarithmic method keeps the query bound at an O(log) component fan-out");
 
     vec![deg, lpr_table]
 }
@@ -658,8 +680,19 @@ mod tests {
             // Names must be dispatchable (checked without executing).
             let known = matches!(
                 *name,
-                "fig9" | "fig10" | "fig11" | "fig12" | "fig13" | "fig14" | "fig15size"
-                    | "fig15aspect" | "fig15skew" | "table1" | "thm3" | "util" | "dyn"
+                "fig9"
+                    | "fig10"
+                    | "fig11"
+                    | "fig12"
+                    | "fig13"
+                    | "fig14"
+                    | "fig15size"
+                    | "fig15aspect"
+                    | "fig15skew"
+                    | "table1"
+                    | "thm3"
+                    | "util"
+                    | "dyn"
                     | "ablation"
             );
             assert!(known, "{name} not dispatchable");

@@ -153,12 +153,8 @@ mod tests {
         let items = uniform_points(20_000, 2);
         let params = TreeParams::with_cap::<2>(32);
         let tree = build_in_memory(LoaderKind::Hilbert, &items, params);
-        let queries = pr_data::queries::square_queries(
-            &Rect::xyxy(0.0, 0.0, 1.0, 1.0),
-            0.01,
-            20,
-            3,
-        );
+        let queries =
+            pr_data::queries::square_queries(&Rect::xyxy(0.0, 0.0, 1.0, 1.0), 0.01, 20, 3);
         let agg = run_queries(&tree, &queries);
         assert_eq!(agg.queries, 20);
         assert!(agg.avg_results > 50.0, "1% of 20k ≈ 200");

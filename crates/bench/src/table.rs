@@ -1,10 +1,9 @@
 //! Plain-text result tables mirroring the paper's figures.
 
-use serde::Serialize;
 use std::fmt;
 
 /// One experiment's results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment id from DESIGN.md ("fig9", "table1", …).
     pub id: String,
@@ -40,6 +39,64 @@ impl Table {
     pub fn note(&mut self, s: impl Into<String>) {
         self.notes.push(s.into());
     }
+
+    /// Serializes to a JSON object (hand-rolled: the offline build has no
+    /// serde; field layout matches what `#[derive(Serialize)]` produced).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        json_field(&mut out, "id", &json_string(&self.id));
+        out.push(',');
+        json_field(&mut out, "title", &json_string(&self.title));
+        out.push(',');
+        json_field(&mut out, "headers", &json_string_array(&self.headers));
+        out.push(',');
+        let rows: Vec<String> = self.rows.iter().map(|r| json_string_array(r)).collect();
+        json_field(&mut out, "rows", &format!("[{}]", rows.join(",")));
+        out.push(',');
+        json_field(&mut out, "notes", &json_string_array(&self.notes));
+        out.push('}');
+        out
+    }
+}
+
+/// Serializes a slice of tables as a pretty-printed JSON array (one
+/// table per line — enough structure for downstream tooling).
+pub fn tables_to_json(tables: &[Table]) -> String {
+    let body: Vec<String> = tables
+        .iter()
+        .map(|t| format!("  {}", t.to_json()))
+        .collect();
+    format!("[\n{}\n]", body.join(",\n"))
+}
+
+fn json_field(out: &mut String, key: &str, value: &str) {
+    out.push_str(&json_string(key));
+    out.push(':');
+    out.push_str(value);
+}
+
+fn json_string_array(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| json_string(s)).collect();
+    format!("[{}]", quoted.join(","))
+}
+
+/// Escapes a string per RFC 8259.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 impl fmt::Display for Table {
@@ -122,7 +179,19 @@ mod tests {
     fn serializes_to_json() {
         let mut t = Table::new("id", "title", &["a"]);
         t.row(vec!["1".into()]);
-        let json = serde_json::to_string(&t).unwrap();
+        let json = t.to_json();
         assert!(json.contains("\"id\":\"id\""));
+        assert!(json.contains("\"rows\":[[\"1\"]]"));
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let mut t = Table::new("x", "quote \" backslash \\ newline \n", &["h"]);
+        t.note("tab\there");
+        let json = t.to_json();
+        assert!(json.contains("quote \\\" backslash \\\\ newline \\n"));
+        assert!(json.contains("tab\\there"));
+        let arr = tables_to_json(&[t.clone(), t]);
+        assert!(arr.starts_with("[\n") && arr.ends_with("\n]"));
     }
 }

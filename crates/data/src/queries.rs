@@ -63,18 +63,12 @@ pub fn skewed_queries(c: u32, area_fraction: f64, count: usize, seed: u64) -> Ve
 /// `cluster_side` is the side of the cluster squares (`10⁻⁵` in the
 /// paper), matching [`crate::synthetic::cluster_dataset`]'s geometry
 /// (clusters centered on `y = 0.5`).
-pub fn cluster_strip_queries(
-    cluster_side: f64,
-    count: usize,
-    seed: u64,
-) -> Vec<Rect<2>> {
+pub fn cluster_strip_queries(cluster_side: f64, count: usize, seed: u64) -> Vec<Rect<2>> {
     let height = 1e-7; // width 1 × height 1e-7 = the paper's area
     let mut rng = SmallRng::seed_from_u64(seed);
     (0..count)
         .map(|_| {
-            let y0 = rng.gen_range(
-                0.5 - cluster_side / 2.0..0.5 + cluster_side / 2.0 - height,
-            );
+            let y0 = rng.gen_range(0.5 - cluster_side / 2.0..0.5 + cluster_side / 2.0 - height);
             Rect::xyxy(0.0, y0, 1.0, y0 + height)
         })
         .collect()

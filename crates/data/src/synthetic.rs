@@ -23,7 +23,10 @@ pub fn uniform_points(n: u32, seed: u64) -> Vec<Item<2>> {
 /// paper "discarded rectangles that were not completely inside the unit
 /// square (but made sure each dataset had 10 million rectangles)").
 pub fn size_dataset(n: u32, max_side: f64, seed: u64) -> Vec<Item<2>> {
-    assert!(max_side > 0.0 && max_side < 1.0, "max_side must be in (0,1)");
+    assert!(
+        max_side > 0.0 && max_side < 1.0,
+        "max_side must be in (0,1)"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(n as usize);
     let mut id = 0u32;
@@ -60,7 +63,11 @@ pub fn aspect_dataset_with_area(n: u32, aspect: f64, area: f64, seed: u64) -> Ve
     let mut id = 0u32;
     while out.len() < n as usize {
         let horizontal: bool = rng.gen();
-        let (w, h) = if horizontal { (long, short) } else { (short, long) };
+        let (w, h) = if horizontal {
+            (long, short)
+        } else {
+            (short, long)
+        };
         let cx: f64 = rng.gen_range(w / 2.0..1.0 - w / 2.0);
         let cy: f64 = rng.gen_range(h / 2.0..1.0 - h / 2.0);
         out.push(Item::new(
@@ -190,8 +197,7 @@ mod tests {
         // y^5 median should be near 0.5^5 ≈ 0.031.
         assert!(median_y(&ske) < 0.06);
         // x stays uniform.
-        let mean_x: f64 =
-            ske.iter().map(|i| i.rect.lo_at(0)).sum::<f64>() / ske.len() as f64;
+        let mean_x: f64 = ske.iter().map(|i| i.rect.lo_at(0)).sum::<f64>() / ske.len() as f64;
         assert!((mean_x - 0.5).abs() < 0.02);
     }
 

@@ -85,7 +85,9 @@ impl TigerProfile {
 
     fn generate_region(&self, r: u32, count: u32, out: &mut Vec<Item<2>>) {
         let domain = self.region_domain(r);
-        let mut rng = SmallRng::seed_from_u64(self.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(r as u64 + 1)));
+        let mut rng = SmallRng::seed_from_u64(
+            self.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(r as u64 + 1)),
+        );
         // Urban centers with Zipf-ish weights.
         let centers: Vec<(f64, f64, f64)> = (0..self.centers_per_region)
             .map(|i| {

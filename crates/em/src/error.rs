@@ -66,7 +66,10 @@ mod tests {
     fn display_messages_are_informative() {
         let e = EmError::BlockOutOfRange { block: 9, len: 4 };
         assert!(e.to_string().contains("block 9"));
-        let e = EmError::BadBufferSize { got: 100, want: 4096 };
+        let e = EmError::BadBufferSize {
+            got: 100,
+            want: 4096,
+        };
         assert!(e.to_string().contains("4096"));
         let e: EmError = std::io::Error::other("boom").into();
         assert!(e.to_string().contains("boom"));

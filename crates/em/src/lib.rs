@@ -36,7 +36,7 @@ pub use device::{BlockDevice, BlockId, FileDevice, MemDevice, DEFAULT_BLOCK_SIZE
 pub use error::EmError;
 pub use pool::BufferPool;
 pub use sort::{external_sort, external_sort_by, SortConfig};
-pub use stats::{IoCounters, IoStats};
+pub use stats::{HitCounters, IoCounters, IoStats};
 pub use stream::{Record, Stream, StreamReader, StreamWriter};
 
 /// Result alias for substrate operations.

@@ -25,8 +25,6 @@ pub struct LruCache<K, V> {
     head: usize, // most recently used
     tail: usize, // least recently used
     capacity: usize,
-    hits: u64,
-    misses: u64,
 }
 
 impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
@@ -40,8 +38,6 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             head: NIL,
             tail: NIL,
             capacity,
-            hits: 0,
-            misses: 0,
         }
     }
 
@@ -58,11 +54,6 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// Capacity as configured at construction.
     pub fn capacity(&self) -> usize {
         self.capacity
-    }
-
-    /// `(hits, misses)` observed by [`LruCache::get`] / `get_mut`.
-    pub fn hit_stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
     }
 
     fn unlink(&mut self, idx: usize) {
@@ -98,18 +89,16 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         }
     }
 
-    /// Looks up `key`, marking it most recently used.
+    /// Looks up `key`, marking it most recently used. Hit/miss accounting
+    /// is the caller's job (see `pr_em::stats::HitCounters`): the users of
+    /// this cache count at their own layer, where batching is possible.
     pub fn get(&mut self, key: &K) -> Option<&V> {
         match self.map.get(key).copied() {
             Some(idx) => {
-                self.hits += 1;
                 self.touch(idx);
                 self.slab[idx].value.as_ref()
             }
-            None => {
-                self.misses += 1;
-                None
-            }
+            None => None,
         }
     }
 
@@ -117,18 +106,14 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
         match self.map.get(key).copied() {
             Some(idx) => {
-                self.hits += 1;
                 self.touch(idx);
                 self.slab[idx].value.as_mut()
             }
-            None => {
-                self.misses += 1;
-                None
-            }
+            None => None,
         }
     }
 
-    /// Looks up `key` without disturbing recency or hit statistics.
+    /// Looks up `key` without disturbing recency.
     pub fn peek(&self, key: &K) -> Option<&V> {
         self.map
             .get(key)
@@ -241,7 +226,6 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert_eq!(c.get(&"a"), Some(&1));
         assert_eq!(c.get(&"z"), None);
-        assert_eq!(c.hit_stats(), (1, 1));
     }
 
     #[test]
@@ -326,7 +310,6 @@ mod tests {
         assert_eq!(c.peek(&1), Some(&1));
         // 1 is still LRU because peek doesn't refresh.
         assert_eq!(c.insert(3, 3), Some((1, 1)));
-        assert_eq!(c.hit_stats(), (0, 0));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use crate::device::{BlockDevice, BlockId};
 use crate::lru::LruCache;
+use crate::stats::HitCounters;
 use crate::Result;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -28,6 +29,9 @@ struct PoolInner {
 pub struct BufferPool {
     device: Arc<dyn BlockDevice>,
     inner: Mutex<PoolInner>,
+    // Hit accounting lives outside the frame lock so concurrent readers
+    // of `hit_stats` never contend with frame traffic.
+    hits: HitCounters,
 }
 
 impl BufferPool {
@@ -38,6 +42,7 @@ impl BufferPool {
             inner: Mutex::new(PoolInner {
                 frames: LruCache::new(capacity_blocks.max(1)),
             }),
+            hits: HitCounters::new(),
         }
     }
 
@@ -51,9 +56,12 @@ impl BufferPool {
         let mut inner = self.inner.lock();
         if let Some(frame) = inner.frames.get(&block) {
             buf.copy_from_slice(&frame.data);
+            drop(inner);
+            self.hits.add_hits(1);
             return Ok(());
         }
         drop(inner);
+        self.hits.add_misses(1);
         self.device.read_block(block, buf)?;
         let mut inner = self.inner.lock();
         let evicted = inner.frames.insert(
@@ -79,8 +87,11 @@ impl BufferPool {
         if let Some(frame) = inner.frames.get_mut(&block) {
             frame.data.copy_from_slice(buf);
             frame.dirty = true;
+            drop(inner);
+            self.hits.add_hits(1);
             return Ok(());
         }
+        self.hits.add_misses(1);
         let evicted = inner.frames.insert(
             block,
             Frame {
@@ -130,9 +141,10 @@ impl BufferPool {
         Ok(())
     }
 
-    /// `(hits, misses)` of the frame cache.
+    /// `(hits, misses)` of the frame cache. Lock-free: reads the shared
+    /// [`HitCounters`] without touching the frame lock.
     pub fn hit_stats(&self) -> (u64, u64) {
-        self.inner.lock().frames.hit_stats()
+        self.hits.snapshot()
     }
 
     /// Number of frames currently cached.
@@ -169,7 +181,11 @@ mod tests {
         let (dev, pool) = setup(4, 2);
         let buf = vec![7u8; 64];
         pool.write(1, &buf).unwrap();
-        assert_eq!(dev.io_stats().writes, 0, "write-back: nothing hits disk yet");
+        assert_eq!(
+            dev.io_stats().writes,
+            0,
+            "write-back: nothing hits disk yet"
+        );
         pool.flush().unwrap();
         assert_eq!(dev.io_stats().writes, 1);
         // Flushing twice does not rewrite clean frames.

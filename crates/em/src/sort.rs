@@ -255,7 +255,9 @@ impl ManualHeap {
                 for c in [l, r] {
                     if c < self.data.len() {
                         let a = heads[self.data[c]].as_ref().expect("heap index live");
-                        let b = heads[self.data[smallest]].as_ref().expect("heap index live");
+                        let b = heads[self.data[smallest]]
+                            .as_ref()
+                            .expect("heap index live");
                         if Self::less(a, b, cmp) {
                             smallest = c;
                         }
@@ -321,10 +323,9 @@ mod tests {
     fn custom_comparator_descending() {
         let dev = MemDevice::new(32);
         let s = Stream::from_iter(&dev, [3u32, 1, 4, 1, 5]).unwrap();
-        let sorted = external_sort_by::<u32, _>(&dev, &s, SortConfig::with_memory(1024), |a, b| {
-            b.cmp(a)
-        })
-        .unwrap();
+        let sorted =
+            external_sort_by::<u32, _>(&dev, &s, SortConfig::with_memory(1024), |a, b| b.cmp(a))
+                .unwrap();
         assert_eq!(sorted.read_all::<u32>(&dev).unwrap(), vec![5, 4, 3, 1, 1]);
     }
 

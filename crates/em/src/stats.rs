@@ -49,6 +49,56 @@ impl IoCounters {
     }
 }
 
+/// Shared, thread-safe hit/miss counters for any cache layer.
+///
+/// The node cache in `pr-tree` and the [`crate::BufferPool`] both report
+/// `(hits, misses)` through this type. Counters are relaxed atomics:
+/// totals are exact whatever the interleaving (every lookup increments
+/// exactly one counter), only cross-counter ordering is unspecified —
+/// the same contract as [`IoCounters`].
+#[derive(Debug, Default)]
+pub struct HitCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl HitCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        HitCounters::default()
+    }
+
+    /// Records `n` cache hits.
+    #[inline]
+    pub fn add_hits(&self, n: u64) {
+        if n > 0 {
+            self.hits.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `n` cache misses.
+    #[inline]
+    pub fn add_misses(&self, n: u64) {
+        if n > 0 {
+            self.misses.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current `(hits, misses)` totals.
+    pub fn snapshot(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Resets both counters to zero.
+    pub fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
 /// A point-in-time copy of the counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IoStats {
@@ -107,7 +157,13 @@ mod tests {
         c.add_writes(2);
         c.add_reads(1);
         let s = c.snapshot();
-        assert_eq!(s, IoStats { reads: 4, writes: 2 });
+        assert_eq!(
+            s,
+            IoStats {
+                reads: 4,
+                writes: 2
+            }
+        );
         assert_eq!(s.total(), 6);
     }
 
@@ -119,7 +175,13 @@ mod tests {
         c.add_reads(5);
         c.add_writes(7);
         let delta = c.snapshot().since(before);
-        assert_eq!(delta, IoStats { reads: 5, writes: 7 });
+        assert_eq!(
+            delta,
+            IoStats {
+                reads: 5,
+                writes: 7
+            }
+        );
     }
 
     #[test]
@@ -128,6 +190,33 @@ mod tests {
         c.add_writes(9);
         c.reset();
         assert_eq!(c.snapshot().total(), 0);
+    }
+
+    #[test]
+    fn hit_counters_accumulate_and_reset() {
+        let h = HitCounters::new();
+        h.add_hits(3);
+        h.add_misses(1);
+        h.add_hits(0); // no-op, must not touch the atomic
+        assert_eq!(h.snapshot(), (3, 1));
+        h.reset();
+        assert_eq!(h.snapshot(), (0, 0));
+    }
+
+    #[test]
+    fn hit_counters_are_exact_across_threads() {
+        let h = HitCounters::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        h.add_hits(1);
+                        h.add_misses(2);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.snapshot(), (4000, 8000));
     }
 
     #[test]
@@ -159,8 +248,18 @@ mod tests {
 
     #[test]
     fn display_format() {
-        let s = IoStats { reads: 2, writes: 3 };
+        let s = IoStats {
+            reads: 2,
+            writes: 3,
+        };
         assert_eq!(s.to_string(), "2 reads + 3 writes = 5 I/Os");
-        assert_eq!((s + IoStats { reads: 1, writes: 1 }).total(), 7);
+        assert_eq!(
+            (s + IoStats {
+                reads: 1,
+                writes: 1
+            })
+            .total(),
+            7
+        );
     }
 }

@@ -70,7 +70,10 @@ impl Stream {
 
     /// Records per block for record type `R` on a device with `block_size`.
     pub fn records_per_block<R: Record>(block_size: usize) -> usize {
-        assert!(R::SIZE > 0 && R::SIZE <= block_size, "record/block size mismatch");
+        assert!(
+            R::SIZE > 0 && R::SIZE <= block_size,
+            "record/block size mismatch"
+        );
         block_size / R::SIZE
     }
 
@@ -295,7 +298,10 @@ mod tests {
         }
         let s1 = w1.finish().unwrap();
         let s2 = w2.finish().unwrap();
-        assert_eq!(s1.read_all::<u32>(&dev).unwrap(), (0..20).collect::<Vec<_>>());
+        assert_eq!(
+            s1.read_all::<u32>(&dev).unwrap(),
+            (0..20).collect::<Vec<_>>()
+        );
         assert_eq!(
             s2.read_all::<u32>(&dev).unwrap(),
             (100..120).collect::<Vec<_>>()

@@ -2,8 +2,7 @@
 //! corrupt silently.
 
 use pr_em::{
-    external_sort, BlockDevice, EmError, MemDevice, SortConfig, Stream, StreamReader,
-    StreamWriter,
+    external_sort, BlockDevice, EmError, MemDevice, SortConfig, Stream, StreamReader, StreamWriter,
 };
 
 #[test]

@@ -129,7 +129,10 @@ pub fn hilbert_index(coords: &[u32], order: u32) -> u128 {
     );
     if order < 32 {
         for &c in coords {
-            assert!(c < (1u32 << order), "coordinate {c} out of range for order {order}");
+            assert!(
+                c < (1u32 << order),
+                "coordinate {c} out of range for order {order}"
+            );
         }
     }
     let mut x = coords.to_vec();

@@ -172,9 +172,12 @@ pub fn load_hilbert_external<const D: usize>(
     };
 
     // Sort by (key, id) — the I/O-dominant step.
-    let sorted = external_sort_by::<KeyedEntry<D>, _>(dev.as_ref(), &keyed, config.sort(), |a, b| {
-        a.key.cmp(&b.key).then_with(|| a.entry.ptr.cmp(&b.entry.ptr))
-    })?;
+    let sorted =
+        external_sort_by::<KeyedEntry<D>, _>(dev.as_ref(), &keyed, config.sort(), |a, b| {
+            a.key
+                .cmp(&b.key)
+                .then_with(|| a.entry.ptr.cmp(&b.entry.ptr))
+        })?;
     keyed.discard(dev.as_ref());
 
     // Strip keys while packing leaves.

@@ -157,14 +157,8 @@ mod tests {
         assert_eq!(h4.curve_order::<2>(), 32);
         assert_eq!(h4.curve_dims::<3>(), 6);
         assert_eq!(h4.curve_order::<3>(), 21);
-        assert_eq!(
-            <HilbertLoader as BulkLoader<2>>::name(&h),
-            "H"
-        );
-        assert_eq!(
-            <HilbertLoader as BulkLoader<2>>::name(&h4),
-            "H4"
-        );
+        assert_eq!(<HilbertLoader as BulkLoader<2>>::name(&h), "H");
+        assert_eq!(<HilbertLoader as BulkLoader<2>>::name(&h4), "H4");
     }
 
     #[test]

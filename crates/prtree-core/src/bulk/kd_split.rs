@@ -208,8 +208,7 @@ mod tests {
     fn ties_broken_by_id_deterministically() {
         // All rectangles identical: extraction must still be deterministic
         // (by id) so external and in-memory builds agree.
-        let mut items: Vec<Entry<2>> =
-            (0..10).map(|i| entry(0.0, 0.0, 1.0, 1.0, i)).collect();
+        let mut items: Vec<Entry<2>> = (0..10).map(|i| entry(0.0, 0.0, 1.0, 1.0, i)).collect();
         let leaf = extract_priority(&mut items, Axis(0), 3);
         let mut ids: Vec<_> = leaf.iter().map(|e| e.ptr).collect();
         ids.sort_unstable();

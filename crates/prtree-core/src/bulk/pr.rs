@@ -187,9 +187,8 @@ mod tests {
     }
 
     fn build(items: Vec<Item<2>>, cap: usize) -> RTree<2> {
-        let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(
-            TreeParams::with_cap::<2>(cap).page_size,
-        ));
+        let dev: Arc<dyn BlockDevice> =
+            Arc::new(MemDevice::new(TreeParams::with_cap::<2>(cap).page_size));
         PrTreeLoader::default()
             .load(dev, TreeParams::with_cap::<2>(cap), items)
             .unwrap()
@@ -223,7 +222,12 @@ mod tests {
         for _ in 0..50 {
             let x: f64 = rng.gen_range(0.0..90.0);
             let y: f64 = rng.gen_range(0.0..90.0);
-            let q = Rect::xyxy(x, y, x + rng.gen_range(0.1..10.0), y + rng.gen_range(0.1..10.0));
+            let q = Rect::xyxy(
+                x,
+                y,
+                x + rng.gen_range(0.1..10.0),
+                y + rng.gen_range(0.1..10.0),
+            );
             let mut got = t.window(&q).unwrap();
             let mut want = brute_force_window(&items, &q);
             got.sort_by_key(|i| i.id);
@@ -249,9 +253,8 @@ mod tests {
             priority_size: None,
             snap_splits: false,
         };
-        let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(
-            TreeParams::with_cap::<2>(8).page_size,
-        ));
+        let dev: Arc<dyn BlockDevice> =
+            Arc::new(MemDevice::new(TreeParams::with_cap::<2>(8).page_size));
         let t = loader
             .load(dev, TreeParams::with_cap::<2>(8), random_items(1000, 9))
             .unwrap();
@@ -268,9 +271,8 @@ mod tests {
                 priority_size: Some(prio),
                 snap_splits: true,
             };
-            let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(
-                TreeParams::with_cap::<2>(8).page_size,
-            ));
+            let dev: Arc<dyn BlockDevice> =
+                Arc::new(MemDevice::new(TreeParams::with_cap::<2>(8).page_size));
             let t = loader
                 .load(dev, TreeParams::with_cap::<2>(8), random_items(500, 11))
                 .unwrap();
@@ -295,9 +297,8 @@ mod tests {
                 )
             })
             .collect();
-        let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(
-            TreeParams::with_cap::<3>(8).page_size,
-        ));
+        let dev: Arc<dyn BlockDevice> =
+            Arc::new(MemDevice::new(TreeParams::with_cap::<3>(8).page_size));
         let t = PrTreeLoader::default()
             .load(dev, TreeParams::with_cap::<3>(8), items.clone())
             .unwrap();

@@ -25,9 +25,7 @@ use crate::entry::Entry;
 use crate::page::NodePage;
 use crate::params::TreeParams;
 use crate::tree::RTree;
-use pr_em::{
-    external_sort_by, BlockDevice, EmError, Record, Stream, StreamReader, StreamWriter,
-};
+use pr_em::{external_sort_by, BlockDevice, EmError, Record, Stream, StreamReader, StreamWriter};
 use pr_geom::mapped::{cmp_extreme_on_axis, cmp_items_on_axis};
 use pr_geom::{Axis, Item};
 use std::collections::HashSet;
@@ -383,11 +381,8 @@ mod tests {
             .unwrap();
 
         let dev_ext: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
-        let input = Stream::from_iter(
-            dev_ext.as_ref(),
-            items.iter().map(|&i| Entry::from_item(i)),
-        )
-        .unwrap();
+        let input = Stream::from_iter(dev_ext.as_ref(), items.iter().map(|&i| Entry::from_item(i)))
+            .unwrap();
         // Tiny memory budget: forces several external kd levels.
         let loader = PrExternalLoader::new(ExternalConfig::with_memory(40 * params.page_size));
         let t_ext = loader
@@ -409,11 +404,8 @@ mod tests {
         let items = random_items(2000, 5);
         let params = TreeParams::with_cap::<2>(8);
         let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
-        let input = Stream::from_iter(
-            dev.as_ref(),
-            items.iter().map(|&i| Entry::from_item(i)),
-        )
-        .unwrap();
+        let input =
+            Stream::from_iter(dev.as_ref(), items.iter().map(|&i| Entry::from_item(i))).unwrap();
         let loader = PrExternalLoader::new(ExternalConfig::with_memory(30 * params.page_size));
         let t = loader.load::<2>(Arc::clone(&dev), params, &input).unwrap();
         let mut rng = SmallRng::seed_from_u64(2);
@@ -434,11 +426,8 @@ mod tests {
         let items = random_items(500, 9);
         let params = TreeParams::with_cap::<2>(8);
         let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
-        let input = Stream::from_iter(
-            dev.as_ref(),
-            items.iter().map(|&i| Entry::from_item(i)),
-        )
-        .unwrap();
+        let input =
+            Stream::from_iter(dev.as_ref(), items.iter().map(|&i| Entry::from_item(i))).unwrap();
         let loader = PrExternalLoader::new(ExternalConfig::with_memory(64 << 20));
         let before = dev.io_stats();
         let t = loader.load::<2>(Arc::clone(&dev), params, &input).unwrap();
@@ -466,16 +455,10 @@ mod tests {
         for n in 2..60usize {
             for snap in [None, Some(4), Some(7)] {
                 let items: Vec<Entry<2>> = (0..n)
-                    .map(|i| {
-                        Entry::new(Rect::xyxy(i as f64, 0.0, i as f64 + 0.5, 1.0), i as u32)
-                    })
+                    .map(|i| Entry::new(Rect::xyxy(i as f64, 0.0, i as f64 + 0.5, 1.0), i as u32))
                     .collect();
                 let (l, _r) = median_split(items, Axis(0), snap);
-                assert_eq!(
-                    l.len(),
-                    split_point(n, snap),
-                    "n={n} snap={snap:?}"
-                );
+                assert_eq!(l.len(), split_point(n, snap), "n={n} snap={snap:?}");
             }
         }
     }

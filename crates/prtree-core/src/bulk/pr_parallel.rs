@@ -83,19 +83,16 @@ impl ParallelPrLoader {
         // Fan the sub-problems out; each worker runs the sequential
         // grouping on its disjoint set.
         let inner = self.inner;
-        let results = crossbeam::thread::scope(|scope| {
+        let results = std::thread::scope(|scope| {
             let handles: Vec<_> = tasks
                 .into_iter()
-                .map(|(set, axis)| {
-                    scope.spawn(move |_| inner.stage_groups_from(set, cap, axis))
-                })
+                .map(|(set, axis)| scope.spawn(move || inner.stage_groups_from(set, cap, axis)))
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("worker panicked"))
                 .collect::<Vec<_>>()
-        })
-        .expect("thread scope");
+        });
         for groups in results {
             out.extend(groups);
         }

@@ -41,12 +41,7 @@ fn tile<const D: usize>(entries: &mut [Entry<D>], dim: usize, cap: usize) {
     // Slab sizes are multiples of the node capacity so that the final
     // chunking never produces a node straddling two slabs (in the original
     // STR formulation each vertical slice holds S·B rectangles).
-    let slab_size = entries
-        .len()
-        .div_ceil(slabs.max(1))
-        .div_ceil(cap)
-        .max(1)
-        * cap;
+    let slab_size = entries.len().div_ceil(slabs.max(1)).div_ceil(cap).max(1) * cap;
     for chunk in entries.chunks_mut(slab_size) {
         tile(chunk, dim + 1, cap);
     }

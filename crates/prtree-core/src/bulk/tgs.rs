@@ -347,13 +347,15 @@ mod tests {
         // leaves packed in input (random) order.
         let items = random_items(1000, 3);
         let tgs = build(items.clone(), 10);
-        let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(
-            TreeParams::with_cap::<2>(10).page_size,
-        ));
+        let dev: Arc<dyn BlockDevice> =
+            Arc::new(MemDevice::new(TreeParams::with_cap::<2>(10).page_size));
         let naive = crate::writer::build_packed(
             dev,
             TreeParams::with_cap::<2>(10),
-            &items.iter().map(|&i| Entry::from_item(i)).collect::<Vec<_>>(),
+            &items
+                .iter()
+                .map(|&i| Entry::from_item(i))
+                .collect::<Vec<_>>(),
         )
         .unwrap();
         let leaf_area = |t: &RTree<2>| -> f64 {

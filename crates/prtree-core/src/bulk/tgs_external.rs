@@ -18,9 +18,7 @@ use crate::entry::Entry;
 use crate::page::NodePage;
 use crate::params::TreeParams;
 use crate::tree::RTree;
-use pr_em::{
-    external_sort_by, BlockDevice, EmError, Record, Stream, StreamReader, StreamWriter,
-};
+use pr_em::{external_sort_by, BlockDevice, EmError, Record, Stream, StreamReader, StreamWriter};
 use pr_geom::mapped::cmp_items_on_axis;
 use pr_geom::{Axis, Item, Rect};
 use std::sync::Arc;
@@ -294,11 +292,8 @@ mod tests {
             .unwrap();
 
         let dev_ext: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
-        let input = Stream::from_iter(
-            dev_ext.as_ref(),
-            items.iter().map(|&i| Entry::from_item(i)),
-        )
-        .unwrap();
+        let input = Stream::from_iter(dev_ext.as_ref(), items.iter().map(|&i| Entry::from_item(i)))
+            .unwrap();
         let t_ext = TgsExternalLoader::new(ExternalConfig::with_memory(20 * params.page_size))
             .load::<2>(Arc::clone(&dev_ext), params, &input)
             .unwrap();
@@ -314,11 +309,8 @@ mod tests {
         let params = TreeParams::with_cap::<2>(8);
         let build = |cutoff: bool| {
             let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
-            let input = Stream::from_iter(
-                dev.as_ref(),
-                items.iter().map(|&i| Entry::from_item(i)),
-            )
-            .unwrap();
+            let input = Stream::from_iter(dev.as_ref(), items.iter().map(|&i| Entry::from_item(i)))
+                .unwrap();
             let mut loader =
                 TgsExternalLoader::new(ExternalConfig::with_memory(30 * params.page_size));
             loader.memory_cutoff = cutoff;
@@ -341,11 +333,8 @@ mod tests {
         let items = random_items(1000, 31);
         let params = TreeParams::with_cap::<2>(8);
         let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
-        let input = Stream::from_iter(
-            dev.as_ref(),
-            items.iter().map(|&i| Entry::from_item(i)),
-        )
-        .unwrap();
+        let input =
+            Stream::from_iter(dev.as_ref(), items.iter().map(|&i| Entry::from_item(i))).unwrap();
         let t = TgsExternalLoader::new(ExternalConfig::with_memory(16 * params.page_size))
             .load::<2>(Arc::clone(&dev), params, &input)
             .unwrap();

@@ -1,15 +1,59 @@
-//! Node cache policies.
+//! Node cache policies — sharded for concurrent readers.
 //!
 //! The paper's query experiments keep *all internal nodes* cached ("they
 //! never occupied more than 6MB", §3.3), so reported query I/O equals the
 //! number of leaves fetched. Footnote 5 also reports a run with the cache
 //! disabled. Both policies, plus a bounded LRU for ablations, live here.
+//!
+//! # Sharded-cache design
+//!
+//! The original runtime wrapped one `NodeCache` in a global
+//! `parking_lot::Mutex`, serializing every reader: with all internal
+//! nodes cached, *each node visit of each query* took the same lock, so
+//! multi-threaded query throughput plateaued at ~1× serial. This module
+//! replaces that with a cache that is internally synchronized and safe to
+//! share by reference:
+//!
+//! * **Sharding.** Pinned internal nodes are partitioned over
+//!   [`SHARD_COUNT`] shards by the low bits of their [`BlockId`], each
+//!   shard behind its own `parking_lot::RwLock`. Readers of different
+//!   pages take different locks; readers of the same shard share a read
+//!   lock. Only `admit`/`invalidate`/`clear` take a shard's write lock.
+//! * **Frozen fast path.** After [`crate::tree::RTree::warm_cache`]
+//!   pre-loads every internal node, [`ShardedNodeCache::freeze`] collects
+//!   the pinned maps into one immutable [`FrozenMap`]. Each query grabs
+//!   one snapshot `Arc` up front ([`ShardedNodeCache::frozen_snapshot`])
+//!   and then indexes a plain `HashMap` per node visit — zero shared
+//!   lock or refcount traffic in the hot loop, which is the paper's
+//!   steady-state query configuration. Any invalidation or policy change
+//!   thaws the frozen map; the sharded path (which retains the same
+//!   entries) keeps lookups correct, so dynamic updates stay exact.
+//! * **Exact statistics.** Hits/misses accumulate in the shared atomic
+//!   [`pr_em::HitCounters`]; every lookup increments exactly one counter,
+//!   so totals equal the serial run's regardless of thread interleaving.
+//!   Query code batches its counts locally (one [`CacheTally`] per query)
+//!   and flushes once via [`ShardedNodeCache::record`], keeping the hot
+//!   loop free of shared-cacheline traffic.
+//! * **LRU stays global.** [`CachePolicy::Lru`] is the ablation path: it
+//!   needs recency updates on every lookup, so it lives behind a single
+//!   lock with *exactly* the configured capacity — same semantics as the
+//!   pre-sharding cache. It is not meant for the concurrent hot path.
+//!
+//! Policy is stored as atomics (`tag` + LRU capacity) so `get`/`admit`
+//! can take their early-outs — `CachePolicy::None` lookups and leaf
+//! admissions under `InternalNodes` — without touching any lock.
 
 use crate::page::NodePage;
+use parking_lot::RwLock;
 use pr_em::lru::LruCache;
-use pr_em::BlockId;
+use pr_em::{BlockId, HitCounters};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Number of independent cache shards (power of two; block ids are
+/// allocated sequentially, so low bits spread adjacent pages evenly).
+pub const SHARD_COUNT: usize = 16;
 
 /// What a tree keeps in memory between queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,96 +63,256 @@ pub enum CachePolicy {
     /// Cache every internal node forever; leaves are always read from the
     /// device. This is the paper's experimental setup.
     InternalNodes,
-    /// LRU over all nodes (internal and leaves) with the given capacity in
-    /// pages.
+    /// Global LRU over all nodes (internal and leaves) with exactly the
+    /// given capacity in pages. Single-lock; intended for cache-size
+    /// ablations, not the concurrent hot path.
     Lru(usize),
 }
 
-/// A node cache implementing one [`CachePolicy`].
-pub struct NodeCache<const D: usize> {
-    policy: CachePolicy,
-    pinned: HashMap<BlockId, Arc<NodePage<D>>>,
-    lru: Option<LruCache<BlockId, Arc<NodePage<D>>>>,
-    hits: u64,
-    misses: u64,
+const TAG_NONE: u8 = 0;
+const TAG_INTERNAL: u8 = 1;
+const TAG_LRU: u8 = 2;
+
+/// Per-query local hit/miss accumulator; flushed once per query through
+/// [`ShardedNodeCache::record`] so global totals stay exact without
+/// per-node atomic traffic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheTally {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the device.
+    pub misses: u64,
 }
 
-impl<const D: usize> NodeCache<D> {
+/// Immutable post-warm snapshot of all pinned internal nodes. Queries
+/// clone the `Arc` once and index it lock-free per node visit.
+pub type FrozenMap<const D: usize> = Arc<HashMap<BlockId, Arc<NodePage<D>>>>;
+
+type PinnedShard<const D: usize> = HashMap<BlockId, Arc<NodePage<D>>>;
+
+/// A concurrently readable node cache implementing one [`CachePolicy`].
+///
+/// All methods take `&self`; the cache synchronizes internally (see the
+/// module docs for the sharding/freezing design). The former name
+/// `NodeCache` remains as an alias.
+pub struct ShardedNodeCache<const D: usize> {
+    policy_tag: AtomicU8,
+    lru_capacity: AtomicUsize,
+    shards: Vec<RwLock<PinnedShard<D>>>,
+    lru: RwLock<Option<LruCache<BlockId, Arc<NodePage<D>>>>>,
+    frozen: RwLock<Option<FrozenMap<D>>>,
+    stats: HitCounters,
+}
+
+/// Backwards-compatible alias for the pre-sharding type name.
+pub type NodeCache<const D: usize> = ShardedNodeCache<D>;
+
+fn new_lru<const D: usize>(policy: CachePolicy) -> Option<LruCache<BlockId, Arc<NodePage<D>>>> {
+    match policy {
+        CachePolicy::Lru(cap) => Some(LruCache::new(cap.max(1))),
+        _ => None,
+    }
+}
+
+impl<const D: usize> ShardedNodeCache<D> {
     /// Creates a cache with the given policy.
     pub fn new(policy: CachePolicy) -> Self {
-        let lru = match policy {
-            CachePolicy::Lru(cap) => Some(LruCache::new(cap.max(1))),
-            _ => None,
+        let cache = ShardedNodeCache {
+            policy_tag: AtomicU8::new(TAG_NONE),
+            lru_capacity: AtomicUsize::new(0),
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            lru: RwLock::new(new_lru::<D>(policy)),
+            frozen: RwLock::new(None),
+            stats: HitCounters::new(),
         };
-        NodeCache {
-            policy,
-            pinned: HashMap::new(),
-            lru,
-            hits: 0,
-            misses: 0,
-        }
+        cache.store_policy(policy);
+        cache
+    }
+
+    fn store_policy(&self, policy: CachePolicy) {
+        let (tag, cap) = match policy {
+            CachePolicy::None => (TAG_NONE, 0),
+            CachePolicy::InternalNodes => (TAG_INTERNAL, 0),
+            CachePolicy::Lru(cap) => (TAG_LRU, cap),
+        };
+        self.lru_capacity.store(cap, Ordering::Relaxed);
+        self.policy_tag.store(tag, Ordering::Release);
     }
 
     /// The configured policy.
     pub fn policy(&self) -> CachePolicy {
-        self.policy
+        match self.policy_tag.load(Ordering::Acquire) {
+            TAG_NONE => CachePolicy::None,
+            TAG_INTERNAL => CachePolicy::InternalNodes,
+            _ => CachePolicy::Lru(self.lru_capacity.load(Ordering::Relaxed)),
+        }
     }
 
-    /// Looks up a node.
-    pub fn get(&mut self, page: BlockId) -> Option<Arc<NodePage<D>>> {
-        let found = match self.policy {
-            CachePolicy::None => None,
-            CachePolicy::InternalNodes => self.pinned.get(&page).cloned(),
-            CachePolicy::Lru(_) => self
-                .lru
-                .as_mut()
-                .and_then(|l| l.get(&page).cloned()),
-        };
+    /// Replaces the policy, dropping all cached nodes and resetting hit
+    /// statistics (matches the old `*cache = NodeCache::new(policy)`).
+    pub fn set_policy(&self, policy: CachePolicy) {
+        *self.frozen.write() = None;
+        self.store_policy(policy);
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+        *self.lru.write() = new_lru::<D>(policy);
+        self.stats.reset();
+    }
+
+    #[inline]
+    fn shard(&self, page: BlockId) -> &RwLock<PinnedShard<D>> {
+        &self.shards[(page as usize) & (SHARD_COUNT - 1)]
+    }
+
+    /// Looks up a node and records the hit/miss in the shared counters.
+    pub fn get(&self, page: BlockId) -> Option<Arc<NodePage<D>>> {
+        let found = self.lookup(page, None);
         if found.is_some() {
-            self.hits += 1;
+            self.stats.add_hits(1);
         } else {
-            self.misses += 1;
+            self.stats.add_misses(1);
         }
         found
     }
 
+    /// Looks up a node, recording the outcome in `tally` instead of the
+    /// shared counters — flush with [`ShardedNodeCache::record`]. Pass
+    /// the query's [`ShardedNodeCache::frozen_snapshot`] as `frozen` to
+    /// skip all shared state on internal-node hits.
+    pub fn get_tallied(
+        &self,
+        page: BlockId,
+        frozen: Option<&FrozenMap<D>>,
+        tally: &mut CacheTally,
+    ) -> Option<Arc<NodePage<D>>> {
+        let found = self.lookup(page, frozen);
+        if found.is_some() {
+            tally.hits += 1;
+        } else {
+            tally.misses += 1;
+        }
+        found
+    }
+
+    /// Folds a per-query tally into the shared counters.
+    pub fn record(&self, tally: CacheTally) {
+        self.stats.add_hits(tally.hits);
+        self.stats.add_misses(tally.misses);
+    }
+
+    /// The current frozen snapshot, if [`ShardedNodeCache::freeze`] ran
+    /// and nothing thawed it since. Queries grab this once up front; the
+    /// snapshot is immutable, so a query keeps reading a consistent map
+    /// even if the cache is thawed mid-traversal (the node `Arc`s it
+    /// yields are the same ones the shards hold).
+    pub fn frozen_snapshot(&self) -> Option<FrozenMap<D>> {
+        self.frozen.read().clone()
+    }
+
+    fn lookup(&self, page: BlockId, frozen: Option<&FrozenMap<D>>) -> Option<Arc<NodePage<D>>> {
+        match self.policy_tag.load(Ordering::Acquire) {
+            TAG_NONE => None,
+            TAG_INTERNAL => {
+                // Fast path: the caller's immutable post-warm snapshot —
+                // a plain HashMap probe, no locks, no refcount traffic.
+                if let Some(map) = frozen {
+                    if let Some(n) = map.get(&page) {
+                        return Some(Arc::clone(n));
+                    }
+                    // Not in the snapshot: leaves are never pinned, and
+                    // admissions after freeze still land in the shards,
+                    // so fall through for correctness.
+                } else {
+                    let guard = self.frozen.read();
+                    if let Some(map) = guard.as_ref() {
+                        if let Some(n) = map.get(&page) {
+                            return Some(Arc::clone(n));
+                        }
+                    }
+                }
+                self.shard(page).read().get(&page).cloned()
+            }
+            _ => {
+                // LRU updates recency on every lookup → global write lock
+                // (ablation path; see module docs).
+                let mut lru = self.lru.write();
+                lru.as_mut().and_then(|l| l.get(&page).cloned())
+            }
+        }
+    }
+
     /// Offers a freshly read node to the cache; the policy decides whether
-    /// to keep it.
-    pub fn admit(&mut self, page: BlockId, node: &Arc<NodePage<D>>) {
-        match self.policy {
-            CachePolicy::None => {}
-            CachePolicy::InternalNodes => {
+    /// to keep it. Policy checks happen before any lock is taken, so leaf
+    /// reads under [`CachePolicy::InternalNodes`] stay lock-free here.
+    pub fn admit(&self, page: BlockId, node: &Arc<NodePage<D>>) {
+        match self.policy_tag.load(Ordering::Acquire) {
+            TAG_NONE => {}
+            TAG_INTERNAL => {
                 if !node.is_leaf() {
-                    self.pinned.insert(page, Arc::clone(node));
+                    self.shard(page).write().insert(page, Arc::clone(node));
                 }
             }
-            CachePolicy::Lru(_) => {
-                if let Some(l) = self.lru.as_mut() {
+            _ => {
+                let mut lru = self.lru.write();
+                if let Some(l) = lru.as_mut() {
                     l.insert(page, Arc::clone(node));
                 }
             }
         }
     }
 
-    /// Drops a page (after it is rewritten by a dynamic update).
-    pub fn invalidate(&mut self, page: BlockId) {
-        self.pinned.remove(&page);
-        if let Some(l) = self.lru.as_mut() {
+    /// Drops a page (after it is rewritten by a dynamic update). Thaws the
+    /// frozen snapshot: the sharded path stays exact, and the next
+    /// [`ShardedNodeCache::freeze`] rebuilds the fast path.
+    pub fn invalidate(&self, page: BlockId) {
+        *self.frozen.write() = None;
+        self.shard(page).write().remove(&page);
+        if let Some(l) = self.lru.write().as_mut() {
             l.remove(&page);
         }
     }
 
     /// Empties the cache (does not reset hit statistics).
-    pub fn clear(&mut self) {
-        self.pinned.clear();
-        if let Some(l) = self.lru.as_mut() {
+    pub fn clear(&self) {
+        *self.frozen.write() = None;
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+        if let Some(l) = self.lru.write().as_mut() {
             l.drain();
         }
     }
 
+    /// Snapshots all pinned internal nodes into an immutable map that
+    /// queries read without locking (via
+    /// [`ShardedNodeCache::frozen_snapshot`]). Called by `warm_cache`
+    /// once every internal node is resident; a no-op under the other
+    /// policies (nothing is pinned).
+    pub fn freeze(&self) {
+        if self.policy_tag.load(Ordering::Acquire) != TAG_INTERNAL {
+            return;
+        }
+        let mut map = HashMap::new();
+        for shard in &self.shards {
+            for (k, v) in shard.read().iter() {
+                map.insert(*k, Arc::clone(v));
+            }
+        }
+        *self.frozen.write() = Some(Arc::new(map));
+    }
+
+    /// True when the post-warm frozen snapshot is active.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen.read().is_some()
+    }
+
     /// Number of cached pages.
     pub fn len(&self) -> usize {
-        self.pinned.len() + self.lru.as_ref().map_or(0, |l| l.len())
+        let pinned: usize = self.shards.iter().map(|s| s.read().len()).sum();
+        pinned + self.lru.read().as_ref().map_or(0, |l| l.len())
     }
 
     /// True when nothing is cached.
@@ -116,9 +320,9 @@ impl<const D: usize> NodeCache<D> {
         self.len() == 0
     }
 
-    /// `(hits, misses)` since construction.
+    /// `(hits, misses)` since construction (or the last policy change).
     pub fn hit_stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+        self.stats.snapshot()
     }
 }
 
@@ -137,7 +341,7 @@ mod tests {
 
     #[test]
     fn none_policy_never_caches() {
-        let mut c = NodeCache::new(CachePolicy::None);
+        let c = NodeCache::new(CachePolicy::None);
         c.admit(1, &node(2));
         assert!(c.get(1).is_none());
         assert!(c.is_empty());
@@ -146,7 +350,7 @@ mod tests {
 
     #[test]
     fn internal_policy_skips_leaves() {
-        let mut c = NodeCache::new(CachePolicy::InternalNodes);
+        let c = NodeCache::new(CachePolicy::InternalNodes);
         c.admit(1, &node(0)); // leaf: not cached
         c.admit(2, &node(1)); // internal: cached
         assert!(c.get(1).is_none());
@@ -156,23 +360,27 @@ mod tests {
     }
 
     #[test]
-    fn lru_policy_caches_everything_with_bound() {
-        let mut c = NodeCache::new(CachePolicy::Lru(2));
+    fn lru_policy_is_global_with_exact_capacity() {
+        let c = NodeCache::new(CachePolicy::Lru(2));
+        // Pages land in different shards, but the LRU is global: the
+        // third admission evicts the least recently used page whatever
+        // its shard, and total residency never exceeds the configured 2.
         c.admit(1, &node(0));
         c.admit(2, &node(1));
         c.admit(3, &node(0)); // evicts page 1
         assert!(c.get(1).is_none());
         assert!(c.get(2).is_some());
         assert!(c.get(3).is_some());
+        assert_eq!(c.len(), 2);
     }
 
     #[test]
     fn invalidate_removes() {
-        let mut c = NodeCache::new(CachePolicy::InternalNodes);
+        let c = NodeCache::new(CachePolicy::InternalNodes);
         c.admit(2, &node(1));
         c.invalidate(2);
         assert!(c.get(2).is_none());
-        let mut c = NodeCache::new(CachePolicy::Lru(4));
+        let c = NodeCache::new(CachePolicy::Lru(64));
         c.admit(2, &node(1));
         c.invalidate(2);
         assert!(c.get(2).is_none());
@@ -180,10 +388,109 @@ mod tests {
 
     #[test]
     fn clear_empties() {
-        let mut c = NodeCache::new(CachePolicy::InternalNodes);
+        let c = NodeCache::new(CachePolicy::InternalNodes);
         c.admit(2, &node(1));
         c.admit(3, &node(3));
         c.clear();
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn freeze_serves_pinned_nodes_and_thaws_on_invalidate() {
+        let c = NodeCache::new(CachePolicy::InternalNodes);
+        c.admit(2, &node(1));
+        c.admit(19, &node(2));
+        c.freeze();
+        assert!(c.is_frozen());
+        assert!(c.get(2).is_some());
+        assert!(c.get(19).is_some());
+        assert!(c.get(500).is_none(), "unknown page misses through frozen");
+        // Admissions after freeze are still visible (sharded fallback).
+        c.admit(33, &node(1));
+        assert!(c.get(33).is_some());
+        // Invalidation thaws and the page is really gone.
+        c.invalidate(2);
+        assert!(!c.is_frozen());
+        assert!(c.get(2).is_none());
+        assert!(c.get(19).is_some());
+    }
+
+    #[test]
+    fn snapshot_lookups_bypass_shared_state_and_stay_consistent() {
+        let c = NodeCache::new(CachePolicy::InternalNodes);
+        c.admit(2, &node(1));
+        c.freeze();
+        let snap = c.frozen_snapshot().expect("frozen after freeze");
+        let mut tally = CacheTally::default();
+        assert!(c.get_tallied(2, Some(&snap), &mut tally).is_some());
+        // Thaw mid-"query": the held snapshot still answers.
+        c.invalidate(99);
+        assert!(!c.is_frozen());
+        assert!(c.frozen_snapshot().is_none());
+        assert!(c.get_tallied(2, Some(&snap), &mut tally).is_some());
+        assert_eq!((tally.hits, tally.misses), (2, 0));
+    }
+
+    #[test]
+    fn freeze_is_noop_for_other_policies() {
+        let c = NodeCache::new(CachePolicy::Lru(8));
+        c.admit(1, &node(0));
+        c.freeze();
+        assert!(!c.is_frozen());
+        let c = NodeCache::<2>::new(CachePolicy::None);
+        c.freeze();
+        assert!(!c.is_frozen());
+    }
+
+    #[test]
+    fn set_policy_resets_contents_and_stats() {
+        let c = NodeCache::new(CachePolicy::InternalNodes);
+        c.admit(2, &node(1));
+        c.freeze();
+        let _ = c.get(2);
+        assert_eq!(c.hit_stats(), (1, 0));
+        c.set_policy(CachePolicy::None);
+        assert_eq!(c.policy(), CachePolicy::None);
+        assert!(c.is_empty());
+        assert!(!c.is_frozen());
+        assert_eq!(c.hit_stats(), (0, 0));
+    }
+
+    #[test]
+    fn tallied_lookups_flush_exactly() {
+        let c = NodeCache::new(CachePolicy::InternalNodes);
+        c.admit(2, &node(1));
+        let mut tally = CacheTally::default();
+        assert!(c.get_tallied(2, None, &mut tally).is_some());
+        assert!(c.get_tallied(7, None, &mut tally).is_none());
+        assert_eq!((tally.hits, tally.misses), (1, 1));
+        assert_eq!(c.hit_stats(), (0, 0), "nothing flushed yet");
+        c.record(tally);
+        assert_eq!(c.hit_stats(), (1, 1));
+    }
+
+    #[test]
+    fn concurrent_readers_count_exactly() {
+        let c = NodeCache::<2>::new(CachePolicy::InternalNodes);
+        for p in 0..64u64 {
+            c.admit(p, &node(1));
+        }
+        c.freeze();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let c = &c;
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        // Half the lookups hit, half miss.
+                        let page = (i + t) % 64 + if i % 2 == 0 { 0 } else { 1000 };
+                        let _ = c.get(page);
+                    }
+                });
+            }
+        });
+        let (h, m) = c.hit_stats();
+        assert_eq!(h + m, 8000, "every lookup counted exactly once");
+        assert_eq!(h, 4000);
+        assert_eq!(m, 4000);
     }
 }

@@ -152,7 +152,10 @@ impl<const D: usize> LprTree<D> {
             stats.leaves_visited += s.leaves_visited;
             stats.internal_visited += s.internal_visited;
             stats.device_reads += s.device_reads;
-            out.extend(hits.into_iter().filter(|h| !self.tombstones.contains(&h.id)));
+            out.extend(
+                hits.into_iter()
+                    .filter(|h| !self.tombstones.contains(&h.id)),
+            );
         }
         stats.results = out.len() as u64;
         Ok((out, stats))
@@ -245,10 +248,7 @@ impl<const D: usize> LprTree<D> {
     }
 }
 
-fn collect_pages<const D: usize>(
-    tree: &RTree<D>,
-    out: &mut Vec<BlockId>,
-) -> Result<(), EmError> {
+fn collect_pages<const D: usize>(tree: &RTree<D>, out: &mut Vec<BlockId>) -> Result<(), EmError> {
     let mut stack = vec![tree.root()];
     while let Some(p) = stack.pop() {
         out.push(p);
@@ -417,11 +417,7 @@ mod tests {
     fn memory_is_reclaimed_on_rebuild() {
         let params = TreeParams::with_cap::<2>(8);
         let dev = Arc::new(MemDevice::new(params.page_size));
-        let mut t = LprTree::<2>::new(
-            Arc::clone(&dev) as Arc<dyn BlockDevice>,
-            params,
-            8,
-        );
+        let mut t = LprTree::<2>::new(Arc::clone(&dev) as Arc<dyn BlockDevice>, params, 8);
         let mut rng = SmallRng::seed_from_u64(6);
         for id in 0..2000 {
             t.insert(item(id, &mut rng)).unwrap();

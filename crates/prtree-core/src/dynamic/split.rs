@@ -300,7 +300,10 @@ mod tests {
         ids.sort_unstable();
         let (a, b) = policy.split(entries, min_fill);
         assert!(a.len() >= min_fill.min(n / 2), "{policy:?}: left too small");
-        assert!(b.len() >= min_fill.min(n / 2), "{policy:?}: right too small");
+        assert!(
+            b.len() >= min_fill.min(n / 2),
+            "{policy:?}: right too small"
+        );
         assert_eq!(a.len() + b.len(), n);
         let mut got: Vec<u32> = a.iter().chain(&b).map(|e| e.ptr).collect();
         got.sort_unstable();
@@ -370,7 +373,12 @@ mod tests {
         for i in 0..4 {
             for j in 0..4 {
                 entries.push(Entry::new(
-                    Rect::xyxy(i as f64 * 2.0, j as f64 * 2.0, i as f64 * 2.0 + 1.0, j as f64 * 2.0 + 1.0),
+                    Rect::xyxy(
+                        i as f64 * 2.0,
+                        j as f64 * 2.0,
+                        i as f64 * 2.0 + 1.0,
+                        j as f64 * 2.0 + 1.0,
+                    ),
                     (i * 4 + j) as u32,
                 ));
             }

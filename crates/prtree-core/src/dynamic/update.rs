@@ -416,7 +416,8 @@ mod tests {
         let mut t = empty_tree(4);
         let rect = Rect::xyxy(5.0, 5.0, 6.0, 6.0);
         for id in 0..20 {
-            t.insert(Item::new(rect, id), SplitPolicy::Quadratic).unwrap();
+            t.insert(Item::new(rect, id), SplitPolicy::Quadratic)
+                .unwrap();
         }
         assert!(t
             .delete(&Item::new(rect, 13), SplitPolicy::Quadratic)

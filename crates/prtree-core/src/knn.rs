@@ -9,6 +9,7 @@
 //! are exact nearest neighbors. It runs on *any* tree the bulk loaders
 //! produce, so PR-tree robustness extends to k-NN workloads for free.
 
+use crate::cache::CacheTally;
 use crate::query::QueryStats;
 use crate::tree::RTree;
 use pr_em::{BlockId, EmError};
@@ -74,42 +75,51 @@ impl<const D: usize> RTree<D> {
             dist2: 0.0,
             candidate: Candidate::Node(self.root()),
         });
-        while let Some(Prioritized { dist2, candidate }) = heap.pop() {
-            match candidate {
-                Candidate::Item(item) => {
-                    out.push((item, dist2.sqrt()));
-                    stats.results += 1;
-                    if out.len() == k {
-                        break;
-                    }
-                }
-                Candidate::Node(page) => {
-                    let (node, did_io) = self.read_node(page)?;
-                    stats.nodes_visited += 1;
-                    stats.device_reads += did_io as u64;
-                    if node.is_leaf() {
-                        stats.leaves_visited += 1;
-                        // Defer the items through the heap so they are
-                        // emitted in global distance order.
-                        for e in &node.entries {
-                            heap.push(Prioritized {
-                                dist2: e.rect.min_dist2(query),
-                                candidate: Candidate::Item(e.to_item()),
-                            });
+        // Per-query local cache accounting + one-time frozen snapshot,
+        // flushed/dropped once (see query.rs).
+        let mut tally = CacheTally::default();
+        let frozen = self.frozen_snapshot();
+        let walk = (|| {
+            while let Some(Prioritized { dist2, candidate }) = heap.pop() {
+                match candidate {
+                    Candidate::Item(item) => {
+                        out.push((item, dist2.sqrt()));
+                        stats.results += 1;
+                        if out.len() == k {
+                            break;
                         }
-                    } else {
-                        stats.internal_visited += 1;
-                        for e in &node.entries {
-                            heap.push(Prioritized {
-                                dist2: e.rect.min_dist2(query),
-                                candidate: Candidate::Node(e.ptr as BlockId),
-                            });
+                    }
+                    Candidate::Node(page) => {
+                        let (node, did_io) =
+                            self.read_node_tallied(page, frozen.as_ref(), &mut tally)?;
+                        stats.nodes_visited += 1;
+                        stats.device_reads += did_io as u64;
+                        if node.is_leaf() {
+                            stats.leaves_visited += 1;
+                            // Defer the items through the heap so they are
+                            // emitted in global distance order.
+                            for e in &node.entries {
+                                heap.push(Prioritized {
+                                    dist2: e.rect.min_dist2(query),
+                                    candidate: Candidate::Item(e.to_item()),
+                                });
+                            }
+                        } else {
+                            stats.internal_visited += 1;
+                            for e in &node.entries {
+                                heap.push(Prioritized {
+                                    dist2: e.rect.min_dist2(query),
+                                    candidate: Candidate::Node(e.ptr as BlockId),
+                                });
+                            }
                         }
                     }
                 }
             }
-        }
-        Ok((out, stats))
+            Ok(())
+        })();
+        self.record_cache_tally(tally);
+        walk.map(|()| (out, stats))
     }
 }
 
@@ -138,10 +148,7 @@ mod tests {
     }
 
     fn brute_knn(items: &[Item<2>], q: &Point<2>, k: usize) -> Vec<(u32, f64)> {
-        let mut all: Vec<(u32, f64)> = items
-            .iter()
-            .map(|i| (i.id, i.rect.min_dist(q)))
-            .collect();
+        let mut all: Vec<(u32, f64)> = items.iter().map(|i| (i.id, i.rect.min_dist(q))).collect();
         all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         all.truncate(k);
         all

@@ -8,6 +8,7 @@
 //! [`QueryStats`] separates leaf visits from internal visits because the
 //! paper's headline metric is leaf I/Os with all internal nodes cached.
 
+use crate::cache::CacheTally;
 use crate::tree::RTree;
 use pr_em::{BlockId, EmError};
 use pr_geom::{Item, Rect};
@@ -71,6 +72,54 @@ impl<const D: usize> RTree<D> {
         Ok(self.window_count(query)?.0 > 0)
     }
 
+    /// Answers a batch of window queries across `threads` worker threads
+    /// (`0` = one per available core), returning per-query results and
+    /// statistics in input order.
+    ///
+    /// Results, leaf visits, and device-read counts are identical to
+    /// running [`RTree::window_with_stats`] serially over the slice: the
+    /// traversal is deterministic per query and the sharded cache
+    /// ([`crate::cache`]) is read-only during queries, so concurrency
+    /// changes only wall-clock time. Cache hit/miss totals are likewise
+    /// exact — each query accumulates locally and flushes atomically.
+    pub fn par_windows(
+        &self,
+        queries: &[Rect<D>],
+        threads: usize,
+    ) -> Result<Vec<(Vec<Item<D>>, QueryStats)>, EmError> {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        }
+        .min(queries.len().max(1));
+        if threads <= 1 {
+            return queries.iter().map(|q| self.window_with_stats(q)).collect();
+        }
+        // Contiguous chunks keep output order trivially reconstructible;
+        // `RTree: Sync` lets every worker borrow `self` directly.
+        let chunk = queries.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .chunks(chunk)
+                .map(|qs| {
+                    scope.spawn(move || {
+                        qs.iter()
+                            .map(|q| self.window_with_stats(q))
+                            .collect::<Result<Vec<_>, EmError>>()
+                    })
+                })
+                .collect();
+            let mut out = Vec::with_capacity(queries.len());
+            for h in handles {
+                out.extend(h.join().expect("par_windows worker panicked")?);
+            }
+            Ok(out)
+        })
+    }
+
     fn traverse(
         &self,
         query: &Rect<D>,
@@ -80,29 +129,40 @@ impl<const D: usize> RTree<D> {
         if self.is_empty() {
             return Ok(stats);
         }
+        // Cache hits/misses accumulate locally and flush once at the end
+        // (including the error path), so concurrent queries never touch
+        // the shared counters mid-traversal yet totals stay exact. The
+        // frozen snapshot is likewise cloned once, making the per-node
+        // lookups lock-free after warm_cache.
+        let mut tally = CacheTally::default();
+        let frozen = self.frozen_snapshot();
         let mut stack: Vec<BlockId> = vec![self.root()];
-        while let Some(page) = stack.pop() {
-            let (node, did_io) = self.read_node(page)?;
-            stats.nodes_visited += 1;
-            stats.device_reads += did_io as u64;
-            if node.is_leaf() {
-                stats.leaves_visited += 1;
-                for e in &node.entries {
-                    if e.rect.intersects(query) {
-                        stats.results += 1;
-                        emit(e.to_item());
+        let walk = (|| {
+            while let Some(page) = stack.pop() {
+                let (node, did_io) = self.read_node_tallied(page, frozen.as_ref(), &mut tally)?;
+                stats.nodes_visited += 1;
+                stats.device_reads += did_io as u64;
+                if node.is_leaf() {
+                    stats.leaves_visited += 1;
+                    for e in &node.entries {
+                        if e.rect.intersects(query) {
+                            stats.results += 1;
+                            emit(e.to_item());
+                        }
                     }
-                }
-            } else {
-                stats.internal_visited += 1;
-                for e in &node.entries {
-                    if e.rect.intersects(query) {
-                        stack.push(e.ptr as BlockId);
+                } else {
+                    stats.internal_visited += 1;
+                    for e in &node.entries {
+                        if e.rect.intersects(query) {
+                            stack.push(e.ptr as BlockId);
+                        }
                     }
                 }
             }
-        }
-        Ok(stats)
+            Ok(())
+        })();
+        self.record_cache_tally(tally);
+        walk.map(|()| stats)
     }
 }
 

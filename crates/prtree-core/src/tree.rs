@@ -5,23 +5,36 @@
 //! same representation, so query costs are directly comparable — only the
 //! *shape* of the tree differs between variants, exactly as in the paper.
 
-use crate::cache::{CachePolicy, NodeCache};
+use crate::cache::{CachePolicy, CacheTally, FrozenMap, ShardedNodeCache};
 use crate::page::NodePage;
 use crate::params::TreeParams;
 use pr_em::{BlockDevice, BlockId, EmError};
 use pr_geom::Item;
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// A height-balanced R-tree stored on a block device.
+///
+/// The handle is `Send + Sync` (statically asserted below): the node
+/// cache is internally sharded ([`crate::cache`]) and the device is
+/// `Send + Sync` by trait bound, so any number of threads may run
+/// queries on one `&RTree` concurrently. Mutation (`&mut self` dynamic
+/// updates) follows the usual exclusive-borrow rules.
 pub struct RTree<const D: usize> {
     dev: Arc<dyn BlockDevice>,
     params: TreeParams,
     root: BlockId,
     root_level: u8,
     len: u64,
-    cache: Mutex<NodeCache<D>>,
+    cache: ShardedNodeCache<D>,
 }
+
+// Compile-time proof that trees can be shared across threads; fails to
+// compile if any field loses Send/Sync.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RTree<2>>();
+    assert_send_sync::<RTree<3>>();
+};
 
 impl<const D: usize> RTree<D> {
     /// Wraps an existing tree: `root` is the page id of the root node at
@@ -42,7 +55,7 @@ impl<const D: usize> RTree<D> {
             root,
             root_level,
             len,
-            cache: Mutex::new(NodeCache::new(CachePolicy::InternalNodes)),
+            cache: ShardedNodeCache::new(CachePolicy::InternalNodes),
         }
     }
 
@@ -90,23 +103,59 @@ impl<const D: usize> RTree<D> {
 
     /// Swaps the cache policy, dropping all cached nodes.
     pub fn set_cache_policy(&self, policy: CachePolicy) {
-        *self.cache.lock() = NodeCache::new(policy);
+        self.cache.set_policy(policy);
     }
 
-    /// `(hits, misses)` of the node cache.
+    /// `(hits, misses)` of the node cache. Totals are exact under
+    /// concurrent queries (atomic counters; every lookup counts once).
     pub fn cache_stats(&self) -> (u64, u64) {
-        self.cache.lock().hit_stats()
+        self.cache.hit_stats()
+    }
+
+    /// The node cache itself (read-only view for tests/tools).
+    pub fn cache(&self) -> &ShardedNodeCache<D> {
+        &self.cache
     }
 
     /// Reads a node through the cache. Returns the node and whether the
     /// read hit the device (`true` = one real I/O).
     pub fn read_node(&self, page: BlockId) -> Result<(Arc<NodePage<D>>, bool), EmError> {
-        if let Some(n) = self.cache.lock().get(page) {
+        if let Some(n) = self.cache.get(page) {
             return Ok((n, false));
         }
         let node = Arc::new(NodePage::read(self.dev.as_ref(), page)?);
-        self.cache.lock().admit(page, &node);
+        self.cache.admit(page, &node);
         Ok((node, true))
+    }
+
+    /// [`RTree::read_node`], but hit/miss accounting goes into `tally`
+    /// instead of the shared counters, and internal-node hits resolve
+    /// through the query's `frozen` snapshot (no shared lock or refcount
+    /// traffic per node). Query loops grab the snapshot once via
+    /// [`RTree::frozen_snapshot`] and must flush the tally with
+    /// [`RTree::record_cache_tally`].
+    pub(crate) fn read_node_tallied(
+        &self,
+        page: BlockId,
+        frozen: Option<&FrozenMap<D>>,
+        tally: &mut CacheTally,
+    ) -> Result<(Arc<NodePage<D>>, bool), EmError> {
+        if let Some(n) = self.cache.get_tallied(page, frozen, tally) {
+            return Ok((n, false));
+        }
+        let node = Arc::new(NodePage::read(self.dev.as_ref(), page)?);
+        self.cache.admit(page, &node);
+        Ok((node, true))
+    }
+
+    /// The cache's post-warm snapshot, cloned once per query.
+    pub(crate) fn frozen_snapshot(&self) -> Option<FrozenMap<D>> {
+        self.cache.frozen_snapshot()
+    }
+
+    /// Flushes a per-query [`CacheTally`] into the shared counters.
+    pub(crate) fn record_cache_tally(&self, tally: CacheTally) {
+        self.cache.record(tally);
     }
 
     /// Writes a node page and invalidates (then re-admits) its cache slot.
@@ -114,9 +163,8 @@ impl<const D: usize> RTree<D> {
     pub fn write_node(&self, page: BlockId, node: &NodePage<D>) -> Result<(), EmError> {
         node.write(self.dev.as_ref(), page)?;
         let arc = Arc::new(node.clone());
-        let mut cache = self.cache.lock();
-        cache.invalidate(page);
-        cache.admit(page, &arc);
+        self.cache.invalidate(page);
+        self.cache.admit(page, &arc);
         Ok(())
     }
 
@@ -128,8 +176,10 @@ impl<const D: usize> RTree<D> {
     }
 
     /// Pre-loads every internal node into the cache (the paper's setup:
-    /// "in all our experiments we cached all internal nodes"). A no-op
-    /// under [`CachePolicy::None`].
+    /// "in all our experiments we cached all internal nodes"), then
+    /// freezes the pinned map so concurrent queries read it without
+    /// locking ([`crate::cache`] module docs). A no-op under
+    /// [`CachePolicy::None`].
     pub fn warm_cache(&self) -> Result<(), EmError> {
         if self.root_level == 0 {
             // Single-leaf tree: nothing internal to cache.
@@ -144,6 +194,7 @@ impl<const D: usize> RTree<D> {
                 }
             }
         }
+        self.cache.freeze();
         Ok(())
     }
 
@@ -243,7 +294,11 @@ impl TreeStructure {
             .zip(&self.entries_per_level)
             .enumerate()
         {
-            let cap = if level == 0 { self.leaf_cap } else { self.node_cap };
+            let cap = if level == 0 {
+                self.leaf_cap
+            } else {
+                self.node_cap
+            };
             used += e as f64;
             avail += (n as usize * cap) as f64;
         }

@@ -40,15 +40,13 @@ impl ValidationReport {
 }
 
 /// Options controlling which invariants are enforced.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ValidateOptions {
     /// Enforce Guttman's minimum fill on non-root nodes (only meaningful
     /// for dynamically maintained trees; bulk loaders may legitimately
     /// produce one underfull node per level).
     pub check_min_fill: bool,
 }
-
 
 impl<const D: usize> RTree<D> {
     /// Validates all invariants; see [`ValidationReport`].
@@ -177,7 +175,10 @@ mod tests {
         // Parent stores a deliberately wrong (too large) bounding box.
         let root = NodePage::new(
             1,
-            vec![Entry::new(Rect::xyxy(-10.0, -10.0, 10.0, 10.0), leaf as u32)],
+            vec![Entry::new(
+                Rect::xyxy(-10.0, -10.0, 10.0, 10.0),
+                leaf as u32,
+            )],
         )
         .append(dev.as_ref())
         .unwrap();

@@ -41,11 +41,7 @@ pub fn pack_level<const D: usize>(
     entries: &[Entry<D>],
     cap: usize,
 ) -> Result<Vec<Entry<D>>, EmError> {
-    write_level(
-        dev,
-        level,
-        entries.chunks(cap).map(|c| c.to_vec()),
-    )
+    write_level(dev, level, entries.chunks(cap).map(|c| c.to_vec()))
 }
 
 /// Builds all remaining levels above `child_level` by repeated sequential
@@ -126,7 +122,10 @@ mod tests {
         let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(4096));
         let t = build_packed::<2>(dev, TreeParams::with_cap::<2>(8), &[]).unwrap();
         assert!(t.is_empty());
-        assert!(t.window(&Rect::xyxy(0.0, 0.0, 1.0, 1.0)).unwrap().is_empty());
+        assert!(t
+            .window(&Rect::xyxy(0.0, 0.0, 1.0, 1.0))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -19,7 +19,10 @@ fn single_item_trees() {
     for kind in LoaderKind::all() {
         let t = build(kind, vec![item], 4);
         assert_eq!(t.height(), 1);
-        assert_eq!(t.window(&Rect::xyxy(0.0, 0.0, 5.0, 5.0)).unwrap(), vec![item]);
+        assert_eq!(
+            t.window(&Rect::xyxy(0.0, 0.0, 5.0, 5.0)).unwrap(),
+            vec![item]
+        );
         assert!(t
             .window(&Rect::xyxy(10.0, 10.0, 11.0, 11.0))
             .unwrap()

@@ -57,7 +57,9 @@ fn main() {
         let y = (rnd() % 1_000_000) as f64 / 1_000_000.0;
         let fresh = Item::new(Rect::xyxy(x, y, x, y), next_id);
         next_id += 1;
-        guttman.insert(fresh, SplitPolicy::Quadratic).expect("insert");
+        guttman
+            .insert(fresh, SplitPolicy::Quadratic)
+            .expect("insert");
         lpr.insert(fresh).expect("lpr insert");
         live.push(fresh);
     }

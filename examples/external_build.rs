@@ -28,7 +28,10 @@ fn main() {
         memory / 36
     );
 
-    println!("{:<6} {:>12} {:>12} {:>10}", "tree", "blocks read", "blocks written", "seconds");
+    println!(
+        "{:<6} {:>12} {:>12} {:>10}",
+        "tree", "blocks read", "blocks written", "seconds"
+    );
     for kind in [
         LoaderKind::Hilbert,
         LoaderKind::Hilbert4,

@@ -32,7 +32,10 @@ fn main() {
     ];
 
     println!("relative query cost: leaf I/Os ÷ ⌈T/B⌉ over 50 1%-area windows (100% = optimal)\n");
-    println!("{:<30} {:>7} {:>7} {:>7} {:>7} {:>7}", "dataset", "PR", "H", "H4", "TGS", "STR");
+    println!(
+        "{:<30} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "dataset", "PR", "H", "H4", "TGS", "STR"
+    );
     let mut worst = vec![0.0f64; kinds.len()];
     for (name, items) in datasets {
         // SKEWED queries follow the data's transform so output stays put.

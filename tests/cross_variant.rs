@@ -4,8 +4,8 @@
 
 use pr_data::queries::square_queries;
 use pr_data::{
-    aspect_dataset, cluster_dataset, size_dataset, skewed_dataset, uniform_points,
-    worst_case_grid, TigerProfile,
+    aspect_dataset, cluster_dataset, size_dataset, skewed_dataset, uniform_points, worst_case_grid,
+    TigerProfile,
 };
 use prtree::prelude::*;
 use std::sync::Arc;
@@ -54,8 +54,7 @@ fn all_variants_agree_with_brute_force_on_all_datasets() {
             );
             assert_eq!(tree.len(), items.len() as u64);
             for (q, want) in queries.iter().zip(&expected) {
-                let mut got: Vec<u32> =
-                    tree.window(q).unwrap().iter().map(|i| i.id).collect();
+                let mut got: Vec<u32> = tree.window(q).unwrap().iter().map(|i| i.id).collect();
                 got.sort_unstable();
                 assert_eq!(&got, want, "{name}/{} query {q:?}", kind.name());
             }
@@ -125,8 +124,5 @@ fn paper_parameters_work_end_to_end() {
     assert_eq!(tree.height(), 3); // 30000/113 = 266 leaves; /113 = 3 nodes; root
     tree.validate().unwrap().assert_ok();
     let q = Rect::xyxy(0.25, 0.25, 0.75, 0.75);
-    assert_eq!(
-        tree.window(&q).unwrap().len(),
-        brute(&items, &q).len()
-    );
+    assert_eq!(tree.window(&q).unwrap().len(), brute(&items, &q).len());
 }

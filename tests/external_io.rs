@@ -74,10 +74,13 @@ fn external_loaders_build_the_same_trees_as_in_memory() {
             .unwrap();
         let dev_f: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
         let input = build_stream(dev_f.as_ref(), &items);
-        let ext_h =
-            load_hilbert_external::<2>(Arc::clone(&dev_f), params, &input, config, corners)
-                .unwrap();
-        assert_eq!(leaf_groups(&mem_h), leaf_groups(&ext_h), "corners={corners}");
+        let ext_h = load_hilbert_external::<2>(Arc::clone(&dev_f), params, &input, config, corners)
+            .unwrap();
+        assert_eq!(
+            leaf_groups(&mem_h),
+            leaf_groups(&ext_h),
+            "corners={corners}"
+        );
     }
 }
 
@@ -127,8 +130,7 @@ fn file_backed_device_runs_the_full_pipeline() {
     let items = uniform_points(2_000, 44);
     let params = TreeParams::with_cap::<2>(16);
     let path = std::env::temp_dir().join(format!("prtree-it-{}.bin", std::process::id()));
-    let dev: Arc<dyn BlockDevice> =
-        Arc::new(FileDevice::create(&path, params.page_size).unwrap());
+    let dev: Arc<dyn BlockDevice> = Arc::new(FileDevice::create(&path, params.page_size).unwrap());
     let input = build_stream(dev.as_ref(), &items);
     let tree = PrExternalLoader::new(ExternalConfig::with_memory(20 * params.page_size))
         .load::<2>(Arc::clone(&dev), params, &input)

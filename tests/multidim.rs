@@ -20,10 +20,7 @@ fn random_boxes_3d(n: u32, seed: u64) -> Vec<Item<3>> {
                 rng.gen_range(0.0..0.5),
                 rng.gen_range(0.0..0.5),
             ];
-            Item::new(
-                Rect::new(p, [p[0] + e[0], p[1] + e[1], p[2] + e[2]]),
-                id,
-            )
+            Item::new(Rect::new(p, [p[0] + e[0], p[1] + e[1], p[2] + e[2]]), id)
         })
         .collect()
 }
@@ -61,8 +58,7 @@ fn three_dimensional_loaders_agree_with_brute_force() {
                 rng.gen_range(0.0..8.0),
             ];
             let q = Rect::new(lo, [lo[0] + 2.0, lo[1] + 2.0, lo[2] + 2.0]);
-            let mut got: Vec<u32> =
-                tree.window(&q).unwrap().iter().map(|i| i.id).collect();
+            let mut got: Vec<u32> = tree.window(&q).unwrap().iter().map(|i| i.id).collect();
             got.sort_unstable();
             assert_eq!(got, brute3(&items, &q), "{name}");
         }

@@ -3,13 +3,15 @@
 //! * Lemma 2 / Theorem 2: PR-tree query cost scales like `√(N/B) + T/B`.
 //! * Theorem 3: H, H4 and TGS degenerate on the shifted grid; PR does not.
 
-use pr_data::{worst_case::worst_case_line_query, worst_case_grid, uniform_points};
+use pr_data::{uniform_points, worst_case::worst_case_line_query, worst_case_grid};
 use prtree::prelude::*;
 use std::sync::Arc;
 
 fn build(kind: LoaderKind, items: &[Item<2>], params: TreeParams) -> RTree<2> {
     let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
-    kind.loader::<2>().load(dev, params, items.to_vec()).unwrap()
+    kind.loader::<2>()
+        .load(dev, params, items.to_vec())
+        .unwrap()
 }
 
 #[test]

@@ -1,0 +1,416 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build container cannot reach crates.io, so this vendors the
+//! subset of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! * [`Strategy`] with `prop_map`, range / `any::<T>()` / tuple
+//!   strategies, and `prop::collection::{vec, hash_set}`,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports its case number and seed;
+//!   cases are deterministic per (test name, case index), so failures
+//!   reproduce exactly on re-run.
+//! * **Deterministic by default.** There is no `PROPTEST_CASES` env or
+//!   persistence file; [`ProptestConfig::default`] runs 64 cases.
+//!
+//! Swap for the real crate by repointing `[workspace.dependencies]`;
+//! test sources need no changes.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SampleUniform, SeedableRng, Standard};
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Random source handed to strategies (re-exported for custom impls).
+pub type TestRng = SmallRng;
+
+/// A recoverable test-case failure raised by the `prop_assert*` macros.
+#[derive(Debug)]
+pub struct TestCaseError {
+    /// Human-readable failure description.
+    pub message: String,
+    /// Source file of the failed assertion.
+    pub file: &'static str,
+    /// Source line of the failed assertion.
+    pub line: u32,
+}
+
+impl TestCaseError {
+    /// Creates a failure (used by the assertion macros).
+    pub fn fail(message: String, file: &'static str, line: u32) -> Self {
+        TestCaseError {
+            message,
+            file,
+            line,
+        }
+    }
+}
+
+/// Runner configuration: how many random cases each property runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produces one value from `rng`.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter created by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Half-open ranges are strategies (uniform sample).
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+/// Strategy for the full domain of `T` — see [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+/// The `any::<T>()` strategy: a uniformly random `T`.
+pub fn any<T: Standard>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+impl<T: Standard> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Collection strategies, addressed as `prop::collection::*` like the
+/// real crate.
+pub mod prop {
+    /// Strategies producing collections of another strategy's values.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+        use std::collections::HashSet;
+        use std::hash::Hash;
+        use std::ops::Range;
+
+        /// Strategy for `Vec<S::Value>` with length drawn from `len`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// `Vec` of values from `element`, length uniform in `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "empty length range");
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = rng.gen_range(self.len.start..self.len.end);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Strategy for `HashSet<S::Value>` with size drawn from `size`.
+        pub struct HashSetStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// `HashSet` of values from `element`, target size uniform in
+        /// `size`. Duplicate draws are retried a bounded number of times,
+        /// so tiny value domains yield smaller sets rather than looping.
+        pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Hash + Eq,
+        {
+            assert!(size.start < size.end, "empty size range");
+            HashSetStrategy { element, size }
+        }
+
+        impl<S> Strategy for HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Hash + Eq,
+        {
+            type Value = HashSet<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+                let target = rng.gen_range(self.size.start..self.size.end);
+                let mut out = HashSet::with_capacity(target);
+                let mut attempts = 0usize;
+                while out.len() < target && attempts < 100 * (target + 1) {
+                    out.insert(self.element.generate(rng));
+                    attempts += 1;
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{any, prop, ProptestConfig, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Derives the per-case RNG: deterministic in (test name, case index).
+pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(h ^ ((case as u64) << 32) ^ case as u64)
+}
+
+/// Declares property tests. Supports the subset of the real macro's
+/// grammar used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(a in 0u32..10, b in any::<u64>()) {
+///         prop_assert!(a < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat_param in $strat:expr),* $(,)? ) $body:block
+    )* ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::case_rng(stringify!($name), __case);
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!(
+                        "property '{}' failed at case {}/{} ({}:{}): {}",
+                        stringify!($name),
+                        __case,
+                        __cfg.cases,
+                        e.file,
+                        e.line,
+                        e.message
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)*),
+                file!(),
+                line!(),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` flavored for proptest cases.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($l:expr, $r:expr) => {
+        match (&$l, &$r) {
+            (__lv, __rv) => {
+                $crate::prop_assert!(
+                    *__lv == *__rv,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($l),
+                    stringify!($r),
+                    __lv,
+                    __rv
+                );
+            }
+        }
+    };
+    ($l:expr, $r:expr, $($fmt:tt)*) => {
+        match (&$l, &$r) {
+            (__lv, __rv) => {
+                $crate::prop_assert!(
+                    *__lv == *__rv,
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)*),
+                    __lv,
+                    __rv
+                );
+            }
+        }
+    };
+}
+
+/// `assert_ne!` flavored for proptest cases.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($l:expr, $r:expr) => {
+        match (&$l, &$r) {
+            (__lv, __rv) => {
+                $crate::prop_assert!(
+                    *__lv != *__rv,
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($l),
+                    stringify!($r),
+                    __lv
+                );
+            }
+        }
+    };
+    ($l:expr, $r:expr, $($fmt:tt)*) => {
+        match (&$l, &$r) {
+            (__lv, __rv) => {
+                $crate::prop_assert!(*__lv != *__rv, $($fmt)*);
+            }
+        }
+    };
+}
+
+// Re-exports used by generated code and custom strategies.
+pub use prop::collection;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_domain() {
+        let mut rng = crate::case_rng("strategies_generate_in_domain", 0);
+        for _ in 0..100 {
+            let v = (0u32..7).generate(&mut rng);
+            assert!(v < 7);
+            let (a, b) = ((0usize..3), (1.0..2.0f64)).generate(&mut rng);
+            assert!(a < 3 && (1.0..2.0).contains(&b));
+            let vs = prop::collection::vec(any::<u8>(), 1..5).generate(&mut rng);
+            assert!((1..5).contains(&vs.len()));
+            let hs = prop::collection::hash_set((0u32..64, 0u32..64), 2..10).generate(&mut rng);
+            assert!(hs.len() <= 10);
+            let mapped = (0u32..5).prop_map(|x| x * 2).generate(&mut rng);
+            assert!(mapped % 2 == 0 && mapped < 10);
+        }
+    }
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        let mut a = crate::case_rng("t", 3);
+        let mut b = crate::case_rng("t", 3);
+        use rand::Rng;
+        assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_runs_and_asserts(x in 0u32..100, mut v in prop::collection::vec(any::<u8>(), 0..8)) {
+            prop_assert!(x < 100);
+            v.sort_unstable();
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert_ne!(x, 100);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(x in 5u64..6) {
+            prop_assert_eq!(x, 5, "only value in range is {}", 5);
+        }
+    }
+}
