@@ -1,0 +1,89 @@
+//! Cold-start latency: reopening a committed `pr-store` snapshot versus
+//! rebuilding the index from raw rectangles, measured to the first
+//! answered window query.
+//!
+//! The persisted path reads the superblock + internal nodes + the leaves
+//! one query touches; the rebuild path re-sorts and rewrites every page.
+//! A correctness gate asserts both paths answer the query identically
+//! before anything is timed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pr_data::uniform_points;
+use pr_em::{BlockDevice, MemDevice};
+use pr_geom::Rect;
+use pr_store::Store;
+use pr_tree::bulk::pr::PrTreeLoader;
+use pr_tree::bulk::BulkLoader;
+use pr_tree::{RTree, TreeParams};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+const N: u32 = 100_000;
+
+fn query() -> Rect<2> {
+    Rect::xyxy(0.4, 0.4, 0.45, 0.45)
+}
+
+fn rebuild_then_query(items: &[pr_geom::Item<2>]) -> usize {
+    let params = TreeParams::paper_2d();
+    let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
+    let tree = PrTreeLoader::default()
+        .load(dev, params, items.to_vec())
+        .unwrap();
+    tree.warm_cache().unwrap();
+    tree.window(&query()).unwrap().len()
+}
+
+fn open_then_query(path: &Path) -> usize {
+    let tree: RTree<2> = Store::open_tree::<2>(path).unwrap();
+    tree.warm_cache().unwrap();
+    tree.window(&query()).unwrap().len()
+}
+
+fn bench_cold_open(c: &mut Criterion) {
+    let items = uniform_points(N, 0xC0);
+    let params = TreeParams::paper_2d();
+    let path = std::env::temp_dir().join(format!("pr-bench-cold-{}.prt", std::process::id()));
+    let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
+    let tree = PrTreeLoader::default()
+        .load(dev, params, items.clone())
+        .unwrap();
+    let mut store = Store::create::<2>(&path, params).unwrap();
+    store.save(&tree).unwrap();
+    drop((store, tree));
+
+    // Correctness gate: the two cold paths must agree before timing.
+    let want = rebuild_then_query(&items);
+    let got = open_then_query(&path);
+    assert_eq!(want, got, "persisted and rebuilt answers differ");
+
+    let mut group = c.benchmark_group("cold_start_100k");
+    group.sample_size(10);
+    group.bench_function("open_then_first_query", |b| {
+        b.iter(|| open_then_query(&path));
+    });
+    group.bench_function("rebuild_then_first_query", |b| {
+        b.iter(|| rebuild_then_query(&items));
+    });
+    group.finish();
+
+    // Headline: one-shot wall-clock ratio.
+    let t0 = Instant::now();
+    let _ = rebuild_then_query(&items);
+    let rebuild = t0.elapsed();
+    let t0 = Instant::now();
+    let _ = open_then_query(&path);
+    let open = t0.elapsed();
+    println!(
+        "[cold_open] n={N}: open {:.2} ms vs rebuild {:.2} ms ({:.0}x faster to first answer)",
+        open.as_secs_f64() * 1e3,
+        rebuild.as_secs_f64() * 1e3,
+        rebuild.as_secs_f64() / open.as_secs_f64().max(1e-9)
+    );
+
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench_cold_open);
+criterion_main!(benches);

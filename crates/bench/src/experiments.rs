@@ -35,6 +35,7 @@ pub fn all_names() -> &'static [&'static str] {
         "util",
         "dyn",
         "ablation",
+        "cold_open",
     ]
 }
 
@@ -55,6 +56,7 @@ pub fn run(name: &str, scale: Scale) -> Option<Vec<Table>> {
         "util" => vec![util(scale)],
         "dyn" => dyn_experiment(scale),
         "ablation" => vec![ablation(scale)],
+        "cold_open" => vec![cold_open(scale)],
         _ => return None,
     };
     Some(tables)
@@ -651,6 +653,83 @@ pub fn ablation(scale: Scale) -> Table {
     t
 }
 
+/// cold_open: blocks touched between "process starts" and "first window
+/// query answered" for a persisted index (`pr-store` open) versus a full
+/// rebuild from the raw rectangles — the persistence subsystem's reason
+/// to exist, in one table.
+pub fn cold_open(scale: Scale) -> Table {
+    use pr_store::Store;
+    let n = scale.n_cold_open();
+    let items = uniform_points(n, 0xC01D);
+    let p = params();
+    let q = square_queries(&unit_square(), 0.001, 1, 0xC01E)[0];
+
+    // Persist once (cost charged to neither path; an index is written
+    // once and opened on every restart).
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("pr-bench-cold-open-{}.prt", std::process::id()));
+    let built = build_in_memory(LoaderKind::Pr, &items, p);
+    let mut store = Store::create::<2>(&path, p).expect("create store");
+    store.save(&built).expect("save");
+    drop((store, built));
+
+    let mut t = Table::new(
+        "cold_open",
+        "cold start to first query: reopen persisted index vs full rebuild",
+        &[
+            "path",
+            "blocks read",
+            "blocks written",
+            "first-query leaves",
+            "seconds",
+        ],
+    );
+
+    // Path 1: rebuild from raw rectangles, warm the cache, run the query.
+    let t0 = std::time::Instant::now();
+    let rebuilt = build_in_memory(LoaderKind::Pr, &items, p);
+    rebuilt.warm_cache().expect("warm");
+    let (rebuild_hits, rebuild_stats) = rebuilt.window_with_stats(&q).expect("query");
+    let rebuild_secs = t0.elapsed().as_secs_f64();
+    let io = rebuilt.device().io_stats();
+    t.row(vec![
+        "rebuild".into(),
+        blocks(io.reads),
+        blocks(io.writes),
+        rebuild_stats.leaves_visited.to_string(),
+        f2(rebuild_secs),
+    ]);
+
+    // Path 2: reopen the committed snapshot, warm the cache, same query.
+    let t0 = std::time::Instant::now();
+    let reopened = Store::open_tree::<2>(&path).expect("open store");
+    reopened.warm_cache().expect("warm");
+    let (open_hits, open_stats) = reopened.window_with_stats(&q).expect("query");
+    let open_secs = t0.elapsed().as_secs_f64();
+    let io = reopened.device().io_stats();
+    t.row(vec![
+        "cold open".into(),
+        blocks(io.reads),
+        blocks(io.writes),
+        open_stats.leaves_visited.to_string(),
+        f2(open_secs),
+    ]);
+    assert_eq!(
+        rebuild_hits, open_hits,
+        "persisted and rebuilt trees must answer identically"
+    );
+
+    t.note(format!(
+        "n = {n} rectangles; open reads internal nodes + touched leaves only (plus 3 fixed-size header records outside block accounting), rebuild rewrites every page"
+    ));
+    t.note(format!(
+        "wall-clock speedup of open over rebuild: {:.0}x",
+        rebuild_secs / open_secs.max(1e-9)
+    ));
+    std::fs::remove_file(&path).ok();
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -694,6 +773,7 @@ mod tests {
                     | "util"
                     | "dyn"
                     | "ablation"
+                    | "cold_open"
             );
             assert!(known, "{name} not dispatchable");
         }

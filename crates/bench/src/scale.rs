@@ -93,6 +93,17 @@ impl Scale {
         100
     }
 
+    /// Input size for the `cold_open` persistence experiment (kept below
+    /// the query-experiment sizes: the point is the *ratio* of open cost
+    /// to rebuild cost, which is already stark at these N).
+    pub fn n_cold_open(&self) -> u32 {
+        match self {
+            Scale::Small => 500_000,
+            Scale::Medium => 2_000_000,
+            Scale::Full => 10_000_000,
+        }
+    }
+
     /// Updates used by the `dyn` experiment.
     pub fn n_updates(&self) -> u32 {
         match self {

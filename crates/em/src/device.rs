@@ -11,8 +11,8 @@ use crate::stats::{IoCounters, IoStats};
 use crate::Result;
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Identifier of a block on a device (its index).
@@ -58,6 +58,129 @@ pub trait BlockDevice: Send + Sync {
     /// implementation is a no-op (file-backed devices may keep the bytes).
     fn discard(&self, blocks: &[BlockId]) {
         let _ = blocks;
+    }
+
+    /// Flushes every written block to stable storage (an `fsync` for
+    /// file-backed devices). Persistence layers call this before a commit
+    /// record becomes reachable. In-memory devices are trivially
+    /// "durable", so the default is a free no-op.
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// A file addressed by absolute byte offset rather than a shared cursor.
+///
+/// On unix this is `pread`/`pwrite` via [`std::os::unix::fs::FileExt`]:
+/// no seek, no lock, so any number of threads read concurrently without
+/// serializing on one file cursor. On other platforms it falls back to a
+/// mutex-guarded `seek` + `read`/`write` — the mutex exists only where
+/// the platform requires it.
+///
+/// Public because `pr-store` layers its snapshot reader on the same
+/// primitive.
+#[derive(Debug)]
+pub struct PositionedFile {
+    #[cfg(unix)]
+    file: File,
+    #[cfg(not(unix))]
+    file: Mutex<File>,
+}
+
+impl PositionedFile {
+    /// Wraps an open file.
+    pub fn new(file: File) -> Self {
+        #[cfg(unix)]
+        {
+            PositionedFile { file }
+        }
+        #[cfg(not(unix))]
+        {
+            PositionedFile {
+                file: Mutex::new(file),
+            }
+        }
+    }
+
+    /// Fills `buf` from byte `offset`, zero-filling anything past the
+    /// materialized end of the file (sparse-file semantics: unwritten
+    /// regions read as zeros, mirroring zero-initialized allocation).
+    pub fn read_exact_or_zero_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            let mut done = 0;
+            while done < buf.len() {
+                let n = self.file.read_at(&mut buf[done..], offset + done as u64)?;
+                if n == 0 {
+                    buf[done..].fill(0);
+                    break;
+                }
+                done += n;
+            }
+            Ok(())
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Read, Seek, SeekFrom};
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(offset))?;
+            let mut done = 0;
+            while done < buf.len() {
+                let n = file.read(&mut buf[done..])?;
+                if n == 0 {
+                    buf[done..].fill(0);
+                    break;
+                }
+                done += n;
+            }
+            Ok(())
+        }
+    }
+
+    /// Writes all of `buf` at byte `offset`.
+    pub fn write_all_at(&self, buf: &[u8], offset: u64) -> std::io::Result<()> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.write_all_at(buf, offset)
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(offset))?;
+            file.write_all(buf)
+        }
+    }
+
+    /// Forces written data (and metadata needed to read it back) to disk.
+    pub fn sync_data(&self) -> std::io::Result<()> {
+        #[cfg(unix)]
+        {
+            self.file.sync_data()
+        }
+        #[cfg(not(unix))]
+        {
+            self.file.lock().sync_data()
+        }
+    }
+
+    /// Current file length in bytes.
+    pub fn len(&self) -> std::io::Result<u64> {
+        #[cfg(unix)]
+        {
+            Ok(self.file.metadata()?.len())
+        }
+        #[cfg(not(unix))]
+        {
+            Ok(self.file.lock().metadata()?.len())
+        }
+    }
+
+    /// True when the file is empty.
+    pub fn is_empty(&self) -> std::io::Result<bool> {
+        Ok(self.len()? == 0)
     }
 }
 
@@ -168,10 +291,13 @@ impl BlockDevice for MemDevice {
 }
 
 /// File-backed block device. Blocks are stored contiguously in one file.
+///
+/// I/O is positioned ([`PositionedFile`]): concurrent readers issue
+/// `pread`s in parallel instead of serializing on one seek cursor.
 pub struct FileDevice {
     block_size: usize,
-    file: Mutex<File>,
-    num_blocks: Mutex<u64>,
+    file: PositionedFile,
+    num_blocks: AtomicU64,
     counters: Arc<IoCounters>,
 }
 
@@ -187,8 +313,23 @@ impl FileDevice {
             .open(path)?;
         Ok(FileDevice {
             block_size,
-            file: Mutex::new(file),
-            num_blocks: Mutex::new(0),
+            file: PositionedFile::new(file),
+            num_blocks: AtomicU64::new(0),
+            counters: IoCounters::new(),
+        })
+    }
+
+    /// Opens an existing file as a device. The block count is the file
+    /// length divided by `block_size`, rounding a ragged tail up (the
+    /// tail reads zero-padded).
+    pub fn open(path: &Path, block_size: usize) -> Result<Self> {
+        assert!(block_size > 0, "block size must be positive");
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        Ok(FileDevice {
+            block_size,
+            file: PositionedFile::new(file),
+            num_blocks: AtomicU64::new(len.div_ceil(block_size as u64)),
             counters: IoCounters::new(),
         })
     }
@@ -200,16 +341,13 @@ impl BlockDevice for FileDevice {
     }
 
     fn num_blocks(&self) -> u64 {
-        *self.num_blocks.lock()
+        self.num_blocks.load(Ordering::Acquire)
     }
 
     fn allocate(&self, n: u64) -> BlockId {
-        let mut num = self.num_blocks.lock();
-        let first = *num;
-        *num += n;
         // The file is grown lazily on write; sparse files make allocation
         // cheap, matching the in-memory device's free allocation.
-        first
+        self.num_blocks.fetch_add(n, Ordering::AcqRel)
     }
 
     fn read_block(&self, block: BlockId, buf: &mut [u8]) -> Result<()> {
@@ -223,22 +361,8 @@ impl BlockDevice for FileDevice {
         if block >= len {
             return Err(EmError::BlockOutOfRange { block, len });
         }
-        let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(block * self.block_size as u64))?;
-        // A block beyond the materialized end of a sparse file reads as
-        // zeros, mirroring MemDevice's zero-initialized allocation.
-        let mut read_total = 0;
-        while read_total < buf.len() {
-            let n = file.read(&mut buf[read_total..])?;
-            if n == 0 {
-                for b in &mut buf[read_total..] {
-                    *b = 0;
-                }
-                break;
-            }
-            read_total += n;
-        }
-        drop(file);
+        self.file
+            .read_exact_or_zero_at(buf, block * self.block_size as u64)?;
         self.counters.add_reads(1);
         Ok(())
     }
@@ -254,16 +378,19 @@ impl BlockDevice for FileDevice {
         if block >= len {
             return Err(EmError::BlockOutOfRange { block, len });
         }
-        let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(block * self.block_size as u64))?;
-        file.write_all(buf)?;
-        drop(file);
+        self.file
+            .write_all_at(buf, block * self.block_size as u64)?;
         self.counters.add_writes(1);
         Ok(())
     }
 
     fn counters(&self) -> &Arc<IoCounters> {
         &self.counters
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
     }
 }
 
@@ -363,5 +490,62 @@ mod tests {
     #[test]
     fn default_block_size_matches_paper() {
         assert_eq!(MemDevice::default_size().block_size(), 4096);
+    }
+
+    #[test]
+    fn file_device_reopen_preserves_contents() {
+        let dir = std::env::temp_dir().join(format!("pr-em-reopen-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reopen.bin");
+        let mut block = vec![7u8; 256];
+        block[0] = 42;
+        {
+            let dev = FileDevice::create(&path, 256).unwrap();
+            dev.allocate(2);
+            dev.write_block(1, &block).unwrap();
+            dev.sync().unwrap();
+        }
+        let dev = FileDevice::open(&path, 256).unwrap();
+        assert_eq!(dev.num_blocks(), 2);
+        let mut out = vec![0u8; 256];
+        dev.read_block(1, &mut out).unwrap();
+        assert_eq!(out, block);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_device_concurrent_positioned_reads() {
+        let dir = std::env::temp_dir().join(format!("pr-em-conc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("conc.bin");
+        let dev = FileDevice::create(&path, 128).unwrap();
+        let blocks = 64u64;
+        dev.allocate(blocks);
+        for b in 0..blocks {
+            dev.write_block(b, &[b as u8; 128]).unwrap();
+        }
+        // Readers hammer disjoint and overlapping blocks; positioned I/O
+        // must return each block's own bytes regardless of interleaving.
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let dev = &dev;
+                s.spawn(move || {
+                    let mut buf = vec![0u8; 128];
+                    for round in 0..50u64 {
+                        let b = (t * 17 + round) % blocks;
+                        dev.read_block(b, &mut buf).unwrap();
+                        assert!(buf.iter().all(|&x| x == b as u8), "block {b} torn");
+                    }
+                });
+            }
+        });
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sync_is_a_noop_for_memory_and_counted_free_for_files() {
+        let mem = MemDevice::new(64);
+        mem.sync().unwrap();
+        assert_eq!(mem.io_stats().total(), 0);
     }
 }

@@ -25,6 +25,15 @@ pub enum EmError {
     BudgetTooSmall(String),
     /// A record failed to decode (corrupt page or logic error).
     Corrupt(String),
+    /// A page id too large for the 32-bit entry pointer was produced
+    /// (the device outgrew 2^32 blocks).
+    PageIdOverflow {
+        /// The offending page id.
+        page: u64,
+    },
+    /// A write was attempted on a read-only device (e.g. an opened,
+    /// committed store snapshot).
+    ReadOnly,
 }
 
 impl fmt::Display for EmError {
@@ -39,6 +48,10 @@ impl fmt::Display for EmError {
             }
             EmError::BudgetTooSmall(msg) => write!(f, "memory budget too small: {msg}"),
             EmError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            EmError::PageIdOverflow { page } => {
+                write!(f, "page id {page} does not fit in a 32-bit entry pointer")
+            }
+            EmError::ReadOnly => write!(f, "device is read-only"),
         }
     }
 }
@@ -73,5 +86,8 @@ mod tests {
         assert!(e.to_string().contains("4096"));
         let e: EmError = std::io::Error::other("boom").into();
         assert!(e.to_string().contains("boom"));
+        let e = EmError::PageIdOverflow { page: u64::MAX };
+        assert!(e.to_string().contains("32-bit"));
+        assert!(EmError::ReadOnly.to_string().contains("read-only"));
     }
 }

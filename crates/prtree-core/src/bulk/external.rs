@@ -15,6 +15,7 @@ use crate::entry::{Entry, KeyedEntry};
 use crate::page::NodePage;
 use crate::params::TreeParams;
 use crate::tree::RTree;
+use crate::writer::page_ptr;
 use pr_em::{
     external_sort_by, BlockDevice, EmError, SortConfig, Stream, StreamReader, StreamWriter,
 };
@@ -84,7 +85,7 @@ pub fn pack_level_stream<const D: usize>(
         if group.len() == cap || (rec.is_none() && !group.is_empty()) {
             let mbr = Entry::mbr(&group);
             let page = NodePage::new(level, std::mem::take(&mut group)).append(dev)?;
-            parents.push(&Entry::new(mbr, page as u32))?;
+            parents.push(&Entry::new(mbr, page_ptr(page)?))?;
         }
         if rec.is_none() {
             break;
@@ -193,7 +194,7 @@ pub fn load_hilbert_external<const D: usize>(
             if group.len() == params.leaf_cap || (rec.is_none() && !group.is_empty()) {
                 let mbr = Entry::mbr(&group);
                 let page = NodePage::new(0, std::mem::take(&mut group)).append(dev.as_ref())?;
-                parent_writer.push(&Entry::new(mbr, page as u32))?;
+                parent_writer.push(&Entry::new(mbr, page_ptr(page)?))?;
             }
             if rec.is_none() {
                 break;

@@ -25,6 +25,7 @@ use crate::entry::Entry;
 use crate::page::NodePage;
 use crate::params::TreeParams;
 use crate::tree::RTree;
+use crate::writer::page_ptr;
 use pr_em::{external_sort_by, BlockDevice, EmError, Record, Stream, StreamReader, StreamWriter};
 use pr_geom::mapped::{cmp_extreme_on_axis, cmp_items_on_axis};
 use pr_geom::{Axis, Item};
@@ -283,7 +284,7 @@ fn write_group<const D: usize>(
     debug_assert!(!group.is_empty());
     let mbr = Entry::mbr(&group);
     let page = NodePage::new(level, group).append(dev)?;
-    parent_writer.push(&Entry::new(mbr, page as u32))
+    parent_writer.push(&Entry::new(mbr, page_ptr(page)?))
 }
 
 /// Collects all not-taken entries from a list (there must be exactly

@@ -25,6 +25,7 @@ use crate::entry::Entry;
 use crate::page::NodePage;
 use crate::params::TreeParams;
 use crate::tree::RTree;
+use crate::writer::page_ptr;
 use pr_em::{BlockDevice, EmError};
 use pr_geom::mapped::cmp_items_on_axis;
 use pr_geom::{Axis, Item, Rect};
@@ -174,7 +175,7 @@ pub(crate) fn build_node<const D: usize>(
         debug_assert!(entries.len() <= params.leaf_cap);
         let mbr = Entry::mbr(&entries);
         let page = NodePage::new(0, entries).append(dev)?;
-        return Ok(Entry::new(mbr, page as u32));
+        return Ok(Entry::new(mbr, page_ptr(page)?));
     }
     let unit = subtree_capacity(params, level - 1);
     let mut groups = Vec::new();
@@ -186,7 +187,7 @@ pub(crate) fn build_node<const D: usize>(
     }
     let mbr = Entry::mbr(&children);
     let page = NodePage::new(level, children).append(dev)?;
-    Ok(Entry::new(mbr, page as u32))
+    Ok(Entry::new(mbr, page_ptr(page)?))
 }
 
 /// Maximum items a subtree rooted at `level` can hold.

@@ -18,6 +18,7 @@ use crate::entry::Entry;
 use crate::page::NodePage;
 use crate::params::TreeParams;
 use crate::tree::RTree;
+use crate::writer::page_ptr;
 use pr_em::{external_sort_by, BlockDevice, EmError, Record, Stream, StreamReader, StreamWriter};
 use pr_geom::mapped::cmp_items_on_axis;
 use pr_geom::{Axis, Item, Rect};
@@ -107,7 +108,7 @@ impl TgsExternalLoader {
             discard_all(dev, lists);
             let mbr = Entry::mbr(&entries);
             let page = NodePage::new(0, entries).append(dev)?;
-            return Ok(Entry::new(mbr, page as u32));
+            return Ok(Entry::new(mbr, page_ptr(page)?));
         }
 
         let unit = subtree_capacity(params, level - 1) as u64;
@@ -131,7 +132,7 @@ impl TgsExternalLoader {
         }
         let mbr = Entry::mbr(&children);
         let page = NodePage::new(level, children).append(dev)?;
-        Ok(Entry::new(mbr, page as u32))
+        Ok(Entry::new(mbr, page_ptr(page)?))
     }
 
     /// One greedy binary partition: sweeps all orderings for the cheapest

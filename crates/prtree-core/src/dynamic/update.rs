@@ -12,6 +12,7 @@ use crate::dynamic::split::SplitPolicy;
 use crate::entry::Entry;
 use crate::page::NodePage;
 use crate::tree::RTree;
+use crate::writer::page_ptr;
 use pr_em::{BlockId, EmError};
 use pr_geom::{Item, Rect};
 
@@ -50,10 +51,7 @@ impl<const D: usize> RTree<D> {
                 // Grow the tree: a new root over the old root + sibling.
                 let new_root = NodePage::new(
                     root_level + 1,
-                    vec![
-                        Entry::new(root_mbr, u32::try_from(root).expect("page id fits u32")),
-                        sibling,
-                    ],
+                    vec![Entry::new(root_mbr, page_ptr(root)?), sibling],
                 );
                 let page = self.append_node(&new_root)?;
                 self.set_root(page, root_level + 1);
@@ -105,7 +103,7 @@ impl<const D: usize> RTree<D> {
         let new_page = self.append_node(&node_b)?;
         Ok(InsertOutcome::Split(
             mbr_a,
-            Entry::new(mbr_b, u32::try_from(new_page).expect("page id fits u32")),
+            Entry::new(mbr_b, page_ptr(new_page)?),
         ))
     }
 

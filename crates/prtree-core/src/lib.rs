@@ -48,6 +48,7 @@ pub mod cache;
 pub mod dynamic;
 pub mod entry;
 pub mod knn;
+pub mod meta;
 pub mod page;
 pub mod params;
 pub mod pseudo;
@@ -58,6 +59,7 @@ pub mod writer;
 
 pub use cache::CachePolicy;
 pub use entry::Entry;
+pub use meta::TreeMeta;
 pub use params::TreeParams;
 pub use query::QueryStats;
 pub use tree::RTree;

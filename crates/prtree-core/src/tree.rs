@@ -6,6 +6,7 @@
 //! *shape* of the tree differs between variants, exactly as in the paper.
 
 use crate::cache::{CachePolicy, CacheTally, FrozenMap, ShardedNodeCache};
+use crate::meta::TreeMeta;
 use crate::page::NodePage;
 use crate::params::TreeParams;
 use pr_em::{BlockDevice, BlockId, EmError};
@@ -56,6 +57,47 @@ impl<const D: usize> RTree<D> {
             root_level,
             len,
             cache: ShardedNodeCache::new(CachePolicy::InternalNodes),
+        }
+    }
+
+    /// Reopens a tree from persisted metadata — the open path used by
+    /// `pr-store` after it has validated checksums and picked a committed
+    /// snapshot. Produces the same handle as [`RTree::attach`] (fresh
+    /// sharded cache; [`RTree::warm_cache`] works as usual) but validates
+    /// the metadata against the device instead of trusting it: the root
+    /// must be an allocated block and the device's block size must match
+    /// the recorded page size.
+    pub fn from_parts(dev: Arc<dyn BlockDevice>, meta: TreeMeta) -> Result<Self, EmError> {
+        if dev.block_size() != meta.params.page_size {
+            return Err(EmError::Corrupt(format!(
+                "device block size {} does not match tree page size {}",
+                dev.block_size(),
+                meta.params.page_size
+            )));
+        }
+        if meta.root >= dev.num_blocks() {
+            return Err(EmError::BlockOutOfRange {
+                block: meta.root,
+                len: dev.num_blocks(),
+            });
+        }
+        Ok(RTree::attach(
+            dev,
+            meta.params,
+            meta.root,
+            meta.root_level,
+            meta.len,
+        ))
+    }
+
+    /// The serializable metadata describing this tree (everything a
+    /// persisted copy needs besides the pages themselves).
+    pub fn meta(&self) -> TreeMeta {
+        TreeMeta {
+            params: self.params,
+            root: self.root,
+            root_level: self.root_level,
+            len: self.len,
         }
     }
 
@@ -406,6 +448,46 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.height(), 1);
         assert!(t.items().unwrap().is_empty());
+    }
+
+    /// A packed tree on a device whose block size matches its params
+    /// (what every loader produces; `from_parts` insists on it).
+    fn packed_tree() -> RTree<2> {
+        let params = TreeParams::with_cap::<2>(4);
+        let dev: Arc<dyn BlockDevice> = Arc::new(pr_em::MemDevice::new(params.page_size));
+        let entries: Vec<Entry<2>> = (0..6).map(leaf_entry).collect();
+        crate::writer::build_packed(dev, params, &entries).unwrap()
+    }
+
+    #[test]
+    fn from_parts_reopens_with_identical_queries() {
+        let t = packed_tree();
+        let meta = t.meta();
+        let dev = Arc::clone(t.device());
+        drop(t);
+        let t2 = RTree::<2>::from_parts(dev, meta).unwrap();
+        assert_eq!(t2.len(), 6);
+        assert_eq!(t2.height(), 2);
+        let hits = t2.window(&Rect::xyxy(0.0, 0.0, 10.0, 1.0)).unwrap();
+        assert_eq!(hits.len(), 6);
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_metadata() {
+        let t = packed_tree();
+        let dev = Arc::clone(t.device());
+        let mut meta = t.meta();
+        meta.root = 999;
+        assert!(matches!(
+            RTree::<2>::from_parts(Arc::clone(&dev), meta),
+            Err(EmError::BlockOutOfRange { block: 999, .. })
+        ));
+        let mut meta = t.meta();
+        meta.params.page_size = 8192;
+        assert!(matches!(
+            RTree::<2>::from_parts(dev, meta),
+            Err(EmError::Corrupt(_))
+        ));
     }
 
     #[test]

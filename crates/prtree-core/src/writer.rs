@@ -10,8 +10,16 @@ use crate::entry::Entry;
 use crate::page::NodePage;
 use crate::params::TreeParams;
 use crate::tree::RTree;
-use pr_em::{BlockDevice, EmError};
+use pr_em::{BlockDevice, BlockId, EmError};
 use std::sync::Arc;
+
+/// Converts a device page id into the 32-bit pointer an [`Entry`] can
+/// hold. A device past 2^32 pages (16TB at 4KB blocks) surfaces as
+/// [`EmError::PageIdOverflow`] instead of a truncated pointer or a
+/// process abort; every loader and dynamic update funnels through this.
+pub fn page_ptr(page: BlockId) -> Result<u32, EmError> {
+    u32::try_from(page).map_err(|_| EmError::PageIdOverflow { page })
+}
 
 /// Writes one tree level: each group becomes a node page at `level`.
 /// Returns the parent entries (group MBR + page id) in group order.
@@ -25,10 +33,7 @@ pub fn write_level<const D: usize>(
         debug_assert!(!group.is_empty(), "empty node group");
         let mbr = Entry::mbr(&group);
         let page = NodePage::new(level, group).append(dev)?;
-        parents.push(Entry::new(
-            mbr,
-            u32::try_from(page).expect("page id fits in 32 bits"),
-        ));
+        parents.push(Entry::new(mbr, page_ptr(page)?));
     }
     Ok(parents)
 }

@@ -1,0 +1,75 @@
+//! CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
+//!
+//! Vendored-in because the build environment has no crates.io access;
+//! the algorithm is the reflected 0xEDB88320 form, byte-at-a-time over a
+//! compile-time table. Matches `crc32fast`/zlib output bit for bit
+//! (check value: `crc32(b"123456789") == 0xCBF4_3926`).
+
+/// Lookup table for the reflected polynomial, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `data` in one shot.
+pub fn crc32(data: &[u8]) -> u32 {
+    update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Streaming form: feed the raw (pre-inverted) state through successive
+/// chunks. Start from `0xFFFF_FFFF`, xor with `0xFFFF_FFFF` at the end.
+pub fn update(mut state: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        state = TABLE[((state ^ b as u32) & 0xFF) as usize] ^ (state >> 8);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_value_matches_zlib() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let whole = crc32(&data);
+        let mut state = 0xFFFF_FFFF;
+        for chunk in data.chunks(7) {
+            state = update(state, chunk);
+        }
+        assert_eq!(state ^ 0xFFFF_FFFF, whole);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let mut data = vec![0xA5u8; 4096];
+        let before = crc32(&data);
+        data[1234] ^= 0x10;
+        assert_ne!(crc32(&data), before);
+    }
+}

@@ -1,0 +1,118 @@
+//! The read-only block device an opened snapshot is served through.
+//!
+//! A [`StoreDevice`] maps block id `i` to file byte range
+//! `data_offset + i·block_size ..`, so the reopened tree's page ids are
+//! snapshot-relative and start at 0 (the root). Every read verifies the
+//! page's CRC32 against the committed checksum table — a flipped bit
+//! anywhere in the page region surfaces as [`EmError::Corrupt`] on the
+//! read that touches it, never as a silently wrong query answer.
+//!
+//! The device is **read-only**: writes return [`EmError::ReadOnly`], and
+//! `allocate` hands out ids past the committed end whose reads fail with
+//! `BlockOutOfRange` (a committed snapshot never grows in place — new
+//! data means a new snapshot appended by `Store::save`). Because each
+//! device pins its own `(data_offset, checksums)`, trees opened before a
+//! later `save` keep reading their original snapshot: commits never move
+//! pages out from under a live reader.
+
+use crate::crc::crc32;
+use pr_em::{BlockDevice, BlockId, EmError, IoCounters, PositionedFile};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Read-only, checksum-verifying view of one committed snapshot.
+pub struct StoreDevice {
+    file: Arc<PositionedFile>,
+    block_size: usize,
+    num_pages: u64,
+    data_offset: u64,
+    checksums: Arc<Vec<u32>>,
+    /// Ids handed out by `allocate` (they are unusable, but the contract
+    /// says ids are unique and monotone).
+    allocated_past_end: AtomicU64,
+    counters: Arc<IoCounters>,
+}
+
+impl StoreDevice {
+    /// Wraps a committed snapshot region. `checksums[i]` must be the
+    /// CRC32 of page `i`.
+    pub(crate) fn new(
+        file: Arc<PositionedFile>,
+        block_size: usize,
+        data_offset: u64,
+        checksums: Arc<Vec<u32>>,
+    ) -> Self {
+        StoreDevice {
+            file,
+            block_size,
+            num_pages: checksums.len() as u64,
+            data_offset,
+            checksums,
+            allocated_past_end: AtomicU64::new(0),
+            counters: IoCounters::new(),
+        }
+    }
+}
+
+impl BlockDevice for StoreDevice {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.num_pages
+    }
+
+    fn allocate(&self, n: u64) -> BlockId {
+        // Read-only device: allocation yields ids past the committed end.
+        // Reading them fails with BlockOutOfRange and writing anything
+        // fails with ReadOnly, so a dynamic update on an opened tree
+        // surfaces as a typed error instead of corrupting the snapshot.
+        self.num_pages + self.allocated_past_end.fetch_add(n, Ordering::AcqRel)
+    }
+
+    fn read_block(&self, block: BlockId, buf: &mut [u8]) -> Result<(), EmError> {
+        if buf.len() != self.block_size {
+            return Err(EmError::BadBufferSize {
+                got: buf.len(),
+                want: self.block_size,
+            });
+        }
+        if block >= self.num_pages {
+            return Err(EmError::BlockOutOfRange {
+                block,
+                len: self.num_pages,
+            });
+        }
+        self.file
+            .read_exact_or_zero_at(buf, self.data_offset + block * self.block_size as u64)?;
+        let computed = crc32(buf);
+        let stored = self.checksums[block as usize];
+        if computed != stored {
+            return Err(EmError::Corrupt(format!(
+                "page {block} failed its CRC32 checksum (stored {stored:08x}, computed {computed:08x})"
+            )));
+        }
+        self.counters.add_reads(1);
+        Ok(())
+    }
+
+    fn write_block(&self, _block: BlockId, buf: &[u8]) -> Result<(), EmError> {
+        if buf.len() != self.block_size {
+            return Err(EmError::BadBufferSize {
+                got: buf.len(),
+                want: self.block_size,
+            });
+        }
+        Err(EmError::ReadOnly)
+    }
+
+    fn counters(&self) -> &Arc<IoCounters> {
+        &self.counters
+    }
+
+    fn sync(&self) -> Result<(), EmError> {
+        // Nothing buffered: the snapshot was fsynced when committed.
+        Ok(())
+    }
+}

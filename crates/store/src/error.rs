@@ -1,0 +1,156 @@
+//! Store error type: every way a persisted index can fail to be what it
+//! claims, as typed variants — corruption is an `Err`, never a panic.
+
+use pr_em::EmError;
+use std::fmt;
+
+/// Errors surfaced by the store lifecycle API.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying OS-level I/O failure.
+    Io(std::io::Error),
+    /// An error bubbled up from the substrate (device layer).
+    Em(EmError),
+    /// The file does not start with the store magic — not a store file.
+    BadMagic,
+    /// The file uses a format version this build cannot read.
+    UnsupportedVersion(u32),
+    /// Neither superblock slot holds a valid, committed state (both torn
+    /// or overwritten). Distinct from [`StoreError::NoCommittedSnapshot`]:
+    /// here even the empty-store state is unreadable.
+    NoValidSuperblock,
+    /// The store is healthy but no tree has ever been saved into it.
+    NoCommittedSnapshot,
+    /// Every committed superblock points at a snapshot whose footer or
+    /// checksum table fails validation (torn or corrupted past recovery).
+    TornSnapshot {
+        /// Epoch of the newest snapshot that failed validation.
+        epoch: u64,
+        /// What exactly failed.
+        reason: String,
+    },
+    /// A page's content hash does not match its committed checksum.
+    ChecksumMismatch {
+        /// The offending page id (snapshot-relative).
+        page: u64,
+    },
+    /// The store was written for a different dimensionality than the
+    /// tree type requested.
+    DimensionMismatch {
+        /// Dimension recorded in the superblock.
+        file: u32,
+        /// Dimension of the requested `RTree<D>`.
+        requested: u32,
+    },
+    /// A tree with a different page size than the store's block size was
+    /// passed to `save`.
+    BlockSizeMismatch {
+        /// The store's block size.
+        store: usize,
+        /// The tree's page size.
+        tree: usize,
+    },
+    /// `save` was called on a store opened from a read-only file or
+    /// filesystem (queries still work; commits need write access).
+    ReadOnly,
+    /// Structural corruption not covered by a more specific variant.
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "I/O error: {e}"),
+            StoreError::Em(e) => write!(f, "substrate error: {e}"),
+            StoreError::BadMagic => write!(f, "not a pr-store file (bad magic)"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(f, "unsupported store format version {v}")
+            }
+            StoreError::NoValidSuperblock => {
+                write!(f, "no valid superblock (both slots torn or corrupt)")
+            }
+            StoreError::NoCommittedSnapshot => {
+                write!(f, "store holds no committed snapshot (nothing saved yet)")
+            }
+            StoreError::TornSnapshot { epoch, reason } => {
+                write!(f, "snapshot at epoch {epoch} is torn or corrupt: {reason}")
+            }
+            StoreError::ChecksumMismatch { page } => {
+                write!(f, "page {page} failed its CRC32 checksum")
+            }
+            StoreError::DimensionMismatch { file, requested } => {
+                write!(
+                    f,
+                    "store indexes {file}-dimensional data, tree type is {requested}-dimensional"
+                )
+            }
+            StoreError::BlockSizeMismatch { store, tree } => {
+                write!(
+                    f,
+                    "store block size {store} does not match tree page size {tree}"
+                )
+            }
+            StoreError::ReadOnly => {
+                write!(f, "store opened read-only; saving needs write access")
+            }
+            StoreError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Em(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<EmError> for StoreError {
+    fn from(e: EmError) -> Self {
+        match e {
+            EmError::Io(io) => StoreError::Io(io),
+            other => StoreError::Em(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(StoreError::BadMagic.to_string().contains("magic"));
+        assert!(StoreError::ChecksumMismatch { page: 7 }
+            .to_string()
+            .contains("page 7"));
+        assert!(StoreError::DimensionMismatch {
+            file: 3,
+            requested: 2
+        }
+        .to_string()
+        .contains("3-dimensional"));
+        let torn = StoreError::TornSnapshot {
+            epoch: 4,
+            reason: "footer magic".into(),
+        };
+        assert!(torn.to_string().contains("epoch 4"));
+    }
+
+    #[test]
+    fn em_io_errors_collapse_to_io() {
+        let e: StoreError = EmError::Io(std::io::Error::other("disk gone")).into();
+        assert!(matches!(e, StoreError::Io(_)));
+        let e: StoreError = EmError::ReadOnly.into();
+        assert!(matches!(e, StoreError::Em(EmError::ReadOnly)));
+    }
+}

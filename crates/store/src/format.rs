@@ -1,0 +1,309 @@
+//! On-disk records: superblock and footer.
+//!
+//! Byte layouts (all integers little-endian). The superblock occupies
+//! the first [`Superblock::ENCODED_SIZE`] bytes of each of the two fixed
+//! 4-KiB slots at file offsets 0 and 4096; the rest of a slot is zero.
+//!
+//! ```text
+//! Superblock (128 bytes)            Footer (40 bytes)
+//! off sz field                      off sz field
+//! 0   8  magic "PRSTORE1"           0   4  magic "PRFO"
+//! 8   4  format_version             4   4  format_version
+//! 12  4  block_size                 8   8  epoch
+//! 16  8  epoch (0 = empty store)    16  8  num_pages
+//! 24  4  dimension D                24  4  table_crc
+//! 28  4  reserved                   28  4  reserved
+//! 32  40 TreeMeta (see pr-tree)     32  4  footer_crc over bytes 0..32
+//! 72  8  num_pages                  36  4  zero padding
+//! 80  8  data_offset
+//! 88  8  table_offset
+//! 96  8  footer_offset
+//! 104 4  table_crc
+//! 108 16 reserved
+//! 124 4  superblock_crc over bytes 0..124
+//! ```
+
+use crate::crc::crc32;
+use crate::error::StoreError;
+use pr_tree::TreeMeta;
+
+/// Store file magic (first 8 bytes of both superblock slots).
+pub const SB_MAGIC: [u8; 8] = *b"PRSTORE1";
+/// Footer magic.
+pub const FOOTER_MAGIC: [u8; 4] = *b"PRFO";
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// One committed (or empty) store state. Two slots of these alternate;
+/// the one with the highest epoch that validates wins at open.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Superblock {
+    /// Page/block size of the snapshot region in bytes.
+    pub block_size: u32,
+    /// Commit epoch: 0 for a freshly created (empty) store, then +1 per
+    /// successful `save`.
+    pub epoch: u64,
+    /// Dimensionality `D` of the indexed rectangles.
+    pub dim: u32,
+    /// The tree handle's metadata (root is snapshot-relative; the root
+    /// page is always page 0 of the snapshot).
+    pub meta: TreeMeta,
+    /// Number of pages in the committed snapshot.
+    pub num_pages: u64,
+    /// Byte offset of the snapshot's first page.
+    pub data_offset: u64,
+    /// Byte offset of the per-page CRC32 table.
+    pub table_offset: u64,
+    /// Byte offset of the footer record.
+    pub footer_offset: u64,
+    /// CRC32 of the checksum table bytes.
+    pub table_crc: u32,
+}
+
+impl Superblock {
+    /// Encoded size of the live header inside a slot.
+    pub const ENCODED_SIZE: usize = 128;
+    /// Size of each superblock slot. Fixed (rather than one block) so a
+    /// reader can locate slot B before it knows the block size, even
+    /// when slot A is torn.
+    pub const SLOT_SIZE: u64 = 4096;
+
+    /// Byte offset of slot 0 or 1.
+    pub fn slot_offset(slot: usize) -> u64 {
+        debug_assert!(slot < 2);
+        slot as u64 * Self::SLOT_SIZE
+    }
+
+    /// First byte past the two superblock slots.
+    pub fn data_region_start() -> u64 {
+        2 * Self::SLOT_SIZE
+    }
+
+    /// Serializes into `buf` (exactly [`Superblock::ENCODED_SIZE`] bytes).
+    pub fn encode(&self, buf: &mut [u8]) {
+        assert_eq!(buf.len(), Self::ENCODED_SIZE);
+        buf[0..8].copy_from_slice(&SB_MAGIC);
+        buf[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+        buf[12..16].copy_from_slice(&self.block_size.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.epoch.to_le_bytes());
+        buf[24..28].copy_from_slice(&self.dim.to_le_bytes());
+        buf[28..32].fill(0);
+        self.meta.encode(&mut buf[32..72]);
+        buf[72..80].copy_from_slice(&self.num_pages.to_le_bytes());
+        buf[80..88].copy_from_slice(&self.data_offset.to_le_bytes());
+        buf[88..96].copy_from_slice(&self.table_offset.to_le_bytes());
+        buf[96..104].copy_from_slice(&self.footer_offset.to_le_bytes());
+        buf[104..108].copy_from_slice(&self.table_crc.to_le_bytes());
+        buf[108..124].fill(0);
+        let crc = crc32(&buf[0..124]);
+        buf[124..128].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Deserializes one slot's header, verifying magic, version, and the
+    /// superblock's own CRC.
+    pub fn decode(buf: &[u8]) -> Result<Self, StoreError> {
+        if buf.len() != Self::ENCODED_SIZE {
+            return Err(StoreError::Corrupt(format!(
+                "superblock buffer is {} bytes, want {}",
+                buf.len(),
+                Self::ENCODED_SIZE
+            )));
+        }
+        if buf[0..8] != SB_MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let version = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+        let stored_crc = u32::from_le_bytes(buf[124..128].try_into().expect("4 bytes"));
+        let computed = crc32(&buf[0..124]);
+        if stored_crc != computed {
+            return Err(StoreError::Corrupt(format!(
+                "superblock checksum mismatch (stored {stored_crc:08x}, computed {computed:08x})"
+            )));
+        }
+        let meta = TreeMeta::decode(&buf[32..72])
+            .map_err(|e| StoreError::Corrupt(format!("superblock tree metadata: {e}")))?;
+        let sb = Superblock {
+            block_size: u32::from_le_bytes(buf[12..16].try_into().expect("4 bytes")),
+            epoch: u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes")),
+            dim: u32::from_le_bytes(buf[24..28].try_into().expect("4 bytes")),
+            meta,
+            num_pages: u64::from_le_bytes(buf[72..80].try_into().expect("8 bytes")),
+            data_offset: u64::from_le_bytes(buf[80..88].try_into().expect("8 bytes")),
+            table_offset: u64::from_le_bytes(buf[88..96].try_into().expect("8 bytes")),
+            footer_offset: u64::from_le_bytes(buf[96..104].try_into().expect("8 bytes")),
+            table_crc: u32::from_le_bytes(buf[104..108].try_into().expect("4 bytes")),
+        };
+        if sb.block_size == 0 {
+            return Err(StoreError::Corrupt("superblock has zero block size".into()));
+        }
+        if sb.epoch > 0 && sb.data_offset < Self::data_region_start() {
+            return Err(StoreError::Corrupt(format!(
+                "snapshot data offset {} overlaps the superblocks",
+                sb.data_offset
+            )));
+        }
+        Ok(sb)
+    }
+
+    /// True when this superblock describes a committed snapshot (not the
+    /// freshly created empty state).
+    pub fn has_snapshot(&self) -> bool {
+        self.epoch > 0
+    }
+}
+
+/// The commit record written at the end of a snapshot, before the
+/// superblock flip. Validating it proves the snapshot body (pages +
+/// checksum table) was fully written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Footer {
+    /// Epoch this footer commits (must match its superblock).
+    pub epoch: u64,
+    /// Number of pages in the snapshot.
+    pub num_pages: u64,
+    /// CRC32 of the checksum table bytes.
+    pub table_crc: u32,
+}
+
+impl Footer {
+    /// Encoded size in bytes.
+    pub const ENCODED_SIZE: usize = 40;
+
+    /// Serializes into `buf` (exactly [`Footer::ENCODED_SIZE`] bytes).
+    pub fn encode(&self, buf: &mut [u8]) {
+        assert_eq!(buf.len(), Self::ENCODED_SIZE);
+        buf[0..4].copy_from_slice(&FOOTER_MAGIC);
+        buf[4..8].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.epoch.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.num_pages.to_le_bytes());
+        buf[24..28].copy_from_slice(&self.table_crc.to_le_bytes());
+        buf[28..32].fill(0);
+        let crc = crc32(&buf[0..32]);
+        buf[32..36].copy_from_slice(&crc.to_le_bytes());
+        buf[36..40].fill(0);
+    }
+
+    /// Deserializes and verifies a footer record.
+    pub fn decode(buf: &[u8]) -> Result<Self, StoreError> {
+        if buf.len() != Self::ENCODED_SIZE {
+            return Err(StoreError::Corrupt(format!(
+                "footer buffer is {} bytes, want {}",
+                buf.len(),
+                Self::ENCODED_SIZE
+            )));
+        }
+        if buf[0..4] != FOOTER_MAGIC {
+            return Err(StoreError::Corrupt("bad footer magic".into()));
+        }
+        let version = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+        let stored_crc = u32::from_le_bytes(buf[32..36].try_into().expect("4 bytes"));
+        let computed = crc32(&buf[0..32]);
+        if stored_crc != computed {
+            return Err(StoreError::Corrupt(format!(
+                "footer checksum mismatch (stored {stored_crc:08x}, computed {computed:08x})"
+            )));
+        }
+        Ok(Footer {
+            epoch: u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")),
+            num_pages: u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes")),
+            table_crc: u32::from_le_bytes(buf[24..28].try_into().expect("4 bytes")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pr_tree::TreeParams;
+
+    fn sample_sb() -> Superblock {
+        Superblock {
+            block_size: 4096,
+            epoch: 3,
+            dim: 2,
+            meta: TreeMeta {
+                params: TreeParams::paper_2d(),
+                root: 0,
+                root_level: 2,
+                len: 100_000,
+            },
+            num_pages: 1234,
+            data_offset: 8192,
+            table_offset: 8192 + 1234 * 4096,
+            footer_offset: 8192 + 1234 * 4096 + 1234 * 4,
+            table_crc: 0xDEAD_BEEF,
+        }
+    }
+
+    #[test]
+    fn superblock_roundtrip() {
+        let sb = sample_sb();
+        let mut buf = vec![0u8; Superblock::ENCODED_SIZE];
+        sb.encode(&mut buf);
+        assert_eq!(Superblock::decode(&buf).unwrap(), sb);
+        assert!(sb.has_snapshot());
+    }
+
+    #[test]
+    fn superblock_bit_flip_is_detected() {
+        let sb = sample_sb();
+        let mut buf = vec![0u8; Superblock::ENCODED_SIZE];
+        sb.encode(&mut buf);
+        for off in [9, 17, 40, 75, 101, 110] {
+            let mut bad = buf.clone();
+            bad[off] ^= 0x40;
+            assert!(Superblock::decode(&bad).is_err(), "flip at {off} accepted");
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version() {
+        let sb = sample_sb();
+        let mut buf = vec![0u8; Superblock::ENCODED_SIZE];
+        sb.encode(&mut buf);
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            Superblock::decode(&bad),
+            Err(StoreError::BadMagic)
+        ));
+        let mut bad = buf.clone();
+        bad[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            Superblock::decode(&bad),
+            Err(StoreError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn footer_roundtrip_and_corruption() {
+        let f = Footer {
+            epoch: 7,
+            num_pages: 55,
+            table_crc: 0x1234_5678,
+        };
+        let mut buf = vec![0u8; Footer::ENCODED_SIZE];
+        f.encode(&mut buf);
+        assert_eq!(Footer::decode(&buf).unwrap(), f);
+        let mut bad = buf.clone();
+        bad[20] ^= 1;
+        assert!(Footer::decode(&bad).is_err());
+        let mut bad = buf;
+        bad[0] = 0;
+        assert!(Footer::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn slots_are_fixed_and_disjoint() {
+        assert_eq!(Superblock::slot_offset(0), 0);
+        assert_eq!(Superblock::slot_offset(1), 4096);
+        assert_eq!(Superblock::data_region_start(), 8192);
+        assert!(Superblock::ENCODED_SIZE as u64 <= Superblock::SLOT_SIZE);
+    }
+}

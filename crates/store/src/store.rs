@@ -1,0 +1,395 @@
+//! Store lifecycle: create, save (commit), open, verify.
+
+use crate::crc::crc32;
+use crate::device::StoreDevice;
+use crate::error::StoreError;
+use crate::format::{Footer, Superblock};
+use pr_em::{BlockDevice, BlockId, PositionedFile};
+use pr_tree::writer::page_ptr;
+use pr_tree::{RTree, TreeMeta, TreeParams};
+use std::collections::VecDeque;
+use std::fs::OpenOptions;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// A durable index file. See the crate docs for the format and commit
+/// protocol.
+pub struct Store {
+    file: Arc<PositionedFile>,
+    path: PathBuf,
+    /// Slot (0 or 1) holding the active superblock; `save` writes the
+    /// other one.
+    active_slot: usize,
+    sb: Superblock,
+    /// CRC32 per page of the active snapshot (empty when no snapshot).
+    checksums: Arc<Vec<u32>>,
+    /// True when the backing file could only be opened for reading
+    /// (read-only permissions or filesystem). Queries work; `save` is a
+    /// typed error.
+    read_only: bool,
+}
+
+impl Store {
+    /// Creates (truncating) a new, empty store for `D`-dimensional trees
+    /// with the given parameters. The store's block size is the params'
+    /// page size; `save` insists every tree matches it.
+    pub fn create<const D: usize>(path: &Path, params: TreeParams) -> Result<Store, StoreError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let file = Arc::new(PositionedFile::new(file));
+        let sb = Superblock {
+            block_size: params.page_size as u32,
+            epoch: 0,
+            dim: D as u32,
+            meta: TreeMeta {
+                params,
+                root: 0,
+                root_level: 0,
+                len: 0,
+            },
+            num_pages: 0,
+            data_offset: 0,
+            table_offset: 0,
+            footer_offset: 0,
+            table_crc: 0,
+        };
+        // Both slots start at epoch 0 so either survives losing the other.
+        write_superblock(&file, 0, &sb)?;
+        write_superblock(&file, 1, &sb)?;
+        file.sync_data()?;
+        Ok(Store {
+            file,
+            path: path.to_path_buf(),
+            active_slot: 0,
+            sb,
+            checksums: Arc::new(Vec::new()),
+            read_only: false,
+        })
+    }
+
+    /// Opens an existing store, recovering the newest committed state.
+    ///
+    /// Both superblock slots are decoded; candidates are tried newest
+    /// epoch first, and each must prove its snapshot intact (footer
+    /// record present and self-consistent, checksum table matching its
+    /// committed CRC) before it is accepted. A save torn anywhere before
+    /// its superblock flip therefore falls back to the previous
+    /// committed snapshot; a store with no intact state at all is a
+    /// typed error, never a panic.
+    ///
+    /// A file that cannot be opened for writing (read-only permissions
+    /// or media) opens read-only: queries and verification work,
+    /// [`Store::save`] returns [`StoreError::ReadOnly`].
+    pub fn open(path: &Path) -> Result<Store, StoreError> {
+        let (file, read_only) = match OpenOptions::new().read(true).write(true).open(path) {
+            Ok(f) => (f, false),
+            Err(rw_err) => match OpenOptions::new().read(true).open(path) {
+                Ok(f) => (f, true),
+                Err(_) => return Err(rw_err.into()),
+            },
+        };
+        let file = Arc::new(PositionedFile::new(file));
+        let mut slot_states: [Option<Superblock>; 2] = [None, None];
+        let mut decode_errors: Vec<StoreError> = Vec::new();
+        for (slot, state) in slot_states.iter_mut().enumerate() {
+            let mut buf = vec![0u8; Superblock::ENCODED_SIZE];
+            file.read_exact_or_zero_at(&mut buf, Superblock::slot_offset(slot))?;
+            match Superblock::decode(&buf) {
+                Ok(sb) => *state = Some(sb),
+                Err(e) => decode_errors.push(e),
+            }
+        }
+        if slot_states.iter().all(|s| s.is_none()) {
+            // Prefer the most specific story: a version error beats
+            // "not a store", which beats generic corruption.
+            let mut best = StoreError::NoValidSuperblock;
+            for e in decode_errors {
+                best = match (&e, &best) {
+                    (StoreError::UnsupportedVersion(_), _) => e,
+                    (StoreError::BadMagic, StoreError::NoValidSuperblock) => e,
+                    _ => best,
+                };
+            }
+            return Err(best);
+        }
+        // Candidate slots, newest epoch first. A committed candidate that
+        // fails validation falls back only to an *older committed*
+        // snapshot: recovering to the epoch-0 empty state would silently
+        // erase data a superblock proves was once committed, so in that
+        // case the torn state is surfaced as an error instead. (A crash
+        // before the very first commit flip leaves both slots at epoch 0
+        // and correctly reopens as an empty store.)
+        let mut order: Vec<usize> = (0..2).filter(|&s| slot_states[s].is_some()).collect();
+        order.sort_by_key(|&s| std::cmp::Reverse(slot_states[s].as_ref().unwrap().epoch));
+        let mut torn: Option<(u64, String)> = None;
+        for &slot in &order {
+            let sb = slot_states[slot].expect("filtered to Some");
+            if !sb.has_snapshot() && torn.is_some() {
+                continue;
+            }
+            match validate_snapshot(&file, &sb) {
+                Ok(checksums) => {
+                    return Ok(Store {
+                        file,
+                        path: path.to_path_buf(),
+                        active_slot: slot,
+                        sb,
+                        checksums: Arc::new(checksums),
+                        read_only,
+                    });
+                }
+                Err(reason) => {
+                    if torn.is_none() {
+                        torn = Some((sb.epoch, reason));
+                    }
+                }
+            }
+        }
+        let (epoch, reason) = torn.expect("at least one candidate failed");
+        Err(StoreError::TornSnapshot { epoch, reason })
+    }
+
+    /// Convenience: [`Store::open`] followed by [`Store::tree`].
+    pub fn open_tree<const D: usize>(path: &Path) -> Result<RTree<D>, StoreError> {
+        Store::open(path)?.tree::<D>()
+    }
+
+    /// Commits `tree` as the store's new current snapshot.
+    ///
+    /// Pages reachable from the root are copied in breadth-first order
+    /// (root first, each level contiguous, leaves last) with child
+    /// pointers rewritten to the new, dense page ids — a save is also a
+    /// compaction, so discarded build-time scratch blocks never reach
+    /// the file. The snapshot body (pages, checksum table, footer) is
+    /// appended and fsynced *before* the inactive superblock slot is
+    /// rewritten and fsynced; the flip is the commit point. A crash
+    /// anywhere earlier leaves the previous superblock pointing at its
+    /// intact snapshot.
+    pub fn save<const D: usize>(&mut self, tree: &RTree<D>) -> Result<(), StoreError> {
+        if self.read_only {
+            return Err(StoreError::ReadOnly);
+        }
+        if D as u32 != self.sb.dim {
+            return Err(StoreError::DimensionMismatch {
+                file: self.sb.dim,
+                requested: D as u32,
+            });
+        }
+        let bs = self.block_size();
+        if tree.params().page_size != bs {
+            return Err(StoreError::BlockSizeMismatch {
+                store: bs,
+                tree: tree.params().page_size,
+            });
+        }
+        let bs64 = bs as u64;
+        let data_offset = self
+            .file
+            .len()?
+            .max(Superblock::data_region_start())
+            .div_ceil(bs64)
+            * bs64;
+
+        // Breadth-first copy with pointer rewriting. Ids are assigned in
+        // enqueue order, so the root is page 0 and every level occupies a
+        // contiguous run — warm_cache on reopen reads a sequential prefix.
+        let mut queue: VecDeque<BlockId> = VecDeque::new();
+        queue.push_back(tree.root());
+        let mut next_id: u64 = 1;
+        let mut written: u64 = 0;
+        let mut checksums: Vec<u32> = Vec::new();
+        let mut buf = vec![0u8; bs];
+        while let Some(old_page) = queue.pop_front() {
+            let (node, _) = tree.read_node(old_page)?;
+            if node.is_leaf() {
+                // Leaves (the vast majority of pages) need no pointer
+                // rewrite: encode straight from the shared handle.
+                node.encode(&mut buf);
+            } else {
+                let mut node = (*node).clone();
+                for e in &mut node.entries {
+                    queue.push_back(e.ptr as BlockId);
+                    e.ptr = page_ptr(next_id).map_err(StoreError::Em)?;
+                    next_id += 1;
+                }
+                node.encode(&mut buf);
+            }
+            let crc = crc32(&buf);
+            self.file.write_all_at(&buf, data_offset + written * bs64)?;
+            checksums.push(crc);
+            written += 1;
+        }
+        debug_assert_eq!(written, next_id);
+
+        // Checksum table, then footer, then one fsync for the whole body.
+        let table_offset = data_offset + written * bs64;
+        let mut table = Vec::with_capacity(checksums.len() * 4);
+        for crc in &checksums {
+            table.extend_from_slice(&crc.to_le_bytes());
+        }
+        let table_crc = crc32(&table);
+        self.file.write_all_at(&table, table_offset)?;
+        let footer_offset = table_offset + table.len() as u64;
+        let footer = Footer {
+            epoch: self.sb.epoch + 1,
+            num_pages: written,
+            table_crc,
+        };
+        let mut fbuf = vec![0u8; Footer::ENCODED_SIZE];
+        footer.encode(&mut fbuf);
+        self.file.write_all_at(&fbuf, footer_offset)?;
+        self.file.sync_data()?;
+
+        // The commit point: flip the inactive superblock slot.
+        let mut meta = tree.meta();
+        meta.root = 0; // BFS order puts the root at page 0
+        let new_sb = Superblock {
+            block_size: bs as u32,
+            epoch: self.sb.epoch + 1,
+            dim: self.sb.dim,
+            meta,
+            num_pages: written,
+            data_offset,
+            table_offset,
+            footer_offset,
+            table_crc,
+        };
+        let stale_slot = 1 - self.active_slot;
+        write_superblock(&self.file, stale_slot, &new_sb)?;
+        self.file.sync_data()?;
+
+        self.active_slot = stale_slot;
+        self.sb = new_sb;
+        self.checksums = Arc::new(checksums);
+        Ok(())
+    }
+
+    /// Reopens the committed tree. The returned handle reads through a
+    /// fresh [`StoreDevice`] (checksum-verified, read-only) and feeds the
+    /// normal sharded node cache — `warm_cache`, window and k-NN queries
+    /// behave exactly as on the never-persisted tree.
+    pub fn tree<const D: usize>(&self) -> Result<RTree<D>, StoreError> {
+        if D as u32 != self.sb.dim {
+            return Err(StoreError::DimensionMismatch {
+                file: self.sb.dim,
+                requested: D as u32,
+            });
+        }
+        if !self.sb.has_snapshot() {
+            return Err(StoreError::NoCommittedSnapshot);
+        }
+        let dev = StoreDevice::new(
+            Arc::clone(&self.file),
+            self.block_size(),
+            self.sb.data_offset,
+            Arc::clone(&self.checksums),
+        );
+        let dev: Arc<dyn BlockDevice> = Arc::new(dev);
+        RTree::from_parts(dev, self.sb.meta).map_err(StoreError::from)
+    }
+
+    /// Reads every page of the committed snapshot and checks it against
+    /// the checksum table (queries verify lazily; this is the eager
+    /// sweep for `prtree stats` and scrubbing).
+    pub fn verify(&self) -> Result<(), StoreError> {
+        let bs64 = self.block_size() as u64;
+        let mut buf = vec![0u8; self.block_size()];
+        for page in 0..self.sb.num_pages {
+            self.file
+                .read_exact_or_zero_at(&mut buf, self.sb.data_offset + page * bs64)?;
+            if crc32(&buf) != self.checksums[page as usize] {
+                return Err(StoreError::ChecksumMismatch { page });
+            }
+        }
+        Ok(())
+    }
+
+    /// The active superblock (what `prtree stats` dumps).
+    pub fn superblock(&self) -> &Superblock {
+        &self.sb
+    }
+
+    /// Which slot (0 or 1) holds the active superblock.
+    pub fn active_slot(&self) -> usize {
+        self.active_slot
+    }
+
+    /// The store's block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.sb.block_size as usize
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current length of the backing file in bytes.
+    pub fn file_len(&self) -> Result<u64, StoreError> {
+        Ok(self.file.len()?)
+    }
+}
+
+/// Writes one superblock slot (header + zero padding to the slot size).
+fn write_superblock(file: &PositionedFile, slot: usize, sb: &Superblock) -> Result<(), StoreError> {
+    let mut buf = vec![0u8; Superblock::SLOT_SIZE as usize];
+    sb.encode(&mut buf[..Superblock::ENCODED_SIZE]);
+    file.write_all_at(&buf, Superblock::slot_offset(slot))?;
+    Ok(())
+}
+
+/// Proves a superblock's snapshot is intact; returns the page checksum
+/// table on success, a human-readable reason on failure.
+fn validate_snapshot(file: &PositionedFile, sb: &Superblock) -> Result<Vec<u32>, String> {
+    if !sb.has_snapshot() {
+        return Ok(Vec::new());
+    }
+    // The footer must exist inside the file...
+    let file_len = file.len().map_err(|e| e.to_string())?;
+    if sb.footer_offset + Footer::ENCODED_SIZE as u64 > file_len {
+        return Err(format!(
+            "footer at {} extends past end of file ({file_len} bytes)",
+            sb.footer_offset
+        ));
+    }
+    let mut fbuf = vec![0u8; Footer::ENCODED_SIZE];
+    file.read_exact_or_zero_at(&mut fbuf, sb.footer_offset)
+        .map_err(|e| e.to_string())?;
+    // ...decode, and agree with the superblock on what was committed.
+    let footer = Footer::decode(&fbuf).map_err(|e| e.to_string())?;
+    if footer.epoch != sb.epoch {
+        return Err(format!(
+            "footer epoch {} does not match superblock epoch {}",
+            footer.epoch, sb.epoch
+        ));
+    }
+    if footer.num_pages != sb.num_pages {
+        return Err(format!(
+            "footer page count {} does not match superblock {}",
+            footer.num_pages, sb.num_pages
+        ));
+    }
+    if footer.table_crc != sb.table_crc {
+        return Err("footer and superblock disagree on the checksum table CRC".into());
+    }
+    // The checksum table itself must hash to the committed value.
+    let table_len = (sb.num_pages * 4) as usize;
+    let mut table = vec![0u8; table_len];
+    file.read_exact_or_zero_at(&mut table, sb.table_offset)
+        .map_err(|e| e.to_string())?;
+    let computed = crc32(&table);
+    if computed != sb.table_crc {
+        return Err(format!(
+            "checksum table CRC mismatch (committed {:08x}, computed {computed:08x})",
+            sb.table_crc
+        ));
+    }
+    Ok(table
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect())
+}

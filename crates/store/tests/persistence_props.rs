@@ -1,0 +1,68 @@
+//! Property test: for arbitrary rectangle sets, capacities, loader
+//! variants, and windows, a saved-and-reopened tree is indistinguishable
+//! from the in-process original — same results in the same order, same
+//! leaf-I/O counts.
+
+use pr_em::{BlockDevice, MemDevice};
+use pr_geom::{Item, Rect};
+use pr_store::Store;
+use pr_tree::bulk::LoaderKind;
+use pr_tree::TreeParams;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_items(max: usize) -> impl Strategy<Value = Vec<Item<2>>> {
+    prop::collection::vec(
+        (-50.0..50.0f64, -50.0..50.0f64, 0.0..10.0f64, 0.0..10.0f64),
+        1..max,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (x, y, w, h))| Item::new(Rect::xyxy(x, y, x + w, y + h), i as u32))
+            .collect()
+    })
+}
+
+fn arb_query() -> impl Strategy<Value = Rect<2>> {
+    (-60.0..60.0f64, -60.0..60.0f64, 0.0..50.0f64, 0.0..50.0f64)
+        .prop_map(|(x, y, w, h)| Rect::xyxy(x, y, x + w, y + h))
+}
+
+fn arb_kind() -> impl Strategy<Value = LoaderKind> {
+    (0usize..LoaderKind::all().len()).prop_map(|i| LoaderKind::all()[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn save_open_is_invisible_to_queries(
+        items in arb_items(200),
+        q in arb_query(),
+        cap in 2usize..10,
+        kind in arb_kind(),
+    ) {
+        let params = TreeParams::with_cap::<2>(cap);
+        let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
+        let tree = kind.loader::<2>().load(dev, params, items.clone()).unwrap();
+        tree.warm_cache().unwrap();
+        let (want, want_stats) = tree.window_with_stats(&q).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("pr-store-props-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("prop.prt");
+        let mut store = Store::create::<2>(&path, params).unwrap();
+        store.save(&tree).unwrap();
+        drop((store, tree));
+
+        let reopened = Store::open_tree::<2>(&path).unwrap();
+        reopened.warm_cache().unwrap();
+        let (got, got_stats) = reopened.window_with_stats(&q).unwrap();
+        prop_assert_eq!(&want, &got, "results differ after reopen");
+        prop_assert_eq!(want_stats.leaves_visited, got_stats.leaves_visited);
+        prop_assert_eq!(want_stats.internal_visited, got_stats.internal_visited);
+        prop_assert_eq!(want_stats.results, got_stats.results);
+        std::fs::remove_file(&path).ok();
+    }
+}

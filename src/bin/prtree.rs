@@ -1,0 +1,440 @@
+//! `prtree` — command-line face of the persistent PR-tree.
+//!
+//! ```text
+//! prtree build --out index.prt --data tiger-east --n 100000 --loader PR
+//! prtree query index.prt --window 0.2,0.2,0.4,0.4
+//! prtree knn   index.prt --point 0.5,0.5 --k 10
+//! prtree stats index.prt
+//! ```
+//!
+//! `build` bulk-loads one of the paper's dataset families in memory and
+//! commits it to a store file; `query`/`knn` reopen the file (checksum-
+//! verified reads) and report results plus exact I/O statistics; `stats`
+//! dumps the superblock and scrubs every page. Everything is 2-D, the
+//! paper's experimental setting.
+
+use pr_data::{size_dataset, uniform_points, TigerProfile};
+use pr_em::{BlockDevice, MemDevice};
+use pr_geom::{Item, Point, Rect};
+use pr_store::Store;
+use pr_tree::bulk::LoaderKind;
+use pr_tree::{RTree, TreeParams};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("build") => cmd_build(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("knn") => cmd_knn(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            usage();
+            0
+        }
+        Some(other) => {
+            eprintln!("error: unknown command '{other}'");
+            usage();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn usage() {
+    eprintln!(
+        "usage: prtree <command> [options]\n\
+         \n\
+         commands:\n\
+         \x20 build --out FILE [--data KIND] [--n N] [--seed S] [--loader L] [--cap C]\n\
+         \x20       build a synthetic index and commit it to FILE\n\
+         \x20       KIND: uniform | size | tiger-east | tiger-west   (default uniform)\n\
+         \x20       L:    PR | H | H4 | TGS | STR                    (default PR)\n\
+         \x20       C:    entries per node (default: the paper's 113 / 4KB pages)\n\
+         \x20 query FILE --window X1,Y1,X2,Y2 [--expect N] [--verbose]\n\
+         \x20       reopen FILE and run one window query (--expect N: exit 1 unless\n\
+         \x20       exactly N results — used by CI roundtrips)\n\
+         \x20 knn FILE --point X,Y [--k K]\n\
+         \x20       reopen FILE and report the K nearest rectangles (default K=5)\n\
+         \x20 stats FILE [--no-verify]\n\
+         \x20       dump the superblock, then scrub all page checksums and report\n\
+         \x20       tree shape + I/O counters; --no-verify stops after the\n\
+         \x20       superblock dump (reads no pages — works on damaged files)"
+    );
+}
+
+/// Tiny flag parser: `--key value` pairs plus positional arguments.
+struct Opts {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Opts {
+    fn parse(args: &[String], value_flags: &[&str], bool_flags: &[&str]) -> Result<Opts, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if bool_flags.contains(&name) {
+                    flags.push((name.to_string(), None));
+                } else if value_flags.contains(&name) {
+                    i += 1;
+                    let v = args
+                        .get(i)
+                        .ok_or_else(|| format!("--{name} expects a value"))?;
+                    flags.push((name.to_string(), Some(v.clone())));
+                } else {
+                    return Err(format!("unknown option --{name}"));
+                }
+            } else {
+                positional.push(a.clone());
+            }
+            i += 1;
+        }
+        Ok(Opts { positional, flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+}
+
+fn fail(msg: impl std::fmt::Display) -> i32 {
+    eprintln!("error: {msg}");
+    1
+}
+
+fn parse_coords<const N: usize>(s: &str, what: &str) -> Result<[f64; N], String> {
+    let parts: Vec<&str> = s.split(',').collect();
+    if parts.len() != N {
+        return Err(format!("{what} expects {N} comma-separated numbers"));
+    }
+    let mut out = [0.0; N];
+    for (o, p) in out.iter_mut().zip(&parts) {
+        *o = p
+            .trim()
+            .parse::<f64>()
+            .map_err(|_| format!("{what}: '{p}' is not a number"))?;
+    }
+    Ok(out)
+}
+
+fn generate(data: &str, n: u32, seed: u64) -> Result<Vec<Item<2>>, String> {
+    // The TIGER-like profiles carry their own base seed; `--seed`
+    // overrides it so different seeds really do give different roads.
+    let tiger = |mut profile: TigerProfile| {
+        profile.seed = seed;
+        profile.generate(n, profile.regions)
+    };
+    match data {
+        "uniform" => Ok(uniform_points(n, seed)),
+        "size" => Ok(size_dataset(n, 0.01, seed)),
+        "tiger-east" => Ok(tiger(TigerProfile::eastern())),
+        "tiger-west" => Ok(tiger(TigerProfile::western())),
+        other => Err(format!(
+            "unknown dataset '{other}' (want uniform | size | tiger-east | tiger-west)"
+        )),
+    }
+}
+
+fn parse_loader(name: &str) -> Result<LoaderKind, String> {
+    LoaderKind::all()
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown loader '{name}' (want PR | H | H4 | TGS | STR)"))
+}
+
+fn cmd_build(args: &[String]) -> i32 {
+    let opts = match Opts::parse(args, &["out", "data", "n", "seed", "loader", "cap"], &[]) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let Some(out) = opts.get("out") else {
+        return fail("build requires --out FILE");
+    };
+    let data = opts.get("data").unwrap_or("uniform");
+    let n: u32 = match opts.get("n").unwrap_or("100000").parse() {
+        Ok(n) => n,
+        Err(_) => return fail("--n expects an integer"),
+    };
+    let seed: u64 = match opts.get("seed").unwrap_or("42").parse() {
+        Ok(s) => s,
+        Err(_) => return fail("--seed expects an integer"),
+    };
+    let kind = match parse_loader(opts.get("loader").unwrap_or("PR")) {
+        Ok(k) => k,
+        Err(e) => return fail(e),
+    };
+    let params = match opts.get("cap") {
+        None => TreeParams::paper_2d(),
+        Some(c) => match c.parse::<usize>() {
+            Ok(cap) if cap >= 2 => TreeParams::with_cap::<2>(cap),
+            _ => return fail("--cap expects an integer >= 2"),
+        },
+    };
+
+    let t0 = Instant::now();
+    let items = match generate(data, n, seed) {
+        Ok(i) => i,
+        Err(e) => return fail(e),
+    };
+    let gen_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
+    let tree = match kind.loader::<2>().load(dev, params, items) {
+        Ok(t) => t,
+        Err(e) => return fail(e),
+    };
+    let build_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let path = PathBuf::from(out);
+    let mut store = match Store::create::<2>(&path, params) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    if let Err(e) = store.save(&tree) {
+        return fail(e);
+    }
+    let save_s = t0.elapsed().as_secs_f64();
+    let bytes = store.file_len().unwrap_or(0);
+
+    println!(
+        "built {} ({data}, n={n}, seed={seed}) in {build_s:.2}s (+{gen_s:.2}s data gen)",
+        kind.name()
+    );
+    println!(
+        "committed epoch {} to {}: {} pages of {} bytes ({bytes} bytes on disk) in {save_s:.2}s",
+        store.superblock().epoch,
+        path.display(),
+        store.superblock().num_pages,
+        store.block_size(),
+    );
+    println!(
+        "tree: {} items, height {}, root level {}",
+        tree.len(),
+        tree.height(),
+        tree.root_level()
+    );
+    0
+}
+
+fn open_2d(path: &str) -> Result<RTree<2>, i32> {
+    Store::open_tree::<2>(Path::new(path)).map_err(fail)
+}
+
+fn cmd_query(args: &[String]) -> i32 {
+    let opts = match Opts::parse(args, &["window", "expect"], &["verbose"]) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let [file] = opts.positional.as_slice() else {
+        return fail("query expects exactly one FILE argument");
+    };
+    let Some(window) = opts.get("window") else {
+        return fail("query requires --window X1,Y1,X2,Y2");
+    };
+    let [x1, y1, x2, y2] = match parse_coords::<4>(window, "--window") {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    let q = Rect::xyxy(x1.min(x2), y1.min(y2), x1.max(x2), y1.max(y2));
+
+    let t0 = Instant::now();
+    let tree = match open_2d(file) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    if let Err(e) = tree.warm_cache() {
+        return fail(e);
+    }
+    let open_s = t0.elapsed().as_secs_f64();
+    let open_reads = tree.device().io_stats().reads;
+
+    let t0 = Instant::now();
+    let (hits, stats) = match tree.window_with_stats(&q) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    let query_s = t0.elapsed().as_secs_f64();
+
+    println!("results: {}", hits.len());
+    println!(
+        "query I/O: {} leaves visited, {} internal, {} device reads ({:.1} ms)",
+        stats.leaves_visited,
+        stats.internal_visited,
+        stats.device_reads,
+        query_s * 1e3
+    );
+    println!(
+        "open+warm: {open_reads} page reads ({:.1} ms); {} items indexed, height {}",
+        open_s * 1e3,
+        tree.len(),
+        tree.height()
+    );
+    if opts.has("verbose") {
+        for item in hits.iter().take(20) {
+            println!("  id {} rect {:?}", item.id, item.rect);
+        }
+        if hits.len() > 20 {
+            println!("  ... and {} more", hits.len() - 20);
+        }
+    }
+    if let Some(expect) = opts.get("expect") {
+        match expect.parse::<usize>() {
+            Ok(want) if want == hits.len() => {}
+            Ok(want) => {
+                eprintln!("error: expected {want} results, got {}", hits.len());
+                return 1;
+            }
+            Err(_) => return fail("--expect expects an integer"),
+        }
+    }
+    0
+}
+
+fn cmd_knn(args: &[String]) -> i32 {
+    let opts = match Opts::parse(args, &["point", "k"], &[]) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let [file] = opts.positional.as_slice() else {
+        return fail("knn expects exactly one FILE argument");
+    };
+    let Some(point) = opts.get("point") else {
+        return fail("knn requires --point X,Y");
+    };
+    let [x, y] = match parse_coords::<2>(point, "--point") {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    let k: usize = match opts.get("k").unwrap_or("5").parse() {
+        Ok(k) => k,
+        Err(_) => return fail("--k expects an integer"),
+    };
+    let tree = match open_2d(file) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    if let Err(e) = tree.warm_cache() {
+        return fail(e);
+    }
+    let t0 = Instant::now();
+    let (neighbors, stats) = match tree.nearest_neighbors_with_stats(&Point::new([x, y]), k) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    let knn_s = t0.elapsed().as_secs_f64();
+    println!("{} nearest to ({x}, {y}):", neighbors.len());
+    for (item, dist) in &neighbors {
+        println!("  id {:>8}  dist {dist:.6}  rect {:?}", item.id, item.rect);
+    }
+    println!(
+        "knn I/O: {} leaves visited, {} device reads ({:.1} ms)",
+        stats.leaves_visited,
+        stats.device_reads,
+        knn_s * 1e3
+    );
+    0
+}
+
+fn cmd_stats(args: &[String]) -> i32 {
+    let opts = match Opts::parse(args, &[], &["no-verify"]) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let [file] = opts.positional.as_slice() else {
+        return fail("stats expects exactly one FILE argument");
+    };
+    let store = match Store::open(Path::new(file)) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let sb = *store.superblock();
+    println!("store:        {file}");
+    println!("format:       v{} (pr-store)", pr_store::FORMAT_VERSION);
+    println!(
+        "superblock:   slot {} of 2, epoch {}",
+        store.active_slot(),
+        sb.epoch
+    );
+    println!("dimension:    {}", sb.dim);
+    println!("block size:   {} bytes", sb.block_size);
+    println!(
+        "pages:        {} ({} bytes of pages)",
+        sb.num_pages,
+        sb.num_pages * sb.block_size as u64
+    );
+    println!(
+        "layout:       data @ {}, checksum table @ {}, footer @ {}",
+        sb.data_offset, sb.table_offset, sb.footer_offset
+    );
+    if let Ok(len) = store.file_len() {
+        println!("file length:  {len} bytes");
+    }
+    println!(
+        "tree meta:    {} items, root level {}, leaf/node cap {}/{}, page size {}",
+        sb.meta.len,
+        sb.meta.root_level,
+        sb.meta.params.leaf_cap,
+        sb.meta.params.node_cap,
+        sb.meta.params.page_size
+    );
+    if !sb.has_snapshot() {
+        println!("snapshot:     none committed yet");
+        return 0;
+    }
+
+    if opts.has("no-verify") {
+        // Metadata-only mode: no page is read, so this works (and stays
+        // fast) even when the page region is damaged or huge.
+        println!("checksums:    skipped (--no-verify; superblock metadata only)");
+        return 0;
+    }
+    let t0 = Instant::now();
+    match store.verify() {
+        Ok(()) => println!(
+            "checksums:    all {} pages verified in {:.1} ms",
+            sb.num_pages,
+            t0.elapsed().as_secs_f64() * 1e3
+        ),
+        Err(e) => return fail(e),
+    }
+
+    let tree = match store.tree::<2>() {
+        Ok(t) => t,
+        Err(e) => return fail(e),
+    };
+    match tree.stats() {
+        Ok(s) => {
+            println!(
+                "tree shape:   {} nodes ({} leaves), utilization {:.1}% (leaves {:.1}%)",
+                s.num_nodes(),
+                s.num_leaves(),
+                s.utilization() * 100.0,
+                s.leaf_utilization() * 100.0
+            );
+            println!("nodes/level:  {:?} (leaves first)", s.nodes_per_level);
+        }
+        Err(e) => return fail(e),
+    }
+    let io = tree.device().io_stats();
+    println!(
+        "I/O counters: {} reads, {} writes through the store device",
+        io.reads, io.writes
+    );
+    0
+}

@@ -12,6 +12,9 @@
 //! * [`tree`] — the PR-tree, pseudo-PR-trees, the H/H4/TGS/STR baselines,
 //!   Guttman updates and the LPR-tree (crate `pr-tree`).
 //! * [`data`] — the paper's dataset and query generators (crate `pr-data`).
+//! * [`store`] — the durable on-disk index format with crash-safe commit
+//!   and checksummed pages (crate `pr-store`); the `prtree` binary in
+//!   `src/bin/` is its command-line face.
 //!
 //! ## Quick start
 //!
@@ -46,12 +49,14 @@ pub use pr_data as data;
 pub use pr_em as em;
 pub use pr_geom as geom;
 pub use pr_hilbert as hilbert;
+pub use pr_store as store;
 pub use pr_tree as tree;
 
 /// The most commonly used items, one `use` away.
 pub mod prelude {
     pub use pr_em::{BlockDevice, FileDevice, IoStats, MemDevice, Stream};
     pub use pr_geom::{Item, Point, Rect};
+    pub use pr_store::{Store, StoreError};
     pub use pr_tree::bulk::external::ExternalConfig;
     pub use pr_tree::bulk::hilbert::HilbertLoader;
     pub use pr_tree::bulk::pr::PrTreeLoader;
