@@ -1,0 +1,281 @@
+//! `hot_query`: warm-cache query throughput — decode-free SoA engine vs
+//! the retained scalar AoS engine (the PR-2 read path) on the same tree.
+//!
+//! This is the acceptance benchmark of the decode-free engine: same
+//! uniform-100k dataset, same PR-tree, same queries; only the read-path
+//! representation differs. Before timing anything it runs a correctness
+//! gate over **all five loaders**: results (order included) and
+//! [`pr_tree::QueryStats`] — leaves, internal visits, device reads —
+//! must be identical between engines, else the process aborts.
+//!
+//! Besides the criterion groups, the run writes one machine-readable
+//! row to `BENCH_hot_query.json` at the repo root (old vs new ns/query
+//! for windows and k-NN, speedups, gate verdict). Set
+//! `PRTREE_REQUIRE_SPEEDUP=1` to turn the ≥2× window-throughput claim
+//! into a hard assertion (off by default: CI machines throttle).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pr_data::queries::square_queries;
+use pr_data::uniform_points;
+use pr_em::{BlockDevice, MemDevice};
+use pr_geom::{Point, Rect};
+use pr_tree::bulk::LoaderKind;
+use pr_tree::reference::ReferenceEngine;
+use pr_tree::{QueryScratch, RTree, TreeParams};
+use std::sync::Arc;
+use std::time::Instant;
+
+const N: u32 = 100_000;
+const N_QUERIES: usize = 64;
+const KNN_K: usize = 10;
+
+fn build(kind: LoaderKind, items: &[pr_geom::Item<2>]) -> RTree<2> {
+    let params = TreeParams::paper_2d();
+    let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
+    let tree = kind
+        .loader::<2>()
+        .load(dev, params, items.to_vec())
+        .expect("bulk load");
+    tree.warm_cache().expect("warm");
+    tree
+}
+
+fn knn_points() -> Vec<Point<2>> {
+    (0..N_QUERIES)
+        .map(|i| {
+            let f = (i as f64 + 0.5) / N_QUERIES as f64;
+            Point::new([f, (f * 7.0) % 1.0])
+        })
+        .collect()
+}
+
+/// Identical results + identical leaf-I/O across every loader variant,
+/// or no numbers at all.
+fn correctness_gate(items: &[pr_geom::Item<2>], queries: &[Rect<2>]) {
+    for kind in LoaderKind::all() {
+        let tree = build(kind, items);
+        let oracle = ReferenceEngine::new(&tree).expect("oracle");
+        for q in queries {
+            let (got, got_stats) = tree.window_with_stats(q).expect("window");
+            let (want, want_stats) = oracle.window_with_stats(q).expect("oracle");
+            assert_eq!(got, want, "{}: window results differ", kind.name());
+            assert_eq!(
+                got_stats,
+                want_stats,
+                "{}: window stats differ",
+                kind.name()
+            );
+        }
+        for p in knn_points() {
+            let (got, gs) = tree.nearest_neighbors_with_stats(&p, KNN_K).expect("knn");
+            let (want, ws) = oracle
+                .nearest_neighbors_with_stats(&p, KNN_K)
+                .expect("oracle");
+            assert_eq!(got, want, "{}: knn results differ", kind.name());
+            assert_eq!(gs, ws, "{}: knn stats differ", kind.name());
+        }
+    }
+    println!(
+        "hot_query gate: results + leaf I/O identical across {:?}",
+        LoaderKind::all().map(|k| k.name())
+    );
+}
+
+/// Best-of-`reps` wall time of one full pass over the workload, in
+/// seconds (best-of filters scheduler noise on shared runners).
+fn best_of(reps: usize, mut f: impl FnMut() -> u64) -> f64 {
+    let mut sink = f(); // warm-up pass
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        sink = sink.wrapping_add(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    criterion::black_box(sink);
+    best
+}
+
+#[allow(clippy::too_many_arguments)]
+fn json_row(
+    count_old: f64,
+    count_new: f64,
+    collect_old: f64,
+    collect_new: f64,
+    knn_old: f64,
+    knn_new: f64,
+) -> String {
+    let per_q = |secs: f64| secs / N_QUERIES as f64 * 1e9;
+    format!(
+        "{{\n  \"experiment\": \"hot_query\",\n  \"dataset\": \"uniform\",\n  \"n\": {N},\n  \
+         \"loader\": \"PR\",\n  \"cache\": \"InternalNodes (warm, frozen)\",\n  \
+         \"queries\": {N_QUERIES},\n  \"query_area_pct\": 1.0,\n  \"knn_k\": {KNN_K},\n  \
+         \"window_old_ns_per_query\": {:.0},\n  \"window_new_ns_per_query\": {:.0},\n  \
+         \"window_speedup\": {:.2},\n  \
+         \"window_collect_old_ns_per_query\": {:.0},\n  \
+         \"window_collect_new_ns_per_query\": {:.0},\n  \"window_collect_speedup\": {:.2},\n  \
+         \"knn_old_ns_per_query\": {:.0},\n  \
+         \"knn_new_ns_per_query\": {:.0},\n  \"knn_speedup\": {:.2},\n  \
+         \"results_identical\": true,\n  \"leaf_io_identical\": true,\n  \
+         \"loaders_checked\": [\"PR\", \"H\", \"H4\", \"TGS\", \"STR\"]\n}}\n",
+        per_q(count_old),
+        per_q(count_new),
+        count_old / count_new,
+        per_q(collect_old),
+        per_q(collect_new),
+        collect_old / collect_new,
+        per_q(knn_old),
+        per_q(knn_new),
+        knn_old / knn_new,
+    )
+}
+
+fn bench_hot_query(c: &mut Criterion) {
+    let items = uniform_points(N, 7);
+    let queries = square_queries(&Rect::xyxy(0.0, 0.0, 1.0, 1.0), 0.01, N_QUERIES, 11);
+    correctness_gate(&items, &queries);
+
+    let tree = build(LoaderKind::Pr, &items);
+    let oracle = ReferenceEngine::new(&tree).expect("oracle");
+    let points = knn_points();
+
+    // Criterion groups (human-readable report).
+    let mut group = c.benchmark_group("hot_window_1pct_uniform100k");
+    group.sample_size(10);
+    group.bench_function("old_aos_engine", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for q in &queries {
+                total += oracle.window_count(q).unwrap().0;
+            }
+            total
+        });
+    });
+    let mut scratch = QueryScratch::new();
+    group.bench_function("new_soa_engine", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for q in &queries {
+                total += tree.window_count_into(q, &mut scratch).unwrap().0;
+            }
+            total
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("hot_knn10_uniform100k");
+    group.sample_size(10);
+    group.bench_function("old_aos_engine", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for p in &points {
+                total += oracle
+                    .nearest_neighbors_with_stats(p, KNN_K)
+                    .unwrap()
+                    .0
+                    .len() as u64;
+            }
+            total
+        });
+    });
+    let mut scratch = QueryScratch::new();
+    let mut nn = Vec::new();
+    group.bench_function("new_soa_engine", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for p in &points {
+                tree.nearest_neighbors_into(p, KNN_K, &mut scratch, &mut nn)
+                    .unwrap();
+                total += nn.len() as u64;
+            }
+            total
+        });
+    });
+    group.finish();
+
+    // Machine-readable row (best-of-5 passes per engine).
+    let window_old = best_of(5, || {
+        queries
+            .iter()
+            .map(|q| oracle.window_count(q).unwrap().0)
+            .sum()
+    });
+    let mut scratch = QueryScratch::new();
+    let window_new = best_of(5, || {
+        queries
+            .iter()
+            .map(|q| tree.window_count_into(q, &mut scratch).unwrap().0)
+            .sum()
+    });
+    // Materializing windows: the old engine allocates a fresh result
+    // vector per query (its only API); the new engine reuses the
+    // caller's buffer through `window_into` — allocation-free traversal
+    // is part of the engine, so the comparison is end-to-end honest.
+    let collect_old = best_of(5, || {
+        queries
+            .iter()
+            .map(|q| oracle.window_with_stats(q).unwrap().0.len() as u64)
+            .sum()
+    });
+    let mut hits = Vec::new();
+    let collect_new = best_of(5, || {
+        queries
+            .iter()
+            .map(|q| {
+                tree.window_into(q, &mut scratch, &mut hits).unwrap();
+                hits.len() as u64
+            })
+            .sum()
+    });
+    let knn_old = best_of(5, || {
+        points
+            .iter()
+            .map(|p| {
+                oracle
+                    .nearest_neighbors_with_stats(p, KNN_K)
+                    .unwrap()
+                    .0
+                    .len() as u64
+            })
+            .sum()
+    });
+    let mut nn = Vec::new();
+    let knn_new = best_of(5, || {
+        points
+            .iter()
+            .map(|p| {
+                tree.nearest_neighbors_into(p, KNN_K, &mut scratch, &mut nn)
+                    .unwrap();
+                nn.len() as u64
+            })
+            .sum()
+    });
+
+    let row = json_row(
+        window_old,
+        window_new,
+        collect_old,
+        collect_new,
+        knn_old,
+        knn_new,
+    );
+    println!("{row}");
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_hot_query.json");
+    if let Err(e) = std::fs::write(&out, &row) {
+        eprintln!("warning: could not write {}: {e}", out.display());
+    } else {
+        println!("wrote {}", out.display());
+    }
+
+    let speedup = window_old / window_new;
+    if std::env::var("PRTREE_REQUIRE_SPEEDUP").as_deref() == Ok("1") {
+        assert!(
+            speedup >= 2.0,
+            "warm-cache window speedup {speedup:.2}x < 2x acceptance threshold"
+        );
+    } else if speedup < 2.0 {
+        eprintln!("note: window speedup {speedup:.2}x below the 2x target on this host");
+    }
+}
+
+criterion_group!(benches, bench_hot_query);
+criterion_main!(benches);

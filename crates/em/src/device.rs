@@ -9,7 +9,9 @@
 use crate::error::EmError;
 use crate::stats::{IoCounters, IoStats};
 use crate::Result;
+#[cfg(not(unix))]
 use parking_lot::Mutex;
+use parking_lot::RwLock;
 use std::fs::{File, OpenOptions};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,6 +42,31 @@ pub trait BlockDevice: Send + Sync {
     /// Reads block `block` into `buf` (`buf.len()` must equal
     /// [`BlockDevice::block_size`]). Counts one read.
     fn read_block(&self, block: BlockId, buf: &mut [u8]) -> Result<()>;
+
+    /// Runs `f` over the block's bytes, skipping the copy when the
+    /// backend can expose its storage directly. The default resizes
+    /// `scratch` to one block, delegates to
+    /// [`BlockDevice::read_block`], and calls `f` on the result;
+    /// [`MemDevice`] overrides it to borrow the stored block in place —
+    /// `f` runs under its storage *read* lock, which any number of
+    /// concurrent readers share, so parallel leaf visits don't
+    /// serialize. Either way this counts exactly one read, so I/O
+    /// accounting is unchanged.
+    ///
+    /// This is the query engine's leaf-visit path: one page-sized
+    /// `memcpy` per uncached node visit is pure overhead when the
+    /// caller immediately transcodes the bytes elsewhere.
+    fn with_block(
+        &self,
+        block: BlockId,
+        scratch: &mut Vec<u8>,
+        f: &mut dyn FnMut(&[u8]),
+    ) -> Result<()> {
+        scratch.resize(self.block_size(), 0);
+        self.read_block(block, scratch)?;
+        f(scratch);
+        Ok(())
+    }
 
     /// Writes `buf` to block `block`. Counts one write.
     fn write_block(&self, block: BlockId, buf: &[u8]) -> Result<()>;
@@ -189,7 +216,7 @@ impl PositionedFile {
 /// Deterministic and fast; the default substrate for all experiments.
 pub struct MemDevice {
     block_size: usize,
-    blocks: Mutex<Vec<Option<Box<[u8]>>>>,
+    blocks: RwLock<Vec<Option<Box<[u8]>>>>,
     counters: Arc<IoCounters>,
 }
 
@@ -199,7 +226,7 @@ impl MemDevice {
         assert!(block_size > 0, "block size must be positive");
         MemDevice {
             block_size,
-            blocks: Mutex::new(Vec::new()),
+            blocks: RwLock::new(Vec::new()),
             counters: IoCounters::new(),
         }
     }
@@ -212,7 +239,7 @@ impl MemDevice {
     /// Bytes currently held, excluding discarded blocks (for capacity
     /// assertions in tests).
     pub fn resident_bytes(&self) -> usize {
-        self.blocks.lock().iter().filter(|b| b.is_some()).count() * self.block_size
+        self.blocks.read().iter().filter(|b| b.is_some()).count() * self.block_size
     }
 }
 
@@ -222,11 +249,11 @@ impl BlockDevice for MemDevice {
     }
 
     fn num_blocks(&self) -> u64 {
-        self.blocks.lock().len() as u64
+        self.blocks.read().len() as u64
     }
 
     fn allocate(&self, n: u64) -> BlockId {
-        let mut blocks = self.blocks.lock();
+        let mut blocks = self.blocks.write();
         let first = blocks.len() as u64;
         for _ in 0..n {
             blocks.push(Some(vec![0u8; self.block_size].into_boxed_slice()));
@@ -241,7 +268,7 @@ impl BlockDevice for MemDevice {
                 want: self.block_size,
             });
         }
-        let blocks = self.blocks.lock();
+        let blocks = self.blocks.read();
         let slot = blocks.get(block as usize).ok_or(EmError::BlockOutOfRange {
             block,
             len: blocks.len() as u64,
@@ -255,6 +282,29 @@ impl BlockDevice for MemDevice {
         Ok(())
     }
 
+    fn with_block(
+        &self,
+        block: BlockId,
+        _scratch: &mut Vec<u8>,
+        f: &mut dyn FnMut(&[u8]),
+    ) -> Result<()> {
+        // Zero-copy: hand out the stored block under a *read* lock (any
+        // number of concurrent readers) instead of memcpy-ing a page the
+        // caller will only transcode once.
+        let blocks = self.blocks.read();
+        let slot = blocks.get(block as usize).ok_or(EmError::BlockOutOfRange {
+            block,
+            len: blocks.len() as u64,
+        })?;
+        let src = slot
+            .as_ref()
+            .ok_or_else(|| EmError::Corrupt(format!("read of discarded block {block}")))?;
+        f(src);
+        drop(blocks);
+        self.counters.add_reads(1);
+        Ok(())
+    }
+
     fn write_block(&self, block: BlockId, buf: &[u8]) -> Result<()> {
         if buf.len() != self.block_size {
             return Err(EmError::BadBufferSize {
@@ -262,7 +312,7 @@ impl BlockDevice for MemDevice {
                 want: self.block_size,
             });
         }
-        let mut blocks = self.blocks.lock();
+        let mut blocks = self.blocks.write();
         let len = blocks.len() as u64;
         let slot = blocks
             .get_mut(block as usize)
@@ -281,7 +331,7 @@ impl BlockDevice for MemDevice {
     }
 
     fn discard(&self, ids: &[BlockId]) {
-        let mut blocks = self.blocks.lock();
+        let mut blocks = self.blocks.write();
         for &id in ids {
             if let Some(slot) = blocks.get_mut(id as usize) {
                 *slot = None;

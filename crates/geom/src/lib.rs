@@ -12,13 +12,19 @@
 //!   Hilbert R-tree — see [`mapped`],
 //! * [`Item<D>`]: a rectangle tagged with a `u32` payload id, matching the
 //!   paper's 36-byte input records (4 × 8-byte coordinates + 4-byte
-//!   pointer).
+//!   pointer),
+//! * [`batch`]: structure-of-arrays predicate kernels
+//!   (intersection/containment masks, batched point-to-rectangle
+//!   distances) over per-dimension coordinate columns — the vectorized
+//!   heart of the decode-free query engine, proven bit-identical to the
+//!   scalar [`Rect`] predicates by property tests.
 //!
 //! Coordinates are `f64`. The paper assumes all defining coordinates are
 //! distinct; real datasets are not that polite, so all orderings exposed
 //! here break ties by item id (see [`mapped::cmp_items_on_axis`]), making
 //! every ordering total and deterministic.
 
+pub mod batch;
 pub mod item;
 pub mod mapped;
 pub mod point;

@@ -43,7 +43,7 @@
 //! can take their early-outs — `CachePolicy::None` lookups and leaf
 //! admissions under `InternalNodes` — without touching any lock.
 
-use crate::page::NodePage;
+use crate::soa::SoaNode;
 use parking_lot::RwLock;
 use pr_em::lru::LruCache;
 use pr_em::{BlockId, HitCounters};
@@ -85,10 +85,13 @@ pub struct CacheTally {
 }
 
 /// Immutable post-warm snapshot of all pinned internal nodes. Queries
-/// clone the `Arc` once and index it lock-free per node visit.
-pub type FrozenMap<const D: usize> = Arc<HashMap<BlockId, Arc<NodePage<D>>>>;
+/// clone the `Arc` once and index it lock-free per node visit. Since the
+/// decode-free engine the cached representation is the SoA
+/// [`SoaNode`] — the query path never touches a decoded
+/// [`crate::page::NodePage`].
+pub type FrozenMap<const D: usize> = Arc<HashMap<BlockId, Arc<SoaNode<D>>>>;
 
-type PinnedShard<const D: usize> = HashMap<BlockId, Arc<NodePage<D>>>;
+type PinnedShard<const D: usize> = HashMap<BlockId, Arc<SoaNode<D>>>;
 
 /// A concurrently readable node cache implementing one [`CachePolicy`].
 ///
@@ -99,7 +102,7 @@ pub struct ShardedNodeCache<const D: usize> {
     policy_tag: AtomicU8,
     lru_capacity: AtomicUsize,
     shards: Vec<RwLock<PinnedShard<D>>>,
-    lru: RwLock<Option<LruCache<BlockId, Arc<NodePage<D>>>>>,
+    lru: RwLock<Option<LruCache<BlockId, Arc<SoaNode<D>>>>>,
     frozen: RwLock<Option<FrozenMap<D>>>,
     stats: HitCounters,
 }
@@ -107,7 +110,7 @@ pub struct ShardedNodeCache<const D: usize> {
 /// Backwards-compatible alias for the pre-sharding type name.
 pub type NodeCache<const D: usize> = ShardedNodeCache<D>;
 
-fn new_lru<const D: usize>(policy: CachePolicy) -> Option<LruCache<BlockId, Arc<NodePage<D>>>> {
+fn new_lru<const D: usize>(policy: CachePolicy) -> Option<LruCache<BlockId, Arc<SoaNode<D>>>> {
     match policy {
         CachePolicy::Lru(cap) => Some(LruCache::new(cap.max(1))),
         _ => None,
@@ -168,7 +171,7 @@ impl<const D: usize> ShardedNodeCache<D> {
     }
 
     /// Looks up a node and records the hit/miss in the shared counters.
-    pub fn get(&self, page: BlockId) -> Option<Arc<NodePage<D>>> {
+    pub fn get(&self, page: BlockId) -> Option<Arc<SoaNode<D>>> {
         let found = self.lookup(page, None);
         if found.is_some() {
             self.stats.add_hits(1);
@@ -178,26 +181,9 @@ impl<const D: usize> ShardedNodeCache<D> {
         found
     }
 
-    /// Looks up a node, recording the outcome in `tally` instead of the
-    /// shared counters — flush with [`ShardedNodeCache::record`]. Pass
-    /// the query's [`ShardedNodeCache::frozen_snapshot`] as `frozen` to
-    /// skip all shared state on internal-node hits.
-    pub fn get_tallied(
-        &self,
-        page: BlockId,
-        frozen: Option<&FrozenMap<D>>,
-        tally: &mut CacheTally,
-    ) -> Option<Arc<NodePage<D>>> {
-        let found = self.lookup(page, frozen);
-        if found.is_some() {
-            tally.hits += 1;
-        } else {
-            tally.misses += 1;
-        }
-        found
-    }
-
-    /// Folds a per-query tally into the shared counters.
+    /// Folds a per-query tally into the shared counters. Query loops
+    /// count each [`ShardedNodeCache::lookup_with`] outcome into their
+    /// local [`CacheTally`] and flush it here exactly once.
     pub fn record(&self, tally: CacheTally) {
         self.stats.add_hits(tally.hits);
         self.stats.add_misses(tally.misses);
@@ -212,42 +198,70 @@ impl<const D: usize> ShardedNodeCache<D> {
         self.frozen.read().clone()
     }
 
-    fn lookup(&self, page: BlockId, frozen: Option<&FrozenMap<D>>) -> Option<Arc<NodePage<D>>> {
+    fn lookup(&self, page: BlockId, frozen: Option<&FrozenMap<D>>) -> Option<Arc<SoaNode<D>>> {
+        self.lookup_with(page, frozen, Arc::clone)
+    }
+
+    /// Closure-form lookup: runs `f` against the cached node *in place*
+    /// and returns its result, or `None` on a miss. The hot query loop
+    /// uses this so that a frozen-snapshot hit costs one `HashMap` probe
+    /// and nothing else — no lock, no `Arc` refcount traffic, no clone.
+    /// (Shard/LRU hits run `f` under the shard's read lock / the LRU's
+    /// write lock; `f` must be short, which traversal scans are.)
+    pub fn lookup_with<R>(
+        &self,
+        page: BlockId,
+        frozen: Option<&FrozenMap<D>>,
+        f: impl FnOnce(&Arc<SoaNode<D>>) -> R,
+    ) -> Option<R> {
         match self.policy_tag.load(Ordering::Acquire) {
             TAG_NONE => None,
             TAG_INTERNAL => {
                 // Fast path: the caller's immutable post-warm snapshot —
                 // a plain HashMap probe, no locks, no refcount traffic.
                 if let Some(map) = frozen {
-                    if let Some(n) = map.get(&page) {
-                        return Some(Arc::clone(n));
-                    }
-                    // Not in the snapshot: leaves are never pinned, and
-                    // admissions after freeze still land in the shards,
-                    // so fall through for correctness.
+                    // The snapshot is authoritative while it exists:
+                    // `warm_cache` pins *every* internal node before
+                    // `freeze`, and every later mutation (`write_node` →
+                    // `invalidate`, `clear`, `set_policy`) thaws first —
+                    // so a page absent here is simply not cached. Skip
+                    // the shard probe; a leaf visit must not pay a
+                    // RwLock + second HashMap miss.
+                    return map.get(&page).map(f);
                 } else {
                     let guard = self.frozen.read();
-                    if let Some(map) = guard.as_ref() {
-                        if let Some(n) = map.get(&page) {
-                            return Some(Arc::clone(n));
-                        }
+                    if let Some(n) = guard.as_ref().and_then(|map| map.get(&page)) {
+                        return Some(f(n));
                     }
                 }
-                self.shard(page).read().get(&page).cloned()
+                self.shard(page).read().get(&page).map(f)
             }
             _ => {
                 // LRU updates recency on every lookup → global write lock
                 // (ablation path; see module docs).
                 let mut lru = self.lru.write();
-                lru.as_mut().and_then(|l| l.get(&page).cloned())
+                lru.as_mut().and_then(|l| l.get(&page)).map(f)
             }
+        }
+    }
+
+    /// True when the policy would retain a freshly read node at `level`.
+    /// The miss path checks this *before* materializing an owned
+    /// [`SoaNode`], so leaf reads under [`CachePolicy::InternalNodes`] —
+    /// the steady-state hot path — allocate nothing for the cache.
+    #[inline]
+    pub fn wants(&self, level: u8) -> bool {
+        match self.policy_tag.load(Ordering::Acquire) {
+            TAG_NONE => false,
+            TAG_INTERNAL => level > 0,
+            _ => true,
         }
     }
 
     /// Offers a freshly read node to the cache; the policy decides whether
     /// to keep it. Policy checks happen before any lock is taken, so leaf
     /// reads under [`CachePolicy::InternalNodes`] stay lock-free here.
-    pub fn admit(&self, page: BlockId, node: &Arc<NodePage<D>>) {
+    pub fn admit(&self, page: BlockId, node: &Arc<SoaNode<D>>) {
         match self.policy_tag.load(Ordering::Acquire) {
             TAG_NONE => {}
             TAG_INTERNAL => {
@@ -330,13 +344,14 @@ impl<const D: usize> ShardedNodeCache<D> {
 mod tests {
     use super::*;
     use crate::entry::Entry;
+    use crate::page::NodePage;
     use pr_geom::Rect;
 
-    fn node(level: u8) -> Arc<NodePage<2>> {
-        Arc::new(NodePage::new(
+    fn node(level: u8) -> Arc<SoaNode<2>> {
+        Arc::new(SoaNode::from_page(&NodePage::new(
             level,
             vec![Entry::new(Rect::xyxy(0.0, 0.0, 1.0, 1.0), 0)],
-        ))
+        )))
     }
 
     #[test]
@@ -421,14 +436,12 @@ mod tests {
         c.admit(2, &node(1));
         c.freeze();
         let snap = c.frozen_snapshot().expect("frozen after freeze");
-        let mut tally = CacheTally::default();
-        assert!(c.get_tallied(2, Some(&snap), &mut tally).is_some());
+        assert!(c.lookup_with(2, Some(&snap), |_| ()).is_some());
         // Thaw mid-"query": the held snapshot still answers.
         c.invalidate(99);
         assert!(!c.is_frozen());
         assert!(c.frozen_snapshot().is_none());
-        assert!(c.get_tallied(2, Some(&snap), &mut tally).is_some());
-        assert_eq!((tally.hits, tally.misses), (2, 0));
+        assert!(c.lookup_with(2, Some(&snap), |_| ()).is_some());
     }
 
     #[test]
@@ -458,15 +471,48 @@ mod tests {
 
     #[test]
     fn tallied_lookups_flush_exactly() {
+        // Query-style accounting: outcomes counted into a local tally
+        // (as the traversal's node access does), flushed exactly once.
         let c = NodeCache::new(CachePolicy::InternalNodes);
         c.admit(2, &node(1));
         let mut tally = CacheTally::default();
-        assert!(c.get_tallied(2, None, &mut tally).is_some());
-        assert!(c.get_tallied(7, None, &mut tally).is_none());
+        for page in [2u64, 7] {
+            if c.lookup_with(page, None, |_| ()).is_some() {
+                tally.hits += 1;
+            } else {
+                tally.misses += 1;
+            }
+        }
         assert_eq!((tally.hits, tally.misses), (1, 1));
         assert_eq!(c.hit_stats(), (0, 0), "nothing flushed yet");
         c.record(tally);
         assert_eq!(c.hit_stats(), (1, 1));
+    }
+
+    #[test]
+    fn wants_mirrors_admit_policy() {
+        let c = NodeCache::<2>::new(CachePolicy::InternalNodes);
+        assert!(!c.wants(0), "leaves are never pinned");
+        assert!(c.wants(1));
+        c.set_policy(CachePolicy::None);
+        assert!(!c.wants(3));
+        c.set_policy(CachePolicy::Lru(4));
+        assert!(c.wants(0));
+    }
+
+    #[test]
+    fn lookup_with_runs_in_place() {
+        let c = NodeCache::new(CachePolicy::InternalNodes);
+        c.admit(2, &node(1));
+        assert_eq!(c.lookup_with(2, None, |n| n.level()), Some(1));
+        assert_eq!(c.lookup_with(9, None, |n| n.level()), None);
+        c.freeze();
+        let snap = c.frozen_snapshot().unwrap();
+        assert_eq!(c.lookup_with(2, Some(&snap), |n| n.len()), Some(1));
+        // LRU arm too.
+        let c = NodeCache::new(CachePolicy::Lru(4));
+        c.admit(5, &node(0));
+        assert_eq!(c.lookup_with(5, None, |n| n.level()), Some(0));
     }
 
     #[test]

@@ -55,34 +55,38 @@ impl<const D: usize> Entry<D> {
 impl<const D: usize> Record for Entry<D> {
     const SIZE: usize = 2 * D * 8 + 4;
 
+    // Encode/decode split the record into exact-size subslices up front
+    // and walk them with `chunks_exact`, so the bounds checks of the old
+    // per-field `buf[off..off + 8]` arithmetic hoist out of the loop —
+    // this path runs once per entry for every page the bulk loaders
+    // write and every AoS decode on the build/update path.
+
     fn encode(&self, buf: &mut [u8]) {
         debug_assert_eq!(buf.len(), Self::SIZE);
-        let mut off = 0;
-        for i in 0..D {
-            buf[off..off + 8].copy_from_slice(&self.rect.lo_at(i).to_le_bytes());
-            off += 8;
+        let (lo_bytes, rest) = buf.split_at_mut(D * 8);
+        let (hi_bytes, ptr_bytes) = rest.split_at_mut(D * 8);
+        for (chunk, v) in lo_bytes.chunks_exact_mut(8).zip(self.rect.lo()) {
+            chunk.copy_from_slice(&v.to_le_bytes());
         }
-        for i in 0..D {
-            buf[off..off + 8].copy_from_slice(&self.rect.hi_at(i).to_le_bytes());
-            off += 8;
+        for (chunk, v) in hi_bytes.chunks_exact_mut(8).zip(self.rect.hi()) {
+            chunk.copy_from_slice(&v.to_le_bytes());
         }
-        buf[off..off + 4].copy_from_slice(&self.ptr.to_le_bytes());
+        ptr_bytes[..4].copy_from_slice(&self.ptr.to_le_bytes());
     }
 
     fn decode(buf: &[u8]) -> Self {
         debug_assert_eq!(buf.len(), Self::SIZE);
+        let (lo_bytes, rest) = buf.split_at(D * 8);
+        let (hi_bytes, ptr_bytes) = rest.split_at(D * 8);
         let mut lo = [0.0; D];
         let mut hi = [0.0; D];
-        let mut off = 0;
-        for v in lo.iter_mut() {
-            *v = f64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes"));
-            off += 8;
+        for (v, chunk) in lo.iter_mut().zip(lo_bytes.chunks_exact(8)) {
+            *v = f64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
         }
-        for v in hi.iter_mut() {
-            *v = f64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes"));
-            off += 8;
+        for (v, chunk) in hi.iter_mut().zip(hi_bytes.chunks_exact(8)) {
+            *v = f64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
         }
-        let ptr = u32::from_le_bytes(buf[off..off + 4].try_into().expect("4 bytes"));
+        let ptr = u32::from_le_bytes(ptr_bytes[..4].try_into().expect("4 bytes"));
         Entry {
             rect: Rect::new(lo, hi),
             ptr,

@@ -11,21 +11,25 @@
 
 use crate::cache::CacheTally;
 use crate::query::QueryStats;
+use crate::scratch::QueryScratch;
 use crate::tree::RTree;
 use pr_em::{BlockId, EmError};
 use pr_geom::{Item, Point};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Priority-queue element: a node or an item at its min distance.
-enum Candidate<const D: usize> {
+pub(crate) enum Candidate<const D: usize> {
     Node(BlockId),
     Item(Item<D>),
 }
 
-struct Prioritized<const D: usize> {
-    dist2: f64,
-    candidate: Candidate<D>,
+/// Heap entry of the best-first search; lives in
+/// [`QueryScratch`] so the candidate heap is reusable. Distances are
+/// squared (the batched kernel's output); the square root is taken only
+/// when an item is reported.
+pub(crate) struct Prioritized<const D: usize> {
+    pub(crate) dist2: f64,
+    pub(crate) candidate: Candidate<D>,
 }
 
 impl<const D: usize> PartialEq for Prioritized<D> {
@@ -65,12 +69,38 @@ impl<const D: usize> RTree<D> {
         query: &Point<D>,
         k: usize,
     ) -> Result<(Vec<(Item<D>, f64)>, QueryStats), EmError> {
-        let mut stats = QueryStats::default();
         let mut out = Vec::with_capacity(k.min(self.len() as usize));
+        let stats = self.nearest_neighbors_into(query, k, &mut QueryScratch::new(), &mut out)?;
+        Ok((out, stats))
+    }
+
+    /// [`RTree::nearest_neighbors_with_stats`] with caller-owned
+    /// buffers: neighbors go into `out` (cleared first), the candidate
+    /// heap and batched-distance buffer live in `scratch`. Per-node
+    /// distances come from the vectorized
+    /// [`pr_geom::batch::min_dist2_batch`] kernel, which is bit-identical
+    /// to the scalar `Rect::min_dist2` — so heap order, tie-breaks, and
+    /// reported distances match the scalar engine exactly.
+    pub fn nearest_neighbors_into(
+        &self,
+        query: &Point<D>,
+        k: usize,
+        scratch: &mut QueryScratch<D>,
+        out: &mut Vec<(Item<D>, f64)>,
+    ) -> Result<QueryStats, EmError> {
+        out.clear();
+        let mut stats = QueryStats::default();
         if k == 0 || self.is_empty() {
-            return Ok((out, stats));
+            return Ok(stats);
         }
-        let mut heap: BinaryHeap<Prioritized<D>> = BinaryHeap::new();
+        let QueryScratch {
+            page_buf,
+            soa,
+            dist,
+            heap,
+            ..
+        } = scratch;
+        heap.clear();
         heap.push(Prioritized {
             dist2: 0.0,
             candidate: Candidate::Node(self.root()),
@@ -90,36 +120,45 @@ impl<const D: usize> RTree<D> {
                         }
                     }
                     Candidate::Node(page) => {
-                        let (node, did_io) =
-                            self.read_node_tallied(page, frozen.as_ref(), &mut tally)?;
-                        stats.nodes_visited += 1;
+                        let ((), did_io) = self.with_soa_node(
+                            page,
+                            frozen.as_ref(),
+                            &mut tally,
+                            page_buf,
+                            soa,
+                            |n| {
+                                stats.nodes_visited += 1;
+                                n.min_dist2_into(query, dist);
+                                if n.is_leaf() {
+                                    stats.leaves_visited += 1;
+                                    // Defer the items through the heap so
+                                    // they are emitted in global distance
+                                    // order.
+                                    for (i, &d2) in dist.iter().enumerate() {
+                                        heap.push(Prioritized {
+                                            dist2: d2,
+                                            candidate: Candidate::Item(n.item(i)),
+                                        });
+                                    }
+                                } else {
+                                    stats.internal_visited += 1;
+                                    for (&d2, &ptr) in dist.iter().zip(n.ptrs()) {
+                                        heap.push(Prioritized {
+                                            dist2: d2,
+                                            candidate: Candidate::Node(ptr as BlockId),
+                                        });
+                                    }
+                                }
+                            },
+                        )?;
                         stats.device_reads += did_io as u64;
-                        if node.is_leaf() {
-                            stats.leaves_visited += 1;
-                            // Defer the items through the heap so they are
-                            // emitted in global distance order.
-                            for e in &node.entries {
-                                heap.push(Prioritized {
-                                    dist2: e.rect.min_dist2(query),
-                                    candidate: Candidate::Item(e.to_item()),
-                                });
-                            }
-                        } else {
-                            stats.internal_visited += 1;
-                            for e in &node.entries {
-                                heap.push(Prioritized {
-                                    dist2: e.rect.min_dist2(query),
-                                    candidate: Candidate::Node(e.ptr as BlockId),
-                                });
-                            }
-                        }
                     }
                 }
             }
             Ok(())
         })();
         self.record_cache_tally(tally);
-        walk.map(|()| (out, stats))
+        walk.map(|()| stats)
     }
 }
 

@@ -21,7 +21,7 @@ use pr_em::{BlockDevice, BlockId, EmError, Record};
 /// Bytes of page header before the entry array.
 pub const PAGE_HEADER_SIZE: usize = 16;
 
-const MAGIC: [u8; 4] = *b"PRTN";
+pub(crate) const MAGIC: [u8; 4] = *b"PRTN";
 
 /// A decoded R-tree node.
 #[derive(Debug, Clone, PartialEq)]

@@ -7,8 +7,23 @@
 //!
 //! [`QueryStats`] separates leaf visits from internal visits because the
 //! paper's headline metric is leaf I/Os with all internal nodes cached.
+//!
+//! # The decode-free engine
+//!
+//! Traversal never touches a decoded [`crate::page::NodePage`]: cached
+//! nodes are SoA [`crate::soa::SoaNode`] views and uncached (leaf)
+//! visits transcode the raw page into a reusable
+//! [`QueryScratch`] buffer, so the per-node scan is the vectorized
+//! [`pr_geom::batch`] kernel and the steady-state query allocates
+//! nothing. The `_into` variants expose the scratch for reuse across
+//! queries; the plain variants wrap them with a throwaway scratch.
+//! Results, emit order, [`QueryStats`], and leaf-I/O counts are
+//! identical to the scalar AoS engine — the retained
+//! [`crate::reference`] implementation plus the property tests in
+//! `tests/engine_equivalence.rs` pin that equivalence.
 
 use crate::cache::CacheTally;
+use crate::scratch::QueryScratch;
 use crate::tree::RTree;
 use pr_em::{BlockId, EmError};
 use pr_geom::{Item, Rect};
@@ -54,22 +69,152 @@ impl<const D: usize> RTree<D> {
         &self,
         query: &Rect<D>,
     ) -> Result<(Vec<Item<D>>, QueryStats), EmError> {
+        let mut scratch = QueryScratch::new();
         let mut out = Vec::new();
-        let stats = self.traverse(query, |item| out.push(item))?;
+        let stats = self.window_into(query, &mut scratch, &mut out)?;
         Ok((out, stats))
+    }
+
+    /// [`RTree::window_with_stats`] with caller-owned buffers: results go
+    /// into `out` (cleared first) and all traversal state lives in
+    /// `scratch`, so a reused scratch makes repeated queries
+    /// allocation-free. Results and statistics are identical to the
+    /// plain variant.
+    pub fn window_into(
+        &self,
+        query: &Rect<D>,
+        scratch: &mut QueryScratch<D>,
+        out: &mut Vec<Item<D>>,
+    ) -> Result<QueryStats, EmError> {
+        out.clear();
+        self.window_traverse(query, scratch, |n| n.collect_intersecting(query, out))
     }
 
     /// Counts intersecting items without materializing them.
     pub fn window_count(&self, query: &Rect<D>) -> Result<(u64, QueryStats), EmError> {
-        let mut n = 0u64;
-        let stats = self.traverse(query, |_| n += 1)?;
-        Ok((n, stats))
+        self.window_count_into(query, &mut QueryScratch::new())
     }
 
-    /// True if any item intersects `query` (early-exit not implemented:
-    /// full traversal keeps cost accounting identical to `window`).
+    /// [`RTree::window_count`] with a reusable scratch (the
+    /// allocation-free hot path for counting workloads). Leaves are
+    /// tallied by the fused counting kernel
+    /// ([`crate::soa::SoaNode::count_intersecting`]) — no mask, no
+    /// per-match emit — with statistics identical to
+    /// [`RTree::window_with_stats`].
+    pub fn window_count_into(
+        &self,
+        query: &Rect<D>,
+        scratch: &mut QueryScratch<D>,
+    ) -> Result<(u64, QueryStats), EmError> {
+        let stats = self.window_traverse(query, scratch, |n| n.count_intersecting(query))?;
+        Ok((stats.results, stats))
+    }
+
+    /// The shared window-traversal skeleton: DFS over nodes whose boxes
+    /// intersect `query`; `leaf` inspects a leaf's SoA view and returns
+    /// how many entries matched (folded into `stats.results`). Cache
+    /// hits/misses accumulate locally and flush once at the end
+    /// (including the error path), so concurrent queries never touch
+    /// the shared counters mid-traversal yet totals stay exact; the
+    /// frozen snapshot is cloned once, making per-node lookups
+    /// lock-free after `warm_cache`.
+    fn window_traverse(
+        &self,
+        query: &Rect<D>,
+        scratch: &mut QueryScratch<D>,
+        mut leaf: impl FnMut(&crate::soa::SoaNode<D>) -> u64,
+    ) -> Result<QueryStats, EmError> {
+        let mut stats = QueryStats::default();
+        if self.is_empty() {
+            return Ok(stats);
+        }
+        let mut tally = CacheTally::default();
+        let frozen = self.frozen_snapshot();
+        let QueryScratch {
+            stack,
+            page_buf,
+            mask,
+            soa,
+            ..
+        } = scratch;
+        stack.clear();
+        stack.push(self.root());
+        let walk = (|| {
+            while let Some(page) = stack.pop() {
+                let ((), did_io) =
+                    self.with_soa_node(page, frozen.as_ref(), &mut tally, page_buf, soa, |n| {
+                        stats.nodes_visited += 1;
+                        if n.is_leaf() {
+                            stats.leaves_visited += 1;
+                            stats.results += leaf(n);
+                        } else {
+                            stats.internal_visited += 1;
+                            n.for_each_intersecting(query, mask, |i| {
+                                stack.push(n.ptr(i) as BlockId)
+                            });
+                        }
+                    })?;
+                stats.device_reads += did_io as u64;
+            }
+            Ok(())
+        })();
+        self.record_cache_tally(tally);
+        walk.map(|()| stats)
+    }
+
+    /// True if any item intersects `query`. Stops at the first
+    /// intersecting leaf entry, so it typically visits far fewer nodes
+    /// than [`RTree::window`]; it reports no [`QueryStats`] for exactly
+    /// that reason (its traversal is not the paper's full-window cost).
+    /// The `window`-path accounting is untouched by the early exit —
+    /// pinned by `existence_early_exit_leaves_window_stats_alone` below.
     pub fn intersects_any(&self, query: &Rect<D>) -> Result<bool, EmError> {
-        Ok(self.window_count(query)?.0 > 0)
+        self.intersects_any_into(query, &mut QueryScratch::new())
+    }
+
+    /// [`RTree::intersects_any`] with a reusable scratch.
+    pub fn intersects_any_into(
+        &self,
+        query: &Rect<D>,
+        scratch: &mut QueryScratch<D>,
+    ) -> Result<bool, EmError> {
+        if self.is_empty() {
+            return Ok(false);
+        }
+        let mut tally = CacheTally::default();
+        let frozen = self.frozen_snapshot();
+        let QueryScratch {
+            stack,
+            page_buf,
+            mask,
+            soa,
+            ..
+        } = scratch;
+        stack.clear();
+        stack.push(self.root());
+        let mut found = false;
+        let walk = (|| {
+            while let Some(page) = stack.pop() {
+                let (hit, _) =
+                    self.with_soa_node(page, frozen.as_ref(), &mut tally, page_buf, soa, |n| {
+                        if n.is_leaf() {
+                            n.any_intersecting(query, mask)
+                        } else {
+                            n.for_each_intersecting(query, mask, |i| {
+                                stack.push(n.ptr(i) as BlockId)
+                            });
+                            false
+                        }
+                    })?;
+                if hit {
+                    found = true;
+                    break;
+                }
+            }
+            Ok(())
+        })();
+        self.record_cache_tally(tally);
+        walk.map(|()| found)
     }
 
     /// Answers a batch of window queries across `threads` worker threads
@@ -96,73 +241,51 @@ impl<const D: usize> RTree<D> {
         }
         .min(queries.len().max(1));
         if threads <= 1 {
-            return queries.iter().map(|q| self.window_with_stats(q)).collect();
+            let mut scratch = QueryScratch::new();
+            return queries
+                .iter()
+                .map(|q| {
+                    let mut out = Vec::new();
+                    let stats = self.window_into(q, &mut scratch, &mut out)?;
+                    Ok((out, stats))
+                })
+                .collect();
         }
         // Contiguous chunks keep output order trivially reconstructible;
-        // `RTree: Sync` lets every worker borrow `self` directly.
+        // `RTree: Sync` lets every worker borrow `self` directly. Each
+        // worker owns one QueryScratch for its whole chunk, so the only
+        // per-query allocation is the result vector it returns.
         let chunk = queries.len().div_ceil(threads);
         std::thread::scope(|scope| {
             let handles: Vec<_> = queries
                 .chunks(chunk)
                 .map(|qs| {
                     scope.spawn(move || {
+                        let mut scratch = QueryScratch::new();
                         qs.iter()
-                            .map(|q| self.window_with_stats(q))
+                            .map(|q| {
+                                let mut out = Vec::new();
+                                let stats = self.window_into(q, &mut scratch, &mut out)?;
+                                Ok((out, stats))
+                            })
                             .collect::<Result<Vec<_>, EmError>>()
                     })
                 })
                 .collect();
             let mut out = Vec::with_capacity(queries.len());
             for h in handles {
-                out.extend(h.join().expect("par_windows worker panicked")?);
+                // A worker panic (poisoned query, corrupt page assertion,
+                // OOM-adjacent unwind…) must not abort the whole process
+                // hosting the tree: re-raise it on the calling thread so
+                // an embedding server's catch_unwind boundary can contain
+                // it. Remaining workers are joined by the scope on unwind.
+                match h.join() {
+                    Ok(chunk_results) => out.extend(chunk_results?),
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
             }
             Ok(out)
         })
-    }
-
-    fn traverse(
-        &self,
-        query: &Rect<D>,
-        mut emit: impl FnMut(Item<D>),
-    ) -> Result<QueryStats, EmError> {
-        let mut stats = QueryStats::default();
-        if self.is_empty() {
-            return Ok(stats);
-        }
-        // Cache hits/misses accumulate locally and flush once at the end
-        // (including the error path), so concurrent queries never touch
-        // the shared counters mid-traversal yet totals stay exact. The
-        // frozen snapshot is likewise cloned once, making the per-node
-        // lookups lock-free after warm_cache.
-        let mut tally = CacheTally::default();
-        let frozen = self.frozen_snapshot();
-        let mut stack: Vec<BlockId> = vec![self.root()];
-        let walk = (|| {
-            while let Some(page) = stack.pop() {
-                let (node, did_io) = self.read_node_tallied(page, frozen.as_ref(), &mut tally)?;
-                stats.nodes_visited += 1;
-                stats.device_reads += did_io as u64;
-                if node.is_leaf() {
-                    stats.leaves_visited += 1;
-                    for e in &node.entries {
-                        if e.rect.intersects(query) {
-                            stats.results += 1;
-                            emit(e.to_item());
-                        }
-                    }
-                } else {
-                    stats.internal_visited += 1;
-                    for e in &node.entries {
-                        if e.rect.intersects(query) {
-                            stack.push(e.ptr as BlockId);
-                        }
-                    }
-                }
-            }
-            Ok(())
-        })();
-        self.record_cache_tally(tally);
-        walk.map(|()| stats)
     }
 }
 
@@ -270,6 +393,138 @@ mod tests {
         assert!(!t
             .intersects_any(&Rect::xyxy(50.0, 50.0, 51.0, 51.0))
             .unwrap());
+    }
+
+    #[test]
+    fn existence_early_exit_leaves_window_stats_alone() {
+        let (t, _) = grid_tree();
+        t.warm_cache().unwrap();
+        let q = Rect::xyxy(0.0, 0.0, 8.0, 1.0); // hits every leaf
+        let (_, before) = t.window_with_stats(&q).unwrap();
+        assert_eq!(before.leaves_visited, 4);
+
+        // The early exit really does stop at the first intersecting
+        // leaf: with the cache disabled every node visit is one device
+        // read, so the I/O delta counts visits.
+        t.set_cache_policy(crate::cache::CachePolicy::None);
+        let io0 = t.device().io_stats();
+        assert!(t.intersects_any(&q).unwrap());
+        let exist_reads = t.device().io_stats().since(io0).reads;
+        assert_eq!(exist_reads, 2, "root + first intersecting leaf only");
+
+        let io0 = t.device().io_stats();
+        let (_, full) = t.window_with_stats(&q).unwrap();
+        assert_eq!(t.device().io_stats().since(io0).reads, 5);
+
+        // And the window path's accounting is untouched by the early
+        // exit: same stats before and after, with either cache policy.
+        assert_eq!(full.leaves_visited, before.leaves_visited);
+        assert_eq!(full.results, before.results);
+        t.set_cache_policy(crate::cache::CachePolicy::InternalNodes);
+        t.warm_cache().unwrap();
+        assert!(t.intersects_any(&q).unwrap());
+        let (_, after) = t.window_with_stats(&q).unwrap();
+        assert_eq!(after, before, "window stats unchanged by intersects_any");
+
+        // Misses still answer false (and must scan everything).
+        assert!(!t
+            .intersects_any(&Rect::xyxy(50.0, 50.0, 51.0, 51.0))
+            .unwrap());
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_queries() {
+        let (t, items) = grid_tree();
+        t.warm_cache().unwrap();
+        let mut scratch = crate::scratch::QueryScratch::new();
+        let mut out = Vec::new();
+        for (xmin, xmax) in [(0.0, 8.0), (1.2, 3.4), (-5.0, -1.0), (0.75, 0.8)] {
+            let q = Rect::xyxy(xmin, 0.2, xmax, 0.8);
+            let stats = t.window_into(&q, &mut scratch, &mut out).unwrap();
+            let (want, want_stats) = t.window_with_stats(&q).unwrap();
+            assert_eq!(out, want, "query {q:?}");
+            assert_eq!(stats, want_stats);
+            let (n, count_stats) = t.window_count_into(&q, &mut scratch).unwrap();
+            assert_eq!(n, want.len() as u64);
+            assert_eq!(count_stats, want_stats);
+            let mut brute = brute_force_window(&items, &q);
+            let mut got = out.clone();
+            got.sort_by_key(|i| i.id);
+            brute.sort_by_key(|i| i.id);
+            assert_eq!(got, brute);
+        }
+    }
+
+    /// A worker panic must propagate to the caller as an unwind (catchable
+    /// by a server's `catch_unwind` boundary), not abort the process.
+    #[test]
+    fn par_windows_propagates_worker_panics() {
+        use pr_em::IoCounters;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        /// Forwards to a MemDevice but panics on reads of one block.
+        struct PanickyDevice {
+            inner: MemDevice,
+            poison: std::sync::atomic::AtomicU64,
+        }
+        impl BlockDevice for PanickyDevice {
+            fn block_size(&self) -> usize {
+                self.inner.block_size()
+            }
+            fn num_blocks(&self) -> u64 {
+                self.inner.num_blocks()
+            }
+            fn allocate(&self, n: u64) -> BlockId {
+                self.inner.allocate(n)
+            }
+            fn read_block(&self, block: BlockId, buf: &mut [u8]) -> Result<(), EmError> {
+                if block == self.poison.load(std::sync::atomic::Ordering::Relaxed) {
+                    panic!("injected poison read of block {block}");
+                }
+                self.inner.read_block(block, buf)
+            }
+            fn write_block(&self, block: BlockId, buf: &[u8]) -> Result<(), EmError> {
+                self.inner.write_block(block, buf)
+            }
+            fn counters(&self) -> &std::sync::Arc<IoCounters> {
+                self.inner.counters()
+            }
+        }
+
+        let dev = Arc::new(PanickyDevice {
+            inner: MemDevice::new(4096),
+            poison: std::sync::atomic::AtomicU64::new(u64::MAX),
+        });
+        let entries: Vec<Entry<2>> = (0..64u32)
+            .map(|i| {
+                let f = i as f64;
+                Entry::new(Rect::xyxy(f, 0.0, f + 0.5, 1.0), i)
+            })
+            .collect();
+        let tree = crate::writer::build_packed(
+            Arc::clone(&dev) as Arc<dyn BlockDevice>,
+            TreeParams::with_cap::<2>(8),
+            &entries,
+        )
+        .unwrap();
+        // Leaves must be re-read per query for the poison to trigger.
+        tree.set_cache_policy(crate::cache::CachePolicy::InternalNodes);
+        tree.warm_cache().unwrap();
+        let queries = vec![Rect::xyxy(0.0, 0.0, 64.0, 1.0); 8];
+        // Sanity: healthy device answers across 2 workers.
+        let ok = tree.par_windows(&queries, 2).unwrap();
+        assert_eq!(ok.len(), 8);
+
+        dev.poison.store(1, std::sync::atomic::Ordering::Relaxed); // first leaf page
+        let caught = catch_unwind(AssertUnwindSafe(|| tree.par_windows(&queries, 2)));
+        assert!(caught.is_err(), "worker panic must unwind, not abort");
+
+        // The tree (and process) survive: heal the device and query again.
+        dev.poison
+            .store(u64::MAX, std::sync::atomic::Ordering::Relaxed);
+        let healed = tree.par_windows(&queries, 2).unwrap();
+        assert_eq!(healed.len(), 8);
+        assert_eq!(healed[0].0.len(), 64);
     }
 
     #[test]

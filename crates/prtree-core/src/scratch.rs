@@ -1,0 +1,66 @@
+//! Reusable per-query scratch state — the allocation-free traversal.
+//!
+//! Every buffer a query needs lives here: the DFS stack, the raw-page
+//! read buffer and the SoA transcode target for uncached (leaf) visits,
+//! the match mask the batch kernels write, and the k-NN candidate heap
+//! plus its batched-distance buffer. A [`QueryScratch`] is created once
+//! and threaded through the `_into` variants
+//! ([`crate::tree::RTree::window_into`],
+//! [`crate::tree::RTree::window_count_into`],
+//! [`crate::tree::RTree::nearest_neighbors_into`],
+//! [`crate::tree::RTree::intersects_any_into`]); after the first few
+//! queries sized the buffers, the steady-state hot path performs **zero
+//! heap allocations per query**. `par_windows` gives each worker thread
+//! one scratch for its whole chunk.
+//!
+//! The convenience wrappers (`window`, `window_count`, …) construct a
+//! fresh scratch per call, so one-shot callers pay only what the old
+//! engine already paid.
+
+use crate::knn::Prioritized;
+use crate::soa::SoaNode;
+use pr_em::BlockId;
+use std::collections::BinaryHeap;
+
+/// Reusable buffers for window and k-NN queries (see module docs).
+///
+/// The contents are an implementation detail: a scratch carries no
+/// query state between calls other than retained capacity, so one
+/// scratch may serve any number of queries against any number of trees
+/// of the same dimension `D`, one at a time.
+pub struct QueryScratch<const D: usize> {
+    /// DFS stack of pages still to visit.
+    pub(crate) stack: Vec<BlockId>,
+    /// Raw page buffer for device reads on cache misses.
+    pub(crate) page_buf: Vec<u8>,
+    /// Per-entry match mask written by the batch kernels.
+    pub(crate) mask: Vec<u8>,
+    /// SoA transcode target for uncached nodes (leaves, in the paper's
+    /// cache-all-internal-nodes steady state).
+    pub(crate) soa: SoaNode<D>,
+    /// Batched `min_dist2` output (k-NN).
+    pub(crate) dist: Vec<f64>,
+    /// Best-first candidate heap (k-NN).
+    pub(crate) heap: BinaryHeap<Prioritized<D>>,
+}
+
+impl<const D: usize> QueryScratch<D> {
+    /// Creates an empty scratch; buffers grow to steady-state sizes on
+    /// first use and are reused afterwards.
+    pub fn new() -> Self {
+        QueryScratch {
+            stack: Vec::new(),
+            page_buf: Vec::new(),
+            mask: Vec::new(),
+            soa: SoaNode::new_empty(),
+            dist: Vec::new(),
+            heap: BinaryHeap::new(),
+        }
+    }
+}
+
+impl<const D: usize> Default for QueryScratch<D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}

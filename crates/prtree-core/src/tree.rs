@@ -9,6 +9,7 @@ use crate::cache::{CachePolicy, CacheTally, FrozenMap, ShardedNodeCache};
 use crate::meta::TreeMeta;
 use crate::page::NodePage;
 use crate::params::TreeParams;
+use crate::soa::SoaNode;
 use pr_em::{BlockDevice, BlockId, EmError};
 use pr_geom::Item;
 use std::sync::Arc;
@@ -159,35 +160,68 @@ impl<const D: usize> RTree<D> {
         &self.cache
     }
 
-    /// Reads a node through the cache. Returns the node and whether the
-    /// read hit the device (`true` = one real I/O).
+    /// Reads a node through the cache in decoded AoS form. Returns the
+    /// node and whether the read hit the device (`true` = one real I/O).
+    ///
+    /// This is the **maintenance/write boundary**: the cache stores
+    /// [`SoaNode`]s, so a cache hit converts back to a [`NodePage`]
+    /// (one allocation). Dynamic updates, validation, and the bulk-load
+    /// inspectors use this; the query hot path goes through
+    /// [`RTree::with_soa_node`] instead and never materializes entries.
     pub fn read_node(&self, page: BlockId) -> Result<(Arc<NodePage<D>>, bool), EmError> {
         if let Some(n) = self.cache.get(page) {
-            return Ok((n, false));
+            return Ok((Arc::new(n.to_page()), false));
         }
-        let node = Arc::new(NodePage::read(self.dev.as_ref(), page)?);
-        self.cache.admit(page, &node);
-        Ok((node, true))
+        let node = NodePage::read(self.dev.as_ref(), page)?;
+        self.cache.admit(page, &Arc::new(SoaNode::from_page(&node)));
+        Ok((Arc::new(node), true))
     }
 
-    /// [`RTree::read_node`], but hit/miss accounting goes into `tally`
-    /// instead of the shared counters, and internal-node hits resolve
-    /// through the query's `frozen` snapshot (no shared lock or refcount
-    /// traffic per node). Query loops grab the snapshot once via
-    /// [`RTree::frozen_snapshot`] and must flush the tally with
-    /// [`RTree::record_cache_tally`].
-    pub(crate) fn read_node_tallied(
+    /// The decode-free node access of the query engine: resolves `page`
+    /// and runs `f` against its SoA view *in place*, returning `f`'s
+    /// result and whether the read hit the device.
+    ///
+    /// * Cache hit: `f` runs against the cached [`SoaNode`] — on the
+    ///   post-warm frozen snapshot this is one `HashMap` probe with no
+    ///   lock and no `Arc` clone.
+    /// * Miss: the raw page is read into `page_buf` and transcoded into
+    ///   `soa` (both caller-owned, reused across queries via
+    ///   [`crate::scratch::QueryScratch`]), allocating nothing unless
+    ///   the cache policy wants to retain the node.
+    ///
+    /// Hit/miss accounting goes into `tally`; flush it once per query
+    /// with [`RTree::record_cache_tally`].
+    pub(crate) fn with_soa_node<R>(
         &self,
         page: BlockId,
         frozen: Option<&FrozenMap<D>>,
         tally: &mut CacheTally,
-    ) -> Result<(Arc<NodePage<D>>, bool), EmError> {
-        if let Some(n) = self.cache.get_tallied(page, frozen, tally) {
-            return Ok((n, false));
+        page_buf: &mut Vec<u8>,
+        soa: &mut SoaNode<D>,
+        f: impl FnOnce(&SoaNode<D>) -> R,
+    ) -> Result<(R, bool), EmError> {
+        let mut f = Some(f);
+        if let Some(r) = self
+            .cache
+            .lookup_with(page, frozen, |n| (f.take().expect("first use"))(n))
+        {
+            tally.hits += 1;
+            return Ok((r, false));
         }
-        let node = Arc::new(NodePage::read(self.dev.as_ref(), page)?);
-        self.cache.admit(page, &node);
-        Ok((node, true))
+        tally.misses += 1;
+        // Zero-copy read: the device exposes the raw page bytes and the
+        // transcode is the only pass over them ([`BlockDevice::with_block`]
+        // skips the page-sized memcpy for in-memory backends).
+        let mut transcoded = Ok(());
+        self.dev.with_block(page, page_buf, &mut |bytes| {
+            transcoded = soa.refill_from_bytes(bytes);
+        })?;
+        transcoded?;
+        if self.cache.wants(soa.level()) {
+            self.cache.admit(page, &Arc::new(soa.clone()));
+        }
+        let f = f.take().expect("miss path runs f once");
+        Ok((f(soa), true))
     }
 
     /// The cache's post-warm snapshot, cloned once per query.
@@ -201,10 +235,11 @@ impl<const D: usize> RTree<D> {
     }
 
     /// Writes a node page and invalidates (then re-admits) its cache slot.
-    /// Used by dynamic updates.
+    /// Used by dynamic updates. The AoS page is transcoded to its SoA
+    /// form at this boundary so queries keep reading columns.
     pub fn write_node(&self, page: BlockId, node: &NodePage<D>) -> Result<(), EmError> {
         node.write(self.dev.as_ref(), page)?;
-        let arc = Arc::new(node.clone());
+        let arc = Arc::new(SoaNode::from_page(node));
         self.cache.invalidate(page);
         self.cache.admit(page, &arc);
         Ok(())

@@ -53,9 +53,11 @@ fn usage() {
          \x20       KIND: uniform | size | tiger-east | tiger-west   (default uniform)\n\
          \x20       L:    PR | H | H4 | TGS | STR                    (default PR)\n\
          \x20       C:    entries per node (default: the paper's 113 / 4KB pages)\n\
-         \x20 query FILE --window X1,Y1,X2,Y2 [--expect N] [--verbose]\n\
+         \x20 query FILE --window X1,Y1,X2,Y2 [--expect N] [--verbose] [--repeat R]\n\
          \x20       reopen FILE and run one window query (--expect N: exit 1 unless\n\
-         \x20       exactly N results — used by CI roundtrips)\n\
+         \x20       exactly N results — used by CI roundtrips; --repeat R: rerun the\n\
+         \x20       query R times through one reused scratch and report warm-cache\n\
+         \x20       throughput of the decode-free engine)\n\
          \x20 knn FILE --point X,Y [--k K]\n\
          \x20       reopen FILE and report the K nearest rectangles (default K=5)\n\
          \x20 stats FILE [--no-verify]\n\
@@ -237,7 +239,7 @@ fn open_2d(path: &str) -> Result<RTree<2>, i32> {
 }
 
 fn cmd_query(args: &[String]) -> i32 {
-    let opts = match Opts::parse(args, &["window", "expect"], &["verbose"]) {
+    let opts = match Opts::parse(args, &["window", "expect", "repeat"], &["verbose"]) {
         Ok(o) => o,
         Err(e) => return fail(e),
     };
@@ -302,6 +304,32 @@ fn cmd_query(args: &[String]) -> i32 {
             }
             Err(_) => return fail("--expect expects an integer"),
         }
+    }
+    if let Some(repeat) = opts.get("repeat") {
+        let reps: usize = match repeat.parse() {
+            Ok(r) if r > 0 => r,
+            _ => return fail("--repeat expects a positive integer"),
+        };
+        // Warm-cache hot loop: one QueryScratch reused across all runs,
+        // so after the first iteration the traversal allocates nothing.
+        let mut scratch = pr_tree::QueryScratch::new();
+        let mut out = Vec::new();
+        let t0 = Instant::now();
+        let mut total = 0u64;
+        for _ in 0..reps {
+            match tree.window_into(&q, &mut scratch, &mut out) {
+                Ok(_) => total += out.len() as u64,
+                Err(e) => return fail(e),
+            }
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        println!(
+            "hot loop: {reps} runs in {:.1} ms — {:.1} µs/query, {:.0} queries/s ({} results/run)",
+            secs * 1e3,
+            secs / reps as f64 * 1e6,
+            reps as f64 / secs,
+            total / reps as u64,
+        );
     }
     0
 }
