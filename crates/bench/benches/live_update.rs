@@ -1,0 +1,246 @@
+//! `live_update`: mixed read/write throughput of the durable live index
+//! (`pr-live`) — WAL-acknowledged ingest, deletes, and snapshot queries
+//! racing background merges.
+//!
+//! Three headline numbers, written to `BENCH_live_update.json`:
+//!
+//! * **ingest throughput** — batched, WAL-fsynced inserts per second
+//!   (every batch durable before it is acknowledged);
+//! * **mixed read/write** — a writer ingesting while a reader runs
+//!   window queries on epoch-pinned snapshots: both rates, measured
+//!   simultaneously, plus the reader's mean latency *under* ingest;
+//! * **reopen** — crash-recovery time back to the first answered query.
+//!
+//! A correctness gate runs first: a serial mixed insert/delete workload
+//! must match a brute-force oracle exactly, and the concurrent phase
+//! re-verifies every sampled snapshot against the prefix invariant.
+//! Set `PRTREE_REQUIRE_LIVE_RATE=1` to assert ≥ 10k acked inserts/s
+//! (off by default: shared runners throttle).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pr_geom::{Item, Rect};
+use pr_live::{LiveIndex, LiveOptions};
+use pr_tree::{QueryScratch, TreeParams};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+const INGEST_N: u32 = 50_000;
+const BATCH: usize = 512;
+const BUFFER_CAP: usize = 4096;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pr-bench-live-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn opts(background: bool) -> LiveOptions {
+    LiveOptions {
+        buffer_cap: BUFFER_CAP,
+        background_merge: background,
+        backpressure_factor: 4,
+    }
+}
+
+fn params() -> TreeParams {
+    TreeParams::paper_2d()
+}
+
+fn item(i: u32) -> Item<2> {
+    let x = ((i as f64 * 0.754_877_666) % 1.0).abs();
+    let y = ((i as f64 * 0.569_840_290) % 1.0).abs();
+    Item::new(Rect::xyxy(x, y, x, y), i)
+}
+
+fn query(i: usize) -> Rect<2> {
+    let f = (i as f64 * 0.381_966) % 0.9;
+    Rect::xyxy(f, f, f + 0.1, f + 0.1)
+}
+
+/// Serial mixed workload vs brute force — no timing until this passes.
+fn correctness_gate() {
+    let dir = tmpdir("gate");
+    let ix = LiveIndex::<2>::create(&dir, params(), opts(false)).unwrap();
+    let mut oracle: Vec<Item<2>> = Vec::new();
+    let mut scratch = QueryScratch::new();
+    let mut out = Vec::new();
+    for k in 0..3000u32 {
+        if k % 4 == 3 && !oracle.is_empty() {
+            let victim = oracle[(k as usize * 7) % oracle.len()];
+            assert!(ix.delete(&victim).unwrap());
+            oracle.retain(|i| i != &victim);
+        } else {
+            ix.insert(item(k)).unwrap();
+            oracle.push(item(k));
+        }
+        if k % 500 == 499 {
+            let snap = ix.snapshot();
+            for qi in 0..8 {
+                let q = query(qi);
+                snap.window_into(&q, &mut scratch, &mut out).unwrap();
+                let mut got: Vec<u32> = out.iter().map(|i| i.id).collect();
+                let mut want: Vec<u32> = oracle
+                    .iter()
+                    .filter(|i| i.rect.intersects(&q))
+                    .map(|i| i.id)
+                    .collect();
+                got.sort_unstable();
+                want.sort_unstable();
+                assert_eq!(got, want, "gate: op {k} query {qi}");
+            }
+        }
+    }
+    drop(ix);
+    // Durability leg of the gate: reopen recovers everything acked.
+    let ix = LiveIndex::<2>::open(&dir, opts(false)).unwrap();
+    assert_eq!(ix.len(), oracle.len() as u64);
+    std::fs::remove_dir_all(&dir).ok();
+    println!("live_update gate: serial mixed workload + reopen match brute force");
+}
+
+/// Batched, durable ingest of `n` items; returns acked items/s.
+fn timed_ingest(dir: &Path, n: u32, background: bool) -> f64 {
+    let ix = LiveIndex::<2>::create(dir, params(), opts(background)).unwrap();
+    let items: Vec<Item<2>> = (0..n).map(item).collect();
+    let t0 = Instant::now();
+    for chunk in items.chunks(BATCH) {
+        ix.insert_batch(chunk).unwrap();
+    }
+    let acked = t0.elapsed().as_secs_f64();
+    ix.wait_idle().unwrap();
+    assert_eq!(ix.len(), n as u64);
+    n as f64 / acked.max(1e-9)
+}
+
+struct MixedOutcome {
+    inserts_per_s: f64,
+    queries_per_s: f64,
+    query_mean_us: f64,
+}
+
+/// Writer ingests while a reader queries snapshots; both rates measured
+/// over the same wall-clock window, snapshots verified for the prefix
+/// invariant.
+fn mixed_read_write(dir: &Path) -> MixedOutcome {
+    let ix = LiveIndex::<2>::create(dir, params(), opts(true)).unwrap();
+    let stop = AtomicBool::new(false);
+    let queries_done = AtomicU64::new(0);
+    let query_nanos = AtomicU64::new(0);
+    let mut write_secs = 0.0;
+    std::thread::scope(|s| {
+        let ix = &ix;
+        let stop = &stop;
+        let queries_done = &queries_done;
+        let query_nanos = &query_nanos;
+        let writer = s.spawn(move || {
+            let items: Vec<Item<2>> = (0..INGEST_N).map(item).collect();
+            let t0 = Instant::now();
+            for chunk in items.chunks(BATCH) {
+                ix.insert_batch(chunk).unwrap();
+            }
+            let secs = t0.elapsed().as_secs_f64();
+            stop.store(true, Ordering::Release);
+            secs
+        });
+        s.spawn(move || {
+            let mut scratch = QueryScratch::new();
+            let mut out = Vec::new();
+            let mut qi = 0usize;
+            while !stop.load(Ordering::Acquire) {
+                let snap = ix.snapshot();
+                let t0 = Instant::now();
+                snap.window_into(&query(qi), &mut scratch, &mut out)
+                    .unwrap();
+                query_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                queries_done.fetch_add(1, Ordering::Relaxed);
+                // Prefix invariant: a snapshot of an insert-only run is
+                // exactly the items 0..len.
+                let k = snap.len();
+                assert!(out.iter().all(|i| (i.id as u64) < k), "snapshot torn");
+                qi += 1;
+            }
+        });
+        write_secs = writer.join().unwrap();
+    });
+    ix.wait_idle().unwrap();
+    assert_eq!(ix.len(), INGEST_N as u64);
+    let q = queries_done.load(Ordering::Relaxed).max(1);
+    MixedOutcome {
+        inserts_per_s: INGEST_N as f64 / write_secs.max(1e-9),
+        queries_per_s: q as f64 / write_secs.max(1e-9),
+        query_mean_us: query_nanos.load(Ordering::Relaxed) as f64 / q as f64 / 1e3,
+    }
+}
+
+/// Crash-reopen (WAL replay + component open) to the first answer.
+fn timed_reopen(dir: &Path) -> f64 {
+    let t0 = Instant::now();
+    let ix = LiveIndex::<2>::open(dir, opts(true)).unwrap();
+    let snap = ix.snapshot();
+    let hits = snap.window(&query(3)).unwrap();
+    criterion::black_box(hits.len());
+    t0.elapsed().as_secs_f64()
+}
+
+fn bench_live_update(c: &mut Criterion) {
+    correctness_gate();
+
+    // Criterion group: steady-state durable ingest (fresh dir per pass).
+    let mut group = c.benchmark_group("live_update_50k");
+    group.sample_size(10);
+    let mut pass = 0u32;
+    group.bench_function("durable_ingest_batched", |b| {
+        b.iter(|| {
+            pass += 1;
+            let dir = tmpdir(&format!("crit-{pass}"));
+            let rate = timed_ingest(&dir, INGEST_N, true);
+            std::fs::remove_dir_all(&dir).ok();
+            rate as u64
+        });
+    });
+    group.finish();
+
+    // Headline numbers.
+    let dir = tmpdir("ingest");
+    let ingest_rate = timed_ingest(&dir, INGEST_N, true);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let dir = tmpdir("mixed");
+    let mixed = mixed_read_write(&dir);
+    let reopen_s = timed_reopen(&dir);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let row = format!(
+        "{{\n  \"experiment\": \"live_update\",\n  \"n\": {INGEST_N},\n  \
+         \"batch\": {BATCH},\n  \"buffer_cap\": {BUFFER_CAP},\n  \
+         \"durability\": \"fsync per batch, ack after fsync\",\n  \
+         \"ingest_items_per_s\": {:.0},\n  \
+         \"mixed_inserts_per_s\": {:.0},\n  \"mixed_queries_per_s\": {:.0},\n  \
+         \"mixed_query_mean_us\": {:.1},\n  \
+         \"reopen_to_first_answer_ms\": {:.1},\n  \
+         \"gate\": \"serial oracle + snapshot prefix invariant + reopen\"\n}}\n",
+        ingest_rate,
+        mixed.inserts_per_s,
+        mixed.queries_per_s,
+        mixed.query_mean_us,
+        reopen_s * 1e3,
+    );
+    println!("{row}");
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_live_update.json");
+    if let Err(e) = std::fs::write(&out, &row) {
+        eprintln!("warning: could not write {}: {e}", out.display());
+    } else {
+        println!("wrote {}", out.display());
+    }
+
+    if std::env::var("PRTREE_REQUIRE_LIVE_RATE").as_deref() == Ok("1") {
+        assert!(
+            ingest_rate >= 10_000.0,
+            "durable ingest {ingest_rate:.0} items/s < 10k/s acceptance threshold"
+        );
+    }
+}
+
+criterion_group!(benches, bench_live_update);
+criterion_main!(benches);

@@ -193,6 +193,34 @@ impl PositionedFile {
         }
     }
 
+    /// Forces data *and all metadata* (including the length) to disk.
+    /// Write-ahead-log segments use this when the commit point is the
+    /// record reaching the file, not a later superblock flip.
+    pub fn sync_all(&self) -> std::io::Result<()> {
+        #[cfg(unix)]
+        {
+            self.file.sync_all()
+        }
+        #[cfg(not(unix))]
+        {
+            self.file.lock().sync_all()
+        }
+    }
+
+    /// Truncates (or extends, zero-filled) the file to `len` bytes.
+    /// WAL recovery uses this to chop a torn tail off a log segment so
+    /// later appends land on a clean boundary.
+    pub fn set_len(&self, len: u64) -> std::io::Result<()> {
+        #[cfg(unix)]
+        {
+            self.file.set_len(len)
+        }
+        #[cfg(not(unix))]
+        {
+            self.file.lock().set_len(len)
+        }
+    }
+
     /// Current file length in bytes.
     pub fn len(&self) -> std::io::Result<u64> {
         #[cfg(unix)]
@@ -208,6 +236,25 @@ impl PositionedFile {
     /// True when the file is empty.
     pub fn is_empty(&self) -> std::io::Result<bool> {
         Ok(self.len()? == 0)
+    }
+}
+
+/// Fsyncs a **directory**, making recent entry operations in it (file
+/// creation, deletion, rename) durable. POSIX only promises that a
+/// rename or a freshly created file survives a crash once its parent
+/// directory is synced; WAL segment rotation and the atomic-rename
+/// store compaction in `pr-live` call this after every such step. On
+/// non-unix platforms this is a best-effort no-op (the rename itself is
+/// still atomic; only its crash-durability ordering is weaker).
+pub fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
     }
 }
 

@@ -32,7 +32,9 @@ pub mod sort;
 pub mod stats;
 pub mod stream;
 
-pub use device::{BlockDevice, BlockId, FileDevice, MemDevice, PositionedFile, DEFAULT_BLOCK_SIZE};
+pub use device::{
+    fsync_dir, BlockDevice, BlockId, FileDevice, MemDevice, PositionedFile, DEFAULT_BLOCK_SIZE,
+};
 pub use error::EmError;
 pub use pool::BufferPool;
 pub use sort::{external_sort, external_sort_by, SortConfig};

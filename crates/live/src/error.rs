@@ -1,0 +1,95 @@
+//! Live-index error type.
+
+use pr_em::EmError;
+use pr_store::StoreError;
+use std::fmt;
+
+/// Errors surfaced by the live index lifecycle and write path.
+#[derive(Debug)]
+pub enum LiveError {
+    /// Underlying OS-level I/O failure.
+    Io(std::io::Error),
+    /// An error bubbled up from the substrate (device layer).
+    Em(EmError),
+    /// An error bubbled up from the snapshot store.
+    Store(StoreError),
+    /// A WAL or manifest record failed to decode past recovery.
+    Corrupt(String),
+    /// Another process holds the index directory's exclusive lock.
+    /// Opening an index — even for read-only CLI queries — mutates
+    /// shared state (torn-tail truncation, temp-file cleanup), so
+    /// concurrent opens are refused rather than risking corruption.
+    Locked(std::path::PathBuf),
+    /// A test-injected crash point fired (failure-injection harness
+    /// only; never produced in normal operation).
+    Injected(&'static str),
+}
+
+impl fmt::Display for LiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiveError::Io(e) => write!(f, "I/O error: {e}"),
+            LiveError::Em(e) => write!(f, "substrate error: {e}"),
+            LiveError::Store(e) => write!(f, "store error: {e}"),
+            LiveError::Corrupt(msg) => write!(f, "corrupt live index: {msg}"),
+            LiveError::Locked(dir) => write!(
+                f,
+                "live index at {} is locked by another process",
+                dir.display()
+            ),
+            LiveError::Injected(point) => write!(f, "injected crash at {point}"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LiveError::Io(e) => Some(e),
+            LiveError::Em(e) => Some(e),
+            LiveError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LiveError {
+    fn from(e: std::io::Error) -> Self {
+        LiveError::Io(e)
+    }
+}
+
+impl From<EmError> for LiveError {
+    fn from(e: EmError) -> Self {
+        match e {
+            EmError::Io(io) => LiveError::Io(io),
+            other => LiveError::Em(other),
+        }
+    }
+}
+
+impl From<StoreError> for LiveError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::Io(io) => LiveError::Io(io),
+            other => LiveError::Store(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e: LiveError = std::io::Error::other("disk gone").into();
+        assert!(e.to_string().contains("disk gone"));
+        let e: LiveError = EmError::ReadOnly.into();
+        assert!(e.to_string().contains("read-only"));
+        let e: LiveError = StoreError::BadMagic.into();
+        assert!(e.to_string().contains("magic"));
+        assert!(LiveError::Corrupt("x".into()).to_string().contains("x"));
+        assert!(LiveError::Injected("p").to_string().contains("p"));
+    }
+}

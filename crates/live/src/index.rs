@@ -1,0 +1,1011 @@
+//! [`LiveIndex`]: the durable, reader-concurrent face of the LPR-tree.
+//!
+//! ## Moving parts
+//!
+//! * **WAL** ([`crate::wal`]) — every insert/delete is appended and
+//!   `fsync`ed before it is acknowledged or becomes visible.
+//! * **Memtable** ([`crate::memtable`]) — acknowledged writes accumulate
+//!   here; queries scan it alongside the components.
+//! * **Components** — bulk-loaded PR-trees in geometric slots
+//!   ([`GeometricPolicy`]), persisted in one `pr-store` file and opened
+//!   through checksum-verifying, snapshot-pinned devices.
+//! * **Merges** ([`crate::merge`]) — a memtable overflow seals it into
+//!   an immutable batch and merges batch + lower components into a new
+//!   bulk-loaded component, committed atomically (pages + manifest +
+//!   superblock flip) before the WAL's old segments are pruned.
+//!
+//! ## Locking discipline
+//!
+//! * `writer` (mutex) — serializes every mutation: WAL append, sequence
+//!   assignment, and all `core` writes happen while holding it.
+//! * `core` (rwlock) — the queryable state. **Write-locked only while
+//!   `writer` is held**, and only for O(memtable) pointer swaps — never
+//!   across I/O. Readers take the read lock just long enough to clone a
+//!   [`LiveSnapshot`] (memtable copy + `Arc` bumps), then query
+//!   entirely off-lock through the PR 3 decode-free engine.
+//! * `maintenance` (mutex) — serializes whole merges end-to-end.
+//!
+//! Consequence: readers never wait on a merge (its long phases hold no
+//! core lock; its swap is a pointer exchange), and a snapshot taken at
+//! any moment is a clean op-boundary cut that stays frozen — pinned
+//! store devices keep serving replaced components, even after the store
+//! file itself is compact-rewritten.
+
+use crate::error::LiveError;
+use crate::manifest::LiveManifest;
+use crate::memtable::Memtable;
+use crate::merge::{run_merge, MergeKind};
+use crate::wal::{Wal, WalOp, WalRecord};
+use parking_lot::{Mutex, RwLock};
+use pr_geom::{Item, Point, Rect};
+use pr_store::Store;
+use pr_tree::dynamic::{same_identity, GeometricPolicy, Tombstones};
+use pr_tree::{QueryScratch, QueryStats, RTree, TreeParams};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs for a [`LiveIndex`].
+#[derive(Debug, Clone, Copy)]
+pub struct LiveOptions {
+    /// Memtable seal threshold (the logarithmic method's buffer size).
+    pub buffer_cap: usize,
+    /// Run merges on a dedicated background thread (`true`) or inline on
+    /// the overflowing writer (`false`). Readers never block either way;
+    /// background mode also keeps *writers* responsive during merges.
+    pub background_merge: bool,
+    /// Background mode only: writers stall (briefly, on a condvar) once
+    /// the memtable exceeds `backpressure_factor * buffer_cap` while a
+    /// sealed batch is still being merged, bounding memory.
+    pub backpressure_factor: usize,
+}
+
+impl Default for LiveOptions {
+    fn default() -> Self {
+        LiveOptions {
+            buffer_cap: 1024,
+            background_merge: true,
+            backpressure_factor: 4,
+        }
+    }
+}
+
+/// Failure-injection points for crash-recovery tests. `#[doc(hidden)]`:
+/// not part of the public API contract.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Die after the WAL rotation (segments fsynced) but before the
+    /// store commit — the manifest flip never happens.
+    BeforeCommit = 1,
+    /// Die after the store commit (manifest flipped, durable) but before
+    /// the in-memory swap and WAL pruning.
+    AfterCommit = 2,
+}
+
+/// The queryable state, swapped atomically under the core write lock.
+pub(crate) struct Core<const D: usize> {
+    pub(crate) memtable: Memtable<D>,
+    /// A sealed (immutable) memtable awaiting its merge.
+    pub(crate) sealed: Option<Arc<Vec<Item<D>>>>,
+    /// Geometric component slots; every tree is store-backed and warmed.
+    pub(crate) components: Vec<Option<Arc<RTree<D>>>>,
+    /// Dead identities among sealed + components (never the memtable).
+    pub(crate) tombstones: Arc<Tombstones<D>>,
+    /// Live item count.
+    pub(crate) live: u64,
+    /// Highest acknowledged (fsynced + applied) WAL sequence.
+    pub(crate) durable_seq: u64,
+    /// The committed manifest's WAL cut.
+    pub(crate) merged_seq: u64,
+    /// Completed merge commits this process.
+    pub(crate) merges: u64,
+}
+
+pub(crate) struct WriterState {
+    pub(crate) wal: Wal,
+    /// Next sequence number to assign.
+    pub(crate) next_seq: u64,
+}
+
+/// Background-worker signaling.
+pub(crate) struct Signal {
+    pub(crate) merge: bool,
+    pub(crate) full: bool,
+    pub(crate) shutdown: bool,
+    /// True from the moment the worker claims a request (clearing its
+    /// flag) until its merge finishes — without this, `wait_idle` could
+    /// observe cleared flags + no sealed batch while the worker is still
+    /// between claiming and sealing, and report idle too early.
+    pub(crate) busy: bool,
+    /// First error a background merge hit (surfaced by flush/wait_idle).
+    pub(crate) error: Option<String>,
+}
+
+pub(crate) struct LiveInner<const D: usize> {
+    pub(crate) dir: PathBuf,
+    pub(crate) params: TreeParams,
+    pub(crate) opts: LiveOptions,
+    pub(crate) policy: GeometricPolicy,
+    pub(crate) writer: Mutex<WriterState>,
+    pub(crate) core: RwLock<Core<D>>,
+    pub(crate) store: Mutex<Store>,
+    pub(crate) maintenance: Mutex<()>,
+    pub(crate) signal: StdMutex<Signal>,
+    pub(crate) cv: Condvar,
+    /// Failure injection: 0 = none, else a [`CrashPoint`] discriminant,
+    /// consumed by the next merge.
+    pub(crate) crash_at: AtomicU8,
+    /// Held exclusive lock on `dir/LOCK` for this index's lifetime
+    /// (released by the OS when the file closes, crash included).
+    _lock: std::fs::File,
+}
+
+impl<const D: usize> Core<D> {
+    /// Counts stored copies (sealed batch + every component) of `item`'s
+    /// exact bit identity. This is the **one** implementation of the
+    /// copies-vs-tombstones liveness decision — the live delete path and
+    /// WAL-replay re-derivation both call it, so their equivalence (which
+    /// crash recovery depends on) is structural, not copy-paste.
+    pub(crate) fn stored_copies(
+        &self,
+        item: &Item<D>,
+        scratch: &mut QueryScratch<D>,
+        hits: &mut Vec<Item<D>>,
+    ) -> Result<u64, LiveError> {
+        let mut copies = 0u64;
+        if let Some(sealed) = &self.sealed {
+            copies += sealed.iter().filter(|i| same_identity(i, item)).count() as u64;
+        }
+        for c in self.components.iter().flatten() {
+            c.window_into(&item.rect, scratch, hits)?;
+            copies += hits.iter().filter(|h| same_identity(h, item)).count() as u64;
+        }
+        Ok(copies)
+    }
+}
+
+impl<const D: usize> LiveInner<D> {
+    /// Fires an injected crash if armed for `point`: the merge aborts
+    /// exactly there, leaving disk (and deliberately inconsistent
+    /// memory) as a real crash would.
+    pub(crate) fn crash_check(&self, point: CrashPoint) -> Result<(), LiveError> {
+        if self.crash_at.load(Ordering::Acquire) == point as u8 {
+            self.crash_at.store(0, Ordering::Release);
+            return Err(LiveError::Injected(match point {
+                CrashPoint::BeforeCommit => "before store commit",
+                CrashPoint::AfterCommit => "after store commit",
+            }));
+        }
+        Ok(())
+    }
+}
+
+/// A durable, concurrently-readable LPR-tree.
+///
+/// Cloneable-by-`Arc` usage: wrap in `Arc` and share; all methods take
+/// `&self`. See the module docs for the architecture and
+/// [`LiveIndex::snapshot`] for the read path.
+pub struct LiveIndex<const D: usize> {
+    inner: Arc<LiveInner<D>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+// Compile-time proof that one index (and its snapshots) can be shared
+// across writer and reader threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<LiveIndex<2>>();
+    assert_send_sync::<LiveSnapshot<2>>();
+};
+
+impl<const D: usize> LiveIndex<D> {
+    /// Creates a fresh index in `dir` (created if absent). Any previous
+    /// index there is destroyed whole: the store file is truncated and
+    /// **every** stale WAL segment is removed — `Wal::create` only
+    /// truncates segment 1, and a leftover higher segment would
+    /// otherwise be replayed into the new index on a later reopen.
+    pub fn create(dir: &Path, params: TreeParams, opts: LiveOptions) -> Result<Self, LiveError> {
+        std::fs::create_dir_all(dir)?;
+        let lock = acquire_dir_lock(dir)?;
+        // Destruction order matters for crash safety: unlink the store
+        // FIRST (a crash now leaves "no index here" — a clean open error)
+        // and only then the stale WAL segments. The reverse order has a
+        // window where the old store exists with its WAL gone: open()
+        // would silently serve the old snapshot minus every write that
+        // lived only in the deleted log.
+        if dir.join("index.prt").exists() {
+            std::fs::remove_file(dir.join("index.prt"))?;
+            pr_em::fsync_dir(dir)?;
+        }
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            let name = path.file_name().unwrap_or_default().to_string_lossy();
+            if (name.starts_with("wal-") && name.ends_with(".log")) || name == "index.prt.tmp" {
+                std::fs::remove_file(&path)?;
+            }
+        }
+        pr_em::fsync_dir(dir)?;
+        let store = Store::create::<D>(&dir.join("index.prt"), params)?;
+        pr_em::fsync_dir(dir)?;
+        let wal = Wal::create(dir)?;
+        Self::assemble(
+            dir,
+            params,
+            opts,
+            store,
+            wal,
+            LiveManifest::default(),
+            Vec::new(),
+            lock,
+        )
+    }
+
+    /// Opens an existing index: recovers the newest committed snapshot,
+    /// then replays WAL records past the manifest's cut into the
+    /// memtable — every acknowledged write survives, in order.
+    pub fn open(dir: &Path, opts: LiveOptions) -> Result<Self, LiveError> {
+        let lock = acquire_dir_lock(dir)?;
+        // A compaction that died before its atomic rename leaves a stale
+        // temp file; it was never the index.
+        std::fs::remove_file(dir.join("index.prt.tmp")).ok();
+        let store = Store::open(&dir.join("index.prt"))?;
+        let sb = *store.superblock();
+        if sb.dim != D as u32 {
+            return Err(LiveError::Store(pr_store::StoreError::DimensionMismatch {
+                file: sb.dim,
+                requested: D as u32,
+            }));
+        }
+        let params = sb.meta.params;
+        let app = store.app();
+        let manifest = if app.is_empty() {
+            LiveManifest::default()
+        } else {
+            LiveManifest::<D>::decode(app)?
+        };
+        let (wal, records) = Wal::open::<D>(dir)?;
+        Self::assemble(dir, params, opts, store, wal, manifest, records, lock)
+    }
+
+    /// [`LiveIndex::open`] if an index exists in `dir`, else
+    /// [`LiveIndex::create`].
+    pub fn open_or_create(
+        dir: &Path,
+        params: TreeParams,
+        opts: LiveOptions,
+    ) -> Result<Self, LiveError> {
+        if dir.join("index.prt").exists() {
+            Self::open(dir, opts)
+        } else {
+            Self::create(dir, params, opts)
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        dir: &Path,
+        params: TreeParams,
+        opts: LiveOptions,
+        store: Store,
+        wal: Wal,
+        manifest: LiveManifest<D>,
+        records: Vec<WalRecord<D>>,
+        lock: std::fs::File,
+    ) -> Result<Self, LiveError> {
+        // Components out of the store, arranged into their slots.
+        let trees = store.components::<D>()?;
+        if trees.len() != manifest.slots.len() {
+            return Err(LiveError::Corrupt(format!(
+                "store holds {} components but the live manifest places {}",
+                trees.len(),
+                manifest.slots.len()
+            )));
+        }
+        let nslots = manifest
+            .slots
+            .iter()
+            .map(|&s| s as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut components: Vec<Option<Arc<RTree<D>>>> = Vec::new();
+        components.resize_with(nslots, || None);
+        for (slot, tree) in manifest.slots.iter().zip(trees) {
+            let slot = *slot as usize;
+            if components[slot].is_some() {
+                return Err(LiveError::Corrupt(format!(
+                    "live manifest places two components in slot {slot}"
+                )));
+            }
+            tree.warm_cache()?;
+            components[slot] = Some(Arc::new(tree));
+        }
+
+        let stored: u64 = components.iter().flatten().map(|c| c.len()).sum::<u64>();
+        let mut core = Core {
+            memtable: Memtable::from_items(manifest.memtable),
+            sealed: None,
+            components,
+            tombstones: Arc::new(manifest.tombstones),
+            live: 0,
+            durable_seq: manifest.wal_seq,
+            merged_seq: manifest.wal_seq,
+            merges: 0,
+        };
+        core.live = stored + core.memtable.len() as u64 - core.tombstones.total();
+
+        // WAL replay: everything past the manifest's cut, in order.
+        let mut next_seq = manifest.wal_seq + 1;
+        let mut scratch = QueryScratch::new();
+        let mut hits = Vec::new();
+        for rec in records {
+            if rec.seq <= manifest.wal_seq {
+                continue;
+            }
+            match rec.op {
+                WalOp::Insert => {
+                    core.memtable.insert(rec.item);
+                    core.live += 1;
+                }
+                WalOp::Delete => {
+                    // Re-derive where the delete landed against the
+                    // reconstructed state — the same decision the live
+                    // path made.
+                    if core.memtable.remove(&rec.item) {
+                        core.live -= 1;
+                    } else {
+                        let copies = core.stored_copies(&rec.item, &mut scratch, &mut hits)?;
+                        if copies > core.tombstones.count(&rec.item) as u64 {
+                            Arc::make_mut(&mut core.tombstones).add(&rec.item);
+                            core.live -= 1;
+                        }
+                    }
+                }
+            }
+            core.durable_seq = rec.seq;
+            next_seq = rec.seq + 1;
+        }
+
+        let inner = Arc::new(LiveInner {
+            dir: dir.to_path_buf(),
+            params,
+            opts,
+            policy: GeometricPolicy::new(opts.buffer_cap),
+            writer: Mutex::new(WriterState { wal, next_seq }),
+            core: RwLock::new(core),
+            store: Mutex::new(store),
+            maintenance: Mutex::new(()),
+            signal: StdMutex::new(Signal {
+                merge: false,
+                full: false,
+                shutdown: false,
+                busy: false,
+                error: None,
+            }),
+            cv: Condvar::new(),
+            crash_at: AtomicU8::new(0),
+            _lock: lock,
+        });
+
+        let worker = if opts.background_merge {
+            let inner = Arc::clone(&inner);
+            Some(std::thread::spawn(move || worker_loop(inner)))
+        } else {
+            None
+        };
+        Ok(LiveIndex { inner, worker })
+    }
+
+    /// Index directory.
+    pub fn dir(&self) -> &Path {
+        &self.inner.dir
+    }
+
+    /// Tree parameters the components are built with.
+    pub fn params(&self) -> &TreeParams {
+        &self.inner.params
+    }
+
+    /// Live item count.
+    pub fn len(&self) -> u64 {
+        self.inner.core.read().live
+    }
+
+    /// True when no live items exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts one item (ids must be unique among live items). Returns
+    /// once the WAL record is fsynced — the write survives any crash
+    /// from here on.
+    pub fn insert(&self, item: Item<D>) -> Result<(), LiveError> {
+        self.insert_batch(std::slice::from_ref(&item))
+    }
+
+    /// Inserts a batch with **one** WAL fsync for the whole batch — the
+    /// ingest throughput path. Acknowledged (and crash-durable) as a
+    /// unit when this returns.
+    pub fn insert_batch(&self, items: &[Item<D>]) -> Result<(), LiveError> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let inner = &self.inner;
+        let overflow = {
+            let mut w = inner.writer.lock();
+            let first = w.next_seq;
+            let records: Vec<WalRecord<D>> = items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| WalRecord {
+                    seq: first + i as u64,
+                    op: WalOp::Insert,
+                    item: *item,
+                })
+                .collect();
+            w.wal.append(&records)?; // fsync — the acknowledgment point
+            w.next_seq += items.len() as u64;
+            let mut core = inner.core.write();
+            for item in items {
+                core.memtable.insert(*item);
+            }
+            core.live += items.len() as u64;
+            core.durable_seq = w.next_seq - 1;
+            core.memtable.len() >= inner.policy.buffer_cap()
+        };
+        if overflow {
+            self.on_overflow()?;
+        }
+        Ok(())
+    }
+
+    /// Deletes the live item with this exact `(id, rect)` identity.
+    /// Returns `false` (without logging anything) if no such live item
+    /// exists. Like inserts, a `true` return means the delete is
+    /// durable.
+    pub fn delete(&self, item: &Item<D>) -> Result<bool, LiveError> {
+        Ok(self.delete_batch(std::slice::from_ref(item))? == 1)
+    }
+
+    /// Deletes a batch with **one** WAL fsync for every accepted op —
+    /// the bulk-deletion analogue of [`LiveIndex::insert_batch`].
+    /// Victims with no matching live item are skipped (not logged);
+    /// decisions within the batch see earlier victims' effects, exactly
+    /// as if applied serially. Returns how many items were deleted;
+    /// all of them are durable when this returns.
+    ///
+    /// Cost note: each victim's liveness decision probes the components
+    /// (a few cached-node reads) **while the writer lock is held**, so
+    /// very large batches delay concurrent writers — size batches in
+    /// the hundreds-to-thousands, as the CLI does.
+    pub fn delete_batch(&self, items: &[Item<D>]) -> Result<u64, LiveError> {
+        enum Target {
+            Memtable,
+            Tombstone,
+        }
+        if items.is_empty() {
+            return Ok(0);
+        }
+        let inner = &self.inner;
+        let (deleted, needs_compaction) = {
+            let mut w = inner.writer.lock();
+            // Decide every victim against the current state (stable
+            // while we hold the writer lock: every core mutation,
+            // including merge swaps, requires it) plus the batch's own
+            // pending effects — a victim already claimed from the
+            // memtable or already tombstoned by this batch is not live
+            // for later duplicates.
+            let mut accepted: Vec<(Item<D>, Target)> = Vec::new();
+            {
+                let core = inner.core.read();
+                let mut claimed_mem: Vec<Item<D>> = Vec::new();
+                let mut pending_tombs = Tombstones::<D>::new();
+                let mut scratch = QueryScratch::new();
+                let mut hits = Vec::new();
+                for item in items {
+                    if !claimed_mem.iter().any(|i| same_identity(i, item))
+                        && core.memtable.contains(item)
+                    {
+                        claimed_mem.push(*item);
+                        accepted.push((*item, Target::Memtable));
+                        continue;
+                    }
+                    let copies = core.stored_copies(item, &mut scratch, &mut hits)?;
+                    let dead =
+                        core.tombstones.count(item) as u64 + pending_tombs.count(item) as u64;
+                    if copies > dead {
+                        pending_tombs.add(item);
+                        accepted.push((*item, Target::Tombstone));
+                    }
+                }
+            }
+            if accepted.is_empty() {
+                return Ok(0);
+            }
+            // One append + fsync acknowledges the whole batch.
+            let first = w.next_seq;
+            let records: Vec<WalRecord<D>> = accepted
+                .iter()
+                .enumerate()
+                .map(|(i, (item, _))| WalRecord {
+                    seq: first + i as u64,
+                    op: WalOp::Delete,
+                    item: *item,
+                })
+                .collect();
+            w.wal.append(&records)?;
+            w.next_seq += accepted.len() as u64;
+            let mut core = inner.core.write();
+            core.durable_seq = w.next_seq - 1;
+            core.live -= accepted.len() as u64;
+            let mut any_tombstone = false;
+            for (item, target) in &accepted {
+                match target {
+                    Target::Memtable => {
+                        let removed = core.memtable.remove(item);
+                        debug_assert!(removed, "decision said memtable");
+                    }
+                    Target::Tombstone => {
+                        Arc::make_mut(&mut core.tombstones).add(item);
+                        any_tombstone = true;
+                    }
+                }
+            }
+            let needs_compaction = any_tombstone && {
+                let stored: u64 = core
+                    .components
+                    .iter()
+                    .flatten()
+                    .map(|c| c.len())
+                    .sum::<u64>()
+                    + core.sealed.as_ref().map_or(0, |s| s.len() as u64);
+                inner
+                    .policy
+                    .needs_compaction(core.tombstones.total(), stored)
+            };
+            (accepted.len() as u64, needs_compaction)
+        };
+        if needs_compaction {
+            self.request_merge(MergeKind::Full { reclaim: false })?;
+        }
+        Ok(deleted)
+    }
+
+    /// An epoch-pinned, point-in-time view for querying. Cheap: one
+    /// memtable copy plus `Arc` bumps. The snapshot stays valid and
+    /// immutable across any amount of concurrent ingest, merging, and
+    /// compaction.
+    pub fn snapshot(&self) -> LiveSnapshot<D> {
+        let core = self.inner.core.read();
+        LiveSnapshot {
+            memtable: core.memtable.items().to_vec(),
+            sealed: core.sealed.clone(),
+            components: core.components.iter().flatten().map(Arc::clone).collect(),
+            tombstones: Arc::clone(&core.tombstones),
+            live: core.live,
+            seq: core.durable_seq,
+        }
+    }
+
+    /// One-shot window query (takes a fresh snapshot; hot loops should
+    /// hold a [`LiveSnapshot`] and a [`QueryScratch`] instead).
+    pub fn window(&self, query: &Rect<D>) -> Result<(Vec<Item<D>>, QueryStats), LiveError> {
+        let snap = self.snapshot();
+        let mut scratch = QueryScratch::new();
+        let mut out = Vec::new();
+        let stats = snap.window_into(query, &mut scratch, &mut out)?;
+        Ok((out, stats))
+    }
+
+    /// One-shot k-nearest-neighbors query.
+    pub fn nearest_neighbors(
+        &self,
+        query: &Point<D>,
+        k: usize,
+    ) -> Result<(Vec<(Item<D>, f64)>, QueryStats), LiveError> {
+        let snap = self.snapshot();
+        let mut scratch = QueryScratch::new();
+        let mut out = Vec::new();
+        let stats = snap.nearest_neighbors_into(query, k, &mut scratch, &mut out)?;
+        Ok((out, stats))
+    }
+
+    /// Forces the memtable (any size) through a merge, synchronously.
+    /// After this returns every prior write is reflected in committed
+    /// components and the WAL holds nothing the manifest doesn't cover.
+    pub fn flush(&self) -> Result<(), LiveError> {
+        self.surface_worker_error()?;
+        run_merge(&self.inner, MergeKind::Force)?;
+        self.notify_done();
+        Ok(())
+    }
+
+    /// Global compaction: merges memtable + every component into one
+    /// tree (dropping all tombstones) and rewrites the store into a
+    /// fresh file (atomic rename), reclaiming the space of superseded
+    /// snapshots. Readers holding older snapshots keep working — their
+    /// devices pin the unlinked file.
+    pub fn compact(&self) -> Result<(), LiveError> {
+        self.surface_worker_error()?;
+        run_merge(&self.inner, MergeKind::Full { reclaim: true })?;
+        self.notify_done();
+        Ok(())
+    }
+
+    /// Blocks until no sealed batch is pending and no requested
+    /// background merge remains, surfacing any background-merge error.
+    pub fn wait_idle(&self) -> Result<(), LiveError> {
+        loop {
+            self.surface_worker_error()?;
+            let busy = {
+                let sig = self.inner.signal.lock().expect("signal mutex");
+                sig.merge || sig.full || sig.busy
+            } || self.inner.core.read().sealed.is_some();
+            if !busy {
+                return Ok(());
+            }
+            let sig = self.inner.signal.lock().expect("signal mutex");
+            let _ = self
+                .inner
+                .cv
+                .wait_timeout(sig, Duration::from_millis(20))
+                .expect("signal mutex");
+        }
+    }
+
+    /// Operational counters for `prtree stats` and tests.
+    pub fn stats(&self) -> Result<LiveStats, LiveError> {
+        let (live, memtable, sealed, components, tombstones, durable_seq, merged_seq, merges) = {
+            let core = self.inner.core.read();
+            (
+                core.live,
+                core.memtable.len(),
+                core.sealed.as_ref().map_or(0, |s| s.len()),
+                core.components
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(slot, c)| c.as_ref().map(|t| (slot, t.len())))
+                    .collect::<Vec<_>>(),
+                core.tombstones.total(),
+                core.durable_seq,
+                core.merged_seq,
+                core.merges,
+            )
+        };
+        let (wal_segments, wal_bytes) = {
+            let w = self.inner.writer.lock();
+            (w.wal.num_segments()?, w.wal.total_bytes()?)
+        };
+        let (store_epoch, store_file_bytes) = {
+            let store = self.inner.store.lock();
+            (store.superblock().epoch, store.file_len()?)
+        };
+        Ok(LiveStats {
+            live,
+            memtable,
+            sealed,
+            components,
+            tombstones,
+            durable_seq,
+            merged_seq,
+            merges,
+            wal_segments,
+            wal_bytes,
+            store_epoch,
+            store_file_bytes,
+        })
+    }
+
+    /// Arms a one-shot injected crash for the next merge (test harness).
+    #[doc(hidden)]
+    pub fn inject_crash(&self, point: CrashPoint) {
+        self.inner.crash_at.store(point as u8, Ordering::Release);
+    }
+
+    fn request_merge(&self, kind: MergeKind) -> Result<(), LiveError> {
+        if self.inner.opts.background_merge {
+            {
+                let mut sig = self.inner.signal.lock().expect("signal mutex");
+                match kind {
+                    MergeKind::Overflow => sig.merge = true,
+                    _ => sig.full = true,
+                }
+            }
+            self.inner.cv.notify_all();
+            Ok(())
+        } else {
+            run_merge(&self.inner, kind)?;
+            self.notify_done();
+            Ok(())
+        }
+    }
+
+    fn on_overflow(&self) -> Result<(), LiveError> {
+        self.request_merge(MergeKind::Overflow)?;
+        if !self.inner.opts.background_merge {
+            return Ok(());
+        }
+        // Backpressure: a writer outrunning the merger stalls here once
+        // the memtable is several seals deep, holding no locks.
+        let limit = self
+            .inner
+            .opts
+            .backpressure_factor
+            .max(1)
+            .saturating_mul(self.inner.policy.buffer_cap());
+        loop {
+            self.surface_worker_error()?;
+            let crowded = {
+                let core = self.inner.core.read();
+                core.sealed.is_some() && core.memtable.len() >= limit
+            };
+            if !crowded {
+                return Ok(());
+            }
+            let sig = self.inner.signal.lock().expect("signal mutex");
+            let _ = self
+                .inner
+                .cv
+                .wait_timeout(sig, Duration::from_millis(10))
+                .expect("signal mutex");
+        }
+    }
+
+    fn surface_worker_error(&self) -> Result<(), LiveError> {
+        let mut sig = self.inner.signal.lock().expect("signal mutex");
+        match sig.error.take() {
+            Some(msg) => Err(LiveError::Corrupt(format!(
+                "background merge failed: {msg}"
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    fn notify_done(&self) {
+        self.inner.cv.notify_all();
+    }
+}
+
+impl<const D: usize> Drop for LiveIndex<D> {
+    fn drop(&mut self) {
+        if let Some(handle) = self.worker.take() {
+            {
+                let mut sig = self.inner.signal.lock().expect("signal mutex");
+                sig.shutdown = true;
+            }
+            self.inner.cv.notify_all();
+            let _ = handle.join();
+        }
+        // An unmerged memtable/sealed batch needs no goodbye: the WAL
+        // has every acknowledged record and reopen replays it.
+    }
+}
+
+fn worker_loop<const D: usize>(inner: Arc<LiveInner<D>>) {
+    loop {
+        let kind = {
+            let mut sig = inner.signal.lock().expect("signal mutex");
+            loop {
+                if sig.shutdown {
+                    return;
+                }
+                if sig.full {
+                    sig.full = false;
+                    sig.busy = true;
+                    break MergeKind::Full { reclaim: false };
+                }
+                if sig.merge {
+                    sig.merge = false;
+                    sig.busy = true;
+                    break MergeKind::Overflow;
+                }
+                sig = inner.cv.wait(sig).expect("signal mutex");
+            }
+        };
+        let outcome = run_merge(&inner, kind);
+        {
+            let mut sig = inner.signal.lock().expect("signal mutex");
+            sig.busy = false;
+            if let Err(e) = outcome {
+                if sig.error.is_none() {
+                    sig.error = Some(e.to_string());
+                }
+            }
+        }
+        inner.cv.notify_all();
+    }
+}
+
+/// Takes the exclusive advisory lock on `dir/LOCK`, refusing to share
+/// the directory with any other live process: even "read-only" opens
+/// truncate torn WAL tails and clean compaction temp files, which would
+/// corrupt a concurrently running writer. The lock dies with the file
+/// handle (process exit/crash included), so no stale-lock recovery is
+/// needed.
+fn acquire_dir_lock(dir: &Path) -> Result<std::fs::File, LiveError> {
+    let lock = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(dir.join("LOCK"))?;
+    match lock.try_lock() {
+        Ok(()) => Ok(lock),
+        Err(std::fs::TryLockError::WouldBlock) => Err(LiveError::Locked(dir.to_path_buf())),
+        Err(std::fs::TryLockError::Error(e)) => Err(e.into()),
+    }
+}
+
+/// Operational counters of a live index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveStats {
+    /// Live item count.
+    pub live: u64,
+    /// Items in the active memtable.
+    pub memtable: usize,
+    /// Items in the sealed batch (0 when no merge pending).
+    pub sealed: usize,
+    /// `(slot, items)` per committed component.
+    pub components: Vec<(usize, u64)>,
+    /// Outstanding tombstones.
+    pub tombstones: u64,
+    /// Highest acknowledged WAL sequence.
+    pub durable_seq: u64,
+    /// The committed manifest's WAL cut.
+    pub merged_seq: u64,
+    /// Merge commits completed this process.
+    pub merges: u64,
+    /// WAL segment files on disk.
+    pub wal_segments: u64,
+    /// Total WAL bytes on disk.
+    pub wal_bytes: u64,
+    /// Store commit epoch.
+    pub store_epoch: u64,
+    /// Store file size in bytes.
+    pub store_file_bytes: u64,
+}
+
+/// An immutable, point-in-time view of a [`LiveIndex`].
+///
+/// Queries fan out over the memtable copy, the sealed batch (if a merge
+/// is in flight), and every component through the decode-free engine —
+/// one shared [`QueryScratch`] across all of them — with tombstones
+/// filtered by multiset subtraction. Holding a snapshot pins its
+/// components' store pages; results are bit-stable no matter what the
+/// live index does meanwhile.
+pub struct LiveSnapshot<const D: usize> {
+    memtable: Vec<Item<D>>,
+    sealed: Option<Arc<Vec<Item<D>>>>,
+    components: Vec<Arc<RTree<D>>>,
+    tombstones: Arc<Tombstones<D>>,
+    live: u64,
+    seq: u64,
+}
+
+impl<const D: usize> LiveSnapshot<D> {
+    /// Live item count at snapshot time.
+    pub fn len(&self) -> u64 {
+        self.live
+    }
+
+    /// True when the snapshot holds no live items.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Highest acknowledged WAL sequence reflected in this snapshot.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Number of components in view.
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Window query with caller-owned buffers (allocation-free when
+    /// reused).
+    pub fn window_into(
+        &self,
+        query: &Rect<D>,
+        scratch: &mut QueryScratch<D>,
+        out: &mut Vec<Item<D>>,
+    ) -> Result<QueryStats, LiveError> {
+        out.clear();
+        out.extend(self.memtable.iter().filter(|i| i.rect.intersects(query)));
+        let mut stats = QueryStats::default();
+        let mut filter = self.tombstones.filter();
+        if let Some(sealed) = &self.sealed {
+            out.extend(
+                sealed
+                    .iter()
+                    .filter(|i| i.rect.intersects(query) && filter.admit(i)),
+            );
+        }
+        for c in &self.components {
+            let start = out.len();
+            let s = c.window_append_into(query, scratch, out)?;
+            stats.absorb_traversal(&s);
+            filter.retain_admitted(out, start);
+        }
+        stats.results = out.len() as u64;
+        Ok(stats)
+    }
+
+    /// Convenience window query.
+    pub fn window(&self, query: &Rect<D>) -> Result<Vec<Item<D>>, LiveError> {
+        let mut scratch = QueryScratch::new();
+        let mut out = Vec::new();
+        self.window_into(query, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// k-nearest-neighbors with caller-owned buffers: each component
+    /// answers through the decode-free best-first engine, the lists are
+    /// merged with the memtable/sealed scans, tombstones filtered, and
+    /// the global top `k` kept.
+    ///
+    /// Cost note: components are over-fetched by the outstanding
+    /// tombstone count (the provably sufficient bound), so k-NN degrades
+    /// toward a component scan as tombstones approach the compaction
+    /// trigger (≤ half the stored items); tombstone-aware best-first
+    /// traversal is a ROADMAP item.
+    pub fn nearest_neighbors_into(
+        &self,
+        query: &Point<D>,
+        k: usize,
+        scratch: &mut QueryScratch<D>,
+        out: &mut Vec<(Item<D>, f64)>,
+    ) -> Result<QueryStats, LiveError> {
+        out.clear();
+        let mut stats = QueryStats::default();
+        if k == 0 {
+            return Ok(stats);
+        }
+        let fetch = k.saturating_add(self.tombstones.total().min(usize::MAX as u64) as usize);
+        let mut merged: Vec<(Item<D>, f64)> = self
+            .memtable
+            .iter()
+            .map(|i| (*i, i.rect.min_dist2(query).sqrt()))
+            .collect();
+        let mut filter = self.tombstones.filter();
+        if let Some(sealed) = &self.sealed {
+            merged.extend(
+                sealed
+                    .iter()
+                    .filter(|i| filter.admit(i))
+                    .map(|i| (*i, i.rect.min_dist2(query).sqrt())),
+            );
+        }
+        let mut tmp = Vec::new();
+        for c in &self.components {
+            let s = c.nearest_neighbors_into(query, fetch, scratch, &mut tmp)?;
+            stats.absorb_traversal(&s);
+            merged.extend(tmp.drain(..).filter(|(i, _)| filter.admit(i)));
+        }
+        merged.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.id.cmp(&b.0.id)));
+        merged.truncate(k);
+        out.extend(merged);
+        stats.results = out.len() as u64;
+        Ok(stats)
+    }
+
+    /// All live items (test helper; full scan).
+    pub fn items(&self) -> Result<Vec<Item<D>>, LiveError> {
+        let mut out = self.memtable.clone();
+        let mut filter = self.tombstones.filter();
+        if let Some(sealed) = &self.sealed {
+            out.extend(sealed.iter().filter(|i| filter.admit(i)));
+        }
+        for c in &self.components {
+            for it in c.items()? {
+                if filter.admit(&it) {
+                    out.push(it);
+                }
+            }
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,48 @@
+//! # pr-live — durable, concurrent LPR-tree ingest
+//!
+//! The paper's external logarithmic method (`pr_tree::dynamic::LprTree`)
+//! makes the PR-tree dynamic; this crate makes it a **service**: writes
+//! survive crashes, readers never block, and the geometric merges run in
+//! the background.
+//!
+//! ```text
+//!            insert/delete                      window/knn
+//!                 │                                  │
+//!                 ▼                                  ▼
+//!   ┌──── WAL append + fsync ────┐      ┌── LiveSnapshot (pinned) ──┐
+//!   │  wal-000007.log  (ack ✓)   │      │ memtable copy             │
+//!   └──────────────┬─────────────┘      │ sealed batch   (Arc)      │
+//!                  ▼                    │ components     (Arc, SoA  │
+//!            memtable ──seal──▶ sealed  │   decode-free engine)     │
+//!                  │              │     │ tombstones     (Arc)      │
+//!                  │              ▼     └───────────────────────────┘
+//!                  │      geometric merge (background)
+//!                  │              │  bulk-load PR-tree
+//!                  │              ▼
+//!                  │   pr-store commit: pages → manifest{wal_seq,
+//!                  │   slots, tombstones, memtable} → superblock flip
+//!                  │              │
+//!                  └──────────────┴──▶ WAL segments ≤ cut pruned
+//! ```
+//!
+//! **Durability contract:** when `insert`/`insert_batch`/`delete`
+//! returns, the operation is fsynced in the WAL; reopening after a crash
+//! at *any* point recovers exactly the acknowledged prefix (manifest
+//! checkpoint + WAL replay past its cut). **Concurrency contract:**
+//! readers take [`LiveSnapshot`]s — point-in-time, immutable views
+//! served by the PR 3 decode-free engine — and are never blocked by
+//! ingest, merges, or compaction. Both contracts are enforced by tests
+//! (`tests/live_recovery.rs`, `tests/live_concurrency.rs`).
+
+pub mod error;
+pub mod index;
+pub mod manifest;
+pub mod memtable;
+mod merge;
+pub mod wal;
+
+pub use error::LiveError;
+pub use index::{CrashPoint, LiveIndex, LiveOptions, LiveSnapshot, LiveStats};
+pub use manifest::LiveManifest;
+pub use memtable::Memtable;
+pub use wal::{Wal, WalOp, WalRecord};

@@ -1,0 +1,291 @@
+//! The geometric merge: seal → build → cut → commit → swap → prune.
+//!
+//! A merge turns the sealed memtable batch plus the occupied low slots
+//! into one freshly bulk-loaded PR-tree, then commits the **entire**
+//! post-merge component set through `pr-store` in one atomic step
+//! (pages, then live manifest, then superblock flip — fsynced in that
+//! order) and only then prunes the WAL. The phases and what they hold:
+//!
+//! 1. **Seal** (`writer` + `core` write, O(1)): move the memtable into
+//!    the immutable `sealed` slot; a fresh memtable keeps taking writes.
+//! 2. **Snapshot inputs** (`core` read, O(components)): clone Arcs of
+//!    the input components and the tombstone set.
+//! 3. **Build** (no locks — the long part): drain inputs, drop items
+//!    dead in the tombstone snapshot (recording what was *consumed*),
+//!    bulk-load the union. Readers and writers proceed untouched.
+//! 4. **Cut** (`writer`, O(memtable)): rotate the WAL — every assigned
+//!    seq ≤ `cut_seq` sits in old segments — and snapshot {memtable,
+//!    tombstones − consumed, survivor Arcs} for the manifest. The lock
+//!    is released immediately: writers keep appending to the new
+//!    segment (seqs past the cut, covered by replay) for the whole
+//!    commit.
+//! 5. **Commit** (`store` lock only): write the snapshot whose manifest
+//!    checkpoints the cut, fsync, flip the superblock; reopen + warm
+//!    the committed components. Readers *and writers* run throughout.
+//! 6. **Swap + prune** (`writer`, then briefly `core` write): exchange
+//!    the component set, clear the sealed batch, and subtract exactly
+//!    the consumed tombstones from the *current* set — deletes recorded
+//!    while the commit ran are thereby preserved. Then delete WAL
+//!    segments below the rotation.
+//!
+//! **Known cost trade-off:** a commit re-copies every *surviving*
+//! component into the new snapshot, not just the merged one — the store
+//! is a whole-snapshot format, so ingest write amplification is
+//! O(index size) per merge and the file grows until `compact()`
+//! rewrites it. Incremental commits (manifest entries referencing the
+//! unchanged page runs of earlier snapshots) are the designated next
+//! step in ROADMAP.md's open items.
+//!
+//! Crash anywhere before the superblock flip → the old manifest + old
+//! segments replay everything acknowledged. Crash after the flip →
+//! the new manifest's `cut_seq` filters the not-yet-pruned old segments.
+
+use crate::error::LiveError;
+use crate::index::{Core, CrashPoint, LiveInner};
+use crate::manifest::LiveManifest;
+use pr_em::{fsync_dir, BlockDevice, MemDevice};
+use pr_geom::Item;
+use pr_store::Store;
+use pr_tree::bulk::pr::PrTreeLoader;
+use pr_tree::bulk::BulkLoader;
+use pr_tree::dynamic::Tombstones;
+use pr_tree::RTree;
+use std::sync::Arc;
+
+/// What kind of merge to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MergeKind {
+    /// The memtable reached its cap: seal (if at cap) and merge into the
+    /// geometric target slot.
+    Overflow,
+    /// Seal whatever the memtable holds (any size) and merge it — the
+    /// explicit `flush()` path. Commits a pure checkpoint (no component
+    /// changes) when only tombstones/memtable are ahead of the manifest,
+    /// so `flush()` always leaves the WAL prunable.
+    Force,
+    /// Merge *everything* (sealed + all components) into one tree,
+    /// absorbing every tombstone. `reclaim` additionally rewrites the
+    /// store into a fresh file (atomic rename) to return the space of
+    /// superseded snapshots.
+    Full { reclaim: bool },
+}
+
+pub(crate) fn run_merge<const D: usize>(
+    inner: &LiveInner<D>,
+    kind: MergeKind,
+) -> Result<(), LiveError> {
+    let _serialize = inner.maintenance.lock();
+
+    // Phase 1: seal the memtable (if this merge wants it).
+    {
+        let _w = inner.writer.lock();
+        let mut core = inner.core.write();
+        if core.sealed.is_none() {
+            let should = match kind {
+                MergeKind::Overflow => core.memtable.len() >= inner.policy.buffer_cap(),
+                MergeKind::Force | MergeKind::Full { .. } => !core.memtable.is_empty(),
+            };
+            if should {
+                let batch = core.memtable.drain();
+                core.sealed = Some(Arc::new(batch));
+            }
+        }
+    }
+
+    // Phase 2: snapshot the inputs. `planned_target` is the geometric
+    // slot an Overflow/Force merge aims for; a Full merge decides after
+    // filtering.
+    let reclaim = matches!(kind, MergeKind::Full { reclaim: true });
+    let (sealed, inputs, input_slots, planned_target) = {
+        let core = inner.core.read();
+        let sealed = core.sealed.clone();
+        match (kind, sealed) {
+            (MergeKind::Overflow | MergeKind::Force, Some(sealed)) => {
+                let sizes: Vec<u64> = core
+                    .components
+                    .iter()
+                    .map(|c| c.as_ref().map_or(0, |t| t.len()))
+                    .collect();
+                let target = inner.policy.merge_target(&sizes, sealed.len() as u64);
+                // Every occupied slot 0..=target is an input.
+                let (inputs, input_slots) = collect_inputs(&core, target + 1);
+                (Some(sealed), inputs, input_slots, Some(target))
+            }
+            (MergeKind::Overflow | MergeKind::Force, None) => {
+                // No batch to merge. An Overflow request is simply done;
+                // a Force (flush) must still checkpoint any acknowledged
+                // ops the manifest doesn't cover — tombstone-only
+                // deletes leave the memtable empty but the WAL
+                // non-prunable.
+                if matches!(kind, MergeKind::Overflow) || core.merged_seq == core.durable_seq {
+                    return Ok(());
+                }
+                (None, Vec::new(), Vec::new(), None)
+            }
+            (MergeKind::Full { .. }, sealed) => {
+                let (inputs, input_slots) = collect_inputs(&core, usize::MAX);
+                if sealed.is_none()
+                    && inputs.is_empty()
+                    && !reclaim
+                    && core.merged_seq == core.durable_seq
+                {
+                    return Ok(()); // nothing to compact or checkpoint
+                }
+                (sealed, inputs, input_slots, None)
+            }
+        }
+    };
+    let t_snap = Arc::clone(&inner.core.read().tombstones);
+
+    // Phase 3: build the merged component off-lock. Items dead in the
+    // tombstone snapshot are dropped and recorded as consumed.
+    let mut consumed = Tombstones::<D>::new();
+    let mut items: Vec<Item<D>> = Vec::new();
+    {
+        let mut filter = t_snap.filter();
+        if let Some(sealed) = &sealed {
+            for it in sealed.iter() {
+                if filter.admit(it) {
+                    items.push(*it);
+                } else {
+                    consumed.add(it);
+                }
+            }
+        }
+        for c in &inputs {
+            for it in c.items()? {
+                if filter.admit(&it) {
+                    items.push(it);
+                } else {
+                    consumed.add(&it);
+                }
+            }
+        }
+    }
+    // Where the merged tree lands; `None` when the merge produced no
+    // items (a pure checkpoint or an all-dead merge).
+    let target: Option<usize> = if items.is_empty() {
+        None
+    } else {
+        Some(planned_target.unwrap_or_else(|| inner.policy.placement_slot(items.len() as u64)))
+    };
+    let new_tree: Option<RTree<D>> = if items.is_empty() {
+        None
+    } else {
+        let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(inner.params.page_size));
+        Some(PrTreeLoader::default().load(dev, inner.params, items)?)
+    };
+
+    // Phase 4: the cut. Brief writer lock: rotate the WAL and snapshot
+    // the manifest state; then release so writers run during the commit.
+    let (cut_seq, survivors, manifest_tombstones, memtable_snapshot) = {
+        let mut w = inner.writer.lock();
+        w.wal.rotate()?;
+        let cut_seq = w.next_seq - 1;
+        let core = inner.core.read();
+        let nslots = core.components.len().max(target.map_or(0, |t| t + 1));
+        let mut survivors: Vec<Option<Arc<RTree<D>>>> = vec![None; nslots];
+        for (slot, c) in core.components.iter().enumerate() {
+            if input_slots.contains(&slot) {
+                continue;
+            }
+            if let Some(t) = c {
+                survivors[slot] = Some(Arc::clone(t));
+            }
+        }
+        if let Some(t) = target {
+            debug_assert!(survivors[t].is_none(), "target slot occupied");
+        }
+        let mut after = (*core.tombstones).clone();
+        after.subtract(&consumed);
+        (cut_seq, survivors, after, core.memtable.items().to_vec())
+    };
+    let mut slots: Vec<u32> = Vec::new();
+    let mut refs: Vec<&RTree<D>> = Vec::new();
+    for (slot, survivor) in survivors.iter().enumerate() {
+        if target == Some(slot) {
+            if let Some(t) = &new_tree {
+                slots.push(slot as u32);
+                refs.push(t);
+            }
+        } else if let Some(t) = survivor {
+            slots.push(slot as u32);
+            refs.push(t.as_ref());
+        }
+    }
+    let app = LiveManifest {
+        wal_seq: cut_seq,
+        slots: slots.clone(),
+        tombstones: manifest_tombstones,
+        memtable: memtable_snapshot,
+    }
+    .encode();
+
+    // Phase 5: commit, with no writer lock held — inserts and deletes
+    // acknowledged during this window carry seqs past the cut and are
+    // covered by WAL replay; the next merge picks them up.
+    inner.crash_check(CrashPoint::BeforeCommit)?;
+    let reopened: Vec<RTree<D>> = {
+        let mut store = inner.store.lock();
+        if reclaim {
+            // Compaction rewrites into a fresh file and renames it over
+            // the old one: superseded snapshot regions are reclaimed,
+            // pinned readers keep the unlinked inode alive.
+            let tmp = inner.dir.join("index.prt.tmp");
+            let mut fresh = Store::create::<D>(&tmp, inner.params)?;
+            fresh.save_components(&refs, &app)?;
+            drop(fresh);
+            std::fs::rename(&tmp, inner.dir.join("index.prt"))?;
+            fsync_dir(&inner.dir)?;
+            *store = Store::open(&inner.dir.join("index.prt"))?;
+        } else {
+            store.save_components(&refs, &app)?;
+        }
+        store.components::<D>()?
+    };
+    for t in &reopened {
+        t.warm_cache()?;
+    }
+    inner.crash_check(CrashPoint::AfterCommit)?;
+
+    // Phase 6: swap + prune. The tombstone set is re-derived from the
+    // *current* map minus what this merge consumed, so deletes recorded
+    // during the commit window survive the swap.
+    let mut w = inner.writer.lock();
+    {
+        let mut core = inner.core.write();
+        let mut components: Vec<Option<Arc<RTree<D>>>> = vec![None; survivors.len()];
+        for (slot, tree) in slots.iter().zip(reopened) {
+            components[*slot as usize] = Some(Arc::new(tree));
+        }
+        core.components = components;
+        core.sealed = None;
+        let mut after = (*core.tombstones).clone();
+        after.subtract(&consumed);
+        core.tombstones = Arc::new(after);
+        core.merged_seq = cut_seq;
+        core.merges += 1;
+    }
+    // The manifest at cut_seq is durable; segments at or below the
+    // rotation hold nothing newer than cut_seq.
+    w.wal.prune_old()?;
+    Ok(())
+}
+
+fn collect_inputs<const D: usize>(
+    core: &Core<D>,
+    up_to: usize,
+) -> (Vec<Arc<RTree<D>>>, Vec<usize>) {
+    let mut inputs = Vec::new();
+    let mut slots = Vec::new();
+    for (slot, c) in core.components.iter().enumerate() {
+        if slot >= up_to {
+            break;
+        }
+        if let Some(t) = c {
+            inputs.push(Arc::clone(t));
+            slots.push(slot);
+        }
+    }
+    (inputs, slots)
+}

@@ -1,0 +1,336 @@
+//! The CRC-guarded, segmented write-ahead log.
+//!
+//! Every mutation is appended as one record and `fsync`ed **before** it
+//! is acknowledged or applied to the memtable — the WAL is the sole
+//! durability story between merges. Records live in numbered segment
+//! files `wal-NNNNNN.log`; a merge commit *rotates* to a fresh segment
+//! first, so after the manifest (which records the merge's WAL cut
+//! `wal_seq`) is durable, every record the index still needs lives in
+//! segments at or after the rotation and the older segments are deleted
+//! whole ([`Wal::prune_old`]). No in-place truncation, no rewriting.
+//!
+//! ## Wire format
+//!
+//! ```text
+//! segment header (16 bytes)        record
+//! 0  8  magic "PRWAL1\0\0"         0  4  payload_len (u32)
+//! 8  4  format_version             4  4  crc32 over payload
+//! 12 4  reserved                   8  …  payload:
+//!                                        seq (u64) | op (u8) | item bytes
+//! ```
+//!
+//! ## Recovery
+//!
+//! [`Wal::open`] replays every segment in index order. A record whose
+//! length or CRC does not check out in the **newest** segment is a torn
+//! tail — the write that died with the process before its fsync
+//! returned, hence never acknowledged — so the segment is truncated at
+//! the last valid boundary and replay stops there. The same damage in
+//! an *older* segment cannot be a torn tail (older segments were
+//! complete and fsynced before the log rotated past them) and surfaces
+//! as [`LiveError::Corrupt`].
+
+use crate::error::LiveError;
+use pr_em::{fsync_dir, PositionedFile};
+use pr_geom::Item;
+use pr_store::crc32;
+use std::fs::OpenOptions;
+use std::path::{Path, PathBuf};
+
+/// Segment file magic.
+pub const WAL_MAGIC: [u8; 8] = *b"PRWAL1\0\0";
+/// WAL format version.
+pub const WAL_VERSION: u32 = 1;
+/// Size of the fixed segment header.
+pub const SEGMENT_HEADER_SIZE: u64 = 16;
+/// Size of the per-record frame (length + CRC) before the payload.
+pub const RECORD_HEADER_SIZE: usize = 8;
+
+/// A logged mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalOp {
+    /// The item was inserted.
+    Insert,
+    /// The (live) item was deleted.
+    Delete,
+}
+
+impl WalOp {
+    fn to_byte(self) -> u8 {
+        match self {
+            WalOp::Insert => 1,
+            WalOp::Delete => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(WalOp::Insert),
+            2 => Some(WalOp::Delete),
+            _ => None,
+        }
+    }
+}
+
+/// One acknowledged mutation: a monotone sequence number, the operation,
+/// and the full item identity (deletes log the item too, so replay can
+/// re-derive where the delete landed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalRecord<const D: usize> {
+    /// Monotone sequence number (assigned under the writer lock).
+    pub seq: u64,
+    /// What happened.
+    pub op: WalOp,
+    /// The item inserted or deleted.
+    pub item: Item<D>,
+}
+
+impl<const D: usize> WalRecord<D> {
+    /// Payload bytes of one record (seq + op + item).
+    pub const PAYLOAD_SIZE: usize = 8 + 1 + Item::<D>::ENCODED_SIZE;
+
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        let mut payload = vec![0u8; Self::PAYLOAD_SIZE];
+        payload[0..8].copy_from_slice(&self.seq.to_le_bytes());
+        payload[8] = self.op.to_byte();
+        self.item.encode(&mut payload[9..]);
+        let crc = crc32(&payload);
+        buf.extend_from_slice(&(Self::PAYLOAD_SIZE as u32).to_le_bytes());
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf.extend_from_slice(&payload);
+    }
+
+    fn decode(payload: &[u8]) -> Option<Self> {
+        if payload.len() != Self::PAYLOAD_SIZE {
+            return None;
+        }
+        let seq = u64::from_le_bytes(payload[0..8].try_into().ok()?);
+        let op = WalOp::from_byte(payload[8])?;
+        let item = Item::<D>::decode(&payload[9..]);
+        Some(WalRecord { seq, op, item })
+    }
+}
+
+/// The append side of the log: the current segment and its write offset.
+pub struct Wal {
+    dir: PathBuf,
+    seg_index: u64,
+    file: PositionedFile,
+    write_off: u64,
+}
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("wal-{index:06}.log"))
+}
+
+fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, LiveError> {
+    let mut segs = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(num) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".log"))
+        {
+            if let Ok(index) = num.parse::<u64>() {
+                segs.push((index, entry.path()));
+            }
+        }
+    }
+    segs.sort_by_key(|(i, _)| *i);
+    Ok(segs)
+}
+
+fn create_segment(dir: &Path, index: u64) -> Result<PositionedFile, LiveError> {
+    let path = segment_path(dir, index);
+    let file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&path)?;
+    let file = PositionedFile::new(file);
+    let mut header = [0u8; SEGMENT_HEADER_SIZE as usize];
+    header[0..8].copy_from_slice(&WAL_MAGIC);
+    header[8..12].copy_from_slice(&WAL_VERSION.to_le_bytes());
+    file.write_all_at(&header, 0)?;
+    file.sync_all()?;
+    fsync_dir(dir)?;
+    Ok(file)
+}
+
+impl Wal {
+    /// Creates the log for a brand-new index: one empty segment.
+    pub fn create(dir: &Path) -> Result<Wal, LiveError> {
+        let file = create_segment(dir, 1)?;
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            seg_index: 1,
+            file,
+            write_off: SEGMENT_HEADER_SIZE,
+        })
+    }
+
+    /// Opens an existing log, replaying every intact record (all
+    /// segments, index order) and truncating a torn tail off the newest
+    /// segment. Returns the log positioned for appends plus the replayed
+    /// records; the caller filters by its manifest's `wal_seq`.
+    pub fn open<const D: usize>(dir: &Path) -> Result<(Wal, Vec<WalRecord<D>>), LiveError> {
+        let segs = list_segments(dir)?;
+        if segs.is_empty() {
+            let wal = Wal::create(dir)?;
+            return Ok((wal, Vec::new()));
+        }
+        let mut records = Vec::new();
+        let newest = segs.len() - 1;
+        let mut wal = None;
+        for (pos, (index, path)) in segs.iter().enumerate() {
+            let is_newest = pos == newest;
+            let file = PositionedFile::new(OpenOptions::new().read(true).write(true).open(path)?);
+            let len = file.len()?;
+            let mut bytes = vec![0u8; len as usize];
+            file.read_exact_or_zero_at(&mut bytes, 0)?;
+            let valid_end = scan_segment::<D>(&bytes, &mut records)?;
+            if is_newest {
+                if valid_end < SEGMENT_HEADER_SIZE {
+                    // Even the header is torn (the process died inside
+                    // rotation, before the header fsync): no record ever
+                    // lived here. Rebuild the segment in place.
+                    let file = create_segment(dir, *index)?;
+                    wal = Some(Wal {
+                        dir: dir.to_path_buf(),
+                        seg_index: *index,
+                        file,
+                        write_off: SEGMENT_HEADER_SIZE,
+                    });
+                    continue;
+                }
+                if valid_end < len {
+                    // Torn tail: the write died before its fsync
+                    // acknowledged, so nothing past valid_end was ever
+                    // promised. Chop it.
+                    file.set_len(valid_end)?;
+                    file.sync_all()?;
+                }
+                wal = Some(Wal {
+                    dir: dir.to_path_buf(),
+                    seg_index: *index,
+                    file,
+                    write_off: valid_end,
+                });
+            } else if valid_end < len {
+                return Err(LiveError::Corrupt(format!(
+                    "segment {} is damaged at byte {valid_end} but is not the \
+                     newest segment — not a torn tail",
+                    path.display()
+                )));
+            }
+        }
+        Ok((wal.expect("segs nonempty"), records))
+    }
+
+    /// Appends a batch of records and `fsync`s once. When this returns,
+    /// every record in the batch is durable — the caller may acknowledge.
+    pub fn append<const D: usize>(&mut self, records: &[WalRecord<D>]) -> Result<(), LiveError> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut buf =
+            Vec::with_capacity(records.len() * (RECORD_HEADER_SIZE + WalRecord::<D>::PAYLOAD_SIZE));
+        for r in records {
+            r.encode_into(&mut buf);
+        }
+        self.file.write_all_at(&buf, self.write_off)?;
+        self.file.sync_all()?;
+        self.write_off += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Starts a fresh segment; subsequent appends land there. Called at
+    /// the start of a merge commit so the manifest's `wal_seq` cut is
+    /// also a clean segment boundary.
+    pub fn rotate(&mut self) -> Result<(), LiveError> {
+        let next = self.seg_index + 1;
+        self.file = create_segment(&self.dir, next)?;
+        self.seg_index = next;
+        self.write_off = SEGMENT_HEADER_SIZE;
+        Ok(())
+    }
+
+    /// Deletes every segment older than the current one. Safe once a
+    /// manifest with the rotation's cut sequence is durable: everything
+    /// in the old segments is at or below the cut.
+    pub fn prune_old(&mut self) -> Result<(), LiveError> {
+        let mut pruned = false;
+        for (index, path) in list_segments(&self.dir)? {
+            if index < self.seg_index {
+                std::fs::remove_file(&path)?;
+                pruned = true;
+            }
+        }
+        if pruned {
+            fsync_dir(&self.dir)?;
+        }
+        Ok(())
+    }
+
+    /// Index of the current (append) segment.
+    pub fn current_segment(&self) -> u64 {
+        self.seg_index
+    }
+
+    /// Number of segment files on disk.
+    pub fn num_segments(&self) -> Result<u64, LiveError> {
+        Ok(list_segments(&self.dir)?.len() as u64)
+    }
+
+    /// Total bytes across all segment files.
+    pub fn total_bytes(&self) -> Result<u64, LiveError> {
+        let mut total = 0;
+        for (_, path) in list_segments(&self.dir)? {
+            total += std::fs::metadata(path)?.len();
+        }
+        Ok(total)
+    }
+}
+
+/// Walks one segment's bytes, pushing intact records. Returns the byte
+/// offset of the first invalid (or absent) frame.
+fn scan_segment<const D: usize>(
+    bytes: &[u8],
+    out: &mut Vec<WalRecord<D>>,
+) -> Result<u64, LiveError> {
+    let hdr = SEGMENT_HEADER_SIZE as usize;
+    if bytes.len() < hdr || bytes[0..8] != WAL_MAGIC {
+        // Torn segment header (crash during rotation, before the header
+        // fsync): no records can exist here.
+        return Ok(0);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != WAL_VERSION {
+        return Err(LiveError::Corrupt(format!(
+            "unsupported WAL segment version {version}"
+        )));
+    }
+    let mut off = hdr;
+    loop {
+        if off + RECORD_HEADER_SIZE > bytes.len() {
+            return Ok(off as u64);
+        }
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("4 bytes"));
+        if len != WalRecord::<D>::PAYLOAD_SIZE || off + RECORD_HEADER_SIZE + len > bytes.len() {
+            return Ok(off as u64);
+        }
+        let payload = &bytes[off + RECORD_HEADER_SIZE..off + RECORD_HEADER_SIZE + len];
+        if crc32(payload) != crc {
+            return Ok(off as u64);
+        }
+        match WalRecord::<D>::decode(payload) {
+            Some(rec) => out.push(rec),
+            None => return Ok(off as u64),
+        }
+        off += RECORD_HEADER_SIZE + len;
+    }
+}

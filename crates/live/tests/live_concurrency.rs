@@ -1,0 +1,282 @@
+//! Concurrency proofs: readers racing active ingest, merges, and
+//! compaction always see a **consistent op-boundary cut** whose contents
+//! equal a serial brute-force oracle, and a snapshot once taken is
+//! frozen forever.
+//!
+//! The key invariant exploited: the writer applies a deterministic
+//! workload, so every reachable cut has a closed-form oracle. Insert-only
+//! workloads: a snapshot must contain *exactly* the items `0..k` for
+//! some `k` (no holes — nothing torn; no future items). Mixed
+//! workloads: the cut is identified by the live-id multiset and checked
+//! item-for-item against the oracle's history.
+
+use pr_geom::{Item, Point, Rect};
+use pr_live::{LiveIndex, LiveOptions, LiveSnapshot};
+use pr_tree::{QueryScratch, TreeParams};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("pr-live-conc-{}", std::process::id()))
+        .join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn params() -> TreeParams {
+    TreeParams::with_cap::<2>(8)
+}
+
+fn item(i: u32) -> Item<2> {
+    let x = (i as f64 * 37.0) % 1000.0;
+    let y = (i as f64 * 61.0) % 1000.0;
+    Item::new(Rect::xyxy(x, y, x + 1.0, y + 1.0), i)
+}
+
+fn everything() -> Rect<2> {
+    Rect::xyxy(-10.0, -10.0, 1010.0, 1010.0)
+}
+
+/// Readers hammer snapshots while a writer inserts `0..n` in order
+/// (merges — inline or background — constantly in flight). Every
+/// snapshot must be an exact prefix `{0..k}`, bounded by what was
+/// acknowledged around the time it was taken, and identical to the
+/// serial brute-force oracle over those k items.
+fn insert_only_prefix_invariant(name: &str, background: bool) {
+    let dir = tmpdir(name);
+    let n: u32 = 2000;
+    let opts = LiveOptions {
+        buffer_cap: 64,
+        background_merge: background,
+        backpressure_factor: 4,
+    };
+    let ix = LiveIndex::<2>::create(&dir, params(), opts).unwrap();
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let ix = &ix;
+        let done = &done;
+        s.spawn(move || {
+            for i in 0..n {
+                ix.insert(item(i)).unwrap();
+            }
+            done.store(true, Ordering::Release);
+        });
+        for reader in 0..3 {
+            s.spawn(move || {
+                let mut scratch = QueryScratch::new();
+                let mut out = Vec::new();
+                let mut seen_nonempty = false;
+                loop {
+                    let finished = done.load(Ordering::Acquire);
+                    let low = ix.len(); // acked before the snapshot
+                    let snap = ix.snapshot();
+                    let high = ix.len(); // acked after the snapshot
+                    snap.window_into(&everything(), &mut scratch, &mut out)
+                        .unwrap();
+                    let k = snap.len();
+                    assert!(
+                        (low..=high).contains(&k),
+                        "reader {reader}: snapshot len {k} outside [{low}, {high}]"
+                    );
+                    let mut ids: Vec<u32> = out.iter().map(|i| i.id).collect();
+                    ids.sort_unstable();
+                    let want_ids: Vec<u32> = (0..k as u32).collect();
+                    assert_eq!(
+                        ids, want_ids,
+                        "reader {reader}: snapshot is not an exact prefix"
+                    );
+                    // Contents match the oracle item-for-item.
+                    for it in &out {
+                        assert_eq!(*it, item(it.id), "reader {reader}: item bits differ");
+                    }
+                    // A sub-window agrees with brute force over the prefix.
+                    let q = Rect::xyxy(100.0, 100.0, 400.0, 400.0);
+                    let got = snap.window(&q).unwrap();
+                    let oracle: Vec<Item<2>> = (0..k as u32)
+                        .map(item)
+                        .filter(|i| i.rect.intersects(&q))
+                        .collect();
+                    let mut got_ids: Vec<u32> = got.iter().map(|i| i.id).collect();
+                    let mut want: Vec<u32> = oracle.iter().map(|i| i.id).collect();
+                    got_ids.sort_unstable();
+                    want.sort_unstable();
+                    assert_eq!(got_ids, want, "reader {reader}: window vs oracle");
+                    seen_nonempty |= k > 0;
+                    if finished {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                assert!(seen_nonempty, "reader {reader} never saw data");
+            });
+        }
+    });
+    ix.wait_idle().unwrap();
+    // Final state: all n items, through queries and through k-NN.
+    let snap = ix.snapshot();
+    assert_eq!(snap.len(), n as u64);
+    let stats = ix.stats().unwrap();
+    assert!(stats.merges >= 1, "workload must have exercised merges");
+    let (nn, _) = ix
+        .nearest_neighbors(&Point::new([500.0, 500.0]), 10)
+        .unwrap();
+    assert_eq!(nn.len(), 10);
+    assert!(nn.windows(2).all(|w| w[0].1 <= w[1].1));
+}
+
+#[test]
+fn concurrent_readers_see_exact_prefixes_inline_merges() {
+    insert_only_prefix_invariant("prefix-inline", false);
+}
+
+#[test]
+fn concurrent_readers_see_exact_prefixes_background_merges() {
+    insert_only_prefix_invariant("prefix-background", true);
+}
+
+/// Mixed insert/delete workload with background merges: the *writer*
+/// verifies full oracle equality at every step (serial correctness
+/// while merges race underneath), and concurrent readers verify
+/// structural consistency (no duplicates, no foreign items, no dead
+/// items older than the snapshot allows).
+#[test]
+fn mixed_ops_match_oracle_with_concurrent_readers() {
+    let dir = tmpdir("mixed");
+    let opts = LiveOptions {
+        buffer_cap: 48,
+        background_merge: true,
+        backpressure_factor: 4,
+    };
+    let ix = LiveIndex::<2>::create(&dir, params(), opts).unwrap();
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let ix = &ix;
+        let done = &done;
+        s.spawn(move || {
+            let mut oracle: Vec<Item<2>> = Vec::new();
+            let mut scratch = QueryScratch::new();
+            let mut out = Vec::new();
+            for k in 0..1200u32 {
+                // Deterministic mixed workload: every 3rd op deletes the
+                // oldest survivor.
+                if k % 3 == 2 && !oracle.is_empty() {
+                    let victim = oracle.remove(0);
+                    assert!(ix.delete(&victim).unwrap(), "op {k}");
+                } else {
+                    ix.insert(item(k)).unwrap();
+                    oracle.push(item(k));
+                }
+                if k % 50 == 49 {
+                    let snap = ix.snapshot();
+                    snap.window_into(&everything(), &mut scratch, &mut out)
+                        .unwrap();
+                    let mut got: Vec<u32> = out.iter().map(|i| i.id).collect();
+                    let mut want: Vec<u32> = oracle.iter().map(|i| i.id).collect();
+                    got.sort_unstable();
+                    want.sort_unstable();
+                    assert_eq!(got, want, "writer-side oracle check at op {k}");
+                }
+            }
+            done.store(true, Ordering::Release);
+        });
+        for reader in 0..2 {
+            s.spawn(move || {
+                let mut scratch = QueryScratch::new();
+                let mut out = Vec::new();
+                loop {
+                    let finished = done.load(Ordering::Acquire);
+                    let snap = ix.snapshot();
+                    snap.window_into(&everything(), &mut scratch, &mut out)
+                        .unwrap();
+                    assert_eq!(out.len() as u64, snap.len(), "reader {reader}: count");
+                    let mut ids: Vec<u32> = out.iter().map(|i| i.id).collect();
+                    ids.sort_unstable();
+                    let unique_before = ids.len();
+                    ids.dedup();
+                    assert_eq!(ids.len(), unique_before, "reader {reader}: duplicate ids");
+                    for it in &out {
+                        assert_eq!(*it, item(it.id), "reader {reader}: foreign item");
+                    }
+                    if finished {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+    ix.wait_idle().unwrap();
+    assert!(ix.stats().unwrap().merges >= 1);
+}
+
+/// A snapshot is pinned: its results never change, even across further
+/// ingest, merges, and a full compaction that rewrites (and unlinks)
+/// the store file underneath it.
+#[test]
+fn snapshot_stays_frozen_across_merges_and_compaction() {
+    let dir = tmpdir("pinned");
+    let opts = LiveOptions {
+        buffer_cap: 32,
+        background_merge: false,
+        backpressure_factor: 4,
+    };
+    let ix = LiveIndex::<2>::create(&dir, params(), opts).unwrap();
+    for i in 0..300 {
+        ix.insert(item(i)).unwrap();
+    }
+    let snap: LiveSnapshot<2> = ix.snapshot();
+    let q = Rect::xyxy(0.0, 0.0, 600.0, 600.0);
+    let baseline = snap.window(&q).unwrap();
+    let baseline_len = snap.len();
+
+    // Mutate heavily: more inserts, deletes, merges, then a compaction
+    // that replaces the store file wholesale.
+    for i in 300..900 {
+        ix.insert(item(i)).unwrap();
+    }
+    for i in (0..300).step_by(2) {
+        assert!(ix.delete(&item(i)).unwrap());
+    }
+    ix.compact().unwrap();
+
+    // The old snapshot still answers from its pinned world.
+    assert_eq!(snap.len(), baseline_len);
+    let again = snap.window(&q).unwrap();
+    assert_eq!(again, baseline, "snapshot results drifted");
+
+    // And a fresh snapshot sees the new world.
+    let fresh = ix.snapshot();
+    assert_eq!(fresh.len(), 900 - 150);
+}
+
+/// k-NN on a live snapshot matches a brute-force oracle while merges
+/// run (deletes included).
+#[test]
+fn knn_matches_oracle_after_churn() {
+    let dir = tmpdir("knn");
+    let opts = LiveOptions {
+        buffer_cap: 16,
+        background_merge: false,
+        backpressure_factor: 4,
+    };
+    let ix = LiveIndex::<2>::create(&dir, params(), opts).unwrap();
+    let mut oracle = Vec::new();
+    for i in 0..400u32 {
+        ix.insert(item(i)).unwrap();
+        oracle.push(item(i));
+    }
+    for i in (0..400u32).step_by(3) {
+        assert!(ix.delete(&item(i)).unwrap());
+        oracle.retain(|it| it.id != i);
+    }
+    let q = Point::new([321.0, 456.0]);
+    let (got, _) = ix.nearest_neighbors(&q, 15).unwrap();
+    let mut want: Vec<(u32, f64)> = oracle
+        .iter()
+        .map(|i| (i.id, i.rect.min_dist2(&q).sqrt()))
+        .collect();
+    want.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    let got_pairs: Vec<(u32, f64)> = got.iter().map(|(i, d)| (i.id, *d)).collect();
+    assert_eq!(got_pairs, want[..15].to_vec());
+}

@@ -1,0 +1,452 @@
+//! Crash-recovery proofs for the live index.
+//!
+//! The durability contract: a write acknowledged (its WAL fsync
+//! returned) is never lost, and a write never acknowledged is never
+//! resurrected — no matter where the process dies. These tests cover
+//! every boundary of the protocol:
+//!
+//! * plain crash (drop without any shutdown) at **every op boundary**,
+//! * a torn WAL tail (garbage and corrupted final records),
+//! * injected death **between the WAL segment fsync/rotation and the
+//!   manifest flip**, and **between the flip and the WAL prune** —
+//!   the two windows of the merge-commit protocol,
+//! * compaction's atomic-rename window (stale temp file).
+
+use pr_geom::{Item, Rect};
+use pr_live::{CrashPoint, LiveError, LiveIndex, LiveOptions};
+use pr_tree::TreeParams;
+use std::path::PathBuf;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("pr-live-recovery-{}", std::process::id()))
+        .join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn opts(cap: usize) -> LiveOptions {
+    LiveOptions {
+        buffer_cap: cap,
+        background_merge: false, // deterministic merge points
+        backpressure_factor: 4,
+    }
+}
+
+fn params() -> TreeParams {
+    TreeParams::with_cap::<2>(8)
+}
+
+/// Deterministic item: position derived from the id.
+fn item(i: u32) -> Item<2> {
+    let x = (i as f64 * 37.0) % 1000.0;
+    let y = (i as f64 * 61.0) % 1000.0;
+    Item::new(Rect::xyxy(x, y, x + 1.0, y + 1.0), i)
+}
+
+/// Applies operation `k` of the deterministic workload to both the
+/// index and the oracle: mostly inserts, with every 5th op deleting the
+/// item inserted 3 ops ago.
+fn apply_op(ix: &LiveIndex<2>, oracle: &mut Vec<Item<2>>, k: u32) {
+    if k % 5 == 4 && k >= 3 {
+        let victim = item(k - 3);
+        let was_live = oracle.iter().any(|i| i == &victim);
+        let deleted = ix.delete(&victim).unwrap();
+        assert_eq!(deleted, was_live, "op {k}: delete disagrees with oracle");
+        if was_live {
+            oracle.retain(|i| i != &victim);
+        }
+    } else {
+        ix.insert(item(k)).unwrap();
+        oracle.push(item(k));
+    }
+}
+
+fn assert_state_matches(ix: &LiveIndex<2>, oracle: &[Item<2>], context: &str) {
+    let snap = ix.snapshot();
+    assert_eq!(snap.len(), oracle.len() as u64, "{context}: len");
+    let mut got = snap.items().unwrap();
+    let mut want = oracle.to_vec();
+    got.sort_by_key(|i| i.id);
+    want.sort_by_key(|i| i.id);
+    assert_eq!(got, want, "{context}: items");
+    // The query path agrees with the scan path.
+    let q = Rect::xyxy(0.0, 0.0, 500.0, 500.0);
+    let mut through_query = snap.window(&q).unwrap();
+    let mut brute: Vec<Item<2>> = want
+        .iter()
+        .filter(|i| i.rect.intersects(&q))
+        .copied()
+        .collect();
+    through_query.sort_by_key(|i| i.id);
+    brute.sort_by_key(|i| i.id);
+    assert_eq!(through_query, brute, "{context}: window");
+}
+
+/// Crash (plain drop — nothing is flushed on drop) after **every single
+/// operation** of a workload that crosses many merge commits; reopen
+/// must recover exactly the acknowledged prefix each time.
+#[test]
+fn crash_at_every_op_boundary_recovers_exact_prefix() {
+    let dir = tmpdir("every-boundary");
+    let mut oracle: Vec<Item<2>> = Vec::new();
+    {
+        let ix = LiveIndex::<2>::create(&dir, params(), opts(8)).unwrap();
+        drop(ix); // even "created then crashed immediately" must reopen
+    }
+    for k in 0..80u32 {
+        let ix = LiveIndex::<2>::open(&dir, opts(8)).unwrap();
+        assert_state_matches(&ix, &oracle, &format!("reopen before op {k}"));
+        apply_op(&ix, &mut oracle, k);
+        assert_state_matches(&ix, &oracle, &format!("after op {k}"));
+        drop(ix); // crash
+    }
+    let ix = LiveIndex::<2>::open(&dir, opts(8)).unwrap();
+    assert_state_matches(&ix, &oracle, "final reopen");
+    assert!(ix.stats().unwrap().merges == 0 || !ix.is_empty());
+}
+
+/// Garbage appended to the newest WAL segment (a write torn before its
+/// fsync, i.e. never acknowledged) is discarded; everything before it
+/// survives.
+#[test]
+fn torn_wal_tail_is_truncated_to_acknowledged_prefix() {
+    let dir = tmpdir("torn-tail");
+    let mut oracle = Vec::new();
+    {
+        let ix = LiveIndex::<2>::create(&dir, params(), opts(64)).unwrap();
+        for k in 0..20 {
+            apply_op(&ix, &mut oracle, k);
+        }
+    }
+    // Simulate a torn append: random bytes after the last record.
+    let newest = newest_wal_segment(&dir);
+    let mut bytes = std::fs::read(&newest).unwrap();
+    let clean_len = bytes.len();
+    bytes.extend_from_slice(&[0xAB; 29]); // partial frame
+    std::fs::write(&newest, &bytes).unwrap();
+
+    let ix = LiveIndex::<2>::open(&dir, opts(64)).unwrap();
+    assert_state_matches(&ix, &oracle, "after torn tail");
+    drop(ix);
+    // Recovery physically chopped the tail.
+    assert!(std::fs::metadata(&newest).unwrap().len() <= clean_len as u64 + 53);
+}
+
+/// A bit-flip inside the **final** record (the op whose fsync the crash
+/// interrupted — by simulation, never acknowledged) drops exactly that
+/// op and nothing before it.
+#[test]
+fn corrupt_final_record_drops_only_the_unacked_op() {
+    let dir = tmpdir("corrupt-last");
+    let mut oracle = Vec::new();
+    {
+        let ix = LiveIndex::<2>::create(&dir, params(), opts(64)).unwrap();
+        for k in 0..10 {
+            // inserts only, so "last op" is unambiguous
+            ix.insert(item(k)).unwrap();
+            oracle.push(item(k));
+        }
+    }
+    let newest = newest_wal_segment(&dir);
+    let len = std::fs::metadata(&newest).unwrap().len();
+    // Flip a byte inside the last record's payload (record = 8-byte
+    // frame + 45-byte payload in 2-D).
+    flip_byte(&newest, len - 10);
+    oracle.pop(); // the torn op was op 9
+
+    let ix = LiveIndex::<2>::open(&dir, opts(64)).unwrap();
+    assert_state_matches(&ix, &oracle, "after corrupt final record");
+}
+
+/// Injected death after the WAL rotation but **before the manifest
+/// flip**: the merge never committed, the old manifest + the un-pruned
+/// segments replay everything acknowledged.
+#[test]
+fn crash_between_wal_fsync_and_manifest_flip_loses_nothing() {
+    let dir = tmpdir("before-flip");
+    let mut oracle = Vec::new();
+    let stats_before;
+    {
+        let ix = LiveIndex::<2>::create(&dir, params(), opts(16)).unwrap();
+        for k in 0..40 {
+            apply_op(&ix, &mut oracle, k);
+        }
+        ix.flush().unwrap(); // a real committed merge first
+        for k in 40..55 {
+            apply_op(&ix, &mut oracle, k);
+        }
+        stats_before = ix.stats().unwrap();
+        ix.inject_crash(CrashPoint::BeforeCommit);
+        match ix.flush() {
+            Err(LiveError::Injected(_)) => {}
+            other => panic!("expected injected crash, got {other:?}"),
+        }
+        // The process "dies" here: plain drop, no further cleanup.
+    }
+    let ix = LiveIndex::<2>::open(&dir, opts(16)).unwrap();
+    assert_state_matches(&ix, &oracle, "reopen after pre-flip crash");
+    // The aborted merge really did not commit.
+    assert_eq!(
+        ix.stats().unwrap().store_epoch,
+        stats_before.store_epoch,
+        "manifest must not have advanced"
+    );
+}
+
+/// Injected death **after the manifest flip but before the WAL prune
+/// and in-memory swap**: the new manifest's cut filters the stale
+/// segments; nothing is lost, nothing double-applies.
+#[test]
+fn crash_between_manifest_flip_and_wal_prune_loses_nothing() {
+    let dir = tmpdir("after-flip");
+    let mut oracle = Vec::new();
+    let stats_before;
+    {
+        let ix = LiveIndex::<2>::create(&dir, params(), opts(16)).unwrap();
+        for k in 0..48 {
+            apply_op(&ix, &mut oracle, k);
+        }
+        stats_before = ix.stats().unwrap();
+        ix.inject_crash(CrashPoint::AfterCommit);
+        match ix.flush() {
+            Err(LiveError::Injected(_)) => {}
+            other => panic!("expected injected crash, got {other:?}"),
+        }
+    }
+    // Stale segments from before the rotation still exist (prune never
+    // ran) — replay must filter them by the manifest's cut, not
+    // double-apply them.
+    let ix = LiveIndex::<2>::open(&dir, opts(16)).unwrap();
+    assert_state_matches(&ix, &oracle, "reopen after post-flip crash");
+    assert!(
+        ix.stats().unwrap().store_epoch > stats_before.store_epoch,
+        "the flip did commit"
+    );
+}
+
+/// The same two windows, hit while deletes are outstanding (tombstones
+/// in the checkpoint path).
+#[test]
+fn injected_crashes_with_outstanding_tombstones() {
+    for point in [CrashPoint::BeforeCommit, CrashPoint::AfterCommit] {
+        let dir = tmpdir(&format!("tombstone-crash-{point:?}"));
+        let mut oracle = Vec::new();
+        {
+            let ix = LiveIndex::<2>::create(&dir, params(), opts(8)).unwrap();
+            for k in 0..24 {
+                ix.insert(item(k)).unwrap();
+                oracle.push(item(k));
+            }
+            ix.flush().unwrap();
+            // Deletes landing as tombstones (targets live in components).
+            for k in [0u32, 5, 11] {
+                assert!(ix.delete(&item(k)).unwrap());
+                oracle.retain(|i| i.id != k);
+            }
+            for k in 24..30 {
+                ix.insert(item(k)).unwrap();
+                oracle.push(item(k));
+            }
+            ix.inject_crash(point);
+            assert!(matches!(ix.flush(), Err(LiveError::Injected(_))));
+        }
+        let ix = LiveIndex::<2>::open(&dir, opts(8)).unwrap();
+        assert_state_matches(&ix, &oracle, &format!("tombstones across {point:?}"));
+    }
+}
+
+/// Compaction rewrites the store into a fresh file via atomic rename;
+/// data survives, superseded snapshot space is reclaimed, and a stale
+/// temp file from a crashed compaction is ignored at open.
+#[test]
+fn compaction_reclaims_space_and_survives_reopen() {
+    let dir = tmpdir("compact");
+    let mut oracle = Vec::new();
+    let ix = LiveIndex::<2>::create(&dir, params(), opts(16)).unwrap();
+    for k in 0..200 {
+        apply_op(&ix, &mut oracle, k);
+    }
+    ix.flush().unwrap();
+    let before = ix.stats().unwrap();
+    assert!(before.merges >= 1);
+    ix.compact().unwrap();
+    let after = ix.stats().unwrap();
+    assert_eq!(after.live, oracle.len() as u64);
+    assert_eq!(after.components.len(), 1, "compaction leaves one component");
+    assert_eq!(after.tombstones, 0, "compaction absorbs all tombstones");
+    assert!(
+        after.store_file_bytes < before.store_file_bytes,
+        "fresh file ({}) should be smaller than the grown one ({})",
+        after.store_file_bytes,
+        before.store_file_bytes
+    );
+    assert_state_matches(&ix, &oracle, "after compact");
+    drop(ix);
+
+    // A dead compaction's temp file must not confuse open.
+    std::fs::write(dir.join("index.prt.tmp"), b"half-written junk").unwrap();
+    let ix = LiveIndex::<2>::open(&dir, opts(16)).unwrap();
+    assert_state_matches(&ix, &oracle, "reopen after compact + stale tmp");
+    assert!(!dir.join("index.prt.tmp").exists());
+}
+
+/// Reopening with a different buffer cap (a tuning change across
+/// restarts) keeps all data and keeps merging correctly.
+#[test]
+fn reopen_with_different_buffer_cap() {
+    let dir = tmpdir("cap-change");
+    let mut oracle = Vec::new();
+    {
+        let ix = LiveIndex::<2>::create(&dir, params(), opts(32)).unwrap();
+        for k in 0..50 {
+            apply_op(&ix, &mut oracle, k);
+        }
+    }
+    let ix = LiveIndex::<2>::open(&dir, opts(4)).unwrap();
+    assert_state_matches(&ix, &oracle, "reopen with cap 4");
+    for k in 50..70 {
+        apply_op(&ix, &mut oracle, k);
+    }
+    assert_state_matches(&ix, &oracle, "after more ops under cap 4");
+}
+
+/// `delete_batch` (one fsync per batch) matches serial deletes exactly:
+/// duplicates within a batch, memtable + component victims, misses —
+/// and the whole batch survives a crash-reopen.
+#[test]
+fn delete_batch_matches_serial_semantics_and_survives() {
+    let dir = tmpdir("delete-batch");
+    let mut oracle = Vec::new();
+    {
+        let ix = LiveIndex::<2>::create(&dir, params(), opts(8)).unwrap();
+        for k in 0..30 {
+            ix.insert(item(k)).unwrap();
+            oracle.push(item(k));
+        }
+        // Victims: component residents, memtable residents, one
+        // duplicate, and two misses (never-inserted + wrong rect).
+        let batch = vec![
+            item(0),
+            item(5),
+            item(5), // duplicate: only the first copy is live
+            item(28),
+            item(29),
+            item(500),                                    // never existed
+            Item::new(Rect::xyxy(0.0, 0.0, 9.0, 9.0), 1), // right id, wrong rect
+        ];
+        let deleted = ix.delete_batch(&batch).unwrap();
+        assert_eq!(deleted, 4, "exactly the live victims");
+        for id in [0u32, 5, 28, 29] {
+            oracle.retain(|i| i.id != id);
+        }
+        assert_state_matches(&ix, &oracle, "after delete_batch");
+        // A second identical batch deletes nothing.
+        assert_eq!(ix.delete_batch(&batch).unwrap(), 0);
+    }
+    let ix = LiveIndex::<2>::open(&dir, opts(8)).unwrap();
+    assert_state_matches(&ix, &oracle, "delete_batch after crash-reopen");
+}
+
+/// `flush()` after tombstone-only deletes (empty memtable) still
+/// commits a checkpoint: the manifest catches up to the acknowledged
+/// sequence and the WAL becomes prunable.
+#[test]
+fn flush_checkpoints_tombstone_only_deletes() {
+    let dir = tmpdir("tombstone-checkpoint");
+    let ix = LiveIndex::<2>::create(&dir, params(), opts(8)).unwrap();
+    for k in 0..24 {
+        ix.insert(item(k)).unwrap();
+    }
+    ix.flush().unwrap();
+    // All items now live in components; these deletes are pure
+    // tombstones and leave the memtable empty.
+    for k in [1u32, 2, 3] {
+        assert!(ix.delete(&item(k)).unwrap());
+    }
+    let before = ix.stats().unwrap();
+    assert!(
+        before.merged_seq < before.durable_seq,
+        "deletes outrun manifest"
+    );
+    ix.flush().unwrap();
+    let after = ix.stats().unwrap();
+    assert_eq!(
+        after.merged_seq, after.durable_seq,
+        "flush must checkpoint tombstone-only deletes"
+    );
+    drop(ix);
+    // Reopen replays nothing (manifest covers everything) and agrees.
+    let ix = LiveIndex::<2>::open(&dir, opts(8)).unwrap();
+    assert_eq!(ix.len(), 21);
+}
+
+/// The directory lock refuses a second concurrent open — even a
+/// "read-only" open truncates torn WAL tails, so sharing would corrupt.
+#[test]
+fn concurrent_open_is_refused_while_locked() {
+    let dir = tmpdir("locked");
+    let ix = LiveIndex::<2>::create(&dir, params(), opts(8)).unwrap();
+    ix.insert(item(1)).unwrap();
+    match LiveIndex::<2>::open(&dir, opts(8)) {
+        Err(LiveError::Locked(d)) => assert_eq!(d, dir),
+        other => panic!("expected Locked, got {:?}", other.map(|_| ())),
+    }
+    drop(ix);
+    // Released on drop (or process death): reopen succeeds.
+    let ix = LiveIndex::<2>::open(&dir, opts(8)).unwrap();
+    assert_eq!(ix.len(), 1);
+}
+
+/// `create` over an existing index must destroy it whole — in
+/// particular stale rotated WAL segments, which would otherwise be
+/// replayed into the new index on a later reopen.
+#[test]
+fn create_over_existing_index_leaves_no_stale_wal() {
+    let dir = tmpdir("recreate");
+    {
+        let ix = LiveIndex::<2>::create(&dir, params(), opts(8)).unwrap();
+        for k in 0..30 {
+            ix.insert(item(k)).unwrap();
+        }
+        ix.flush().unwrap(); // rotates: segment index >= 2 now current
+        for k in 30..40 {
+            ix.insert(item(k)).unwrap();
+        }
+    }
+    let ix = LiveIndex::<2>::create(&dir, params(), opts(8)).unwrap();
+    assert_eq!(ix.len(), 0, "create must start empty");
+    ix.insert(item(1000)).unwrap();
+    drop(ix);
+    let ix = LiveIndex::<2>::open(&dir, opts(8)).unwrap();
+    assert_eq!(ix.len(), 1, "old items resurrected from stale WAL");
+    assert_eq!(ix.snapshot().items().unwrap(), vec![item(1000)]);
+}
+
+fn newest_wal_segment(dir: &std::path::Path) -> PathBuf {
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            let name = p.file_name().unwrap().to_string_lossy().to_string();
+            (name.starts_with("wal-") && name.ends_with(".log")).then_some(p)
+        })
+        .collect();
+    segs.sort();
+    segs.pop().expect("at least one segment")
+}
+
+fn flip_byte(path: &std::path::Path, offset: u64) {
+    use std::io::{Read, Seek, SeekFrom, Write};
+    let mut f = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)
+        .unwrap();
+    f.seek(SeekFrom::Start(offset)).unwrap();
+    let mut b = [0u8; 1];
+    f.read_exact(&mut b).unwrap();
+    b[0] ^= 0x55;
+    f.seek(SeekFrom::Start(offset)).unwrap();
+    f.write_all(&b).unwrap();
+}

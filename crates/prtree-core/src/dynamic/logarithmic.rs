@@ -12,20 +12,27 @@
 //! most `buffer_cap · 2^i` items. A buffer overflow rebuilds into the
 //! first empty slot `j`, merging the buffer with all of `T_0..T_{j-1}`
 //! (whose combined size always fits, since capacities are geometric).
-//! Deletions are tombstones, compacted by a global rebuild once half the
-//! stored items are dead. A window query fans out over the buffer and
-//! every component and filters tombstones — each component is a PR-tree,
+//! All slotting/merge/compaction decisions live in the reusable
+//! [`GeometricPolicy`], which the durable `pr-live` index shares.
+//! Deletions are [`Tombstones`] — counted `(id, rect)` identities, so
+//! delete-then-reinsert of the same id is handled correctly — compacted
+//! by a global rebuild once half the stored items are dead. A window
+//! query fans out over the buffer and every component through the
+//! decode-free engine (one shared [`QueryScratch`], zero allocations in
+//! steady state) and filters tombstones — each component is a PR-tree,
 //! so the per-component cost keeps the `O(√(N/B) + T/B)` guarantee, at
 //! the price of an `O(log N)` multiplicative fan-out.
 
 use crate::bulk::pr::PrTreeLoader;
 use crate::bulk::BulkLoader;
+use crate::dynamic::policy::GeometricPolicy;
+use crate::dynamic::tombstone::{same_identity, Tombstones};
 use crate::params::TreeParams;
 use crate::query::QueryStats;
+use crate::scratch::QueryScratch;
 use crate::tree::RTree;
 use pr_em::{BlockDevice, BlockId, EmError};
-use pr_geom::{Item, Rect};
-use std::collections::HashSet;
+use pr_geom::{Item, Point, Rect};
 use std::sync::Arc;
 
 /// A dynamized PR-tree (logarithmic method).
@@ -33,10 +40,10 @@ pub struct LprTree<const D: usize> {
     dev: Arc<dyn BlockDevice>,
     params: TreeParams,
     loader: PrTreeLoader,
-    buffer_cap: usize,
+    policy: GeometricPolicy,
     buffer: Vec<Item<D>>,
     components: Vec<Option<RTree<D>>>,
-    tombstones: HashSet<u32>,
+    tombstones: Tombstones<D>,
     live: u64,
     rebuilds: u64,
 }
@@ -50,10 +57,10 @@ impl<const D: usize> LprTree<D> {
             dev,
             params,
             loader: PrTreeLoader::default(),
-            buffer_cap: buffer_cap.max(1),
+            policy: GeometricPolicy::new(buffer_cap),
             buffer: Vec::new(),
             components: Vec::new(),
-            tombstones: HashSet::new(),
+            tombstones: Tombstones::new(),
             live: 0,
             rebuilds: 0,
         }
@@ -84,44 +91,49 @@ impl<const D: usize> LprTree<D> {
         &self.dev
     }
 
+    /// The component-management policy in force.
+    pub fn policy(&self) -> &GeometricPolicy {
+        &self.policy
+    }
+
+    /// Total tombstones currently recorded (dead items awaiting merge).
+    pub fn num_tombstones(&self) -> u64 {
+        self.tombstones.total()
+    }
+
     /// Inserts an item (ids must be unique among live items).
     pub fn insert(&mut self, item: Item<D>) -> Result<(), EmError> {
         self.buffer.push(item);
         self.live += 1;
-        if self.buffer.len() >= self.buffer_cap {
+        if self.buffer.len() >= self.policy.buffer_cap() {
             self.flush()?;
         }
         Ok(())
     }
 
-    /// Deletes by id (+ rectangle, checked against live items). Returns
+    /// Deletes by id + rectangle (checked against live items). Returns
     /// `false` if no live item matches.
     pub fn delete(&mut self, item: &Item<D>) -> Result<bool, EmError> {
-        if let Some(pos) = self
-            .buffer
-            .iter()
-            .position(|b| b.id == item.id && b.rect == item.rect)
-        {
+        if let Some(pos) = self.buffer.iter().position(|b| same_identity(b, item)) {
             self.buffer.swap_remove(pos);
             self.live -= 1;
             return Ok(true);
         }
-        // Is it actually stored in a component (and not yet dead)?
-        if self.tombstones.contains(&item.id) {
-            return Ok(false);
-        }
-        let mut found = false;
+        // Count stored copies of this exact (id, rect) identity; the
+        // item is live iff more copies are stored than tombstoned. (An
+        // id-only check would wrongly reject deleting a *reinserted*
+        // item whose earlier incarnation was tombstoned.)
+        let mut scratch = QueryScratch::new();
+        let mut hits = Vec::new();
+        let mut copies = 0u64;
         for c in self.components.iter().flatten() {
-            let (hits, _) = c.window_with_stats(&item.rect)?;
-            if hits.iter().any(|h| h.id == item.id && h.rect == item.rect) {
-                found = true;
-                break;
-            }
+            c.window_into(&item.rect, &mut scratch, &mut hits)?;
+            copies += hits.iter().filter(|h| same_identity(h, item)).count() as u64;
         }
-        if !found {
+        if copies <= self.tombstones.count(item) as u64 {
             return Ok(false);
         }
-        self.tombstones.insert(item.id);
+        self.tombstones.add(item);
         self.live -= 1;
         // Compact once half the stored items are dead.
         let stored: u64 = self
@@ -130,7 +142,10 @@ impl<const D: usize> LprTree<D> {
             .flatten()
             .map(|c| c.len())
             .sum::<u64>();
-        if stored > 0 && self.tombstones.len() as u64 * 2 > stored {
+        if self
+            .policy
+            .needs_compaction(self.tombstones.total(), stored)
+        {
             self.rebuild_all()?;
         }
         Ok(true)
@@ -139,34 +154,96 @@ impl<const D: usize> LprTree<D> {
     /// Window query over buffer + all components, filtering tombstones.
     /// The buffer is main-memory resident and costs no I/O.
     pub fn window(&self, query: &Rect<D>) -> Result<(Vec<Item<D>>, QueryStats), EmError> {
-        let mut out: Vec<Item<D>> = self
-            .buffer
-            .iter()
-            .filter(|i| i.rect.intersects(query))
-            .copied()
-            .collect();
+        let mut scratch = QueryScratch::new();
+        let mut out = Vec::new();
+        let stats = self.window_into(query, &mut scratch, &mut out)?;
+        Ok((out, stats))
+    }
+
+    /// [`LprTree::window`] with caller-owned buffers: one reused
+    /// [`QueryScratch`] is threaded through **every** component's
+    /// decode-free traversal ([`RTree::window_append_into`]), so a hot
+    /// loop over an LPR-tree allocates nothing in steady state despite
+    /// the logarithmic fan-out.
+    pub fn window_into(
+        &self,
+        query: &Rect<D>,
+        scratch: &mut QueryScratch<D>,
+        out: &mut Vec<Item<D>>,
+    ) -> Result<QueryStats, EmError> {
+        out.clear();
+        out.extend(self.buffer.iter().filter(|i| i.rect.intersects(query)));
         let mut stats = QueryStats::default();
+        let mut filter = self.tombstones.filter();
         for c in self.components.iter().flatten() {
-            let (hits, s) = c.window_with_stats(query)?;
-            stats.nodes_visited += s.nodes_visited;
-            stats.leaves_visited += s.leaves_visited;
-            stats.internal_visited += s.internal_visited;
-            stats.device_reads += s.device_reads;
-            out.extend(
-                hits.into_iter()
-                    .filter(|h| !self.tombstones.contains(&h.id)),
-            );
+            let start = out.len();
+            let s = c.window_append_into(query, scratch, out)?;
+            stats.absorb_traversal(&s);
+            filter.retain_admitted(out, start);
         }
         stats.results = out.len() as u64;
+        Ok(stats)
+    }
+
+    /// The `k` live items nearest to `query` (closest first), with
+    /// aggregate traversal statistics.
+    pub fn nearest_neighbors(
+        &self,
+        query: &Point<D>,
+        k: usize,
+    ) -> Result<(Vec<(Item<D>, f64)>, QueryStats), EmError> {
+        let mut scratch = QueryScratch::new();
+        let mut out = Vec::new();
+        let stats = self.nearest_neighbors_into(query, k, &mut scratch, &mut out)?;
         Ok((out, stats))
+    }
+
+    /// [`LprTree::nearest_neighbors`] with caller-owned buffers. Each
+    /// component answers through the decode-free best-first engine
+    /// ([`RTree::nearest_neighbors_into`]) with the shared scratch; the
+    /// per-component result lists are then merged, tombstones filtered,
+    /// and the global top `k` kept. Components are over-queried by the
+    /// tombstone count so dead heads cannot starve the merge.
+    pub fn nearest_neighbors_into(
+        &self,
+        query: &Point<D>,
+        k: usize,
+        scratch: &mut QueryScratch<D>,
+        out: &mut Vec<(Item<D>, f64)>,
+    ) -> Result<QueryStats, EmError> {
+        out.clear();
+        let mut stats = QueryStats::default();
+        if k == 0 {
+            return Ok(stats);
+        }
+        let fetch = k.saturating_add(self.tombstones.total().min(usize::MAX as u64) as usize);
+        let mut merged: Vec<(Item<D>, f64)> = self
+            .buffer
+            .iter()
+            .map(|i| (*i, i.rect.min_dist2(query).sqrt()))
+            .collect();
+        let mut filter = self.tombstones.filter();
+        let mut tmp = Vec::new();
+        for c in self.components.iter().flatten() {
+            let s = c.nearest_neighbors_into(query, fetch, scratch, &mut tmp)?;
+            stats.absorb_traversal(&s);
+            merged.extend(tmp.drain(..).filter(|(it, _)| filter.admit(it)));
+        }
+        // Total order: distance, then id (distances are finite).
+        merged.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.id.cmp(&b.0.id)));
+        merged.truncate(k);
+        out.extend(merged);
+        stats.results = out.len() as u64;
+        Ok(stats)
     }
 
     /// All live items (test helper; costs a full scan).
     pub fn items(&self) -> Result<Vec<Item<D>>, EmError> {
         let mut out = self.buffer.clone();
+        let mut filter = self.tombstones.filter();
         for c in self.components.iter().flatten() {
             for it in c.items()? {
-                if !self.tombstones.contains(&it.id) {
+                if filter.admit(&it) {
                     out.push(it);
                 }
             }
@@ -174,32 +251,26 @@ impl<const D: usize> LprTree<D> {
         Ok(out)
     }
 
-    /// Capacity of component slot `i`.
-    fn slot_cap(&self, i: usize) -> u64 {
-        (self.buffer_cap as u64) << i
-    }
-
     /// Buffer overflow: merge buffer + components `0..j` into slot `j`,
     /// where `j` is the first empty slot (geometric capacities guarantee
     /// the fit).
     fn flush(&mut self) -> Result<(), EmError> {
-        let j = (0..)
-            .find(|&i| i >= self.components.len() || self.components[i].is_none())
-            .expect("unbounded search finds an empty slot");
+        let occupied: Vec<bool> = self.components.iter().map(|c| c.is_some()).collect();
+        let j = self.policy.flush_slot(&occupied);
         let mut items: Vec<Item<D>> = std::mem::take(&mut self.buffer);
         let mut freed_pages: Vec<BlockId> = Vec::new();
         for i in 0..j.min(self.components.len()) {
             if let Some(c) = self.components[i].take() {
                 collect_pages(&c, &mut freed_pages)?;
                 for it in c.items()? {
-                    if self.tombstones.remove(&it.id) {
+                    if self.tombstones.consume(&it) {
                         continue; // drop dead items during the merge
                     }
                     items.push(it);
                 }
             }
         }
-        debug_assert!(items.len() as u64 <= self.slot_cap(j));
+        debug_assert!(items.len() as u64 <= self.policy.slot_cap(j));
         if self.components.len() <= j {
             self.components.resize_with(j + 1, || None);
         }
@@ -222,20 +293,19 @@ impl<const D: usize> LprTree<D> {
             if let Some(c) = slot.take() {
                 collect_pages(&c, &mut freed_pages)?;
                 for it in c.items()? {
-                    if !self.tombstones.contains(&it.id) {
+                    if !self.tombstones.consume(&it) {
                         items.push(it);
                     }
                 }
             }
         }
+        // Every tombstone pointed at a component item, and every
+        // component was just drained.
+        debug_assert!(self.tombstones.is_empty(), "tombstone left after rebuild");
         self.tombstones.clear();
         self.components.clear();
         if !items.is_empty() {
-            // Place into the smallest slot that fits.
-            let mut j = 0;
-            while self.slot_cap(j) < items.len() as u64 {
-                j += 1;
-            }
+            let j = self.policy.placement_slot(items.len() as u64);
             self.components.resize_with(j + 1, || None);
             let tree = self
                 .loader
@@ -314,10 +384,10 @@ mod tests {
         for (i, slot) in t.components.iter().enumerate() {
             if let Some(c) = slot {
                 assert!(
-                    c.len() <= t.slot_cap(i),
+                    c.len() <= t.policy.slot_cap(i),
                     "component {i} holds {} > cap {}",
                     c.len(),
-                    t.slot_cap(i)
+                    t.policy.slot_cap(i)
                 );
                 c.validate().unwrap().assert_ok();
             }
@@ -375,9 +445,9 @@ mod tests {
         // by at least one compaction during this delete storm.
         let stored: u64 = t.components.iter().flatten().map(|c| c.len()).sum();
         assert!(
-            t.tombstones.len() as u64 * 2 <= stored.max(1),
+            t.tombstones.total() * 2 <= stored.max(1),
             "{} tombstones vs {stored} stored",
-            t.tombstones.len()
+            t.tombstones.total()
         );
         assert!(t.rebuilds() > rebuilds_before, "no compaction happened");
         let (got, _) = t.window(&Rect::xyxy(0.0, 0.0, 100.0, 100.0)).unwrap();

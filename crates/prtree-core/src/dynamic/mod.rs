@@ -11,8 +11,12 @@
 //!   the price of a logarithmic component fan-out (§1.2).
 
 pub mod logarithmic;
+pub mod policy;
 pub mod split;
+pub mod tombstone;
 pub mod update;
 
 pub use logarithmic::LprTree;
+pub use policy::GeometricPolicy;
 pub use split::SplitPolicy;
+pub use tombstone::{same_identity, TombstoneFilter, TombstoneKey, Tombstones};

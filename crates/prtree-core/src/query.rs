@@ -44,6 +44,18 @@ pub struct QueryStats {
 }
 
 impl QueryStats {
+    /// Folds another traversal's cost counters (nodes, leaves, internal,
+    /// device reads — **not** `results`) into this one. Multi-component
+    /// structures (the LPR-tree, pr-live snapshots) use this to
+    /// aggregate their per-component fan-out; `results` is set once from
+    /// the filtered output they assemble.
+    pub fn absorb_traversal(&mut self, other: &QueryStats) {
+        self.nodes_visited += other.nodes_visited;
+        self.leaves_visited += other.leaves_visited;
+        self.internal_visited += other.internal_visited;
+        self.device_reads += other.device_reads;
+    }
+
     /// Lower bound `⌈T/B⌉` on blocks needed just to report the output.
     pub fn output_blocks(&self, leaf_cap: usize) -> u64 {
         self.results.div_ceil(leaf_cap as u64)
@@ -87,6 +99,21 @@ impl<const D: usize> RTree<D> {
         out: &mut Vec<Item<D>>,
     ) -> Result<QueryStats, EmError> {
         out.clear();
+        self.window_append_into(query, scratch, out)
+    }
+
+    /// [`RTree::window_into`] that **appends** to `out` instead of
+    /// clearing it. This is the fan-out primitive of multi-component
+    /// structures ([`crate::dynamic::LprTree`], pr-live): one reused
+    /// scratch and one result vector serve a query over any number of
+    /// trees. The returned statistics cover only this traversal
+    /// (`results` counts this tree's matches, not `out.len()`).
+    pub fn window_append_into(
+        &self,
+        query: &Rect<D>,
+        scratch: &mut QueryScratch<D>,
+        out: &mut Vec<Item<D>>,
+    ) -> Result<QueryStats, EmError> {
         self.window_traverse(query, scratch, |n| n.collect_intersecting(query, out))
     }
 

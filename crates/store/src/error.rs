@@ -53,6 +53,10 @@ pub enum StoreError {
     /// `save` was called on a store opened from a read-only file or
     /// filesystem (queries still work; commits need write access).
     ReadOnly,
+    /// [`crate::Store::tree`] was called on a multi-component snapshot
+    /// that does not hold exactly one tree; use
+    /// [`crate::Store::components`] instead.
+    NotSingleComponent(usize),
     /// Structural corruption not covered by a more specific variant.
     Corrupt(String),
 }
@@ -92,6 +96,12 @@ impl fmt::Display for StoreError {
             }
             StoreError::ReadOnly => {
                 write!(f, "store opened read-only; saving needs write access")
+            }
+            StoreError::NotSingleComponent(n) => {
+                write!(
+                    f,
+                    "snapshot holds {n} components, not a single tree (use components())"
+                )
             }
             StoreError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
         }

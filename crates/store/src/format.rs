@@ -19,8 +19,30 @@
 //! 88  8  table_offset
 //! 96  8  footer_offset
 //! 104 4  table_crc
-//! 108 16 reserved
+//! 108 8  manifest_offset (0 = single-tree snapshot, no manifest)
+//! 116 4  manifest_len
+//! 120 4  reserved
 //! 124 4  superblock_crc over bytes 0..124
+//! ```
+//!
+//! A **manifest** ([`ManifestRecord`]) turns a snapshot into a
+//! *multi-component* commit: several trees share one page region (each
+//! component's pages are a contiguous BFS run inside it; its root id is
+//! recorded in its `TreeMeta`), and an opaque application blob rides
+//! along under the same CRC — `pr-live` stores its WAL position,
+//! tombstones, and memtable checkpoint there. Layout:
+//!
+//! ```text
+//! Manifest (variable)
+//! off       sz    field
+//! 0         4     magic "PRMF"
+//! 4         4     format_version
+//! 8         8     epoch (must match the superblock)
+//! 16        4     num_components
+//! 20        4     app_len
+//! 24        40·k  component TreeMetas (roots are snapshot-relative)
+//! 24+40k    app   application blob
+//! ...       4     manifest_crc over all previous bytes
 //! ```
 
 use crate::crc::crc32;
@@ -31,6 +53,8 @@ use pr_tree::TreeMeta;
 pub const SB_MAGIC: [u8; 8] = *b"PRSTORE1";
 /// Footer magic.
 pub const FOOTER_MAGIC: [u8; 4] = *b"PRFO";
+/// Manifest record magic.
+pub const MANIFEST_MAGIC: [u8; 4] = *b"PRMF";
 /// Current format version.
 pub const FORMAT_VERSION: u32 = 1;
 
@@ -58,6 +82,11 @@ pub struct Superblock {
     pub footer_offset: u64,
     /// CRC32 of the checksum table bytes.
     pub table_crc: u32,
+    /// Byte offset of the [`ManifestRecord`] (0 = single-tree snapshot
+    /// without a manifest).
+    pub manifest_offset: u64,
+    /// Encoded length of the manifest record in bytes (0 when absent).
+    pub manifest_len: u32,
 }
 
 impl Superblock {
@@ -94,7 +123,9 @@ impl Superblock {
         buf[88..96].copy_from_slice(&self.table_offset.to_le_bytes());
         buf[96..104].copy_from_slice(&self.footer_offset.to_le_bytes());
         buf[104..108].copy_from_slice(&self.table_crc.to_le_bytes());
-        buf[108..124].fill(0);
+        buf[108..116].copy_from_slice(&self.manifest_offset.to_le_bytes());
+        buf[116..120].copy_from_slice(&self.manifest_len.to_le_bytes());
+        buf[120..124].fill(0);
         let crc = crc32(&buf[0..124]);
         buf[124..128].copy_from_slice(&crc.to_le_bytes());
     }
@@ -135,6 +166,8 @@ impl Superblock {
             table_offset: u64::from_le_bytes(buf[88..96].try_into().expect("8 bytes")),
             footer_offset: u64::from_le_bytes(buf[96..104].try_into().expect("8 bytes")),
             table_crc: u32::from_le_bytes(buf[104..108].try_into().expect("4 bytes")),
+            manifest_offset: u64::from_le_bytes(buf[108..116].try_into().expect("8 bytes")),
+            manifest_len: u32::from_le_bytes(buf[116..120].try_into().expect("4 bytes")),
         };
         if sb.block_size == 0 {
             return Err(StoreError::Corrupt("superblock has zero block size".into()));
@@ -152,6 +185,102 @@ impl Superblock {
     /// freshly created empty state).
     pub fn has_snapshot(&self) -> bool {
         self.epoch > 0
+    }
+
+    /// True when the committed snapshot carries a multi-component
+    /// manifest record.
+    pub fn has_manifest(&self) -> bool {
+        self.manifest_offset != 0
+    }
+}
+
+/// A multi-component commit record: the snapshot holds `metas.len()`
+/// trees sharing one page region, plus an opaque application blob. See
+/// the module docs for the byte layout. The record's own CRC covers the
+/// metas *and* the blob, so a torn manifest invalidates the whole
+/// candidate snapshot at open (falling back one epoch, exactly like a
+/// torn footer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestRecord {
+    /// Epoch this manifest belongs to (must match its superblock).
+    pub epoch: u64,
+    /// One metadata record per component; `root` is snapshot-relative.
+    pub metas: Vec<TreeMeta>,
+    /// Opaque application payload (pr-live's checkpoint).
+    pub app: Vec<u8>,
+}
+
+impl ManifestRecord {
+    /// Fixed header bytes before the metas.
+    pub const HEADER_SIZE: usize = 24;
+
+    /// Encoded size of this record in bytes.
+    pub fn encoded_size(&self) -> usize {
+        Self::HEADER_SIZE + self.metas.len() * TreeMeta::ENCODED_SIZE + self.app.len() + 4
+    }
+
+    /// Serializes into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; self.encoded_size()];
+        buf[0..4].copy_from_slice(&MANIFEST_MAGIC);
+        buf[4..8].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.epoch.to_le_bytes());
+        buf[16..20].copy_from_slice(&(self.metas.len() as u32).to_le_bytes());
+        buf[20..24].copy_from_slice(&(self.app.len() as u32).to_le_bytes());
+        let mut off = Self::HEADER_SIZE;
+        for meta in &self.metas {
+            meta.encode(&mut buf[off..off + TreeMeta::ENCODED_SIZE]);
+            off += TreeMeta::ENCODED_SIZE;
+        }
+        buf[off..off + self.app.len()].copy_from_slice(&self.app);
+        off += self.app.len();
+        let crc = crc32(&buf[..off]);
+        buf[off..off + 4].copy_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Deserializes and verifies a manifest record.
+    pub fn decode(buf: &[u8]) -> Result<Self, StoreError> {
+        if buf.len() < Self::HEADER_SIZE + 4 {
+            return Err(StoreError::Corrupt(format!(
+                "manifest record is {} bytes, too short for a header",
+                buf.len()
+            )));
+        }
+        if buf[0..4] != MANIFEST_MAGIC {
+            return Err(StoreError::Corrupt("bad manifest magic".into()));
+        }
+        let version = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+        let epoch = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+        let num = u32::from_le_bytes(buf[16..20].try_into().expect("4 bytes")) as usize;
+        let app_len = u32::from_le_bytes(buf[20..24].try_into().expect("4 bytes")) as usize;
+        let want = Self::HEADER_SIZE + num * TreeMeta::ENCODED_SIZE + app_len + 4;
+        if buf.len() != want {
+            return Err(StoreError::Corrupt(format!(
+                "manifest record is {} bytes, header implies {want}",
+                buf.len()
+            )));
+        }
+        let stored_crc = u32::from_le_bytes(buf[want - 4..want].try_into().expect("4 bytes"));
+        let computed = crc32(&buf[..want - 4]);
+        if stored_crc != computed {
+            return Err(StoreError::Corrupt(format!(
+                "manifest checksum mismatch (stored {stored_crc:08x}, computed {computed:08x})"
+            )));
+        }
+        let mut metas = Vec::with_capacity(num);
+        let mut off = Self::HEADER_SIZE;
+        for _ in 0..num {
+            let meta = TreeMeta::decode(&buf[off..off + TreeMeta::ENCODED_SIZE])
+                .map_err(|e| StoreError::Corrupt(format!("manifest component metadata: {e}")))?;
+            metas.push(meta);
+            off += TreeMeta::ENCODED_SIZE;
+        }
+        let app = buf[off..off + app_len].to_vec();
+        Ok(ManifestRecord { epoch, metas, app })
     }
 }
 
@@ -238,6 +367,8 @@ mod tests {
             table_offset: 8192 + 1234 * 4096,
             footer_offset: 8192 + 1234 * 4096 + 1234 * 4,
             table_crc: 0xDEAD_BEEF,
+            manifest_offset: 0,
+            manifest_len: 0,
         }
     }
 
@@ -297,6 +428,64 @@ mod tests {
         let mut bad = buf;
         bad[0] = 0;
         assert!(Footer::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_corruption() {
+        let m = ManifestRecord {
+            epoch: 9,
+            metas: vec![
+                TreeMeta {
+                    params: TreeParams::paper_2d(),
+                    root: 0,
+                    root_level: 2,
+                    len: 1000,
+                },
+                TreeMeta {
+                    params: TreeParams::paper_2d(),
+                    root: 57,
+                    root_level: 1,
+                    len: 64,
+                },
+            ],
+            app: b"opaque payload".to_vec(),
+        };
+        let buf = m.encode();
+        assert_eq!(buf.len(), m.encoded_size());
+        assert_eq!(ManifestRecord::decode(&buf).unwrap(), m);
+        // A flip anywhere — header, meta, app blob, crc — is caught.
+        for off in [0, 9, 17, 30, 70, buf.len() - 10, buf.len() - 2] {
+            let mut bad = buf.clone();
+            bad[off] ^= 0x20;
+            assert!(ManifestRecord::decode(&bad).is_err(), "flip at {off}");
+        }
+        // Truncation is caught.
+        assert!(ManifestRecord::decode(&buf[..buf.len() - 1]).is_err());
+        assert!(ManifestRecord::decode(&buf[..10]).is_err());
+    }
+
+    #[test]
+    fn empty_manifest_is_valid() {
+        let m = ManifestRecord {
+            epoch: 1,
+            metas: Vec::new(),
+            app: Vec::new(),
+        };
+        let buf = m.encode();
+        assert_eq!(ManifestRecord::decode(&buf).unwrap(), m);
+    }
+
+    #[test]
+    fn superblock_manifest_fields_roundtrip() {
+        let mut sb = sample_sb();
+        sb.manifest_offset = 123_456;
+        sb.manifest_len = 789;
+        let mut buf = vec![0u8; Superblock::ENCODED_SIZE];
+        sb.encode(&mut buf);
+        let back = Superblock::decode(&buf).unwrap();
+        assert_eq!(back, sb);
+        assert!(back.has_manifest());
+        assert!(!sample_sb().has_manifest());
     }
 
     #[test]

@@ -96,5 +96,5 @@ pub mod store;
 pub use crc::crc32;
 pub use device::StoreDevice;
 pub use error::StoreError;
-pub use format::{Footer, Superblock, FORMAT_VERSION};
+pub use format::{Footer, ManifestRecord, Superblock, FORMAT_VERSION};
 pub use store::Store;

@@ -3,7 +3,7 @@
 use crate::crc::crc32;
 use crate::device::StoreDevice;
 use crate::error::StoreError;
-use crate::format::{Footer, Superblock};
+use crate::format::{Footer, ManifestRecord, Superblock};
 use pr_em::{BlockDevice, BlockId, PositionedFile};
 use pr_tree::writer::page_ptr;
 use pr_tree::{RTree, TreeMeta, TreeParams};
@@ -23,6 +23,8 @@ pub struct Store {
     sb: Superblock,
     /// CRC32 per page of the active snapshot (empty when no snapshot).
     checksums: Arc<Vec<u32>>,
+    /// Multi-component manifest of the active snapshot, when present.
+    manifest: Option<ManifestRecord>,
     /// True when the backing file could only be opened for reading
     /// (read-only permissions or filesystem). Queries work; `save` is a
     /// typed error.
@@ -56,6 +58,8 @@ impl Store {
             table_offset: 0,
             footer_offset: 0,
             table_crc: 0,
+            manifest_offset: 0,
+            manifest_len: 0,
         };
         // Both slots start at epoch 0 so either survives losing the other.
         write_superblock(&file, 0, &sb)?;
@@ -67,6 +71,7 @@ impl Store {
             active_slot: 0,
             sb,
             checksums: Arc::new(Vec::new()),
+            manifest: None,
             read_only: false,
         })
     }
@@ -132,13 +137,14 @@ impl Store {
                 continue;
             }
             match validate_snapshot(&file, &sb) {
-                Ok(checksums) => {
+                Ok((checksums, manifest)) => {
                     return Ok(Store {
                         file,
                         path: path.to_path_buf(),
                         active_slot: slot,
                         sb,
                         checksums: Arc::new(checksums),
+                        manifest,
                         read_only,
                     });
                 }
@@ -170,6 +176,36 @@ impl Store {
     /// anywhere earlier leaves the previous superblock pointing at its
     /// intact snapshot.
     pub fn save<const D: usize>(&mut self, tree: &RTree<D>) -> Result<(), StoreError> {
+        self.commit(&[tree], None)
+    }
+
+    /// Commits a **multi-component** snapshot: every tree in
+    /// `components` is BFS-copied into one shared page region (each
+    /// component a contiguous run, its rewritten root id recorded in the
+    /// manifest), followed by the checksum table, a [`ManifestRecord`]
+    /// carrying the component list plus the opaque `app` blob, and the
+    /// footer — all fsynced before the superblock flip, exactly like
+    /// [`Store::save`]. `pr-live` commits its component set and
+    /// WAL-position checkpoint through this in one atomic step.
+    ///
+    /// An empty component list is a valid commit (all data lives in the
+    /// app blob). Reopen with [`Store::components`] / [`Store::app`].
+    pub fn save_components<const D: usize>(
+        &mut self,
+        components: &[&RTree<D>],
+        app: &[u8],
+    ) -> Result<(), StoreError> {
+        self.commit(components, Some(app))
+    }
+
+    /// The shared commit path. `app == None` writes the legacy
+    /// single-tree snapshot (no manifest record); `Some` always writes a
+    /// manifest, even for zero or one component.
+    fn commit<const D: usize>(
+        &mut self,
+        trees: &[&RTree<D>],
+        app: Option<&[u8]>,
+    ) -> Result<(), StoreError> {
         if self.read_only {
             return Err(StoreError::ReadOnly);
         }
@@ -179,12 +215,18 @@ impl Store {
                 requested: D as u32,
             });
         }
+        assert!(
+            app.is_some() || trees.len() == 1,
+            "legacy save commits exactly one tree"
+        );
         let bs = self.block_size();
-        if tree.params().page_size != bs {
-            return Err(StoreError::BlockSizeMismatch {
-                store: bs,
-                tree: tree.params().page_size,
-            });
+        for tree in trees {
+            if tree.params().page_size != bs {
+                return Err(StoreError::BlockSizeMismatch {
+                    store: bs,
+                    tree: tree.params().page_size,
+                });
+            }
         }
         let bs64 = bs as u64;
         let data_offset = self
@@ -194,38 +236,48 @@ impl Store {
             .div_ceil(bs64)
             * bs64;
 
-        // Breadth-first copy with pointer rewriting. Ids are assigned in
-        // enqueue order, so the root is page 0 and every level occupies a
-        // contiguous run — warm_cache on reopen reads a sequential prefix.
-        let mut queue: VecDeque<BlockId> = VecDeque::new();
-        queue.push_back(tree.root());
-        let mut next_id: u64 = 1;
+        // Breadth-first copy with pointer rewriting, one component after
+        // another in a single dense id space. Ids are assigned in
+        // enqueue order, so each component's root is its first page and
+        // every level occupies a contiguous run — warm_cache on reopen
+        // reads a sequential prefix of the component's region.
+        let mut next_id: u64 = 0;
         let mut written: u64 = 0;
         let mut checksums: Vec<u32> = Vec::new();
+        let mut metas: Vec<pr_tree::TreeMeta> = Vec::with_capacity(trees.len());
         let mut buf = vec![0u8; bs];
-        while let Some(old_page) = queue.pop_front() {
-            let (node, _) = tree.read_node(old_page)?;
-            if node.is_leaf() {
-                // Leaves (the vast majority of pages) need no pointer
-                // rewrite: encode straight from the shared handle.
-                node.encode(&mut buf);
-            } else {
-                let mut node = (*node).clone();
-                for e in &mut node.entries {
-                    queue.push_back(e.ptr as BlockId);
-                    e.ptr = page_ptr(next_id).map_err(StoreError::Em)?;
-                    next_id += 1;
+        for tree in trees {
+            let mut meta = tree.meta();
+            meta.root = next_id;
+            metas.push(meta);
+            next_id += 1;
+            let mut queue: VecDeque<BlockId> = VecDeque::new();
+            queue.push_back(tree.root());
+            while let Some(old_page) = queue.pop_front() {
+                let (node, _) = tree.read_node(old_page)?;
+                if node.is_leaf() {
+                    // Leaves (the vast majority of pages) need no pointer
+                    // rewrite: encode straight from the shared handle.
+                    node.encode(&mut buf);
+                } else {
+                    let mut node = (*node).clone();
+                    for e in &mut node.entries {
+                        queue.push_back(e.ptr as BlockId);
+                        e.ptr = page_ptr(next_id).map_err(StoreError::Em)?;
+                        next_id += 1;
+                    }
+                    node.encode(&mut buf);
                 }
-                node.encode(&mut buf);
+                let crc = crc32(&buf);
+                self.file.write_all_at(&buf, data_offset + written * bs64)?;
+                checksums.push(crc);
+                written += 1;
             }
-            let crc = crc32(&buf);
-            self.file.write_all_at(&buf, data_offset + written * bs64)?;
-            checksums.push(crc);
-            written += 1;
         }
         debug_assert_eq!(written, next_id);
 
-        // Checksum table, then footer, then one fsync for the whole body.
+        // Checksum table, manifest (if any), footer — one fsync for the
+        // whole body.
         let table_offset = data_offset + written * bs64;
         let mut table = Vec::with_capacity(checksums.len() * 4);
         for crc in &checksums {
@@ -233,9 +285,28 @@ impl Store {
         }
         let table_crc = crc32(&table);
         self.file.write_all_at(&table, table_offset)?;
-        let footer_offset = table_offset + table.len() as u64;
+        let mut tail_offset = table_offset + table.len() as u64;
+
+        let epoch = self.sb.epoch + 1;
+        let manifest = app.map(|app| ManifestRecord {
+            epoch,
+            metas: metas.clone(),
+            app: app.to_vec(),
+        });
+        let (manifest_offset, manifest_len) = match &manifest {
+            Some(m) => {
+                let bytes = m.encode();
+                let off = tail_offset;
+                self.file.write_all_at(&bytes, off)?;
+                tail_offset += bytes.len() as u64;
+                (off, bytes.len() as u32)
+            }
+            None => (0, 0),
+        };
+
+        let footer_offset = tail_offset;
         let footer = Footer {
-            epoch: self.sb.epoch + 1,
+            epoch,
             num_pages: written,
             table_crc,
         };
@@ -244,12 +315,18 @@ impl Store {
         self.file.write_all_at(&fbuf, footer_offset)?;
         self.file.sync_data()?;
 
-        // The commit point: flip the inactive superblock slot.
-        let mut meta = tree.meta();
-        meta.root = 0; // BFS order puts the root at page 0
+        // The commit point: flip the inactive superblock slot. The
+        // superblock's embedded meta is the first component (or an empty
+        // synthetic one), kept for the single-tree open path and stats.
+        let meta = metas.first().copied().unwrap_or(pr_tree::TreeMeta {
+            params: self.sb.meta.params,
+            root: 0,
+            root_level: 0,
+            len: 0,
+        });
         let new_sb = Superblock {
             block_size: bs as u32,
-            epoch: self.sb.epoch + 1,
+            epoch,
             dim: self.sb.dim,
             meta,
             num_pages: written,
@@ -257,6 +334,8 @@ impl Store {
             table_offset,
             footer_offset,
             table_crc,
+            manifest_offset,
+            manifest_len,
         };
         let stale_slot = 1 - self.active_slot;
         write_superblock(&self.file, stale_slot, &new_sb)?;
@@ -265,6 +344,7 @@ impl Store {
         self.active_slot = stale_slot;
         self.sb = new_sb;
         self.checksums = Arc::new(checksums);
+        self.manifest = manifest;
         Ok(())
     }
 
@@ -273,6 +353,11 @@ impl Store {
     /// normal sharded node cache — `warm_cache`, window and k-NN queries
     /// behave exactly as on the never-persisted tree.
     pub fn tree<const D: usize>(&self) -> Result<RTree<D>, StoreError> {
+        if let Some(m) = &self.manifest {
+            if m.metas.len() != 1 {
+                return Err(StoreError::NotSingleComponent(m.metas.len()));
+            }
+        }
         if D as u32 != self.sb.dim {
             return Err(StoreError::DimensionMismatch {
                 file: self.sb.dim,
@@ -282,14 +367,64 @@ impl Store {
         if !self.sb.has_snapshot() {
             return Err(StoreError::NoCommittedSnapshot);
         }
-        let dev = StoreDevice::new(
+        let dev = self.snapshot_device();
+        RTree::from_parts(dev, self.sb.meta).map_err(StoreError::from)
+    }
+
+    /// Reopens **all** committed components. A manifest-bearing snapshot
+    /// yields one tree per manifest entry (in manifest order); a legacy
+    /// single-tree snapshot yields that one tree; an empty store yields
+    /// no trees. All trees read through one shared checksum-verifying
+    /// [`StoreDevice`] pinned to this snapshot — later saves never move
+    /// pages out from under them.
+    pub fn components<const D: usize>(&self) -> Result<Vec<RTree<D>>, StoreError> {
+        if D as u32 != self.sb.dim {
+            return Err(StoreError::DimensionMismatch {
+                file: self.sb.dim,
+                requested: D as u32,
+            });
+        }
+        if !self.sb.has_snapshot() {
+            return Ok(Vec::new());
+        }
+        let metas: &[pr_tree::TreeMeta] = match &self.manifest {
+            Some(m) => &m.metas,
+            None => std::slice::from_ref(&self.sb.meta),
+        };
+        let dev = self.snapshot_device();
+        metas
+            .iter()
+            .map(|meta| RTree::from_parts(Arc::clone(&dev), *meta).map_err(StoreError::from))
+            .collect()
+    }
+
+    /// The application blob committed alongside the components (empty
+    /// slice for legacy single-tree snapshots and fresh stores).
+    pub fn app(&self) -> &[u8] {
+        self.manifest.as_ref().map_or(&[], |m| m.app.as_slice())
+    }
+
+    /// The active snapshot's manifest record, when one was committed.
+    pub fn manifest(&self) -> Option<&ManifestRecord> {
+        self.manifest.as_ref()
+    }
+
+    /// Number of trees in the active snapshot (0 for an empty store).
+    pub fn num_components(&self) -> usize {
+        match &self.manifest {
+            Some(m) => m.metas.len(),
+            None => usize::from(self.sb.has_snapshot()),
+        }
+    }
+
+    /// A fresh device pinned to the active snapshot.
+    fn snapshot_device(&self) -> Arc<dyn BlockDevice> {
+        Arc::new(StoreDevice::new(
             Arc::clone(&self.file),
             self.block_size(),
             self.sb.data_offset,
             Arc::clone(&self.checksums),
-        );
-        let dev: Arc<dyn BlockDevice> = Arc::new(dev);
-        RTree::from_parts(dev, self.sb.meta).map_err(StoreError::from)
+        ))
     }
 
     /// Reads every page of the committed snapshot and checks it against
@@ -343,10 +478,14 @@ fn write_superblock(file: &PositionedFile, slot: usize, sb: &Superblock) -> Resu
 }
 
 /// Proves a superblock's snapshot is intact; returns the page checksum
-/// table on success, a human-readable reason on failure.
-fn validate_snapshot(file: &PositionedFile, sb: &Superblock) -> Result<Vec<u32>, String> {
+/// table and decoded manifest (if any) on success, a human-readable
+/// reason on failure.
+fn validate_snapshot(
+    file: &PositionedFile,
+    sb: &Superblock,
+) -> Result<(Vec<u32>, Option<ManifestRecord>), String> {
     if !sb.has_snapshot() {
-        return Ok(Vec::new());
+        return Ok((Vec::new(), None));
     }
     // The footer must exist inside the file...
     let file_len = file.len().map_err(|e| e.to_string())?;
@@ -388,8 +527,34 @@ fn validate_snapshot(file: &PositionedFile, sb: &Superblock) -> Result<Vec<u32>,
             sb.table_crc
         ));
     }
-    Ok(table
-        .chunks_exact(4)
-        .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
-        .collect())
+    // A manifest, when present, must decode (its CRC covers the
+    // component list and the app blob) and belong to this epoch.
+    let manifest = if sb.has_manifest() {
+        if sb.manifest_offset + sb.manifest_len as u64 > file_len {
+            return Err(format!(
+                "manifest at {} (+{}) extends past end of file ({file_len} bytes)",
+                sb.manifest_offset, sb.manifest_len
+            ));
+        }
+        let mut mbuf = vec![0u8; sb.manifest_len as usize];
+        file.read_exact_or_zero_at(&mut mbuf, sb.manifest_offset)
+            .map_err(|e| e.to_string())?;
+        let m = ManifestRecord::decode(&mbuf).map_err(|e| e.to_string())?;
+        if m.epoch != sb.epoch {
+            return Err(format!(
+                "manifest epoch {} does not match superblock epoch {}",
+                m.epoch, sb.epoch
+            ));
+        }
+        Some(m)
+    } else {
+        None
+    };
+    Ok((
+        table
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect(),
+        manifest,
+    ))
 }

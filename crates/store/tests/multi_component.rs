@@ -1,0 +1,208 @@
+//! Multi-component (manifest) commits: several trees plus an opaque app
+//! blob committed atomically, reopened identically, and torn manifests
+//! recovered exactly like torn footers.
+
+use pr_em::{MemDevice, PositionedFile};
+use pr_geom::{Item, Rect};
+use pr_store::{Store, StoreError, Superblock};
+use pr_tree::bulk::pr::PrTreeLoader;
+use pr_tree::bulk::BulkLoader;
+use pr_tree::{RTree, TreeParams};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pr-store-multi-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn build(params: TreeParams, ids: std::ops::Range<u32>, x0: f64) -> RTree<2> {
+    let items: Vec<Item<2>> = ids
+        .map(|i| {
+            let x = x0 + (i % 100) as f64;
+            Item::new(Rect::xyxy(x, 0.0, x + 0.5, 1.0), i)
+        })
+        .collect();
+    PrTreeLoader::default()
+        .load(Arc::new(MemDevice::new(params.page_size)), params, items)
+        .unwrap()
+}
+
+#[test]
+fn multi_component_roundtrip_with_app_blob() {
+    let path = tmp("roundtrip.prt");
+    let params = TreeParams::with_cap::<2>(8);
+    let a = build(params, 0..500, 0.0);
+    let b = build(params, 500..700, 1000.0);
+    let c = build(params, 700..710, 2000.0);
+    let app = b"wal_seq=42;anything pr-live wants".to_vec();
+
+    let mut store = Store::create::<2>(&path, params).unwrap();
+    store.save_components(&[&a, &b, &c], &app).unwrap();
+    assert_eq!(store.num_components(), 3);
+    drop(store);
+
+    let store = Store::open(&path).unwrap();
+    assert_eq!(store.app(), &app[..]);
+    assert_eq!(store.num_components(), 3);
+    let comps = store.components::<2>().unwrap();
+    assert_eq!(comps.len(), 3);
+    assert_eq!(comps[0].len(), 500);
+    assert_eq!(comps[1].len(), 200);
+    assert_eq!(comps[2].len(), 10);
+    // Each component answers queries identically to its original.
+    for (orig, reopened) in [(&a, &comps[0]), (&b, &comps[1]), (&c, &comps[2])] {
+        reopened.warm_cache().unwrap();
+        for q in [
+            Rect::xyxy(0.0, 0.0, 50.0, 1.0),
+            Rect::xyxy(1000.0, 0.0, 1040.0, 1.0),
+            Rect::xyxy(-10.0, -10.0, 5000.0, 10.0),
+        ] {
+            let mut want = orig.window(&q).unwrap();
+            let mut got = reopened.window(&q).unwrap();
+            want.sort_by_key(|i| i.id);
+            got.sort_by_key(|i| i.id);
+            assert_eq!(got, want);
+        }
+    }
+    // tree() refuses to pick one of three.
+    assert!(matches!(
+        store.tree::<2>(),
+        Err(StoreError::NotSingleComponent(3))
+    ));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn empty_component_list_is_a_valid_commit() {
+    let path = tmp("empty.prt");
+    let params = TreeParams::with_cap::<2>(8);
+    let mut store = Store::create::<2>(&path, params).unwrap();
+    store
+        .save_components::<2>(&[], b"just-a-checkpoint")
+        .unwrap();
+    drop(store);
+    let store = Store::open(&path).unwrap();
+    assert_eq!(store.num_components(), 0);
+    assert_eq!(store.app(), b"just-a-checkpoint");
+    assert!(store.components::<2>().unwrap().is_empty());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn single_component_manifest_still_opens_as_tree() {
+    let path = tmp("single.prt");
+    let params = TreeParams::with_cap::<2>(8);
+    let a = build(params, 0..100, 0.0);
+    let mut store = Store::create::<2>(&path, params).unwrap();
+    store.save_components(&[&a], b"x").unwrap();
+    drop(store);
+    let t = Store::open_tree::<2>(&path).unwrap();
+    assert_eq!(t.len(), 100);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn legacy_save_reads_back_via_components() {
+    let path = tmp("legacy.prt");
+    let params = TreeParams::with_cap::<2>(8);
+    let a = build(params, 0..100, 0.0);
+    let mut store = Store::create::<2>(&path, params).unwrap();
+    store.save(&a).unwrap();
+    drop(store);
+    let store = Store::open(&path).unwrap();
+    assert!(store.manifest().is_none());
+    assert_eq!(store.app(), b"");
+    assert_eq!(store.num_components(), 1);
+    let comps = store.components::<2>().unwrap();
+    assert_eq!(comps.len(), 1);
+    assert_eq!(comps[0].len(), 100);
+    std::fs::remove_file(&path).ok();
+}
+
+/// A flipped byte inside the committed manifest invalidates the newest
+/// snapshot and recovery falls back one epoch — the same discipline as a
+/// torn footer.
+#[test]
+fn corrupt_manifest_falls_back_one_epoch() {
+    let path = tmp("torn-manifest.prt");
+    let params = TreeParams::with_cap::<2>(8);
+    let a = build(params, 0..100, 0.0);
+    let b = build(params, 100..300, 0.0);
+    let mut store = Store::create::<2>(&path, params).unwrap();
+    store.save_components(&[&a], b"epoch-1").unwrap();
+    store.save_components(&[&a, &b], b"epoch-2").unwrap();
+    let sb = *store.superblock();
+    assert_eq!(sb.epoch, 2);
+    assert!(sb.manifest_offset > 0);
+    drop(store);
+
+    // Flip one byte in the newest manifest's app blob.
+    {
+        let f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .unwrap();
+        let f = PositionedFile::new(f);
+        let mut byte = [0u8; 1];
+        let off = sb.manifest_offset + pr_store::ManifestRecord::HEADER_SIZE as u64;
+        f.read_exact_or_zero_at(&mut byte, off).unwrap();
+        byte[0] ^= 0xFF;
+        f.write_all_at(&byte, off).unwrap();
+    }
+
+    let store = Store::open(&path).unwrap();
+    assert_eq!(store.superblock().epoch, 1, "should fall back to epoch 1");
+    assert_eq!(store.app(), b"epoch-1");
+    assert_eq!(store.num_components(), 1);
+    std::fs::remove_file(&path).ok();
+}
+
+/// A truncated manifest (file chopped inside it) likewise falls back.
+#[test]
+fn truncated_manifest_falls_back() {
+    let path = tmp("trunc-manifest.prt");
+    let params = TreeParams::with_cap::<2>(8);
+    let a = build(params, 0..50, 0.0);
+    let mut store = Store::create::<2>(&path, params).unwrap();
+    store.save_components(&[&a], b"first").unwrap();
+    let epoch1_len = store.file_len().unwrap();
+    store
+        .save_components(&[&a], b"second-with-more-data")
+        .unwrap();
+    let sb = *store.superblock();
+    drop(store);
+
+    // Truncate inside the newest manifest; the epoch-2 superblock slot
+    // survives (slots live at the file head) but its snapshot does not.
+    let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+    f.set_len(sb.manifest_offset + 3).unwrap();
+    drop(f);
+    assert!(sb.manifest_offset + 3 > Superblock::SLOT_SIZE * 2);
+    assert!(sb.manifest_offset >= epoch1_len);
+
+    let store = Store::open(&path).unwrap();
+    assert_eq!(store.superblock().epoch, 1);
+    assert_eq!(store.app(), b"first");
+    std::fs::remove_file(&path).ok();
+}
+
+/// Dimension checks hold on the multi-component path too.
+#[test]
+fn components_enforce_dimension() {
+    let path = tmp("dim.prt");
+    let params = TreeParams::with_cap::<2>(8);
+    let a = build(params, 0..10, 0.0);
+    let mut store = Store::create::<2>(&path, params).unwrap();
+    store.save_components(&[&a], b"").unwrap();
+    assert!(matches!(
+        store.components::<3>(),
+        Err(StoreError::DimensionMismatch {
+            file: 2,
+            requested: 3
+        })
+    ));
+    std::fs::remove_file(&path).ok();
+}

@@ -5,20 +5,31 @@
 //! prtree query index.prt --window 0.2,0.2,0.4,0.4
 //! prtree knn   index.prt --point 0.5,0.5 --k 10
 //! prtree stats index.prt
+//!
+//! prtree ingest  live-dir --data uniform --n 100000       # durable writes
+//! prtree delete  live-dir --window 0.2,0.2,0.4,0.4
+//! prtree compact live-dir
+//! prtree query   live-dir --window 0,0,1,1                # works on both
 //! ```
 //!
 //! `build` bulk-loads one of the paper's dataset families in memory and
-//! commits it to a store file; `query`/`knn` reopen the file (checksum-
+//! commits it to a store file; `query`/`knn` reopen the index (checksum-
 //! verified reads) and report results plus exact I/O statistics; `stats`
-//! dumps the superblock and scrubs every page. Everything is 2-D, the
-//! paper's experimental setting.
+//! dumps the superblock and scrubs every page. A **directory** argument
+//! is treated as a `pr-live` index (WAL + memtable + components):
+//! `ingest` appends durably (every batch fsynced before it is
+//! acknowledged — kill the process anywhere and re-run `query`),
+//! `delete` removes by window, `compact` merges everything into one
+//! component and rewrites the store file. Everything is 2-D, the paper's
+//! experimental setting.
 
 use pr_data::{size_dataset, uniform_points, TigerProfile};
 use pr_em::{BlockDevice, MemDevice};
 use pr_geom::{Item, Point, Rect};
+use pr_live::{LiveIndex, LiveOptions};
 use pr_store::Store;
 use pr_tree::bulk::LoaderKind;
-use pr_tree::{RTree, TreeParams};
+use pr_tree::{QueryScratch, RTree, TreeParams};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
@@ -27,6 +38,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("build") => cmd_build(&args[1..]),
+        Some("ingest") => cmd_ingest(&args[1..]),
+        Some("delete") => cmd_delete(&args[1..]),
+        Some("compact") => cmd_compact(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("knn") => cmd_knn(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
@@ -53,17 +67,30 @@ fn usage() {
          \x20       KIND: uniform | size | tiger-east | tiger-west   (default uniform)\n\
          \x20       L:    PR | H | H4 | TGS | STR                    (default PR)\n\
          \x20       C:    entries per node (default: the paper's 113 / 4KB pages)\n\
-         \x20 query FILE --window X1,Y1,X2,Y2 [--expect N] [--verbose] [--repeat R]\n\
-         \x20       reopen FILE and run one window query (--expect N: exit 1 unless\n\
-         \x20       exactly N results — used by CI roundtrips; --repeat R: rerun the\n\
-         \x20       query R times through one reused scratch and report warm-cache\n\
-         \x20       throughput of the decode-free engine)\n\
-         \x20 knn FILE --point X,Y [--k K]\n\
-         \x20       reopen FILE and report the K nearest rectangles (default K=5)\n\
-         \x20 stats FILE [--no-verify]\n\
-         \x20       dump the superblock, then scrub all page checksums and report\n\
-         \x20       tree shape + I/O counters; --no-verify stops after the\n\
-         \x20       superblock dump (reads no pages — works on damaged files)"
+         \x20 ingest DIR [--data KIND] [--n N] [--seed S] [--id-base B] [--batch SIZE]\n\
+         \x20        [--buffer-cap C] [--cap C] [--inline-merge] [--flush]\n\
+         \x20       durably insert N synthetic items into the live index at DIR\n\
+         \x20       (created on first use). Every batch is WAL-fsynced before it\n\
+         \x20       is acknowledged; --id-base offsets ids so successive ingests\n\
+         \x20       stay unique; --flush forces a merge commit before exiting;\n\
+         \x20       --inline-merge runs merges on the writer instead of the\n\
+         \x20       background thread\n\
+         \x20 delete DIR --window X1,Y1,X2,Y2 [--limit N]\n\
+         \x20       durably delete (up to N) live items intersecting the window\n\
+         \x20 compact DIR\n\
+         \x20       merge memtable + all components into one tree, drop all\n\
+         \x20       tombstones, and rewrite the store file (reclaims space)\n\
+         \x20 query FILE|DIR --window X1,Y1,X2,Y2 [--expect N] [--verbose] [--repeat R]\n\
+         \x20       reopen the index and run one window query (--expect N: exit 1\n\
+         \x20       unless exactly N results — used by CI roundtrips; --repeat R:\n\
+         \x20       rerun the query R times through one reused scratch and report\n\
+         \x20       warm-cache throughput of the decode-free engine)\n\
+         \x20 knn FILE|DIR --point X,Y [--k K]\n\
+         \x20       reopen the index and report the K nearest rectangles (default K=5)\n\
+         \x20 stats FILE|DIR [--no-verify]\n\
+         \x20       store file: dump the superblock, scrub all page checksums, report\n\
+         \x20       tree shape + I/O counters (--no-verify stops after the superblock\n\
+         \x20       dump). Live dir: WAL/memtable/component/tombstone state"
     );
 }
 
@@ -238,8 +265,318 @@ fn open_2d(path: &str) -> Result<RTree<2>, i32> {
     Store::open_tree::<2>(Path::new(path)).map_err(fail)
 }
 
+fn live_opts(opts: &Opts) -> Result<LiveOptions, String> {
+    let mut lo = LiveOptions::default();
+    if let Some(cap) = opts.get("buffer-cap") {
+        lo.buffer_cap = cap
+            .parse::<usize>()
+            .ok()
+            .filter(|&c| c >= 1)
+            .ok_or("--buffer-cap expects an integer >= 1")?;
+    }
+    if opts.has("inline-merge") {
+        lo.background_merge = false;
+    }
+    Ok(lo)
+}
+
+fn open_live(path: &str, lo: LiveOptions) -> Result<LiveIndex<2>, i32> {
+    LiveIndex::<2>::open(Path::new(path), lo).map_err(fail)
+}
+
+fn print_live_stats(ix: &LiveIndex<2>) -> i32 {
+    let s = match ix.stats() {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    println!("live index:   {}", ix.dir().display());
+    println!(
+        "items:        {} live ({} memtable, {} sealed, {} tombstones)",
+        s.live, s.memtable, s.sealed, s.tombstones
+    );
+    print!("components:   {} [", s.components.len());
+    for (i, (slot, len)) in s.components.iter().enumerate() {
+        if i > 0 {
+            print!(", ");
+        }
+        print!("slot {slot}: {len}");
+    }
+    println!("]");
+    println!(
+        "wal:          seq {} acked / {} merged; {} segment(s), {} bytes",
+        s.durable_seq, s.merged_seq, s.wal_segments, s.wal_bytes
+    );
+    println!(
+        "store:        epoch {}, {} bytes on disk; {} merges this session",
+        s.store_epoch, s.store_file_bytes, s.merges
+    );
+    0
+}
+
+fn cmd_ingest(args: &[String]) -> i32 {
+    let opts = match Opts::parse(
+        args,
+        &["data", "n", "seed", "id-base", "batch", "buffer-cap", "cap"],
+        &["inline-merge", "flush"],
+    ) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let [dir] = opts.positional.as_slice() else {
+        return fail("ingest expects exactly one DIR argument");
+    };
+    let data = opts.get("data").unwrap_or("uniform");
+    let n: u32 = match opts.get("n").unwrap_or("100000").parse() {
+        Ok(n) => n,
+        Err(_) => return fail("--n expects an integer"),
+    };
+    let seed: u64 = match opts.get("seed").unwrap_or("42").parse() {
+        Ok(s) => s,
+        Err(_) => return fail("--seed expects an integer"),
+    };
+    let id_base: u32 = match opts.get("id-base").unwrap_or("0").parse() {
+        Ok(b) => b,
+        Err(_) => return fail("--id-base expects an integer"),
+    };
+    let batch: usize = match opts.get("batch").unwrap_or("1024").parse() {
+        Ok(b) if b >= 1 => b,
+        _ => return fail("--batch expects an integer >= 1"),
+    };
+    let params = match opts.get("cap") {
+        None => TreeParams::paper_2d(),
+        Some(c) => match c.parse::<usize>() {
+            Ok(cap) if cap >= 2 => TreeParams::with_cap::<2>(cap),
+            _ => return fail("--cap expects an integer >= 2"),
+        },
+    };
+    let lo = match live_opts(&opts) {
+        Ok(lo) => lo,
+        Err(e) => return fail(e),
+    };
+
+    let mut items = match generate(data, n, seed) {
+        Ok(i) => i,
+        Err(e) => return fail(e),
+    };
+    for it in &mut items {
+        it.id = match it.id.checked_add(id_base) {
+            Some(id) => id,
+            None => return fail("--id-base + generated id overflows u32; ids would collide"),
+        };
+    }
+
+    let ix = match LiveIndex::<2>::open_or_create(Path::new(dir), params, lo) {
+        Ok(ix) => ix,
+        Err(e) => return fail(e),
+    };
+    let t0 = Instant::now();
+    for chunk in items.chunks(batch) {
+        if let Err(e) = ix.insert_batch(chunk) {
+            return fail(e);
+        }
+    }
+    let acked_s = t0.elapsed().as_secs_f64();
+    if let Err(e) = ix.wait_idle() {
+        return fail(e);
+    }
+    if opts.has("flush") {
+        if let Err(e) = ix.flush() {
+            return fail(e);
+        }
+    }
+    let total_s = t0.elapsed().as_secs_f64();
+    println!(
+        "ingested {n} items ({data}, seed {seed}, ids {id_base}..{}) in {acked_s:.2}s \
+         acked ({:.0} items/s), {total_s:.2}s to idle",
+        id_base as u64 + n as u64,
+        n as f64 / acked_s.max(1e-9),
+    );
+    print_live_stats(&ix)
+}
+
+fn cmd_delete(args: &[String]) -> i32 {
+    let opts = match Opts::parse(args, &["window", "limit", "buffer-cap"], &["inline-merge"]) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let [dir] = opts.positional.as_slice() else {
+        return fail("delete expects exactly one DIR argument");
+    };
+    let Some(window) = opts.get("window") else {
+        return fail("delete requires --window X1,Y1,X2,Y2");
+    };
+    let [x1, y1, x2, y2] = match parse_coords::<4>(window, "--window") {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    let q = Rect::xyxy(x1.min(x2), y1.min(y2), x1.max(x2), y1.max(y2));
+    let limit: usize = match opts.get("limit").map(str::parse) {
+        None => usize::MAX,
+        Some(Ok(l)) => l,
+        Some(Err(_)) => return fail("--limit expects an integer"),
+    };
+    let lo = match live_opts(&opts) {
+        Ok(lo) => lo,
+        Err(e) => return fail(e),
+    };
+    let ix = match open_live(dir, lo) {
+        Ok(ix) => ix,
+        Err(code) => return code,
+    };
+    let victims = match ix.window(&q) {
+        Ok((hits, _)) => hits,
+        Err(e) => return fail(e),
+    };
+    let t0 = Instant::now();
+    let mut deleted = 0u64;
+    let take = limit.min(victims.len());
+    // Batched deletes: one WAL fsync per chunk instead of per victim.
+    for chunk in victims[..take].chunks(1024) {
+        match ix.delete_batch(chunk) {
+            Ok(n) => deleted += n,
+            Err(e) => return fail(e),
+        }
+    }
+    if let Err(e) = ix.wait_idle() {
+        return fail(e);
+    }
+    println!(
+        "deleted {deleted} of {} intersecting items in {:.2}s",
+        victims.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    print_live_stats(&ix)
+}
+
+fn cmd_compact(args: &[String]) -> i32 {
+    let opts = match Opts::parse(args, &["buffer-cap"], &["inline-merge"]) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let [dir] = opts.positional.as_slice() else {
+        return fail("compact expects exactly one DIR argument");
+    };
+    let lo = match live_opts(&opts) {
+        Ok(lo) => lo,
+        Err(e) => return fail(e),
+    };
+    let ix = match open_live(dir, lo) {
+        Ok(ix) => ix,
+        Err(code) => return code,
+    };
+    let before = match ix.stats() {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let t0 = Instant::now();
+    if let Err(e) = ix.compact() {
+        return fail(e);
+    }
+    let after = match ix.stats() {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    println!(
+        "compacted in {:.2}s: {} → {} component(s), {} → {} tombstones, \
+         {} → {} store bytes",
+        t0.elapsed().as_secs_f64(),
+        before.components.len(),
+        after.components.len(),
+        before.tombstones,
+        after.tombstones,
+        before.store_file_bytes,
+        after.store_file_bytes
+    );
+    print_live_stats(&ix)
+}
+
+fn cmd_query_live(dir: &str, opts: &Opts, q: &Rect<2>) -> i32 {
+    let lo = match live_opts(opts) {
+        Ok(lo) => lo,
+        Err(e) => return fail(e),
+    };
+    let t0 = Instant::now();
+    let ix = match open_live(dir, lo) {
+        Ok(ix) => ix,
+        Err(code) => return code,
+    };
+    let open_s = t0.elapsed().as_secs_f64();
+
+    let snap = ix.snapshot();
+    let mut scratch = QueryScratch::new();
+    let mut hits = Vec::new();
+    let t0 = Instant::now();
+    let stats = match snap.window_into(q, &mut scratch, &mut hits) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let query_s = t0.elapsed().as_secs_f64();
+
+    println!("results: {}", hits.len());
+    println!(
+        "query I/O: {} leaves visited, {} internal, {} device reads ({:.1} ms) \
+         across {} component(s) + memtable",
+        stats.leaves_visited,
+        stats.internal_visited,
+        stats.device_reads,
+        query_s * 1e3,
+        snap.num_components(),
+    );
+    println!(
+        "open+replay: {:.1} ms; {} items live at seq {}",
+        open_s * 1e3,
+        snap.len(),
+        snap.seq()
+    );
+    if opts.has("verbose") {
+        for item in hits.iter().take(20) {
+            println!("  id {} rect {:?}", item.id, item.rect);
+        }
+        if hits.len() > 20 {
+            println!("  ... and {} more", hits.len() - 20);
+        }
+    }
+    if let Some(expect) = opts.get("expect") {
+        match expect.parse::<usize>() {
+            Ok(want) if want == hits.len() => {}
+            Ok(want) => {
+                eprintln!("error: expected {want} results, got {}", hits.len());
+                return 1;
+            }
+            Err(_) => return fail("--expect expects an integer"),
+        }
+    }
+    if let Some(repeat) = opts.get("repeat") {
+        let reps: usize = match repeat.parse() {
+            Ok(r) if r > 0 => r,
+            _ => return fail("--repeat expects a positive integer"),
+        };
+        let t0 = Instant::now();
+        let mut total = 0u64;
+        for _ in 0..reps {
+            match snap.window_into(q, &mut scratch, &mut hits) {
+                Ok(_) => total += hits.len() as u64,
+                Err(e) => return fail(e),
+            }
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        println!(
+            "hot loop: {reps} runs in {:.1} ms — {:.1} µs/query, {:.0} queries/s ({} results/run)",
+            secs * 1e3,
+            secs / reps as f64 * 1e6,
+            reps as f64 / secs,
+            total / reps as u64,
+        );
+    }
+    0
+}
+
 fn cmd_query(args: &[String]) -> i32 {
-    let opts = match Opts::parse(args, &["window", "expect", "repeat"], &["verbose"]) {
+    let opts = match Opts::parse(
+        args,
+        &["window", "expect", "repeat", "buffer-cap"],
+        &["verbose", "inline-merge"],
+    ) {
         Ok(o) => o,
         Err(e) => return fail(e),
     };
@@ -254,6 +591,9 @@ fn cmd_query(args: &[String]) -> i32 {
         Err(e) => return fail(e),
     };
     let q = Rect::xyxy(x1.min(x2), y1.min(y2), x1.max(x2), y1.max(y2));
+    if Path::new(file).is_dir() {
+        return cmd_query_live(file, &opts, &q);
+    }
 
     let t0 = Instant::now();
     let tree = match open_2d(file) {
@@ -335,7 +675,7 @@ fn cmd_query(args: &[String]) -> i32 {
 }
 
 fn cmd_knn(args: &[String]) -> i32 {
-    let opts = match Opts::parse(args, &["point", "k"], &[]) {
+    let opts = match Opts::parse(args, &["point", "k", "buffer-cap"], &["inline-merge"]) {
         Ok(o) => o,
         Err(e) => return fail(e),
     };
@@ -353,6 +693,33 @@ fn cmd_knn(args: &[String]) -> i32 {
         Ok(k) => k,
         Err(_) => return fail("--k expects an integer"),
     };
+    if Path::new(file).is_dir() {
+        let lo = match live_opts(&opts) {
+            Ok(lo) => lo,
+            Err(e) => return fail(e),
+        };
+        let ix = match open_live(file, lo) {
+            Ok(ix) => ix,
+            Err(code) => return code,
+        };
+        let t0 = Instant::now();
+        let (neighbors, stats) = match ix.nearest_neighbors(&Point::new([x, y]), k) {
+            Ok(r) => r,
+            Err(e) => return fail(e),
+        };
+        let knn_s = t0.elapsed().as_secs_f64();
+        println!("{} nearest to ({x}, {y}):", neighbors.len());
+        for (item, dist) in &neighbors {
+            println!("  id {:>8}  dist {dist:.6}  rect {:?}", item.id, item.rect);
+        }
+        println!(
+            "knn I/O: {} leaves visited, {} device reads ({:.1} ms)",
+            stats.leaves_visited,
+            stats.device_reads,
+            knn_s * 1e3
+        );
+        return 0;
+    }
     let tree = match open_2d(file) {
         Ok(t) => t,
         Err(code) => return code,
@@ -380,13 +747,24 @@ fn cmd_knn(args: &[String]) -> i32 {
 }
 
 fn cmd_stats(args: &[String]) -> i32 {
-    let opts = match Opts::parse(args, &[], &["no-verify"]) {
+    let opts = match Opts::parse(args, &["buffer-cap"], &["no-verify", "inline-merge"]) {
         Ok(o) => o,
         Err(e) => return fail(e),
     };
     let [file] = opts.positional.as_slice() else {
         return fail("stats expects exactly one FILE argument");
     };
+    if Path::new(file).is_dir() {
+        let lo = match live_opts(&opts) {
+            Ok(lo) => lo,
+            Err(e) => return fail(e),
+        };
+        let ix = match open_live(file, lo) {
+            Ok(ix) => ix,
+            Err(code) => return code,
+        };
+        return print_live_stats(&ix);
+    }
     let store = match Store::open(Path::new(file)) {
         Ok(s) => s,
         Err(e) => return fail(e),

@@ -15,6 +15,9 @@
 //! * [`store`] — the durable on-disk index format with crash-safe commit
 //!   and checksummed pages (crate `pr-store`); the `prtree` binary in
 //!   `src/bin/` is its command-line face.
+//! * [`live`] — durable, reader-concurrent LPR-tree ingest: WAL +
+//!   memtable + background geometric merges over pr-store snapshots
+//!   (crate `pr-live`).
 //!
 //! ## Quick start
 //!
@@ -49,6 +52,7 @@ pub use pr_data as data;
 pub use pr_em as em;
 pub use pr_geom as geom;
 pub use pr_hilbert as hilbert;
+pub use pr_live as live;
 pub use pr_store as store;
 pub use pr_tree as tree;
 
