@@ -5,10 +5,13 @@
 //! Three headline numbers, written to `BENCH_live_update.json`:
 //!
 //! * **ingest throughput** — batched, WAL-fsynced inserts per second
-//!   (every batch durable before it is acknowledged);
+//!   (every batch durable before it is acknowledged), with a full
+//!   per-batch latency distribution (p50/p95/p99, hand-rolled
+//!   HDR-style fixed buckets — [`pr_bench::LatencyHistogram`]);
 //! * **mixed read/write** — a writer ingesting while a reader runs
-//!   window queries on epoch-pinned snapshots: both rates, measured
-//!   simultaneously, plus the reader's mean latency *under* ingest;
+//!   window queries on epoch-pinned snapshots: both rates measured
+//!   simultaneously, plus the reader's latency distribution *under*
+//!   ingest (means hide the fsync/merge tail; percentiles don't);
 //! * **reopen** — crash-recovery time back to the first answered query.
 //!
 //! A correctness gate runs first: a serial mixed insert/delete workload
@@ -18,6 +21,7 @@
 //! (off by default: shared runners throttle).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use pr_bench::LatencyHistogram;
 use pr_geom::{Item, Rect};
 use pr_live::{LiveIndex, LiveOptions};
 use pr_tree::{QueryScratch, TreeParams};
@@ -40,6 +44,7 @@ fn opts(background: bool) -> LiveOptions {
         buffer_cap: BUFFER_CAP,
         background_merge: background,
         backpressure_factor: 4,
+        ..LiveOptions::default()
     }
 }
 
@@ -99,24 +104,32 @@ fn correctness_gate() {
     println!("live_update gate: serial mixed workload + reopen match brute force");
 }
 
-/// Batched, durable ingest of `n` items; returns acked items/s.
-fn timed_ingest(dir: &Path, n: u32, background: bool) -> f64 {
+/// Batched, durable ingest of `n` items; returns acked items/s plus the
+/// per-batch (one WAL fsync each) latency distribution in nanoseconds.
+fn timed_ingest(dir: &Path, n: u32, background: bool) -> (f64, LatencyHistogram) {
     let ix = LiveIndex::<2>::create(dir, params(), opts(background)).unwrap();
     let items: Vec<Item<2>> = (0..n).map(item).collect();
+    let mut hist = LatencyHistogram::new();
     let t0 = Instant::now();
     for chunk in items.chunks(BATCH) {
+        let b0 = Instant::now();
         ix.insert_batch(chunk).unwrap();
+        hist.record(b0.elapsed().as_nanos() as u64);
     }
     let acked = t0.elapsed().as_secs_f64();
     ix.wait_idle().unwrap();
     assert_eq!(ix.len(), n as u64);
-    n as f64 / acked.max(1e-9)
+    (n as f64 / acked.max(1e-9), hist)
 }
 
 struct MixedOutcome {
     inserts_per_s: f64,
     queries_per_s: f64,
     query_mean_us: f64,
+    /// Per-insert-batch latency under concurrent reads (ns).
+    insert_hist: LatencyHistogram,
+    /// Per-query latency under concurrent ingest (ns).
+    query_hist: LatencyHistogram,
 }
 
 /// Writer ingests while a reader queries snapshots; both rates measured
@@ -128,6 +141,8 @@ fn mixed_read_write(dir: &Path) -> MixedOutcome {
     let queries_done = AtomicU64::new(0);
     let query_nanos = AtomicU64::new(0);
     let mut write_secs = 0.0;
+    let mut insert_hist = LatencyHistogram::new();
+    let mut query_hist = LatencyHistogram::new();
     std::thread::scope(|s| {
         let ix = &ix;
         let stop = &stop;
@@ -135,24 +150,30 @@ fn mixed_read_write(dir: &Path) -> MixedOutcome {
         let query_nanos = &query_nanos;
         let writer = s.spawn(move || {
             let items: Vec<Item<2>> = (0..INGEST_N).map(item).collect();
+            let mut hist = LatencyHistogram::new();
             let t0 = Instant::now();
             for chunk in items.chunks(BATCH) {
+                let b0 = Instant::now();
                 ix.insert_batch(chunk).unwrap();
+                hist.record(b0.elapsed().as_nanos() as u64);
             }
             let secs = t0.elapsed().as_secs_f64();
             stop.store(true, Ordering::Release);
-            secs
+            (secs, hist)
         });
-        s.spawn(move || {
+        let reader = s.spawn(move || {
             let mut scratch = QueryScratch::new();
             let mut out = Vec::new();
             let mut qi = 0usize;
+            let mut hist = LatencyHistogram::new();
             while !stop.load(Ordering::Acquire) {
                 let snap = ix.snapshot();
                 let t0 = Instant::now();
                 snap.window_into(&query(qi), &mut scratch, &mut out)
                     .unwrap();
-                query_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                let nanos = t0.elapsed().as_nanos() as u64;
+                hist.record(nanos);
+                query_nanos.fetch_add(nanos, Ordering::Relaxed);
                 queries_done.fetch_add(1, Ordering::Relaxed);
                 // Prefix invariant: a snapshot of an insert-only run is
                 // exactly the items 0..len.
@@ -160,8 +181,12 @@ fn mixed_read_write(dir: &Path) -> MixedOutcome {
                 assert!(out.iter().all(|i| (i.id as u64) < k), "snapshot torn");
                 qi += 1;
             }
+            hist
         });
-        write_secs = writer.join().unwrap();
+        let (secs, w_hist) = writer.join().unwrap();
+        write_secs = secs;
+        insert_hist.merge(&w_hist);
+        query_hist.merge(&reader.join().unwrap());
     });
     ix.wait_idle().unwrap();
     assert_eq!(ix.len(), INGEST_N as u64);
@@ -170,6 +195,8 @@ fn mixed_read_write(dir: &Path) -> MixedOutcome {
         inserts_per_s: INGEST_N as f64 / write_secs.max(1e-9),
         queries_per_s: q as f64 / write_secs.max(1e-9),
         query_mean_us: query_nanos.load(Ordering::Relaxed) as f64 / q as f64 / 1e3,
+        insert_hist,
+        query_hist,
     }
 }
 
@@ -194,7 +221,7 @@ fn bench_live_update(c: &mut Criterion) {
         b.iter(|| {
             pass += 1;
             let dir = tmpdir(&format!("crit-{pass}"));
-            let rate = timed_ingest(&dir, INGEST_N, true);
+            let (rate, _) = timed_ingest(&dir, INGEST_N, true);
             std::fs::remove_dir_all(&dir).ok();
             rate as u64
         });
@@ -203,7 +230,7 @@ fn bench_live_update(c: &mut Criterion) {
 
     // Headline numbers.
     let dir = tmpdir("ingest");
-    let ingest_rate = timed_ingest(&dir, INGEST_N, true);
+    let (ingest_rate, ingest_hist) = timed_ingest(&dir, INGEST_N, true);
     std::fs::remove_dir_all(&dir).ok();
 
     let dir = tmpdir("mixed");
@@ -211,19 +238,39 @@ fn bench_live_update(c: &mut Criterion) {
     let reopen_s = timed_reopen(&dir);
     std::fs::remove_dir_all(&dir).ok();
 
+    // Percentiles in µs (histograms record ns).
+    let us = |h: &LatencyHistogram, q: f64| h.quantile(q) as f64 / 1e3;
     let row = format!(
         "{{\n  \"experiment\": \"live_update\",\n  \"n\": {INGEST_N},\n  \
          \"batch\": {BATCH},\n  \"buffer_cap\": {BUFFER_CAP},\n  \
          \"durability\": \"fsync per batch, ack after fsync\",\n  \
          \"ingest_items_per_s\": {:.0},\n  \
+         \"ingest_batch_p50_us\": {:.1},\n  \"ingest_batch_p95_us\": {:.1},\n  \
+         \"ingest_batch_p99_us\": {:.1},\n  \"ingest_batch_max_us\": {:.1},\n  \
          \"mixed_inserts_per_s\": {:.0},\n  \"mixed_queries_per_s\": {:.0},\n  \
+         \"mixed_insert_batch_p50_us\": {:.1},\n  \"mixed_insert_batch_p95_us\": {:.1},\n  \
+         \"mixed_insert_batch_p99_us\": {:.1},\n  \
          \"mixed_query_mean_us\": {:.1},\n  \
+         \"mixed_query_p50_us\": {:.1},\n  \"mixed_query_p95_us\": {:.1},\n  \
+         \"mixed_query_p99_us\": {:.1},\n  \"mixed_query_max_us\": {:.1},\n  \
+         \"histogram\": \"hand-rolled HDR-style, 32 sub-buckets/octave (<=3.2% error)\",\n  \
          \"reopen_to_first_answer_ms\": {:.1},\n  \
          \"gate\": \"serial oracle + snapshot prefix invariant + reopen\"\n}}\n",
         ingest_rate,
+        us(&ingest_hist, 0.50),
+        us(&ingest_hist, 0.95),
+        us(&ingest_hist, 0.99),
+        ingest_hist.max() as f64 / 1e3,
         mixed.inserts_per_s,
         mixed.queries_per_s,
+        us(&mixed.insert_hist, 0.50),
+        us(&mixed.insert_hist, 0.95),
+        us(&mixed.insert_hist, 0.99),
         mixed.query_mean_us,
+        us(&mixed.query_hist, 0.50),
+        us(&mixed.query_hist, 0.95),
+        us(&mixed.query_hist, 0.99),
+        mixed.query_hist.max() as f64 / 1e3,
         reopen_s * 1e3,
     );
     println!("{row}");

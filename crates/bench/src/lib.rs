@@ -17,9 +17,11 @@
 //! vs published numbers.
 
 pub mod experiments;
+pub mod hist;
 pub mod measure;
 pub mod scale;
 pub mod table;
 
+pub use hist::LatencyHistogram;
 pub use scale::Scale;
 pub use table::Table;

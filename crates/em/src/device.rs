@@ -221,6 +221,33 @@ impl PositionedFile {
         }
     }
 
+    /// Maps the first `len` bytes of the file read-only, or `None` when
+    /// the platform has no mmap (non-unix) or the mapping fails for any
+    /// reason — callers must treat `None` as "use the positioned-read
+    /// path", never as an error. `len` is clamped to the current file
+    /// length, and an empty range maps to `None`.
+    ///
+    /// The mapping is `MAP_SHARED`, so bytes written through the file
+    /// descriptor later (appended snapshots) are visible through any
+    /// overlapping mapping — callers mapping an immutable committed
+    /// region are unaffected. The mapping also pins the inode exactly
+    /// like an open descriptor: unlinking or renaming over the file
+    /// leaves existing [`Mmap`]s (and their readers) intact.
+    pub fn map_readonly(&self, len: u64) -> std::io::Result<Option<Mmap>> {
+        let len = len.min(self.len()?);
+        if len == 0 {
+            return Ok(None);
+        }
+        #[cfg(unix)]
+        {
+            Ok(Mmap::new(&self.file, len as usize))
+        }
+        #[cfg(not(unix))]
+        {
+            Ok(None)
+        }
+    }
+
     /// Current file length in bytes.
     pub fn len(&self) -> std::io::Result<u64> {
         #[cfg(unix)]
@@ -236,6 +263,132 @@ impl PositionedFile {
     /// True when the file is empty.
     pub fn is_empty(&self) -> std::io::Result<bool> {
         Ok(self.len()? == 0)
+    }
+}
+
+/// A read-only shared memory mapping of a file prefix.
+///
+/// Produced by [`PositionedFile::map_readonly`]; the public surface is
+/// just [`Mmap::as_slice`]. The build environment vendors no crates, so
+/// on unix the mapping goes through a two-symbol raw FFI declaration of
+/// `mmap`/`munmap` against the platform libc that `std` already links;
+/// everywhere else `map_readonly` simply returns `None` and callers use
+/// positioned reads. The constants used (`PROT_READ = 1`,
+/// `MAP_SHARED = 1`) are identical across the unix targets this builds
+/// on (Linux, macOS, the BSDs).
+///
+/// Safety contract: the mapped range must stay within the file (mapping
+/// past EOF faults on access), which callers ensure by clamping to the
+/// file length at map time and only mapping committed, fsynced regions
+/// that never shrink.
+#[cfg(unix)]
+pub struct Mmap {
+    ptr: *const u8,
+    len: usize,
+}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::{c_int, c_long, c_void};
+    extern "C" {
+        // `offset` is declared `c_long` because that is what `off_t`
+        // defaults to on every unix ABI (64-bit on LP64, 32-bit on
+        // ILP32 — the plain `mmap` symbol, not `mmap64`). We only ever
+        // pass 0, so the narrower ILP32 type costs no range.
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: c_long,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_SHARED: c_int = 1;
+}
+
+#[cfg(unix)]
+impl Mmap {
+    fn new(file: &File, len: usize) -> Option<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as usize == usize::MAX || ptr.is_null() {
+            return None; // MAP_FAILED: fall back to positioned reads.
+        }
+        Some(Mmap {
+            ptr: ptr as *const u8,
+            len,
+        })
+    }
+
+    /// The mapped bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+        // bytes (established in `new`, released only in `drop`).
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is mapped (never constructed; for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+// SAFETY: the mapping is immutable (PROT_READ) and not tied to any
+// thread; concurrent `&`-reads of plain bytes are race-free.
+#[cfg(unix)]
+unsafe impl Send for Mmap {}
+#[cfg(unix)]
+unsafe impl Sync for Mmap {}
+
+#[cfg(unix)]
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        unsafe {
+            sys::munmap(self.ptr as *mut std::ffi::c_void, self.len);
+        }
+    }
+}
+
+/// Non-unix stub so downstream types can name the type; never
+/// constructed ([`PositionedFile::map_readonly`] returns `None` there).
+#[cfg(not(unix))]
+pub struct Mmap {
+    never: std::convert::Infallible,
+}
+
+#[cfg(not(unix))]
+impl Mmap {
+    /// Unreachable on this platform.
+    pub fn as_slice(&self) -> &[u8] {
+        match self.never {}
+    }
+
+    /// Unreachable on this platform.
+    pub fn len(&self) -> usize {
+        match self.never {}
+    }
+
+    /// Unreachable on this platform.
+    pub fn is_empty(&self) -> bool {
+        match self.never {}
     }
 }
 
@@ -644,5 +797,45 @@ mod tests {
         let mem = MemDevice::new(64);
         mem.sync().unwrap();
         assert_eq!(mem.io_stats().total(), 0);
+    }
+
+    #[test]
+    fn map_readonly_sees_written_bytes_and_clamps() {
+        let dir = std::env::temp_dir().join(format!("pr-em-mmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("map.bin");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .unwrap();
+        let pf = PositionedFile::new(file);
+        let payload: Vec<u8> = (0..=255u8).cycle().take(8192).collect();
+        pf.write_all_at(&payload, 0).unwrap();
+        pf.sync_data().unwrap();
+
+        // An empty request (or an empty file) maps to None, not an error.
+        assert!(pf.map_readonly(0).unwrap().is_none());
+
+        if let Some(map) = pf.map_readonly(u64::MAX).unwrap() {
+            // Clamped to the real file length.
+            assert_eq!(map.len(), 8192);
+            assert!(!map.is_empty());
+            assert_eq!(map.as_slice(), &payload[..]);
+            // MAP_SHARED: a later positioned write is visible through
+            // the existing mapping (the store only maps immutable
+            // regions, but the primitive must not cache stale bytes).
+            pf.write_all_at(&[0xEE; 16], 100).unwrap();
+            assert_eq!(&map.as_slice()[100..116], &[0xEE; 16]);
+            // The mapping pins the inode across unlink.
+            std::fs::remove_file(&path).unwrap();
+            assert_eq!(&map.as_slice()[0..4], &payload[0..4]);
+        } else {
+            // Non-unix (or exotic) platform: the fallback contract is
+            // simply "None", which callers translate to positioned reads.
+            std::fs::remove_file(&path).ok();
+        }
     }
 }

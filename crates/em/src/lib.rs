@@ -33,7 +33,8 @@ pub mod stats;
 pub mod stream;
 
 pub use device::{
-    fsync_dir, BlockDevice, BlockId, FileDevice, MemDevice, PositionedFile, DEFAULT_BLOCK_SIZE,
+    fsync_dir, BlockDevice, BlockId, FileDevice, MemDevice, Mmap, PositionedFile,
+    DEFAULT_BLOCK_SIZE,
 };
 pub use error::EmError;
 pub use pool::BufferPool;

@@ -40,7 +40,7 @@ use parking_lot::{Mutex, RwLock};
 use pr_geom::{Item, Point, Rect};
 use pr_store::Store;
 use pr_tree::dynamic::{same_identity, GeometricPolicy, Tombstones};
-use pr_tree::{QueryScratch, QueryStats, RTree, TreeParams};
+use pr_tree::{LeafCache, QueryScratch, QueryStats, RTree, TreeParams};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
@@ -60,6 +60,14 @@ pub struct LiveOptions {
     /// the memtable exceeds `backpressure_factor * buffer_cap` while a
     /// sealed batch is still being merged, bounding memory.
     pub backpressure_factor: usize,
+    /// Byte budget of the shared leaf cache all store-backed components
+    /// read through ([`pr_tree::LeafCache`]): transcoded leaf pages are
+    /// kept in memory across queries, so repeated window/k-NN traffic
+    /// skips the per-leaf device read entirely. `0` disables the cache
+    /// (every leaf visit reads the store, verify-once CRC still
+    /// applies). One cache spans every component of the index; merges
+    /// and compactions retire replaced snapshots' entries wholesale.
+    pub leaf_cache_bytes: usize,
 }
 
 impl Default for LiveOptions {
@@ -68,6 +76,7 @@ impl Default for LiveOptions {
             buffer_cap: 1024,
             background_merge: true,
             backpressure_factor: 4,
+            leaf_cache_bytes: pr_tree::DEFAULT_LEAF_CACHE_BYTES,
         }
     }
 }
@@ -135,6 +144,11 @@ pub(crate) struct LiveInner<const D: usize> {
     pub(crate) maintenance: Mutex<()>,
     pub(crate) signal: StdMutex<Signal>,
     pub(crate) cv: Condvar,
+    /// Shared leaf cache spanning every store-backed component (`None`
+    /// when `opts.leaf_cache_bytes == 0`). Each committed snapshot's
+    /// components attach under a fresh cache epoch; the merge swap
+    /// retires all older epochs.
+    pub(crate) leaf_cache: Option<Arc<LeafCache<D>>>,
     /// Failure injection: 0 = none, else a [`CrashPoint`] discriminant,
     /// consumed by the next merge.
     pub(crate) crash_at: AtomicU8,
@@ -295,7 +309,12 @@ impl<const D: usize> LiveIndex<D> {
         records: Vec<WalRecord<D>>,
         lock: std::fs::File,
     ) -> Result<Self, LiveError> {
-        // Components out of the store, arranged into their slots.
+        // Components out of the store, arranged into their slots. All
+        // components of one snapshot share one page-id space (and one
+        // store device), so they attach to the shared leaf cache under
+        // a single fresh epoch.
+        let leaf_cache: Option<Arc<LeafCache<D>>> =
+            (opts.leaf_cache_bytes > 0).then(|| Arc::new(LeafCache::new(opts.leaf_cache_bytes)));
         let trees = store.components::<D>()?;
         if trees.len() != manifest.slots.len() {
             return Err(LiveError::Corrupt(format!(
@@ -310,14 +329,18 @@ impl<const D: usize> LiveIndex<D> {
             .map(|&s| s as usize + 1)
             .max()
             .unwrap_or(0);
+        let cache_epoch = leaf_cache.as_ref().map(|c| c.register_epoch());
         let mut components: Vec<Option<Arc<RTree<D>>>> = Vec::new();
         components.resize_with(nslots, || None);
-        for (slot, tree) in manifest.slots.iter().zip(trees) {
+        for (slot, mut tree) in manifest.slots.iter().zip(trees) {
             let slot = *slot as usize;
             if components[slot].is_some() {
                 return Err(LiveError::Corrupt(format!(
                     "live manifest places two components in slot {slot}"
                 )));
+            }
+            if let (Some(cache), Some(epoch)) = (&leaf_cache, cache_epoch) {
+                tree.attach_leaf_cache(Arc::clone(cache), epoch);
             }
             tree.warm_cache()?;
             components[slot] = Some(Arc::new(tree));
@@ -385,6 +408,7 @@ impl<const D: usize> LiveIndex<D> {
                 error: None,
             }),
             cv: Condvar::new(),
+            leaf_cache,
             crash_at: AtomicU8::new(0),
             _lock: lock,
         });
@@ -682,6 +706,13 @@ impl<const D: usize> LiveIndex<D> {
             let store = self.inner.store.lock();
             (store.superblock().epoch, store.file_len()?)
         };
+        let (leaf_cache_hits, leaf_cache_misses, leaf_cache_bytes) = match &self.inner.leaf_cache {
+            Some(cache) => {
+                let (h, m) = cache.hit_stats();
+                (h, m, cache.resident_bytes() as u64)
+            }
+            None => (0, 0, 0),
+        };
         Ok(LiveStats {
             live,
             memtable,
@@ -695,6 +726,9 @@ impl<const D: usize> LiveIndex<D> {
             wal_bytes,
             store_epoch,
             store_file_bytes,
+            leaf_cache_hits,
+            leaf_cache_misses,
+            leaf_cache_bytes,
         })
     }
 
@@ -865,6 +899,12 @@ pub struct LiveStats {
     pub store_epoch: u64,
     /// Store file size in bytes.
     pub store_file_bytes: u64,
+    /// Shared leaf-cache hits since open (0 when the cache is disabled).
+    pub leaf_cache_hits: u64,
+    /// Shared leaf-cache misses since open.
+    pub leaf_cache_misses: u64,
+    /// Approximate bytes resident in the shared leaf cache.
+    pub leaf_cache_bytes: u64,
 }
 
 /// An immutable, point-in-time view of a [`LiveIndex`].
@@ -943,15 +983,16 @@ impl<const D: usize> LiveSnapshot<D> {
     }
 
     /// k-nearest-neighbors with caller-owned buffers: each component
-    /// answers through the decode-free best-first engine, the lists are
-    /// merged with the memtable/sealed scans, tombstones filtered, and
-    /// the global top `k` kept.
-    ///
-    /// Cost note: components are over-fetched by the outstanding
-    /// tombstone count (the provably sufficient bound), so k-NN degrades
-    /// toward a component scan as tombstones approach the compaction
-    /// trigger (≤ half the stored items); tombstone-aware best-first
-    /// traversal is a ROADMAP item.
+    /// answers through the decode-free best-first engine with the
+    /// query's shared tombstone filter applied **inside the loop**
+    /// ([`RTree::nearest_neighbors_filtered_into`]), so every component
+    /// yields its `k` nearest *live* items directly — no over-fetch by
+    /// the outstanding tombstone count, no degradation toward a
+    /// component scan as tombstones approach the compaction trigger.
+    /// The lists are merged with the memtable/sealed scans and the
+    /// global top `k` kept; one filter spans sealed batch + every
+    /// component, keeping the multiset subtraction exact (see
+    /// `LprTree::nearest_neighbors_into` for the argument).
     pub fn nearest_neighbors_into(
         &self,
         query: &Point<D>,
@@ -964,7 +1005,6 @@ impl<const D: usize> LiveSnapshot<D> {
         if k == 0 {
             return Ok(stats);
         }
-        let fetch = k.saturating_add(self.tombstones.total().min(usize::MAX as u64) as usize);
         let mut merged: Vec<(Item<D>, f64)> = self
             .memtable
             .iter()
@@ -981,9 +1021,11 @@ impl<const D: usize> LiveSnapshot<D> {
         }
         let mut tmp = Vec::new();
         for c in &self.components {
-            let s = c.nearest_neighbors_into(query, fetch, scratch, &mut tmp)?;
+            let s = c.nearest_neighbors_filtered_into(query, k, scratch, &mut tmp, |it| {
+                filter.admit(it)
+            })?;
             stats.absorb_traversal(&s);
-            merged.extend(tmp.drain(..).filter(|(i, _)| filter.admit(i)));
+            merged.append(&mut tmp);
         }
         merged.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.id.cmp(&b.0.id)));
         merged.truncate(k);

@@ -225,7 +225,7 @@ pub(crate) fn run_merge<const D: usize>(
     // acknowledged during this window carry seqs past the cut and are
     // covered by WAL replay; the next merge picks them up.
     inner.crash_check(CrashPoint::BeforeCommit)?;
-    let reopened: Vec<RTree<D>> = {
+    let mut reopened: Vec<RTree<D>> = {
         let mut store = inner.store.lock();
         if reclaim {
             // Compaction rewrites into a fresh file and renames it over
@@ -243,7 +243,14 @@ pub(crate) fn run_merge<const D: usize>(
         }
         store.components::<D>()?
     };
-    for t in &reopened {
+    // The committed snapshot's components share one page-id space, so
+    // they join the shared leaf cache under one fresh epoch; the swap
+    // below retires every older epoch's entries wholesale.
+    let cache_epoch = inner.leaf_cache.as_ref().map(|c| c.register_epoch());
+    for t in &mut reopened {
+        if let (Some(cache), Some(epoch)) = (&inner.leaf_cache, cache_epoch) {
+            t.attach_leaf_cache(Arc::clone(cache), epoch);
+        }
         t.warm_cache()?;
     }
     inner.crash_check(CrashPoint::AfterCommit)?;
@@ -265,6 +272,12 @@ pub(crate) fn run_merge<const D: usize>(
         core.tombstones = Arc::new(after);
         core.merged_seq = cut_seq;
         core.merges += 1;
+    }
+    // Old snapshots' leaves are dead to the live index (pinned reader
+    // snapshots keep their own component Arcs and simply miss the
+    // cache): drop every epoch but the one just installed.
+    if let (Some(cache), Some(epoch)) = (&inner.leaf_cache, cache_epoch) {
+        cache.retain_epoch(epoch);
     }
     // The manifest at cut_seq is durable; segments at or below the
     // rotation hold nothing newer than cut_seq.

@@ -50,6 +50,7 @@ fn insert_only_prefix_invariant(name: &str, background: bool) {
         buffer_cap: 64,
         background_merge: background,
         backpressure_factor: 4,
+        ..LiveOptions::default()
     };
     let ix = LiveIndex::<2>::create(&dir, params(), opts).unwrap();
     let done = AtomicBool::new(false);
@@ -147,6 +148,7 @@ fn mixed_ops_match_oracle_with_concurrent_readers() {
         buffer_cap: 48,
         background_merge: true,
         backpressure_factor: 4,
+        ..LiveOptions::default()
     };
     let ix = LiveIndex::<2>::create(&dir, params(), opts).unwrap();
     let done = AtomicBool::new(false);
@@ -220,6 +222,7 @@ fn snapshot_stays_frozen_across_merges_and_compaction() {
         buffer_cap: 32,
         background_merge: false,
         backpressure_factor: 4,
+        ..LiveOptions::default()
     };
     let ix = LiveIndex::<2>::create(&dir, params(), opts).unwrap();
     for i in 0..300 {
@@ -259,6 +262,7 @@ fn knn_matches_oracle_after_churn() {
         buffer_cap: 16,
         background_merge: false,
         backpressure_factor: 4,
+        ..LiveOptions::default()
     };
     let ix = LiveIndex::<2>::create(&dir, params(), opts).unwrap();
     let mut oracle = Vec::new();

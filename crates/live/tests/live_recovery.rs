@@ -30,6 +30,7 @@ fn opts(cap: usize) -> LiveOptions {
         buffer_cap: cap,
         background_merge: false, // deterministic merge points
         backpressure_factor: 4,
+        ..LiveOptions::default()
     }
 }
 

@@ -42,13 +42,35 @@
 //! Policy is stored as atomics (`tag` + LRU capacity) so `get`/`admit`
 //! can take their early-outs — `CachePolicy::None` lookups and leaf
 //! admissions under `InternalNodes` — without touching any lock.
+//!
+//! # The shared leaf cache
+//!
+//! The per-tree cache above answers the paper's setup (pin every
+//! internal node); **leaves** of store-backed trees were still a device
+//! read + transcode on every visit of every query. [`LeafCache`] is the
+//! LSM-style cure: one bounded, sharded cache of transcoded leaf
+//! [`SoaNode`]s **shared across trees** — all components of one pr-live
+//! snapshot feed one cache — keyed by `(cache epoch, BlockId)` and
+//! sized in **bytes**, not pages. It is an attachment
+//! ([`crate::tree::RTree::attach_leaf_cache`]) rather than a
+//! [`CachePolicy`] variant because its two defining properties — shared
+//! across trees, keyed by an epoch the owner retires — do not fit a
+//! per-tree policy enum: a `CachePolicy::LeafLru` would give every
+//! component a private budget and no way to drop a replaced snapshot's
+//! pages wholesale. Epochs come from [`LeafCache::register_epoch`]
+//! (monotonic, never reused — store commit epochs restart after a
+//! `compact()` rewrite, so they cannot key a shared cache), and
+//! [`LeafCache::retain_epoch`] evicts every dead snapshot's entries
+//! after a merge/compaction swap. Caching leaves is only sound because
+//! committed snapshots are immutable — there is no invalidation path,
+//! only whole-epoch retirement.
 
 use crate::soa::SoaNode;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use pr_em::lru::LruCache;
 use pr_em::{BlockId, HitCounters};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Number of independent cache shards (power of two; block ids are
@@ -82,6 +104,11 @@ pub struct CacheTally {
     pub hits: u64,
     /// Lookups that fell through to the device.
     pub misses: u64,
+    /// Leaf pages served by the shared [`LeafCache`] (no device read).
+    pub leaf_hits: u64,
+    /// Leaf pages that missed the attached [`LeafCache`] and were read
+    /// from the device (then admitted). Zero when no cache is attached.
+    pub leaf_misses: u64,
 }
 
 /// Immutable post-warm snapshot of all pinned internal nodes. Queries
@@ -340,6 +367,197 @@ impl<const D: usize> ShardedNodeCache<D> {
     }
 }
 
+/// One shard of the [`LeafCache`]: an LRU over `(epoch, page)` with
+/// byte accounting. The entry-count cap handed to the inner
+/// [`LruCache`] is a generous upper bound (a leaf `SoaNode` is never
+/// smaller than [`LEAF_ENTRY_FLOOR`] bytes); the **byte** budget is what
+/// actually bounds residency.
+struct LeafShard<const D: usize> {
+    lru: LruCache<(u64, BlockId), Arc<SoaNode<D>>>,
+    bytes: usize,
+}
+
+/// Conservative lower bound on the resident size of one cached leaf,
+/// used only to cap the per-shard entry count.
+const LEAF_ENTRY_FLOOR: usize = 128;
+
+/// A bounded, sharded cache of transcoded leaf nodes shared across the
+/// trees of one snapshot lineage (see the module docs). All methods take
+/// `&self`; shards are independent mutexes indexed by the low bits of
+/// the page id, so concurrent queries of different pages rarely contend
+/// and the critical sections are a probe or an insert — never a scan.
+pub struct LeafCache<const D: usize> {
+    shards: Vec<Mutex<LeafShard<D>>>,
+    /// Byte budget per shard (total budget / [`SHARD_COUNT`]).
+    shard_budget: usize,
+    capacity_bytes: usize,
+    next_epoch: AtomicU64,
+    /// Epochs below this are retired: [`LeafCache::retain_epoch`] raises
+    /// it so pinned readers of replaced snapshots (which still hold the
+    /// cache under their dead epoch) cannot re-admit dead leaves and
+    /// evict the live snapshot's hot set — their admits become no-ops
+    /// and their lookups miss.
+    retired_below: AtomicU64,
+    stats: HitCounters,
+}
+
+/// Default byte budget for a shared leaf cache — one constant for the
+/// CLI defaults and `pr-live`'s `LiveOptions::default`, so the two
+/// front ends cannot drift apart.
+pub const DEFAULT_LEAF_CACHE_BYTES: usize = 16 << 20;
+
+impl<const D: usize> LeafCache<D> {
+    /// A cache bounded to roughly `capacity_bytes` of resident
+    /// transcoded leaves (accounted via [`SoaNode::approx_bytes`],
+    /// spread evenly over [`SHARD_COUNT`] shards).
+    pub fn new(capacity_bytes: usize) -> Self {
+        let shard_budget = (capacity_bytes / SHARD_COUNT).max(LEAF_ENTRY_FLOOR);
+        let max_entries = (shard_budget / LEAF_ENTRY_FLOOR).max(1);
+        LeafCache {
+            shards: (0..SHARD_COUNT)
+                .map(|_| {
+                    Mutex::new(LeafShard {
+                        lru: LruCache::new(max_entries),
+                        bytes: 0,
+                    })
+                })
+                .collect(),
+            shard_budget,
+            capacity_bytes,
+            next_epoch: AtomicU64::new(1),
+            retired_below: AtomicU64::new(0),
+            stats: HitCounters::new(),
+        }
+    }
+
+    /// Hands out a fresh, never-reused epoch. Every snapshot (a store
+    /// commit's component set) attaches under its own epoch, so entries
+    /// of a replaced snapshot can never alias a new one's page ids —
+    /// store commit epochs restart when `compact()` rewrites the file,
+    /// which is exactly why the cache numbers its own.
+    pub fn register_epoch(&self) -> u64 {
+        self.next_epoch.fetch_add(1, Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn shard(&self, page: BlockId) -> &Mutex<LeafShard<D>> {
+        &self.shards[(page as usize) & (SHARD_COUNT - 1)]
+    }
+
+    /// Looks up a cached leaf. Hit/miss accounting is the caller's job
+    /// (queries batch into a [`CacheTally`] and flush once; see
+    /// [`LeafCache::record`]) so the hot loop touches no shared counter.
+    pub fn get(&self, epoch: u64, page: BlockId) -> Option<Arc<SoaNode<D>>> {
+        self.shard(page).lock().lru.get(&(epoch, page)).cloned()
+    }
+
+    /// Admits a freshly transcoded leaf, evicting least-recently-used
+    /// entries (of any epoch) until the shard is back under its byte
+    /// budget. A node larger than the whole shard budget is admitted and
+    /// immediately evicted — harmless, and it keeps the bound strict.
+    /// Admissions under a retired epoch (a pinned reader of a replaced
+    /// snapshot) are dropped: dead leaves must not evict the live
+    /// snapshot's hot set.
+    pub fn admit(&self, epoch: u64, page: BlockId, node: Arc<SoaNode<D>>) {
+        let add = node.approx_bytes();
+        let mut shard = self.shard(page).lock();
+        // Checked *under the shard lock*: `retain_epoch` raises the
+        // floor before sweeping the shards, so either this admit sees
+        // the new floor here and drops out, or it completes before the
+        // sweep takes this shard's lock and the sweep removes the
+        // entry. A check outside the lock would leave a window where a
+        // dead-epoch admission lands just after the sweep and squats in
+        // the budget until the next merge.
+        if epoch < self.retired_below.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some((_, old)) = shard.lru.insert((epoch, page), node) {
+            shard.bytes -= old.approx_bytes();
+        }
+        shard.bytes += add;
+        while shard.bytes > self.shard_budget {
+            match shard.lru.pop_lru() {
+                Some((_, evicted)) => shard.bytes -= evicted.approx_bytes(),
+                None => break,
+            }
+        }
+    }
+
+    /// Folds a per-query tally's leaf-cache counts into the shared
+    /// counters (called once per query via the tree's tally flush).
+    pub fn record(&self, tally: CacheTally) {
+        self.stats.add_hits(tally.leaf_hits);
+        self.stats.add_misses(tally.leaf_misses);
+    }
+
+    /// Drops one page (defensive hook for the write path; immutable
+    /// store-backed trees never call it in practice).
+    pub fn evict(&self, epoch: u64, page: BlockId) {
+        let mut shard = self.shard(page).lock();
+        if let Some(node) = shard.lru.remove(&(epoch, page)) {
+            shard.bytes -= node.approx_bytes();
+        }
+    }
+
+    /// Evicts every entry whose epoch is **not** `epoch` — the
+    /// merge/compaction swap calls this with the epoch of the snapshot
+    /// that just became current, dropping all dead snapshots' leaves at
+    /// once. Also retires every older epoch permanently: pinned readers
+    /// of replaced snapshots keep querying (and simply miss), but their
+    /// admissions no longer land in the shared budget.
+    pub fn retain_epoch(&self, epoch: u64) {
+        self.retired_below.fetch_max(epoch, Ordering::AcqRel);
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            let dead: Vec<(u64, BlockId)> = shard
+                .lru
+                .iter()
+                .filter(|((e, _), _)| *e != epoch)
+                .map(|(k, _)| *k)
+                .collect();
+            for key in dead {
+                if let Some(node) = shard.lru.remove(&key) {
+                    shard.bytes -= node.approx_bytes();
+                }
+            }
+        }
+    }
+
+    /// Drops everything (keeps hit statistics).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            shard.lru.drain();
+            shard.bytes = 0;
+        }
+    }
+
+    /// Cached leaves across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().lru.len()).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate resident bytes across all shards.
+    pub fn resident_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().bytes).sum()
+    }
+
+    /// The configured byte budget.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        self.stats.snapshot()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -513,6 +731,131 @@ mod tests {
         let c = NodeCache::new(CachePolicy::Lru(4));
         c.admit(5, &node(0));
         assert_eq!(c.lookup_with(5, None, |n| n.level()), Some(0));
+    }
+
+    fn leaf(entries: usize) -> Arc<SoaNode<2>> {
+        let ents: Vec<Entry<2>> = (0..entries)
+            .map(|i| Entry::new(Rect::xyxy(i as f64, 0.0, i as f64 + 1.0, 1.0), i as u32))
+            .collect();
+        Arc::new(SoaNode::from_page(&NodePage::new(0, ents)))
+    }
+
+    #[test]
+    fn leaf_cache_roundtrip_and_epoch_isolation() {
+        let c = LeafCache::<2>::new(1 << 20);
+        let e1 = c.register_epoch();
+        let e2 = c.register_epoch();
+        assert_ne!(e1, e2);
+        c.admit(e1, 7, leaf(5));
+        assert!(c.get(e1, 7).is_some());
+        // Same page id under another epoch is a distinct entry.
+        assert!(c.get(e2, 7).is_none());
+        c.admit(e2, 7, leaf(9));
+        assert_eq!(c.get(e1, 7).unwrap().len(), 5);
+        assert_eq!(c.get(e2, 7).unwrap().len(), 9);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn leaf_cache_is_byte_bounded() {
+        // Budget of ~4 leaves per shard; hammer one shard (page ids that
+        // collide mod SHARD_COUNT) and check residency stays bounded.
+        let node = leaf(100);
+        let budget = node.approx_bytes() * 4 * SHARD_COUNT;
+        let c = LeafCache::<2>::new(budget);
+        let e = c.register_epoch();
+        for i in 0..64u64 {
+            c.admit(e, i * SHARD_COUNT as u64, leaf(100));
+        }
+        assert!(c.len() <= 4, "shard holds {} > 4 leaves", c.len());
+        assert!(c.resident_bytes() <= budget / SHARD_COUNT);
+        // Eviction is LRU: the most recent page survives.
+        assert!(c.get(e, 63 * SHARD_COUNT as u64).is_some());
+        assert!(c.get(e, 0).is_none());
+    }
+
+    #[test]
+    fn leaf_cache_retain_epoch_drops_dead_snapshots() {
+        let c = LeafCache::<2>::new(1 << 20);
+        let old = c.register_epoch();
+        let new = c.register_epoch();
+        for p in 0..20u64 {
+            c.admit(old, p, leaf(3));
+        }
+        for p in 0..5u64 {
+            c.admit(new, p, leaf(3));
+        }
+        c.retain_epoch(new);
+        assert_eq!(c.len(), 5);
+        assert!(c.get(old, 1).is_none());
+        assert!(c.get(new, 1).is_some());
+        let bytes = c.resident_bytes();
+        assert_eq!(bytes, 5 * leaf(3).approx_bytes());
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn leaf_cache_refuses_retired_epoch_admissions() {
+        let c = LeafCache::<2>::new(1 << 20);
+        let old = c.register_epoch();
+        let new = c.register_epoch();
+        c.admit(old, 1, leaf(3));
+        c.retain_epoch(new);
+        // A pinned reader of the replaced snapshot keeps querying: its
+        // lookups miss and its admissions are dropped, so dead leaves
+        // can never evict the live snapshot's hot set.
+        assert!(c.get(old, 1).is_none());
+        c.admit(old, 2, leaf(3));
+        assert!(c.get(old, 2).is_none());
+        assert_eq!(c.resident_bytes(), 0);
+        // The live epoch is unaffected.
+        c.admit(new, 2, leaf(3));
+        assert!(c.get(new, 2).is_some());
+    }
+
+    #[test]
+    fn leaf_cache_evict_and_reinsert_accounting() {
+        let c = LeafCache::<2>::new(1 << 20);
+        let e = c.register_epoch();
+        c.admit(e, 3, leaf(10));
+        let one = c.resident_bytes();
+        // Re-admitting the same page replaces, not double-counts.
+        c.admit(e, 3, leaf(10));
+        assert_eq!(c.resident_bytes(), one);
+        c.evict(e, 3);
+        assert_eq!(c.resident_bytes(), 0);
+        assert!(c.get(e, 3).is_none());
+        // Tally flush: 2 hits + 1 miss recorded once.
+        c.record(CacheTally {
+            leaf_hits: 2,
+            leaf_misses: 1,
+            ..Default::default()
+        });
+        assert_eq!(c.hit_stats(), (2, 1));
+    }
+
+    #[test]
+    fn leaf_cache_concurrent_mixed_ops_stay_consistent() {
+        let c = LeafCache::<2>::new(1 << 18);
+        let e = c.register_epoch();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = &c;
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        let page = (t * 131 + i) % 97;
+                        if i % 3 == 0 {
+                            c.admit(e, page, leaf((page % 20) as usize + 1));
+                        } else if let Some(n) = c.get(e, page) {
+                            assert_eq!(n.len(), (page % 20) as usize + 1);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(c.resident_bytes() <= c.capacity_bytes().max(1));
     }
 
     #[test]

@@ -199,11 +199,26 @@ impl<const D: usize> LprTree<D> {
     }
 
     /// [`LprTree::nearest_neighbors`] with caller-owned buffers. Each
-    /// component answers through the decode-free best-first engine
-    /// ([`RTree::nearest_neighbors_into`]) with the shared scratch; the
-    /// per-component result lists are then merged, tombstones filtered,
-    /// and the global top `k` kept. Components are over-queried by the
-    /// tombstone count so dead heads cannot starve the merge.
+    /// component answers through the decode-free best-first engine with
+    /// the shared scratch and — the tombstone-aware part — the query's
+    /// multiset [`crate::dynamic::tombstone::TombstoneFilter`] applied
+    /// **inside** the best-first loop
+    /// ([`RTree::nearest_neighbors_filtered_into`]): a dead head popped
+    /// off a component's heap is skipped in place, so each component
+    /// returns exactly its `k` nearest *live* items. The per-component
+    /// lists are then merged and the global top `k` kept. The previous
+    /// implementation over-fetched every component by the outstanding
+    /// tombstone count, degenerating toward a full component scan as
+    /// tombstones approached the 50% compaction trigger.
+    ///
+    /// Sharing one filter across components is exact for the same
+    /// reason window queries share one: for a key with `m` stored
+    /// copies and `c` tombstones, exactly `m − c` copies are admitted
+    /// in total, and aliased copies are bit-identical so *which* ones
+    /// survive is unobservable. Per-component `k` suffices: if a
+    /// component already admitted `k` items nearer than some live item
+    /// `x`, then `k` live items nearer than `x` exist globally and `x`
+    /// cannot be in the global top `k`.
     pub fn nearest_neighbors_into(
         &self,
         query: &Point<D>,
@@ -216,7 +231,6 @@ impl<const D: usize> LprTree<D> {
         if k == 0 {
             return Ok(stats);
         }
-        let fetch = k.saturating_add(self.tombstones.total().min(usize::MAX as u64) as usize);
         let mut merged: Vec<(Item<D>, f64)> = self
             .buffer
             .iter()
@@ -225,9 +239,11 @@ impl<const D: usize> LprTree<D> {
         let mut filter = self.tombstones.filter();
         let mut tmp = Vec::new();
         for c in self.components.iter().flatten() {
-            let s = c.nearest_neighbors_into(query, fetch, scratch, &mut tmp)?;
+            let s = c.nearest_neighbors_filtered_into(query, k, scratch, &mut tmp, |it| {
+                filter.admit(it)
+            })?;
             stats.absorb_traversal(&s);
-            merged.extend(tmp.drain(..).filter(|(it, _)| filter.admit(it)));
+            merged.append(&mut tmp);
         }
         // Total order: distance, then id (distances are finite).
         merged.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.id.cmp(&b.0.id)));

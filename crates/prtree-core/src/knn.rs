@@ -88,6 +88,34 @@ impl<const D: usize> RTree<D> {
         scratch: &mut QueryScratch<D>,
         out: &mut Vec<(Item<D>, f64)>,
     ) -> Result<QueryStats, EmError> {
+        self.nearest_neighbors_filtered_into(query, k, scratch, out, |_| true)
+    }
+
+    /// [`RTree::nearest_neighbors_into`] with an admission predicate
+    /// applied **inside the best-first loop**: an item popped from the
+    /// candidate heap that `admit` rejects is skipped — it consumes
+    /// neither a result slot nor any extra leaf visits beyond the one
+    /// that surfaced it. This is the tombstone-aware k-NN primitive of
+    /// the multi-component structures (LPR-tree, pr-live snapshots):
+    /// they pass their shared multiset [`TombstoneFilter`] as `admit`,
+    /// so each component yields its `k` nearest *live* items directly
+    /// instead of over-fetching `k + total_tombstones` and filtering
+    /// afterwards — with heavy tombstones, the difference between
+    /// reading a handful of leaves and scanning most of the component.
+    ///
+    /// Items are popped in exact min-distance order, so rejecting a dead
+    /// head admits the next-nearest live item with no extra traversal;
+    /// results and distances equal the over-fetch-then-filter answer.
+    ///
+    /// [`TombstoneFilter`]: crate::dynamic::tombstone::TombstoneFilter
+    pub fn nearest_neighbors_filtered_into(
+        &self,
+        query: &Point<D>,
+        k: usize,
+        scratch: &mut QueryScratch<D>,
+        out: &mut Vec<(Item<D>, f64)>,
+        mut admit: impl FnMut(&Item<D>) -> bool,
+    ) -> Result<QueryStats, EmError> {
         out.clear();
         let mut stats = QueryStats::default();
         if k == 0 || self.is_empty() {
@@ -113,6 +141,9 @@ impl<const D: usize> RTree<D> {
             while let Some(Prioritized { dist2, candidate }) = heap.pop() {
                 match candidate {
                     Candidate::Item(item) => {
+                        if !admit(&item) {
+                            continue; // tombstoned copy: skip in place
+                        }
                         out.push((item, dist2.sqrt()));
                         stats.results += 1;
                         if out.len() == k {
@@ -157,6 +188,8 @@ impl<const D: usize> RTree<D> {
             }
             Ok(())
         })();
+        stats.leaf_cache_hits = tally.leaf_hits;
+        stats.leaf_cache_misses = tally.leaf_misses;
         self.record_cache_tally(tally);
         walk.map(|()| stats)
     }

@@ -39,6 +39,13 @@ pub struct QueryStats {
     pub internal_visited: u64,
     /// Actual device reads (cache misses) incurred.
     pub device_reads: u64,
+    /// Leaf visits served by the shared [`crate::cache::LeafCache`]
+    /// (counted in `leaves_visited` but **not** in `device_reads`).
+    /// Zero when no leaf cache is attached.
+    pub leaf_cache_hits: u64,
+    /// Leaf visits that missed the attached leaf cache (read from the
+    /// device, then admitted). Zero when no leaf cache is attached.
+    pub leaf_cache_misses: u64,
     /// Number of reported items (`T`).
     pub results: u64,
 }
@@ -54,6 +61,8 @@ impl QueryStats {
         self.leaves_visited += other.leaves_visited;
         self.internal_visited += other.internal_visited;
         self.device_reads += other.device_reads;
+        self.leaf_cache_hits += other.leaf_cache_hits;
+        self.leaf_cache_misses += other.leaf_cache_misses;
     }
 
     /// Lower bound `⌈T/B⌉` on blocks needed just to report the output.
@@ -185,6 +194,8 @@ impl<const D: usize> RTree<D> {
             }
             Ok(())
         })();
+        stats.leaf_cache_hits = tally.leaf_hits;
+        stats.leaf_cache_misses = tally.leaf_misses;
         self.record_cache_tally(tally);
         walk.map(|()| stats)
     }
@@ -552,6 +563,65 @@ mod tests {
         let healed = tree.par_windows(&queries, 2).unwrap();
         assert_eq!(healed.len(), 8);
         assert_eq!(healed[0].0.len(), 64);
+    }
+
+    /// The shared leaf cache: identical results and leaf-visit stats,
+    /// with repeat queries served without any device read — and the
+    /// hit/miss accounting surfaced through [`QueryStats`].
+    #[test]
+    fn leaf_cache_serves_repeats_without_device_reads() {
+        use crate::cache::LeafCache;
+
+        let params = TreeParams::with_cap::<2>(8);
+        let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
+        let entries: Vec<Entry<2>> = (0..256u32)
+            .map(|i| {
+                let f = i as f64;
+                Entry::new(Rect::xyxy(f, 0.0, f + 0.5, 1.0), i)
+            })
+            .collect();
+        let plain = crate::writer::build_packed(Arc::clone(&dev), params, &entries).unwrap();
+        plain.warm_cache().unwrap();
+
+        let mut cached = crate::writer::build_packed(dev, params, &entries).unwrap();
+        let cache = Arc::new(LeafCache::new(4 << 20));
+        let epoch = cache.register_epoch();
+        cached.attach_leaf_cache(Arc::clone(&cache), epoch);
+        cached.warm_cache().unwrap();
+        assert!(cached.leaf_cache().is_some());
+
+        let q = Rect::xyxy(10.0, 0.0, 90.0, 1.0);
+        let (want, want_stats) = plain.window_with_stats(&q).unwrap();
+
+        // Cold pass: every leaf is a device read AND a leaf-cache miss.
+        let (got, cold) = cached.window_with_stats(&q).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(cold.leaves_visited, want_stats.leaves_visited);
+        assert_eq!(cold.device_reads, want_stats.device_reads);
+        assert_eq!(cold.leaf_cache_misses, cold.leaves_visited);
+        assert_eq!(cold.leaf_cache_hits, 0);
+
+        // Warm pass: bit-identical results and traversal shape, zero
+        // device reads — every leaf visit is a cache hit.
+        let (again, warm) = cached.window_with_stats(&q).unwrap();
+        assert_eq!(again, want);
+        assert_eq!(warm.leaves_visited, want_stats.leaves_visited);
+        assert_eq!(warm.results, want_stats.results);
+        assert_eq!(warm.device_reads, 0);
+        assert_eq!(warm.leaf_cache_hits, warm.leaves_visited);
+        assert_eq!(warm.leaf_cache_misses, 0);
+
+        // The per-query tallies flushed into the cache's counters.
+        let (h, m) = cache.hit_stats();
+        assert_eq!((h, m), (warm.leaf_cache_hits, cold.leaf_cache_misses));
+
+        // k-NN takes the same path.
+        let p = pr_geom::Point::new([42.0, 0.5]);
+        let (nn_want, _) = plain.nearest_neighbors_with_stats(&p, 5).unwrap();
+        let (nn_got, nn_stats) = cached.nearest_neighbors_with_stats(&p, 5).unwrap();
+        assert_eq!(nn_got, nn_want);
+        assert_eq!(nn_stats.device_reads, 0, "k-NN leaves already cached");
+        assert_eq!(nn_stats.leaf_cache_hits, nn_stats.leaves_visited);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! same representation, so query costs are directly comparable — only the
 //! *shape* of the tree differs between variants, exactly as in the paper.
 
-use crate::cache::{CachePolicy, CacheTally, FrozenMap, ShardedNodeCache};
+use crate::cache::{CachePolicy, CacheTally, FrozenMap, LeafCache, ShardedNodeCache};
 use crate::meta::TreeMeta;
 use crate::page::NodePage;
 use crate::params::TreeParams;
@@ -28,6 +28,10 @@ pub struct RTree<const D: usize> {
     root_level: u8,
     len: u64,
     cache: ShardedNodeCache<D>,
+    /// Optional shared leaf cache + the epoch this tree's pages are
+    /// keyed under (see [`crate::cache::LeafCache`]). Attached before
+    /// the handle is shared, then read without any lock on the hot path.
+    leaf_cache: Option<(Arc<LeafCache<D>>, u64)>,
 }
 
 // Compile-time proof that trees can be shared across threads; fails to
@@ -58,6 +62,7 @@ impl<const D: usize> RTree<D> {
             root_level,
             len,
             cache: ShardedNodeCache::new(CachePolicy::InternalNodes),
+            leaf_cache: None,
         }
     }
 
@@ -160,6 +165,23 @@ impl<const D: usize> RTree<D> {
         &self.cache
     }
 
+    /// Attaches a shared [`LeafCache`]: leaf pages of this tree are
+    /// cached (and looked up) under `epoch`, which the caller obtained
+    /// from [`LeafCache::register_epoch`] for this tree's snapshot.
+    /// Takes `&mut self` — attach before the handle is shared, so the
+    /// query hot path reads the field without synchronization. Intended
+    /// for store-backed trees, whose committed pages are immutable;
+    /// a tree mutated by dynamic updates must not keep a leaf cache
+    /// attached (its leaves would go stale — nothing invalidates them).
+    pub fn attach_leaf_cache(&mut self, cache: Arc<LeafCache<D>>, epoch: u64) {
+        self.leaf_cache = Some((cache, epoch));
+    }
+
+    /// The attached shared leaf cache and this tree's epoch in it.
+    pub fn leaf_cache(&self) -> Option<(&Arc<LeafCache<D>>, u64)> {
+        self.leaf_cache.as_ref().map(|(c, e)| (c, *e))
+    }
+
     /// Reads a node through the cache in decoded AoS form. Returns the
     /// node and whether the read hit the device (`true` = one real I/O).
     ///
@@ -209,9 +231,20 @@ impl<const D: usize> RTree<D> {
             return Ok((r, false));
         }
         tally.misses += 1;
+        // Second chance: the shared leaf cache (store-backed trees).
+        // Under the paper's InternalNodes policy every miss here is a
+        // leaf, so this probe is exactly the per-leaf device read it
+        // replaces. A hit costs one shard lock + Arc clone and no I/O.
+        if let Some((cache, epoch)) = &self.leaf_cache {
+            if let Some(node) = cache.get(*epoch, page) {
+                tally.leaf_hits += 1;
+                let f = f.take().expect("leaf-cache hit runs f once");
+                return Ok((f(&node), false));
+            }
+        }
         // Zero-copy read: the device exposes the raw page bytes and the
         // transcode is the only pass over them ([`BlockDevice::with_block`]
-        // skips the page-sized memcpy for in-memory backends).
+        // skips the page-sized memcpy for in-memory and mmap backends).
         let mut transcoded = Ok(());
         self.dev.with_block(page, page_buf, &mut |bytes| {
             transcoded = soa.refill_from_bytes(bytes);
@@ -219,6 +252,11 @@ impl<const D: usize> RTree<D> {
         transcoded?;
         if self.cache.wants(soa.level()) {
             self.cache.admit(page, &Arc::new(soa.clone()));
+        } else if soa.is_leaf() {
+            if let Some((cache, epoch)) = &self.leaf_cache {
+                tally.leaf_misses += 1;
+                cache.admit(*epoch, page, Arc::new(soa.clone()));
+            }
         }
         let f = f.take().expect("miss path runs f once");
         Ok((f(soa), true))
@@ -229,9 +267,13 @@ impl<const D: usize> RTree<D> {
         self.cache.frozen_snapshot()
     }
 
-    /// Flushes a per-query [`CacheTally`] into the shared counters.
+    /// Flushes a per-query [`CacheTally`] into the shared counters (the
+    /// node cache's and, when attached, the leaf cache's).
     pub(crate) fn record_cache_tally(&self, tally: CacheTally) {
         self.cache.record(tally);
+        if let Some((cache, _)) = &self.leaf_cache {
+            cache.record(tally);
+        }
     }
 
     /// Writes a node page and invalidates (then re-admits) its cache slot.
@@ -242,6 +284,11 @@ impl<const D: usize> RTree<D> {
         let arc = Arc::new(SoaNode::from_page(node));
         self.cache.invalidate(page);
         self.cache.admit(page, &arc);
+        // Leaf caches are for immutable store-backed trees, but if one
+        // is attached anyway, never leave a stale copy behind.
+        if let Some((cache, epoch)) = &self.leaf_cache {
+            cache.evict(*epoch, page);
+        }
         Ok(())
     }
 

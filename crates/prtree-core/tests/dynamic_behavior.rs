@@ -195,6 +195,75 @@ fn scratch_reuse_and_knn_match_oracle() {
     assert!(nn.windows(2).all(|w| w[0].1 <= w[1].1));
 }
 
+/// Tombstone-aware k-NN: with heavy tombstones the best-first loop
+/// filters dead heads in place instead of over-fetching every component
+/// by the outstanding tombstone count. Pins both the answer (oracle
+/// over survivors) and the leaf-visit count — the over-fetch
+/// implementation had to materialize `k + tombstones` items per
+/// component, a hard lower bound on its leaf reads that the filtered
+/// traversal must beat decisively.
+#[test]
+fn tombstone_aware_knn_visits_few_leaves() {
+    let cap = 16;
+    let mut t = make(cap);
+    let mut all = Vec::new();
+    // 512 items on a deterministic pseudo-grid; multiples of the buffer
+    // cap, so every item ends up inside a component (empty buffer).
+    for id in 0..512u32 {
+        let it = item(id, (id as f64 * 13.37) % 400.0);
+        t.insert(it).unwrap();
+        all.push(it);
+    }
+    // Kill just under half — heavy, but below the 50% compaction
+    // trigger, so the tombstones stay outstanding.
+    let mut survivors = Vec::new();
+    let mut dead = 0u64;
+    for (i, it) in all.iter().enumerate() {
+        if i % 2 == 0 && dead * 2 + 2 <= 512 - 32 {
+            assert!(t.delete(it).unwrap(), "missing {it:?}");
+            dead += 1;
+        } else {
+            survivors.push(*it);
+        }
+    }
+    assert!(
+        t.num_tombstones() >= 200,
+        "setup: wanted heavy tombstones, got {}",
+        t.num_tombstones()
+    );
+
+    let k = 10usize;
+    let q = Point::new([200.0, 0.5]);
+    let mut scratch = QueryScratch::new();
+    let mut nn = Vec::new();
+    let stats = t
+        .nearest_neighbors_into(&q, k, &mut scratch, &mut nn)
+        .unwrap();
+
+    // Exact answer: distances and (dist, id) order match the oracle.
+    let mut want: Vec<(u32, f64)> = survivors
+        .iter()
+        .map(|i| (i.id, i.rect.min_dist2(&q).sqrt()))
+        .collect();
+    want.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    let got: Vec<(u32, f64)> = nn.iter().map(|(i, d)| (i.id, *d)).collect();
+    assert_eq!(got, want[..k].to_vec());
+
+    // The pin: the old over-fetch had to pull k + tombstones items out
+    // of every non-empty component, i.e. at least
+    // ceil((k + tombstones) / leaf_cap) leaves per component (more in
+    // practice). The filtered traversal must come in well under that
+    // floor — and under a flat fraction of all leaves.
+    let leaf_cap = 8u64; // `make` builds with TreeParams::with_cap::<2>(8)
+    let overfetch_floor =
+        (k as u64 + t.num_tombstones()).div_ceil(leaf_cap) * t.num_components() as u64;
+    assert!(
+        stats.leaves_visited * 2 < overfetch_floor,
+        "visited {} leaves; over-fetch floor was {overfetch_floor}",
+        stats.leaves_visited
+    );
+}
+
 /// Ensures `drain_buffer` (and thus the other tests' setup) really does
 /// place items into components rather than silently looping forever.
 #[test]

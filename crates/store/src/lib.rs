@@ -25,9 +25,13 @@
 //!   rewritten to the new dense ids. A save is therefore also a
 //!   compaction: build-time scratch blocks never reach the file.
 //! * **checksum table** — CRC32 of every page, 4 bytes each. Reads
-//!   through the reopened tree verify lazily against this table; a
-//!   flipped bit surfaces as a typed checksum error on the read that
-//!   touches it, never as a wrong answer.
+//!   through the reopened tree verify lazily against this table, each
+//!   page **once** (a shared verify-once bitmap; see [`device`]); a
+//!   flipped bit in an unverified page surfaces as a typed checksum
+//!   error on the read that touches it, never as a wrong answer, and
+//!   [`Store::scrub`] re-hashes everything eagerly to catch later rot.
+//!   On unix the snapshot region is mmap'd and served zero-copy;
+//!   [`store::ReadPath::Recheck`] retains the hash-every-read mode.
 //! * **footer** — the commit record: epoch, page count, table CRC, all
 //!   under its own CRC. Validating the footer proves the snapshot body
 //!   was completely written.
@@ -94,7 +98,7 @@ pub mod format;
 pub mod store;
 
 pub use crc::crc32;
-pub use device::StoreDevice;
+pub use device::{ScrubReport, StoreDevice, VerifiedBitmap};
 pub use error::StoreError;
 pub use format::{Footer, ManifestRecord, Superblock, FORMAT_VERSION};
-pub use store::Store;
+pub use store::{ReadPath, Store};

@@ -1,16 +1,32 @@
 //! Store lifecycle: create, save (commit), open, verify.
 
 use crate::crc::crc32;
-use crate::device::StoreDevice;
+use crate::device::{ScrubReport, StoreDevice, VerifiedBitmap};
 use crate::error::StoreError;
 use crate::format::{Footer, ManifestRecord, Superblock};
-use pr_em::{BlockDevice, BlockId, PositionedFile};
+use pr_em::{BlockDevice, BlockId, Mmap, PositionedFile};
 use pr_tree::writer::page_ptr;
 use pr_tree::{RTree, TreeMeta, TreeParams};
 use std::collections::VecDeque;
 use std::fs::OpenOptions;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+/// How a reopened tree's device reads the snapshot. See
+/// [`crate::device`] for the full design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadPath {
+    /// mmap the snapshot region (positioned-read fallback where
+    /// unavailable) and verify each page's CRC **once**, on first touch,
+    /// through a bitmap shared by every handle of this snapshot. The
+    /// default, and the fast path.
+    #[default]
+    ZeroCopy,
+    /// Positioned `read_at` into a caller buffer with a full CRC32 check
+    /// on **every** read — the pre-zero-copy behavior, retained as a
+    /// paranoid mode and as the `cold_read` benchmark baseline.
+    Recheck,
+}
 
 /// A durable index file. See the crate docs for the format and commit
 /// protocol.
@@ -23,6 +39,14 @@ pub struct Store {
     sb: Superblock,
     /// CRC32 per page of the active snapshot (empty when no snapshot).
     checksums: Arc<Vec<u32>>,
+    /// Shared mapping of the active snapshot region (`None` off-unix,
+    /// on mapping failure, or when there is no snapshot). Devices clone
+    /// the `Arc`, so pinned readers outlive later commits and renames.
+    map: Option<Arc<Mmap>>,
+    /// Shared verify-once state of the active snapshot: every device of
+    /// this snapshot marks/consults the same bitmap, so no page is ever
+    /// CRC-checked twice across handles.
+    verified: Arc<VerifiedBitmap>,
     /// Multi-component manifest of the active snapshot, when present.
     manifest: Option<ManifestRecord>,
     /// True when the backing file could only be opened for reading
@@ -71,6 +95,8 @@ impl Store {
             active_slot: 0,
             sb,
             checksums: Arc::new(Vec::new()),
+            map: None,
+            verified: Arc::new(VerifiedBitmap::new(0)),
             manifest: None,
             read_only: false,
         })
@@ -138,12 +164,16 @@ impl Store {
             }
             match validate_snapshot(&file, &sb) {
                 Ok((checksums, manifest)) => {
+                    let map = map_snapshot(&file, &sb);
+                    let verified = Arc::new(VerifiedBitmap::new(checksums.len() as u64));
                     return Ok(Store {
                         file,
                         path: path.to_path_buf(),
                         active_slot: slot,
                         sb,
                         checksums: Arc::new(checksums),
+                        map,
+                        verified,
                         manifest,
                         read_only,
                     });
@@ -344,6 +374,12 @@ impl Store {
         self.active_slot = stale_slot;
         self.sb = new_sb;
         self.checksums = Arc::new(checksums);
+        // Fresh per-snapshot read-path state: the new region gets its own
+        // mapping and an all-unverified bitmap (the bytes were just
+        // written by us, but verify-once semantics are per *committed
+        // snapshot* — the first reader proves the disk kept them).
+        self.map = map_snapshot(&self.file, &self.sb);
+        self.verified = Arc::new(VerifiedBitmap::new(self.sb.num_pages));
         self.manifest = manifest;
         Ok(())
     }
@@ -351,8 +387,14 @@ impl Store {
     /// Reopens the committed tree. The returned handle reads through a
     /// fresh [`StoreDevice`] (checksum-verified, read-only) and feeds the
     /// normal sharded node cache — `warm_cache`, window and k-NN queries
-    /// behave exactly as on the never-persisted tree.
+    /// behave exactly as on the never-persisted tree. Reads take the
+    /// default zero-copy path ([`ReadPath::ZeroCopy`]).
     pub fn tree<const D: usize>(&self) -> Result<RTree<D>, StoreError> {
+        self.tree_with(ReadPath::ZeroCopy)
+    }
+
+    /// [`Store::tree`] with an explicit [`ReadPath`].
+    pub fn tree_with<const D: usize>(&self, path: ReadPath) -> Result<RTree<D>, StoreError> {
         if let Some(m) = &self.manifest {
             if m.metas.len() != 1 {
                 return Err(StoreError::NotSingleComponent(m.metas.len()));
@@ -367,7 +409,7 @@ impl Store {
         if !self.sb.has_snapshot() {
             return Err(StoreError::NoCommittedSnapshot);
         }
-        let dev = self.snapshot_device();
+        let dev: Arc<dyn BlockDevice> = self.snapshot_device(path);
         RTree::from_parts(dev, self.sb.meta).map_err(StoreError::from)
     }
 
@@ -378,6 +420,14 @@ impl Store {
     /// [`StoreDevice`] pinned to this snapshot — later saves never move
     /// pages out from under them.
     pub fn components<const D: usize>(&self) -> Result<Vec<RTree<D>>, StoreError> {
+        self.components_with(ReadPath::ZeroCopy)
+    }
+
+    /// [`Store::components`] with an explicit [`ReadPath`].
+    pub fn components_with<const D: usize>(
+        &self,
+        path: ReadPath,
+    ) -> Result<Vec<RTree<D>>, StoreError> {
         if D as u32 != self.sb.dim {
             return Err(StoreError::DimensionMismatch {
                 file: self.sb.dim,
@@ -391,7 +441,7 @@ impl Store {
             Some(m) => &m.metas,
             None => std::slice::from_ref(&self.sb.meta),
         };
-        let dev = self.snapshot_device();
+        let dev: Arc<dyn BlockDevice> = self.snapshot_device(path);
         metas
             .iter()
             .map(|meta| RTree::from_parts(Arc::clone(&dev), *meta).map_err(StoreError::from))
@@ -417,30 +467,45 @@ impl Store {
         }
     }
 
-    /// A fresh device pinned to the active snapshot.
-    fn snapshot_device(&self) -> Arc<dyn BlockDevice> {
+    /// A fresh device pinned to the active snapshot. Counters are
+    /// per-device (each handle's I/O accounting starts at zero), but the
+    /// mapping and verify-once bitmap are the shared per-snapshot state.
+    pub(crate) fn snapshot_device(&self, path: ReadPath) -> Arc<StoreDevice> {
+        let recheck = matches!(path, ReadPath::Recheck);
         Arc::new(StoreDevice::new(
             Arc::clone(&self.file),
+            if recheck { None } else { self.map.clone() },
             self.block_size(),
             self.sb.data_offset,
             Arc::clone(&self.checksums),
+            Arc::clone(&self.verified),
+            recheck,
         ))
     }
 
-    /// Reads every page of the committed snapshot and checks it against
-    /// the checksum table (queries verify lazily; this is the eager
-    /// sweep for `prtree stats` and scrubbing).
+    /// Eagerly re-hashes every page of the committed snapshot against
+    /// the checksum table — the scrub sweep behind `prtree stats`.
+    /// Unlike lazy query-path verification this **always** recomputes
+    /// (its job is catching bit rot that happened after a page's first
+    /// verification), but it routes through the shared verify-once
+    /// bitmap: pages that pass are marked so every later read of this
+    /// snapshot skips its CRC, and the report says how many pages the
+    /// bitmap had already covered. A failing page has its bit cleared
+    /// before the typed error returns, so it cannot be served from its
+    /// stale verification afterwards.
+    pub fn scrub(&self) -> Result<ScrubReport, StoreError> {
+        self.snapshot_device(ReadPath::ZeroCopy).scrub()
+    }
+
+    /// [`Store::scrub`] without the report (compatibility wrapper).
     pub fn verify(&self) -> Result<(), StoreError> {
-        let bs64 = self.block_size() as u64;
-        let mut buf = vec![0u8; self.block_size()];
-        for page in 0..self.sb.num_pages {
-            self.file
-                .read_exact_or_zero_at(&mut buf, self.sb.data_offset + page * bs64)?;
-            if crc32(&buf) != self.checksums[page as usize] {
-                return Err(StoreError::ChecksumMismatch { page });
-            }
-        }
-        Ok(())
+        self.scrub().map(|_| ())
+    }
+
+    /// `(verified, total)` pages of the active snapshot per the shared
+    /// verify-once bitmap.
+    pub fn verified_pages(&self) -> (u64, u64) {
+        (self.verified.verified_pages(), self.sb.num_pages)
     }
 
     /// The active superblock (what `prtree stats` dumps).
@@ -466,6 +531,23 @@ impl Store {
     /// Current length of the backing file in bytes.
     pub fn file_len(&self) -> Result<u64, StoreError> {
         Ok(self.file.len()?)
+    }
+}
+
+/// Best-effort shared mapping of the file prefix covering `sb`'s
+/// snapshot region. `None` (no snapshot, non-unix, or mmap failure)
+/// means devices fall back to positioned reads — never an error: the
+/// mapping is an optimization, `read_at` is the ground truth.
+fn map_snapshot(file: &PositionedFile, sb: &Superblock) -> Option<Arc<Mmap>> {
+    if !sb.has_snapshot() || sb.num_pages == 0 {
+        return None;
+    }
+    let end = sb.data_offset + sb.num_pages * sb.block_size as u64;
+    match file.map_readonly(end) {
+        // A mapping shorter than the snapshot (file truncated under us)
+        // must not be indexed past its end: fall back to reads.
+        Ok(Some(map)) if map.len() as u64 >= end => Some(Arc::new(map)),
+        _ => None,
     }
 }
 

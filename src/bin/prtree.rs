@@ -29,7 +29,7 @@ use pr_geom::{Item, Point, Rect};
 use pr_live::{LiveIndex, LiveOptions};
 use pr_store::Store;
 use pr_tree::bulk::LoaderKind;
-use pr_tree::{QueryScratch, RTree, TreeParams};
+use pr_tree::{LeafCache, QueryScratch, RTree, TreeParams};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
@@ -68,29 +68,36 @@ fn usage() {
          \x20       L:    PR | H | H4 | TGS | STR                    (default PR)\n\
          \x20       C:    entries per node (default: the paper's 113 / 4KB pages)\n\
          \x20 ingest DIR [--data KIND] [--n N] [--seed S] [--id-base B] [--batch SIZE]\n\
-         \x20        [--buffer-cap C] [--cap C] [--inline-merge] [--flush]\n\
+         \x20        [--buffer-cap C] [--cap C] [--leaf-cache-bytes B] [--inline-merge]\n\
+         \x20        [--flush]\n\
          \x20       durably insert N synthetic items into the live index at DIR\n\
          \x20       (created on first use). Every batch is WAL-fsynced before it\n\
          \x20       is acknowledged; --id-base offsets ids so successive ingests\n\
          \x20       stay unique; --flush forces a merge commit before exiting;\n\
          \x20       --inline-merge runs merges on the writer instead of the\n\
-         \x20       background thread\n\
-         \x20 delete DIR --window X1,Y1,X2,Y2 [--limit N]\n\
+         \x20       background thread. Every live-dir command accepts\n\
+         \x20       --leaf-cache-bytes B (shared transcoded-leaf cache across the\n\
+         \x20       index's components; default 16 MiB, 0 disables)\n\
+         \x20 delete DIR --window X1,Y1,X2,Y2 [--limit N] [--leaf-cache-bytes B]\n\
          \x20       durably delete (up to N) live items intersecting the window\n\
-         \x20 compact DIR\n\
+         \x20 compact DIR [--leaf-cache-bytes B]\n\
          \x20       merge memtable + all components into one tree, drop all\n\
          \x20       tombstones, and rewrite the store file (reclaims space)\n\
          \x20 query FILE|DIR --window X1,Y1,X2,Y2 [--expect N] [--verbose] [--repeat R]\n\
+         \x20       [--leaf-cache-bytes B]\n\
          \x20       reopen the index and run one window query (--expect N: exit 1\n\
          \x20       unless exactly N results — used by CI roundtrips; --repeat R:\n\
          \x20       rerun the query R times through one reused scratch and report\n\
-         \x20       warm-cache throughput of the decode-free engine)\n\
-         \x20 knn FILE|DIR --point X,Y [--k K]\n\
+         \x20       warm-cache throughput of the decode-free engine;\n\
+         \x20       --leaf-cache-bytes B: budget of the transcoded-leaf cache in\n\
+         \x20       front of the store, 0 disables — default 16 MiB)\n\
+         \x20 knn FILE|DIR --point X,Y [--k K] [--leaf-cache-bytes B]\n\
          \x20       reopen the index and report the K nearest rectangles (default K=5)\n\
          \x20 stats FILE|DIR [--no-verify]\n\
-         \x20       store file: dump the superblock, scrub all page checksums, report\n\
+         \x20       store file: dump the superblock, eagerly scrub every page CRC\n\
+         \x20       through the verify-once bitmap (reporting verified/total), report\n\
          \x20       tree shape + I/O counters (--no-verify stops after the superblock\n\
-         \x20       dump). Live dir: WAL/memtable/component/tombstone state"
+         \x20       dump). Live dir: WAL/memtable/component/tombstone/leaf-cache state"
     );
 }
 
@@ -261,8 +268,27 @@ fn cmd_build(args: &[String]) -> i32 {
     0
 }
 
-fn open_2d(path: &str) -> Result<RTree<2>, i32> {
-    Store::open_tree::<2>(Path::new(path)).map_err(fail)
+/// Opens a store file and reopens its tree, attaching a shared leaf
+/// cache of `leaf_cache_bytes` when nonzero. Returns the store too so
+/// callers can report verify-once / scrub state.
+fn open_2d(path: &str, leaf_cache_bytes: usize) -> Result<(Store, RTree<2>), i32> {
+    let store = Store::open(Path::new(path)).map_err(fail)?;
+    let mut tree = store.tree::<2>().map_err(fail)?;
+    if leaf_cache_bytes > 0 {
+        let cache = Arc::new(LeafCache::new(leaf_cache_bytes));
+        let epoch = cache.register_epoch();
+        tree.attach_leaf_cache(cache, epoch);
+    }
+    Ok((store, tree))
+}
+
+fn parse_leaf_cache_bytes(opts: &Opts, default: usize) -> Result<usize, String> {
+    match opts.get("leaf-cache-bytes") {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| "--leaf-cache-bytes expects a byte count (0 disables)".to_string()),
+    }
 }
 
 fn live_opts(opts: &Opts) -> Result<LiveOptions, String> {
@@ -277,6 +303,7 @@ fn live_opts(opts: &Opts) -> Result<LiveOptions, String> {
     if opts.has("inline-merge") {
         lo.background_merge = false;
     }
+    lo.leaf_cache_bytes = parse_leaf_cache_bytes(opts, lo.leaf_cache_bytes)?;
     Ok(lo)
 }
 
@@ -310,13 +337,26 @@ fn print_live_stats(ix: &LiveIndex<2>) -> i32 {
         "store:        epoch {}, {} bytes on disk; {} merges this session",
         s.store_epoch, s.store_file_bytes, s.merges
     );
+    println!(
+        "leaf cache:   {} hits, {} misses, {} bytes resident",
+        s.leaf_cache_hits, s.leaf_cache_misses, s.leaf_cache_bytes
+    );
     0
 }
 
 fn cmd_ingest(args: &[String]) -> i32 {
     let opts = match Opts::parse(
         args,
-        &["data", "n", "seed", "id-base", "batch", "buffer-cap", "cap"],
+        &[
+            "data",
+            "n",
+            "seed",
+            "id-base",
+            "batch",
+            "buffer-cap",
+            "cap",
+            "leaf-cache-bytes",
+        ],
         &["inline-merge", "flush"],
     ) {
         Ok(o) => o,
@@ -395,7 +435,11 @@ fn cmd_ingest(args: &[String]) -> i32 {
 }
 
 fn cmd_delete(args: &[String]) -> i32 {
-    let opts = match Opts::parse(args, &["window", "limit", "buffer-cap"], &["inline-merge"]) {
+    let opts = match Opts::parse(
+        args,
+        &["window", "limit", "buffer-cap", "leaf-cache-bytes"],
+        &["inline-merge"],
+    ) {
         Ok(o) => o,
         Err(e) => return fail(e),
     };
@@ -449,7 +493,7 @@ fn cmd_delete(args: &[String]) -> i32 {
 }
 
 fn cmd_compact(args: &[String]) -> i32 {
-    let opts = match Opts::parse(args, &["buffer-cap"], &["inline-merge"]) {
+    let opts = match Opts::parse(args, &["buffer-cap", "leaf-cache-bytes"], &["inline-merge"]) {
         Ok(o) => o,
         Err(e) => return fail(e),
     };
@@ -574,7 +618,13 @@ fn cmd_query_live(dir: &str, opts: &Opts, q: &Rect<2>) -> i32 {
 fn cmd_query(args: &[String]) -> i32 {
     let opts = match Opts::parse(
         args,
-        &["window", "expect", "repeat", "buffer-cap"],
+        &[
+            "window",
+            "expect",
+            "repeat",
+            "buffer-cap",
+            "leaf-cache-bytes",
+        ],
         &["verbose", "inline-merge"],
     ) {
         Ok(o) => o,
@@ -595,8 +645,12 @@ fn cmd_query(args: &[String]) -> i32 {
         return cmd_query_live(file, &opts, &q);
     }
 
+    let lcb = match parse_leaf_cache_bytes(&opts, pr_tree::DEFAULT_LEAF_CACHE_BYTES) {
+        Ok(b) => b,
+        Err(e) => return fail(e),
+    };
     let t0 = Instant::now();
-    let tree = match open_2d(file) {
+    let (_store, tree) = match open_2d(file, lcb) {
         Ok(t) => t,
         Err(code) => return code,
     };
@@ -621,6 +675,15 @@ fn cmd_query(args: &[String]) -> i32 {
         stats.device_reads,
         query_s * 1e3
     );
+    if let Some((cache, _)) = tree.leaf_cache() {
+        println!(
+            "leaf cache: {} hits, {} misses this query ({} bytes resident, {} budget)",
+            stats.leaf_cache_hits,
+            stats.leaf_cache_misses,
+            cache.resident_bytes(),
+            cache.capacity_bytes()
+        );
+    }
     println!(
         "open+warm: {open_reads} page reads ({:.1} ms); {} items indexed, height {}",
         open_s * 1e3,
@@ -670,12 +733,20 @@ fn cmd_query(args: &[String]) -> i32 {
             reps as f64 / secs,
             total / reps as u64,
         );
+        if let Some((cache, _)) = tree.leaf_cache() {
+            let (h, m) = cache.hit_stats();
+            println!("leaf cache: {h} hits, {m} misses cumulative");
+        }
     }
     0
 }
 
 fn cmd_knn(args: &[String]) -> i32 {
-    let opts = match Opts::parse(args, &["point", "k", "buffer-cap"], &["inline-merge"]) {
+    let opts = match Opts::parse(
+        args,
+        &["point", "k", "buffer-cap", "leaf-cache-bytes"],
+        &["inline-merge"],
+    ) {
         Ok(o) => o,
         Err(e) => return fail(e),
     };
@@ -720,7 +791,11 @@ fn cmd_knn(args: &[String]) -> i32 {
         );
         return 0;
     }
-    let tree = match open_2d(file) {
+    let lcb = match parse_leaf_cache_bytes(&opts, pr_tree::DEFAULT_LEAF_CACHE_BYTES) {
+        Ok(b) => b,
+        Err(e) => return fail(e),
+    };
+    let (_store, tree) = match open_2d(file, lcb) {
         Ok(t) => t,
         Err(code) => return code,
     };
@@ -747,7 +822,11 @@ fn cmd_knn(args: &[String]) -> i32 {
 }
 
 fn cmd_stats(args: &[String]) -> i32 {
-    let opts = match Opts::parse(args, &["buffer-cap"], &["no-verify", "inline-merge"]) {
+    let opts = match Opts::parse(
+        args,
+        &["buffer-cap", "leaf-cache-bytes"],
+        &["no-verify", "inline-merge"],
+    ) {
         Ok(o) => o,
         Err(e) => return fail(e),
     };
@@ -764,6 +843,15 @@ fn cmd_stats(args: &[String]) -> i32 {
             Err(code) => return code,
         };
         return print_live_stats(&ix);
+    }
+    if opts.get("leaf-cache-bytes").is_some() {
+        // The store-file stats path scrubs and walks the tree through
+        // the maintenance reader, which never consults a leaf cache —
+        // say so instead of silently accepting a no-op knob.
+        eprintln!(
+            "note: --leaf-cache-bytes affects query/knn and live \
+             directories; stats on a store file ignores it"
+        );
     }
     let store = match Store::open(Path::new(file)) {
         Ok(s) => s,
@@ -810,12 +898,18 @@ fn cmd_stats(args: &[String]) -> i32 {
         println!("checksums:    skipped (--no-verify; superblock metadata only)");
         return 0;
     }
+    // Eager scrub: re-hashes every page (its job is catching bit rot
+    // even on pages earlier reads already verified) and marks them all
+    // in the snapshot's shared verify-once bitmap — so the tree-shape
+    // traversal below, which shares that bitmap, re-verifies nothing.
     let t0 = Instant::now();
-    match store.verify() {
-        Ok(()) => println!(
-            "checksums:    all {} pages verified in {:.1} ms",
-            sb.num_pages,
-            t0.elapsed().as_secs_f64() * 1e3
+    match store.scrub() {
+        Ok(report) => println!(
+            "checksums:    all {} pages scrubbed in {:.1} ms \
+             ({} were already verified by earlier reads)",
+            report.pages,
+            t0.elapsed().as_secs_f64() * 1e3,
+            report.already_verified,
         ),
         Err(e) => return fail(e),
     }
@@ -838,9 +932,11 @@ fn cmd_stats(args: &[String]) -> i32 {
         Err(e) => return fail(e),
     }
     let io = tree.device().io_stats();
+    let (verified, total) = store.verified_pages();
     println!(
         "I/O counters: {} reads, {} writes through the store device",
         io.reads, io.writes
     );
+    println!("verify-once:  {verified}/{total} pages verified; reads of verified pages skip CRC");
     0
 }
