@@ -14,16 +14,25 @@
 //!   ingest (means hide the fsync/merge tail; percentiles don't);
 //! * **reopen** — crash-recovery time back to the first answered query.
 //!
-//! A correctness gate runs first: a serial mixed insert/delete workload
-//! must match a brute-force oracle exactly, and the concurrent phase
-//! re-verifies every sampled snapshot against the prefix invariant.
-//! Set `PRTREE_REQUIRE_LIVE_RATE=1` to assert ≥ 10k acked inserts/s
-//! (off by default: shared runners throttle).
+//! PR 6 adds the group-commit dimension: a **raw WAL-append ceiling**
+//! (all records buffered through the vectored append path, one fsync —
+//! the bound group commit approaches as sharing improves) and a
+//! **multi-writer grid** (1/2/4/8 writers × fsync/async durability)
+//! reporting aggregate acked items/s, merged per-batch p50/p95/p99, and
+//! the group fsync count against the batch count.
+//!
+//! Correctness gates run first: a serial mixed insert/delete workload
+//! must match a brute-force oracle exactly, a 2-writer sharded ingest
+//! must hold the per-shard snapshot prefix invariant, and the
+//! concurrent phase re-verifies every sampled snapshot.
+//! Set `PRTREE_REQUIRE_LIVE_RATE=1` to assert ≥ 10k acked inserts/s in
+//! both durability modes at every writer count (off by default: shared
+//! runners throttle).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pr_bench::LatencyHistogram;
 use pr_geom::{Item, Rect};
-use pr_live::{LiveIndex, LiveOptions};
+use pr_live::{Durability, LiveIndex, LiveOptions, Wal, WalOp, WalRecord};
 use pr_tree::{QueryScratch, TreeParams};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -32,6 +41,8 @@ use std::time::Instant;
 const INGEST_N: u32 = 50_000;
 const BATCH: usize = 512;
 const BUFFER_CAP: usize = 4096;
+/// Items per multi-writer matrix run (writers × durability grid).
+const MW_N: u32 = 48_000;
 
 fn tmpdir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("pr-bench-live-{}-{name}", std::process::id()));
@@ -102,6 +113,166 @@ fn correctness_gate() {
     assert_eq!(ix.len(), oracle.len() as u64);
     std::fs::remove_dir_all(&dir).ok();
     println!("live_update gate: serial mixed workload + reopen match brute force");
+}
+
+/// Two writers racing into disjoint id shards while a reader pins
+/// snapshots: within every shard each snapshot must hold an **exact
+/// prefix** of that writer's insert order, at least as long as the acks
+/// observed before the pin; after both writers join, the index must
+/// equal the full set (serial oracle). This is the multi-writer
+/// correctness gate — no timing until it passes.
+fn multi_writer_gate() {
+    const W: usize = 2;
+    const PER: u32 = 6_000;
+    let dir = tmpdir("mw-gate");
+    let ix = LiveIndex::<2>::create(&dir, params(), opts(true)).unwrap();
+    let stop = AtomicBool::new(false);
+    let acked: Vec<AtomicU64> = (0..W).map(|_| AtomicU64::new(0)).collect();
+    std::thread::scope(|s| {
+        let ix = &ix;
+        let stop = &stop;
+        let acked = &acked;
+        let writers: Vec<_> = (0..W)
+            .map(|w| {
+                s.spawn(move || {
+                    let base = w as u32 * PER;
+                    let items: Vec<Item<2>> = (base..base + PER).map(item).collect();
+                    for chunk in items.chunks(97) {
+                        ix.insert_batch(chunk).unwrap();
+                        acked[w].fetch_add(chunk.len() as u64, Ordering::Release);
+                    }
+                })
+            })
+            .collect();
+        let reader = s.spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                let before: Vec<u64> = acked.iter().map(|a| a.load(Ordering::Acquire)).collect();
+                let snap = ix.snapshot();
+                let mut ids: Vec<u32> = snap.items().unwrap().iter().map(|i| i.id).collect();
+                ids.sort_unstable();
+                for (w, &floor) in before.iter().enumerate() {
+                    let lo = w as u32 * PER;
+                    let shard: Vec<u32> = ids
+                        .iter()
+                        .copied()
+                        .filter(|&i| i >= lo && i < lo + PER)
+                        .collect();
+                    assert!(
+                        shard.len() as u64 >= floor,
+                        "shard {w}: snapshot misses acked inserts ({} < {floor})",
+                        shard.len()
+                    );
+                    for (j, id) in shard.iter().enumerate() {
+                        assert_eq!(*id, lo + j as u32, "shard {w}: snapshot is not a prefix");
+                    }
+                }
+            }
+        });
+        for h in writers {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Release);
+        reader.join().unwrap();
+    });
+    ix.wait_idle().unwrap();
+    assert_eq!(ix.len(), W as u64 * PER as u64);
+    let mut ids: Vec<u32> = ix
+        .snapshot()
+        .items()
+        .unwrap()
+        .iter()
+        .map(|i| i.id)
+        .collect();
+    ids.sort_unstable();
+    assert_eq!(ids, (0..W as u32 * PER).collect::<Vec<_>>());
+    drop(ix);
+    std::fs::remove_dir_all(&dir).ok();
+    println!("live_update gate: 2-writer sharded ingest holds the per-shard prefix invariant");
+}
+
+/// The raw sequential WAL-append ceiling: every record buffered through
+/// the same vectored-append path the commit queue uses, one fsync at
+/// the very end. No index, no locks — the number group commit would
+/// reach if every batch shared a single group.
+fn wal_append_ceiling(n: u32) -> f64 {
+    let dir = tmpdir("wal-ceiling");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut wal = Wal::create(&dir).unwrap();
+    let records: Vec<WalRecord<2>> = (0..n)
+        .map(|i| WalRecord {
+            seq: i as u64 + 1,
+            op: WalOp::Insert,
+            item: item(i),
+        })
+        .collect();
+    let t0 = Instant::now();
+    for chunk in records.chunks(BATCH) {
+        wal.append_buffered(chunk).unwrap();
+    }
+    wal.sync().unwrap();
+    let secs = t0.elapsed().as_secs_f64();
+    drop(wal);
+    std::fs::remove_dir_all(&dir).ok();
+    n as f64 / secs.max(1e-9)
+}
+
+struct MwRow {
+    writers: usize,
+    durability: &'static str,
+    rate: f64,
+    hist: LatencyHistogram,
+    fsyncs: u64,
+    batches: u64,
+}
+
+/// `writers` threads ingest disjoint id shards concurrently; returns the
+/// aggregate acked rate, the merged per-batch latency distribution, and
+/// the group-commit fsync count against the batch count.
+fn multi_writer_ingest(writers: usize, durability: Durability, label: &'static str) -> MwRow {
+    let dir = tmpdir(&format!("mw-{label}-{writers}"));
+    let lo = LiveOptions {
+        durability,
+        ..opts(true)
+    };
+    let ix = LiveIndex::<2>::create(&dir, params(), lo).unwrap();
+    let per = MW_N / writers as u32;
+    let mut hist = LatencyHistogram::new();
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..writers as u32)
+            .map(|w| {
+                let ix = &ix;
+                s.spawn(move || {
+                    let items: Vec<Item<2>> = (w * per..(w + 1) * per).map(item).collect();
+                    let mut h = LatencyHistogram::new();
+                    for chunk in items.chunks(BATCH) {
+                        let b0 = Instant::now();
+                        ix.insert_batch(chunk).unwrap();
+                        h.record(b0.elapsed().as_nanos() as u64);
+                    }
+                    h
+                })
+            })
+            .collect();
+        for h in handles {
+            hist.merge(&h.join().unwrap());
+        }
+    });
+    let acked = t0.elapsed().as_secs_f64();
+    let total = per as u64 * writers as u64;
+    ix.wait_idle().unwrap();
+    assert_eq!(ix.len(), total);
+    let stats = ix.stats().unwrap();
+    drop(ix);
+    std::fs::remove_dir_all(&dir).ok();
+    MwRow {
+        writers,
+        durability: label,
+        rate: total as f64 / acked.max(1e-9),
+        hist,
+        fsyncs: stats.wal_fsyncs,
+        batches: writers as u64 * (per as usize).div_ceil(BATCH) as u64,
+    }
 }
 
 /// Batched, durable ingest of `n` items; returns acked items/s plus the
@@ -212,6 +383,7 @@ fn timed_reopen(dir: &Path) -> f64 {
 
 fn bench_live_update(c: &mut Criterion) {
     correctness_gate();
+    multi_writer_gate();
 
     // Criterion group: steady-state durable ingest (fresh dir per pass).
     let mut group = c.benchmark_group("live_update_50k");
@@ -238,8 +410,42 @@ fn bench_live_update(c: &mut Criterion) {
     let reopen_s = timed_reopen(&dir);
     std::fs::remove_dir_all(&dir).ok();
 
+    // The single-fsync append ceiling, then the writer/durability grid.
+    let ceiling = wal_append_ceiling(MW_N);
+    let async_d = Durability::Async {
+        max_inflight_bytes: 8 << 20,
+    };
+    let mw: Vec<MwRow> = [1usize, 2, 4, 8]
+        .iter()
+        .flat_map(|&w| {
+            [
+                multi_writer_ingest(w, Durability::Fsync, "fsync"),
+                multi_writer_ingest(w, async_d, "async"),
+            ]
+        })
+        .collect();
+
     // Percentiles in µs (histograms record ns).
     let us = |h: &LatencyHistogram, q: f64| h.quantile(q) as f64 / 1e3;
+    let mw_rows = mw
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"writers\": {}, \"durability\": \"{}\", \"items_per_s\": {:.0}, \
+                 \"batch_p50_us\": {:.1}, \"batch_p95_us\": {:.1}, \"batch_p99_us\": {:.1}, \
+                 \"wal_fsyncs\": {}, \"batches\": {}}}",
+                r.writers,
+                r.durability,
+                r.rate,
+                us(&r.hist, 0.50),
+                us(&r.hist, 0.95),
+                us(&r.hist, 0.99),
+                r.fsyncs,
+                r.batches,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let row = format!(
         "{{\n  \"experiment\": \"live_update\",\n  \"n\": {INGEST_N},\n  \
          \"batch\": {BATCH},\n  \"buffer_cap\": {BUFFER_CAP},\n  \
@@ -255,7 +461,10 @@ fn bench_live_update(c: &mut Criterion) {
          \"mixed_query_p99_us\": {:.1},\n  \"mixed_query_max_us\": {:.1},\n  \
          \"histogram\": \"hand-rolled HDR-style, 32 sub-buckets/octave (<=3.2% error)\",\n  \
          \"reopen_to_first_answer_ms\": {:.1},\n  \
-         \"gate\": \"serial oracle + snapshot prefix invariant + reopen\"\n}}\n",
+         \"wal_append_ceiling_items_per_s\": {ceiling:.0},\n  \
+         \"multi_writer_n\": {MW_N},\n  \
+         \"multi_writer\": [\n{mw_rows}\n  ],\n  \
+         \"gate\": \"serial oracle + snapshot prefix invariant (1 and 2 writers) + reopen\"\n}}\n",
         ingest_rate,
         us(&ingest_hist, 0.50),
         us(&ingest_hist, 0.95),
@@ -286,6 +495,27 @@ fn bench_live_update(c: &mut Criterion) {
             ingest_rate >= 10_000.0,
             "durable ingest {ingest_rate:.0} items/s < 10k/s acceptance threshold"
         );
+        // Both durability modes must clear the floor at every writer
+        // count, and batches must be coalescing at >= 2 writers.
+        for r in &mw {
+            assert!(
+                r.rate >= 10_000.0,
+                "{} ingest at {} writer(s): {:.0} items/s < 10k/s",
+                r.durability,
+                r.writers,
+                r.rate
+            );
+            if r.writers >= 2 {
+                assert!(
+                    r.fsyncs < r.batches,
+                    "{} at {} writers: {} fsyncs for {} batches — no group sharing",
+                    r.durability,
+                    r.writers,
+                    r.fsyncs,
+                    r.batches
+                );
+            }
+        }
     }
 }
 

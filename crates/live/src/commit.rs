@@ -1,0 +1,307 @@
+//! Leader/follower group commit: the machinery that lets N concurrent
+//! writers share one WAL write + one fsync.
+//!
+//! ## Protocol
+//!
+//! 1. **Enqueue.** A writer, still holding the index's sequencing lock,
+//!    pushes its already-encoded batch ([`PendingBatch`]) onto the
+//!    queue. Because every enqueue happens under that lock, queue order
+//!    is sequence order. (The writer's logical ops were pushed onto the
+//!    core's pending FIFO in the same critical section, so the leader
+//!    can apply them without re-decoding anything.)
+//! 2. **Lead / follow.** The writer then calls
+//!    [`GroupCommit::commit_wait`] — *without* the sequencing lock. The
+//!    first waiter to observe "no leader active, queue non-empty"
+//!    becomes the leader: it takes the whole queue, and the caller's
+//!    `lead` closure lands it with one vectored write (plus one fsync
+//!    under `Fsync` durability) and applies the group to the core.
+//!    Everyone else sleeps on the condvar until the published horizon
+//!    covers their last sequence number.
+//! 3. **Sync window** (async durability). Acks happen at the *applied*
+//!    horizon; a dedicated syncer thread calls
+//!    [`GroupCommit::sync_window`] whenever written bytes run ahead of
+//!    synced bytes, and [`GroupCommit::enqueue`] blocks (backpressure)
+//!    while the unsynced window would exceed its bound.
+//!
+//! ## Failure model
+//!
+//! A failed group write or fsync leaves the log in an unknown state, so
+//! the first I/O error is **sticky**: it is stored on the queue, every
+//! current waiter is woken with the error, and every later enqueue or
+//! wait fails fast. The index stays readable; only the write path is
+//! poisoned (mirroring what a real fail-stop would do, which is what
+//! the crash-recovery tests simulate).
+//!
+//! Lock ordering: the queue mutex is never held across WAL I/O (the
+//! leader and the syncer both drop it first), and the WAL mutex is
+//! never held while taking the queue mutex *and waiting*. Quiesce
+//! callers ([`GroupCommit::wait_applied`]) hold the sequencing lock,
+//! which leaders never take — progress is guaranteed because every
+//! queued batch has a live waiter that can lead it.
+
+use crate::error::LiveError;
+use crate::wal::Wal;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// One enqueued, already-encoded WAL batch awaiting its group.
+pub(crate) struct PendingBatch {
+    /// Concatenated record frames, ready for the vectored append.
+    pub(crate) bytes: Vec<u8>,
+    /// Number of records (== logical ops) in the batch.
+    pub(crate) n_ops: usize,
+    /// Highest sequence number in the batch.
+    pub(crate) last_seq: u64,
+}
+
+/// Mutable queue state, behind [`GroupCommit::q`].
+pub(crate) struct CommitQueue {
+    /// Encoded batches awaiting a leader, in sequence order.
+    pub(crate) pending: Vec<PendingBatch>,
+    /// Total frame bytes queued in `pending`.
+    pub(crate) pending_bytes: u64,
+    /// A leader is writing/applying a group right now.
+    pub(crate) leader_active: bool,
+    /// Highest seq written to the WAL file *and* applied to the core —
+    /// the ack horizon under `Durability::Async`.
+    pub(crate) applied_seq: u64,
+    /// Highest seq covered by an fsync — the ack horizon under
+    /// `Durability::Fsync`, and what crash recovery is guaranteed to
+    /// reach under `Async`.
+    pub(crate) synced_seq: u64,
+    /// Monotone count of frame bytes handed to the WAL file.
+    pub(crate) written_bytes: u64,
+    /// Monotone count of frame bytes covered by an fsync.
+    pub(crate) synced_bytes: u64,
+    /// Tells the async syncer thread to drain and exit.
+    pub(crate) shutdown: bool,
+    /// Sticky first I/O error; poisons the write path.
+    pub(crate) io_error: Option<String>,
+}
+
+impl CommitQueue {
+    fn check_poisoned(&self) -> Result<(), LiveError> {
+        match &self.io_error {
+            Some(e) => Err(LiveError::Corrupt(format!("write-ahead log failed: {e}"))),
+            None => Ok(()),
+        }
+    }
+}
+
+/// The commit pipeline: queue + condvar + the WAL itself + counters.
+pub(crate) struct GroupCommit {
+    pub(crate) q: Mutex<CommitQueue>,
+    pub(crate) cv: Condvar,
+    /// The log. Leaders append under this mutex, the syncer fsyncs under
+    /// it, merges rotate/prune under it — never while holding `q`.
+    pub(crate) wal: Mutex<Wal>,
+    /// Commit-path fsyncs issued (group syncs + syncer passes; segment
+    /// creation/rotation syncs are not counted).
+    pub(crate) fsyncs: AtomicU64,
+    /// Groups written.
+    pub(crate) groups: AtomicU64,
+    /// Records written through groups.
+    pub(crate) records: AtomicU64,
+}
+
+impl GroupCommit {
+    /// Wraps `wal`, with every horizon starting at `start_seq` (the
+    /// recovered durable sequence).
+    pub(crate) fn new(wal: Wal, start_seq: u64) -> GroupCommit {
+        GroupCommit {
+            q: Mutex::new(CommitQueue {
+                pending: Vec::new(),
+                pending_bytes: 0,
+                leader_active: false,
+                applied_seq: start_seq,
+                synced_seq: start_seq,
+                written_bytes: 0,
+                synced_bytes: 0,
+                shutdown: false,
+                io_error: None,
+            }),
+            cv: Condvar::new(),
+            wal: Mutex::new(wal),
+            fsyncs: AtomicU64::new(0),
+            groups: AtomicU64::new(0),
+            records: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueues an encoded batch. The caller holds the sequencing lock,
+    /// so queue order == seq order. With `max_inflight` set (async
+    /// durability) this is also the backpressure point: blocks while
+    /// the unsynced window plus the queue would overflow the bound —
+    /// unless the window is empty, so a single oversized batch is
+    /// always admitted rather than deadlocking.
+    pub(crate) fn enqueue(
+        &self,
+        batch: PendingBatch,
+        max_inflight: Option<u64>,
+    ) -> Result<(), LiveError> {
+        let mut q = self.q.lock().expect("commit queue");
+        if let Some(maxb) = max_inflight {
+            loop {
+                if q.io_error.is_some() {
+                    break;
+                }
+                let outstanding = (q.written_bytes - q.synced_bytes) + q.pending_bytes;
+                if outstanding == 0 || outstanding + batch.bytes.len() as u64 <= maxb {
+                    break;
+                }
+                q = self.cv.wait(q).expect("commit queue");
+            }
+        }
+        q.check_poisoned()?;
+        q.pending_bytes += batch.bytes.len() as u64;
+        q.pending.push(batch);
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Waits until `seq` is acknowledged — synced when `fsync_mode`,
+    /// applied otherwise — leading whenever the queue has work and no
+    /// leader is active. `lead` runs with no queue lock held; it must
+    /// write the group to the WAL (fsyncing it iff `fsync_mode`) and
+    /// apply its ops to the core, in order.
+    pub(crate) fn commit_wait<F>(
+        &self,
+        seq: u64,
+        fsync_mode: bool,
+        mut lead: F,
+    ) -> Result<(), LiveError>
+    where
+        F: FnMut(&[PendingBatch]) -> Result<(), LiveError>,
+    {
+        let mut q = self.q.lock().expect("commit queue");
+        loop {
+            let acked = if fsync_mode {
+                q.synced_seq >= seq
+            } else {
+                q.applied_seq >= seq
+            };
+            if acked {
+                return Ok(());
+            }
+            q.check_poisoned()?;
+            if !q.leader_active && !q.pending.is_empty() {
+                q.leader_active = true;
+                let group = std::mem::take(&mut q.pending);
+                q.pending_bytes = 0;
+                let bytes: u64 = group.iter().map(|b| b.bytes.len() as u64).sum();
+                let n_ops: u64 = group.iter().map(|b| b.n_ops as u64).sum();
+                let last_seq = group.last().expect("group nonempty").last_seq;
+                drop(q);
+                let res = lead(&group);
+                q = self.q.lock().expect("commit queue");
+                q.leader_active = false;
+                match res {
+                    Ok(()) => {
+                        q.applied_seq = last_seq;
+                        q.written_bytes += bytes;
+                        if fsync_mode {
+                            q.synced_seq = last_seq;
+                            q.synced_bytes = q.written_bytes;
+                        }
+                        self.groups.fetch_add(1, Ordering::Relaxed);
+                        self.records.fetch_add(n_ops, Ordering::Relaxed);
+                        self.cv.notify_all();
+                    }
+                    Err(e) => {
+                        if q.io_error.is_none() {
+                            q.io_error = Some(e.to_string());
+                        }
+                        self.cv.notify_all();
+                        return Err(e);
+                    }
+                }
+                continue;
+            }
+            q = self.cv.wait(q).expect("commit queue");
+        }
+    }
+
+    /// Blocks until every assigned sequence number at or below `seq` is
+    /// written and applied. Quiesce primitive for merges — the caller
+    /// holds the sequencing lock, so no new sequences can appear, and
+    /// each in-flight group is driven to completion by its own waiters
+    /// (which never take that lock).
+    pub(crate) fn wait_applied(&self, seq: u64) -> Result<(), LiveError> {
+        let mut q = self.q.lock().expect("commit queue");
+        while q.applied_seq < seq {
+            q.check_poisoned()?;
+            q = self.cv.wait(q).expect("commit queue");
+        }
+        Ok(())
+    }
+
+    /// Fsyncs the WAL and publishes the new synced horizon: everything
+    /// applied/written *before* this call is durable after it. The async
+    /// syncer's whole job; also the merge cut's pre-rotation drain.
+    pub(crate) fn sync_window(&self) -> Result<(), LiveError> {
+        // Snapshot the horizon BEFORE syncing — bytes written after this
+        // point may or may not be covered, so don't claim them.
+        let (seq, bytes) = {
+            let q = self.q.lock().expect("commit queue");
+            q.check_poisoned()?;
+            (q.applied_seq, q.written_bytes)
+        };
+        let res = {
+            let mut wal = self.wal.lock().expect("wal mutex");
+            wal.sync()
+        };
+        let mut q = self.q.lock().expect("commit queue");
+        match res {
+            Ok(()) => {
+                q.synced_seq = q.synced_seq.max(seq);
+                q.synced_bytes = q.synced_bytes.max(bytes);
+                self.fsyncs.fetch_add(1, Ordering::Relaxed);
+                self.cv.notify_all();
+                Ok(())
+            }
+            Err(e) => {
+                if q.io_error.is_none() {
+                    q.io_error = Some(e.to_string());
+                }
+                self.cv.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    /// Signals the syncer thread (if any) to drain and exit.
+    pub(crate) fn begin_shutdown(&self) {
+        let mut q = self.q.lock().expect("commit queue");
+        q.shutdown = true;
+        self.cv.notify_all();
+    }
+
+    /// Syncer-thread body: sleep until written bytes run ahead of synced
+    /// bytes, fsync, publish, repeat. On shutdown it drains the window
+    /// once more (a clean close shouldn't strand acknowledged writes
+    /// behind a missing fsync) and exits. Exits early if the write path
+    /// is poisoned.
+    pub(crate) fn syncer_loop(&self) {
+        loop {
+            {
+                let mut q = self.q.lock().expect("commit queue");
+                loop {
+                    if q.io_error.is_some() {
+                        return;
+                    }
+                    let dirty = q.written_bytes > q.synced_bytes;
+                    if q.shutdown && !dirty {
+                        return;
+                    }
+                    if dirty {
+                        break;
+                    }
+                    q = self.cv.wait(q).expect("commit queue");
+                }
+            }
+            if self.sync_window().is_err() {
+                return;
+            }
+        }
+    }
+}

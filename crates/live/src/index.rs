@@ -16,36 +16,69 @@
 //!
 //! ## Locking discipline
 //!
-//! * `writer` (mutex) — serializes every mutation: WAL append, sequence
-//!   assignment, and all `core` writes happen while holding it.
-//! * `core` (rwlock) — the queryable state. **Write-locked only while
-//!   `writer` is held**, and only for O(memtable) pointer swaps — never
-//!   across I/O. Readers take the read lock just long enough to clone a
-//!   [`LiveSnapshot`] (memtable copy + `Arc` bumps), then query
-//!   entirely off-lock through the PR 3 decode-free engine.
+//! * `writer` (mutex) — the **sequencing** lock: delete-liveness
+//!   decisions, sequence assignment, record encoding, and the commit
+//!   enqueue happen under it. **No I/O** — since the PR 6 group-commit
+//!   rework, the fsync is paid off this lock, by a group leader, once
+//!   per group (see [`crate::commit`]).
+//! * `core` (rwlock) — the queryable state. Write-locked only for
+//!   O(batch) memory ops — never across I/O. Writers push their logical
+//!   ops onto `core.pending` under `writer`; the group leader pops and
+//!   applies them (in sequence order) after the group's WAL write is
+//!   acknowledged, so queries only ever see acknowledged state. Readers
+//!   take the read lock just long enough to clone a [`LiveSnapshot`]
+//!   (memtable copy + `Arc` bumps), then query entirely off-lock
+//!   through the PR 3 decode-free engine.
+//! * `commit queue` (std mutex + condvar, [`crate::commit`]) — the
+//!   leader/follower handoff and the WAL itself. Never held while
+//!   acquiring `writer`; merges quiesce it (drain + sync) before
+//!   sealing or rotating.
 //! * `maintenance` (mutex) — serializes whole merges end-to-end.
 //!
 //! Consequence: readers never wait on a merge (its long phases hold no
-//! core lock; its swap is a pointer exchange), and a snapshot taken at
-//! any moment is a clean op-boundary cut that stays frozen — pinned
-//! store devices keep serving replaced components, even after the store
-//! file itself is compact-rewritten.
+//! core lock; its swap is a pointer exchange), N concurrent writers
+//! share one fsync per group instead of paying one each, and a snapshot
+//! taken at any moment is a clean group-boundary cut that stays frozen
+//! — pinned store devices keep serving replaced components, even after
+//! the store file itself is compact-rewritten.
 
+use crate::commit::{GroupCommit, PendingBatch};
 use crate::error::LiveError;
 use crate::manifest::LiveManifest;
 use crate::memtable::Memtable;
 use crate::merge::{run_merge, MergeKind};
-use crate::wal::{Wal, WalOp, WalRecord};
+use crate::wal::{encode_records, Wal, WalOp, WalRecord};
 use parking_lot::{Mutex, RwLock};
 use pr_geom::{Item, Point, Rect};
-use pr_store::Store;
+use pr_store::{ReadPath, Store};
 use pr_tree::dynamic::{same_identity, GeometricPolicy, Tombstones};
 use pr_tree::{LeafCache, QueryScratch, QueryStats, RTree, TreeParams};
+use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// When a write is acknowledged relative to its fsync.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// Acknowledge only after the write's group fsync: a returned
+    /// insert/delete survives any crash. The classic semantics, now
+    /// group-committed — N concurrent writers share one fsync.
+    Fsync,
+    /// Acknowledge after the buffered group append; a dedicated syncer
+    /// thread fsyncs behind the writers. Crash recovery is guaranteed
+    /// to reach the last *synced* prefix of the acknowledged sequence
+    /// (and never more than was acknowledged). Writers stall once the
+    /// unsynced window exceeds `max_inflight_bytes`, bounding the
+    /// at-risk tail; [`LiveIndex::flush`] and [`LiveIndex::sync_wal`]
+    /// drain the window.
+    Async {
+        /// Backpressure bound on WAL bytes written but not yet fsynced.
+        max_inflight_bytes: usize,
+    },
+}
 
 /// Tuning knobs for a [`LiveIndex`].
 #[derive(Debug, Clone, Copy)]
@@ -68,6 +101,14 @@ pub struct LiveOptions {
     /// applies). One cache spans every component of the index; merges
     /// and compactions retire replaced snapshots' entries wholesale.
     pub leaf_cache_bytes: usize,
+    /// When writes are acknowledged relative to their fsync (see
+    /// [`Durability`]). Default: [`Durability::Fsync`].
+    pub durability: Durability,
+    /// Paranoid read mode: open every store-backed component through
+    /// [`pr_store::ReadPath::Recheck`], hashing each page on every read
+    /// instead of the default verify-once zero-copy path. Catches
+    /// in-memory corruption of cached pages at a per-read CRC cost.
+    pub recheck_reads: bool,
 }
 
 impl Default for LiveOptions {
@@ -77,6 +118,8 @@ impl Default for LiveOptions {
             background_merge: true,
             backpressure_factor: 4,
             leaf_cache_bytes: pr_tree::DEFAULT_LEAF_CACHE_BYTES,
+            durability: Durability::Fsync,
+            recheck_reads: false,
         }
     }
 }
@@ -94,6 +137,18 @@ pub enum CrashPoint {
     AfterCommit = 2,
 }
 
+/// A sequenced, WAL-enqueued logical op awaiting its group's
+/// acknowledgment. Decisions (insert vs. memtable-delete vs. tombstone)
+/// are final at enqueue time; the group leader replays them verbatim.
+pub(crate) enum PendingApply<const D: usize> {
+    /// Insert into the memtable.
+    Insert(Item<D>),
+    /// Remove a memtable resident.
+    DeleteMem(Item<D>),
+    /// Tombstone a stored (sealed/component) copy.
+    DeleteTomb(Item<D>),
+}
+
 /// The queryable state, swapped atomically under the core write lock.
 pub(crate) struct Core<const D: usize> {
     pub(crate) memtable: Memtable<D>,
@@ -103,9 +158,19 @@ pub(crate) struct Core<const D: usize> {
     pub(crate) components: Vec<Option<Arc<RTree<D>>>>,
     /// Dead identities among sealed + components (never the memtable).
     pub(crate) tombstones: Arc<Tombstones<D>>,
+    /// Enqueued-but-unacknowledged ops, in sequence order. Invisible to
+    /// snapshots and `live`; consulted (under the sequencing lock) by
+    /// delete decisions so logical state = applied state + pending.
+    pub(crate) pending: VecDeque<PendingApply<D>>,
+    /// Bumped whenever sealed/components change shape (a seal or a
+    /// merge swap) — the off-lock delete-probe path revalidates its
+    /// pinned component snapshot against this.
+    pub(crate) structure_epoch: u64,
     /// Live item count.
     pub(crate) live: u64,
-    /// Highest acknowledged (fsynced + applied) WAL sequence.
+    /// Highest acknowledged (group-committed and applied) WAL sequence.
+    /// Under `Durability::Async` this can run ahead of the synced
+    /// sequence by the in-flight window.
     pub(crate) durable_seq: u64,
     /// The committed manifest's WAL cut.
     pub(crate) merged_seq: u64,
@@ -114,7 +179,6 @@ pub(crate) struct Core<const D: usize> {
 }
 
 pub(crate) struct WriterState {
-    pub(crate) wal: Wal,
     /// Next sequence number to assign.
     pub(crate) next_seq: u64,
 }
@@ -139,6 +203,8 @@ pub(crate) struct LiveInner<const D: usize> {
     pub(crate) opts: LiveOptions,
     pub(crate) policy: GeometricPolicy,
     pub(crate) writer: Mutex<WriterState>,
+    /// The group-commit pipeline (queue + condvar + the WAL itself).
+    pub(crate) group: GroupCommit,
     pub(crate) core: RwLock<Core<D>>,
     pub(crate) store: Mutex<Store>,
     pub(crate) maintenance: Mutex<()>,
@@ -159,26 +225,94 @@ pub(crate) struct LiveInner<const D: usize> {
 
 impl<const D: usize> Core<D> {
     /// Counts stored copies (sealed batch + every component) of `item`'s
-    /// exact bit identity. This is the **one** implementation of the
-    /// copies-vs-tombstones liveness decision — the live delete path and
-    /// WAL-replay re-derivation both call it, so their equivalence (which
-    /// crash recovery depends on) is structural, not copy-paste.
+    /// exact bit identity — the copies-vs-tombstones liveness probe,
+    /// against this core's current structure. The off-lock delete path
+    /// runs the same [`count_stored_copies`] against a pinned structure
+    /// instead; WAL-replay re-derivation calls this directly, so their
+    /// equivalence (which crash recovery depends on) is structural, not
+    /// copy-paste.
     pub(crate) fn stored_copies(
         &self,
         item: &Item<D>,
         scratch: &mut QueryScratch<D>,
         hits: &mut Vec<Item<D>>,
     ) -> Result<u64, LiveError> {
-        let mut copies = 0u64;
-        if let Some(sealed) = &self.sealed {
-            copies += sealed.iter().filter(|i| same_identity(i, item)).count() as u64;
-        }
-        for c in self.components.iter().flatten() {
-            c.window_into(&item.rect, scratch, hits)?;
-            copies += hits.iter().filter(|h| same_identity(h, item)).count() as u64;
-        }
-        Ok(copies)
+        count_stored_copies(
+            self.sealed.as_deref().map(|v| v.as_slice()),
+            self.components.iter().flatten().map(|a| a.as_ref()),
+            item,
+            scratch,
+            hits,
+        )
     }
+
+    /// Pops and applies the oldest `n` pending ops — the group leader's
+    /// step, run under the core write lock after the group's WAL write
+    /// is acknowledged. Ops apply in sequence order (enqueue order).
+    pub(crate) fn apply_pending(&mut self, n: usize) {
+        for _ in 0..n {
+            match self.pending.pop_front().expect("pending ops underflow") {
+                PendingApply::Insert(it) => {
+                    self.memtable.insert(it);
+                    self.live += 1;
+                }
+                PendingApply::DeleteMem(it) => {
+                    let removed = self.memtable.remove(&it);
+                    debug_assert!(removed, "decision said memtable");
+                    self.live -= 1;
+                }
+                PendingApply::DeleteTomb(it) => {
+                    Arc::make_mut(&mut self.tombstones).add(&it);
+                    self.live -= 1;
+                }
+            }
+        }
+    }
+
+    /// Net pending memtable copies of `item`'s identity: enqueued
+    /// inserts minus enqueued memtable-deletes.
+    pub(crate) fn pending_mem_delta(&self, item: &Item<D>) -> i64 {
+        let mut delta = 0i64;
+        for op in &self.pending {
+            match op {
+                PendingApply::Insert(it) if same_identity(it, item) => delta += 1,
+                PendingApply::DeleteMem(it) if same_identity(it, item) => delta -= 1,
+                _ => {}
+            }
+        }
+        delta
+    }
+
+    /// Enqueued (unapplied) tombstones against `item`'s identity.
+    pub(crate) fn pending_tombs(&self, item: &Item<D>) -> u64 {
+        self.pending
+            .iter()
+            .filter(|op| matches!(op, PendingApply::DeleteTomb(it) if same_identity(it, item)))
+            .count() as u64
+    }
+}
+
+/// The **one** implementation of the stored-copies count behind every
+/// copies-vs-tombstones decision: sealed-batch scan plus a window probe
+/// of each component. Parameterized over the structure so the live
+/// delete path can run it against a *pinned* (off-lock) structure while
+/// replay and the slow path run it against the core's current one.
+pub(crate) fn count_stored_copies<'a, const D: usize>(
+    sealed: Option<&[Item<D>]>,
+    components: impl Iterator<Item = &'a RTree<D>>,
+    item: &Item<D>,
+    scratch: &mut QueryScratch<D>,
+    hits: &mut Vec<Item<D>>,
+) -> Result<u64, LiveError> {
+    let mut copies = 0u64;
+    if let Some(sealed) = sealed {
+        copies += sealed.iter().filter(|i| same_identity(i, item)).count() as u64;
+    }
+    for c in components {
+        c.window_into(&item.rect, scratch, hits)?;
+        copies += hits.iter().filter(|h| same_identity(h, item)).count() as u64;
+    }
+    Ok(copies)
 }
 
 impl<const D: usize> LiveInner<D> {
@@ -195,6 +329,65 @@ impl<const D: usize> LiveInner<D> {
         }
         Ok(())
     }
+
+    /// How store-backed components are opened (satellite: paranoid
+    /// re-hash-every-read mode).
+    pub(crate) fn read_path(&self) -> ReadPath {
+        if self.opts.recheck_reads {
+            ReadPath::Recheck
+        } else {
+            ReadPath::ZeroCopy
+        }
+    }
+
+    /// Async-durability backpressure bound; `None` disables it.
+    fn max_inflight(&self) -> Option<u64> {
+        match self.opts.durability {
+            Durability::Fsync => None,
+            Durability::Async { max_inflight_bytes } => Some(max_inflight_bytes as u64),
+        }
+    }
+
+    /// Waits until `seq` is acknowledged, leading a commit group when
+    /// the queue needs one: one vectored WAL write for every enqueued
+    /// batch, one fsync for the lot (Fsync mode), then the whole group's
+    /// ops applied to the core in sequence order.
+    fn commit_wait(&self, seq: u64) -> Result<(), LiveError> {
+        let fsync_mode = matches!(self.opts.durability, Durability::Fsync);
+        self.group.commit_wait(seq, fsync_mode, |group| {
+            {
+                let mut wal = self.group.wal.lock().expect("wal mutex");
+                let bufs: Vec<&[u8]> = group.iter().map(|b| b.bytes.as_slice()).collect();
+                wal.append_encoded(&bufs)?;
+                if fsync_mode {
+                    wal.sync()?;
+                    self.group.fsyncs.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            let n_ops: usize = group.iter().map(|b| b.n_ops).sum();
+            let last_seq = group.last().expect("group nonempty").last_seq;
+            let mut core = self.core.write();
+            core.apply_pending(n_ops);
+            core.durable_seq = last_seq;
+            Ok(())
+        })
+    }
+
+    /// Enqueues an encoded batch whose logical ops were just pushed onto
+    /// `core.pending` — rolling those ops back if the enqueue itself
+    /// fails (sticky WAL error), so the two queues never desync. Caller
+    /// holds the sequencing lock.
+    fn enqueue_or_rollback(&self, batch: PendingBatch) -> Result<(), LiveError> {
+        let n_ops = batch.n_ops;
+        if let Err(e) = self.group.enqueue(batch, self.max_inflight()) {
+            let mut core = self.core.write();
+            for _ in 0..n_ops {
+                core.pending.pop_back();
+            }
+            return Err(e);
+        }
+        Ok(())
+    }
 }
 
 /// A durable, concurrently-readable LPR-tree.
@@ -205,6 +398,8 @@ impl<const D: usize> LiveInner<D> {
 pub struct LiveIndex<const D: usize> {
     inner: Arc<LiveInner<D>>,
     worker: Option<JoinHandle<()>>,
+    /// Async-durability syncer thread (None under `Durability::Fsync`).
+    syncer: Option<JoinHandle<()>>,
 }
 
 // Compile-time proof that one index (and its snapshots) can be shared
@@ -315,7 +510,12 @@ impl<const D: usize> LiveIndex<D> {
         // a single fresh epoch.
         let leaf_cache: Option<Arc<LeafCache<D>>> =
             (opts.leaf_cache_bytes > 0).then(|| Arc::new(LeafCache::new(opts.leaf_cache_bytes)));
-        let trees = store.components::<D>()?;
+        let read_path = if opts.recheck_reads {
+            ReadPath::Recheck
+        } else {
+            ReadPath::ZeroCopy
+        };
+        let trees = store.components_with::<D>(read_path)?;
         if trees.len() != manifest.slots.len() {
             return Err(LiveError::Corrupt(format!(
                 "store holds {} components but the live manifest places {}",
@@ -352,6 +552,8 @@ impl<const D: usize> LiveIndex<D> {
             sealed: None,
             components,
             tombstones: Arc::new(manifest.tombstones),
+            pending: VecDeque::new(),
+            structure_epoch: 0,
             live: 0,
             durable_seq: manifest.wal_seq,
             merged_seq: manifest.wal_seq,
@@ -391,12 +593,14 @@ impl<const D: usize> LiveIndex<D> {
             next_seq = rec.seq + 1;
         }
 
+        let recovered_seq = core.durable_seq;
         let inner = Arc::new(LiveInner {
             dir: dir.to_path_buf(),
             params,
             opts,
             policy: GeometricPolicy::new(opts.buffer_cap),
-            writer: Mutex::new(WriterState { wal, next_seq }),
+            writer: Mutex::new(WriterState { next_seq }),
+            group: GroupCommit::new(wal, recovered_seq),
             core: RwLock::new(core),
             store: Mutex::new(store),
             maintenance: Mutex::new(()),
@@ -419,7 +623,18 @@ impl<const D: usize> LiveIndex<D> {
         } else {
             None
         };
-        Ok(LiveIndex { inner, worker })
+        let syncer = match opts.durability {
+            Durability::Async { .. } => {
+                let inner = Arc::clone(&inner);
+                Some(std::thread::spawn(move || inner.group.syncer_loop()))
+            }
+            Durability::Fsync => None,
+        };
+        Ok(LiveIndex {
+            inner,
+            worker,
+            syncer,
+        })
     }
 
     /// Index directory.
@@ -443,21 +658,25 @@ impl<const D: usize> LiveIndex<D> {
     }
 
     /// Inserts one item (ids must be unique among live items). Returns
-    /// once the WAL record is fsynced — the write survives any crash
-    /// from here on.
+    /// once the write is acknowledged: after its group's fsync under
+    /// [`Durability::Fsync`] (the write survives any crash from here
+    /// on), after the buffered group append under [`Durability::Async`].
     pub fn insert(&self, item: Item<D>) -> Result<(), LiveError> {
         self.insert_batch(std::slice::from_ref(&item))
     }
 
-    /// Inserts a batch with **one** WAL fsync for the whole batch — the
-    /// ingest throughput path. Acknowledged (and crash-durable) as a
-    /// unit when this returns.
+    /// Inserts a batch, group-committed: the batch is encoded and
+    /// enqueued under the sequencing lock (no I/O there), then a group
+    /// leader lands it — together with every concurrently enqueued
+    /// batch — with one vectored write and **at most one** fsync for
+    /// the whole group. Acknowledged (and, in `Fsync` mode,
+    /// crash-durable) as a unit when this returns.
     pub fn insert_batch(&self, items: &[Item<D>]) -> Result<(), LiveError> {
         if items.is_empty() {
             return Ok(());
         }
         let inner = &self.inner;
-        let overflow = {
+        let last_seq = {
             let mut w = inner.writer.lock();
             let first = w.next_seq;
             let records: Vec<WalRecord<D>> = items
@@ -469,16 +688,23 @@ impl<const D: usize> LiveIndex<D> {
                     item: *item,
                 })
                 .collect();
-            w.wal.append(&records)?; // fsync — the acknowledgment point
-            w.next_seq += items.len() as u64;
-            let mut core = inner.core.write();
-            for item in items {
-                core.memtable.insert(*item);
+            let bytes = encode_records(&records);
+            let last_seq = first + items.len() as u64 - 1;
+            {
+                let mut core = inner.core.write();
+                core.pending
+                    .extend(items.iter().map(|it| PendingApply::Insert(*it)));
             }
-            core.live += items.len() as u64;
-            core.durable_seq = w.next_seq - 1;
-            core.memtable.len() >= inner.policy.buffer_cap()
+            inner.enqueue_or_rollback(PendingBatch {
+                bytes,
+                n_ops: items.len(),
+                last_seq,
+            })?;
+            w.next_seq = last_seq + 1;
+            last_seq
         };
+        inner.commit_wait(last_seq)?;
+        let overflow = inner.core.read().memtable.len() >= inner.policy.buffer_cap();
         if overflow {
             self.on_overflow()?;
         }
@@ -488,108 +714,150 @@ impl<const D: usize> LiveIndex<D> {
     /// Deletes the live item with this exact `(id, rect)` identity.
     /// Returns `false` (without logging anything) if no such live item
     /// exists. Like inserts, a `true` return means the delete is
-    /// durable.
+    /// acknowledged (crash-durable under [`Durability::Fsync`]).
     pub fn delete(&self, item: &Item<D>) -> Result<bool, LiveError> {
         Ok(self.delete_batch(std::slice::from_ref(item))? == 1)
     }
 
-    /// Deletes a batch with **one** WAL fsync for every accepted op —
-    /// the bulk-deletion analogue of [`LiveIndex::insert_batch`].
+    /// Deletes a batch, group-committed like [`LiveIndex::insert_batch`]
+    /// — at most one fsync for the whole group the batch lands in.
     /// Victims with no matching live item are skipped (not logged);
     /// decisions within the batch see earlier victims' effects, exactly
-    /// as if applied serially. Returns how many items were deleted;
-    /// all of them are durable when this returns.
+    /// as if applied serially. Returns how many items were deleted; all
+    /// of them are acknowledged when this returns.
     ///
-    /// Cost note: each victim's liveness decision probes the components
-    /// (a few cached-node reads) **while the writer lock is held**, so
-    /// very large batches delay concurrent writers — size batches in
-    /// the hundreds-to-thousands, as the CLI does.
+    /// Cost note: each victim's copies-vs-tombstones decision probes the
+    /// components (a few cached-node reads) against a snapshot pinned
+    /// **outside** the sequencing lock; the lock is held only for the
+    /// O(batch) memory-side decision and enqueue, re-probing solely when
+    /// a seal or merge swap landed in between. Huge delete batches
+    /// therefore no longer stall concurrent inserts behind component
+    /// I/O.
     pub fn delete_batch(&self, items: &[Item<D>]) -> Result<u64, LiveError> {
-        enum Target {
-            Memtable,
-            Tombstone,
-        }
         if items.is_empty() {
             return Ok(0);
         }
         let inner = &self.inner;
-        let (deleted, needs_compaction) = {
-            let mut w = inner.writer.lock();
-            // Decide every victim against the current state (stable
-            // while we hold the writer lock: every core mutation,
-            // including merge swaps, requires it) plus the batch's own
-            // pending effects — a victim already claimed from the
-            // memtable or already tombstoned by this batch is not live
-            // for later duplicates.
-            let mut accepted: Vec<(Item<D>, Target)> = Vec::new();
-            {
-                let core = inner.core.read();
-                let mut claimed_mem: Vec<Item<D>> = Vec::new();
-                let mut pending_tombs = Tombstones::<D>::new();
-                let mut scratch = QueryScratch::new();
-                let mut hits = Vec::new();
-                for item in items {
-                    if !claimed_mem.iter().any(|i| same_identity(i, item))
-                        && core.memtable.contains(item)
-                    {
-                        claimed_mem.push(*item);
-                        accepted.push((*item, Target::Memtable));
-                        continue;
-                    }
-                    let copies = core.stored_copies(item, &mut scratch, &mut hits)?;
-                    let dead =
-                        core.tombstones.count(item) as u64 + pending_tombs.count(item) as u64;
-                    if copies > dead {
-                        pending_tombs.add(item);
-                        accepted.push((*item, Target::Tombstone));
-                    }
-                }
-            }
-            if accepted.is_empty() {
-                return Ok(0);
-            }
-            // One append + fsync acknowledges the whole batch.
-            let first = w.next_seq;
-            let records: Vec<WalRecord<D>> = accepted
-                .iter()
-                .enumerate()
-                .map(|(i, (item, _))| WalRecord {
-                    seq: first + i as u64,
-                    op: WalOp::Delete,
-                    item: *item,
-                })
-                .collect();
-            w.wal.append(&records)?;
-            w.next_seq += accepted.len() as u64;
-            let mut core = inner.core.write();
-            core.durable_seq = w.next_seq - 1;
-            core.live -= accepted.len() as u64;
-            let mut any_tombstone = false;
-            for (item, target) in &accepted {
-                match target {
-                    Target::Memtable => {
-                        let removed = core.memtable.remove(item);
-                        debug_assert!(removed, "decision said memtable");
-                    }
-                    Target::Tombstone => {
-                        Arc::make_mut(&mut core.tombstones).add(item);
-                        any_tombstone = true;
-                    }
-                }
-            }
-            let needs_compaction = any_tombstone && {
-                let stored: u64 = core
-                    .components
+        // Pin the stored structure (sealed + components) with a brief
+        // read lock, then probe copies entirely off-lock. Validity: a
+        // merge moves copies between sealed/components without changing
+        // any identity's stored-copy count, but a *seal* (memtable →
+        // sealed) and a merge *swap* both change what "stored" covers —
+        // each bumps `structure_epoch`, and an epoch mismatch under the
+        // sequencing lock sends that batch down the re-probe slow path.
+        // Tombstones and the memtable are always read fresh under the
+        // lock, so an unchanged epoch makes the off-lock counts exact.
+        let (pin_epoch, pinned_sealed, pinned_components) = {
+            let core = inner.core.read();
+            (
+                core.structure_epoch,
+                core.sealed.clone(),
+                core.components
                     .iter()
                     .flatten()
-                    .map(|c| c.len())
-                    .sum::<u64>()
-                    + core.sealed.as_ref().map_or(0, |s| s.len() as u64);
-                inner
-                    .policy
-                    .needs_compaction(core.tombstones.total(), stored)
-            };
-            (accepted.len() as u64, needs_compaction)
+                    .map(Arc::clone)
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let mut scratch = QueryScratch::new();
+        let mut hits = Vec::new();
+        let mut probed: Vec<u64> = Vec::with_capacity(items.len());
+        for item in items {
+            probed.push(count_stored_copies(
+                pinned_sealed.as_deref().map(|v| v.as_slice()),
+                pinned_components.iter().map(|a| a.as_ref()),
+                item,
+                &mut scratch,
+                &mut hits,
+            )?);
+        }
+        let (deleted, last_seq, any_tombstone) = {
+            let mut w = inner.writer.lock();
+            // Decide every victim against the applied state plus every
+            // enqueued-but-unapplied op (`core.pending`) plus the
+            // batch's own earlier victims — the serial-equivalent view.
+            let mut ops: Vec<PendingApply<D>> = Vec::new();
+            let mut any_tombstone = false;
+            {
+                let core = inner.core.read();
+                let stale = core.structure_epoch != pin_epoch;
+                let mut claimed_mem: Vec<Item<D>> = Vec::new();
+                let mut batch_tombs = Tombstones::<D>::new();
+                for (i, item) in items.iter().enumerate() {
+                    let claimed = claimed_mem
+                        .iter()
+                        .filter(|c| same_identity(c, item))
+                        .count() as i64;
+                    let mem_avail =
+                        core.memtable.count(item) as i64 + core.pending_mem_delta(item) - claimed;
+                    if mem_avail > 0 {
+                        claimed_mem.push(*item);
+                        ops.push(PendingApply::DeleteMem(*item));
+                        continue;
+                    }
+                    let copies = if stale {
+                        core.stored_copies(item, &mut scratch, &mut hits)?
+                    } else {
+                        probed[i]
+                    };
+                    let dead = core.tombstones.count(item) as u64
+                        + core.pending_tombs(item)
+                        + batch_tombs.count(item) as u64;
+                    if copies > dead {
+                        batch_tombs.add(item);
+                        any_tombstone = true;
+                        ops.push(PendingApply::DeleteTomb(*item));
+                    }
+                }
+            }
+            if ops.is_empty() {
+                return Ok(0);
+            }
+            let first = w.next_seq;
+            let records: Vec<WalRecord<D>> = ops
+                .iter()
+                .enumerate()
+                .map(|(i, op)| {
+                    let item = match op {
+                        PendingApply::Insert(it)
+                        | PendingApply::DeleteMem(it)
+                        | PendingApply::DeleteTomb(it) => *it,
+                    };
+                    WalRecord {
+                        seq: first + i as u64,
+                        op: WalOp::Delete,
+                        item,
+                    }
+                })
+                .collect();
+            let bytes = encode_records(&records);
+            let n_ops = ops.len();
+            let last_seq = first + n_ops as u64 - 1;
+            {
+                let mut core = inner.core.write();
+                core.pending.extend(ops);
+            }
+            inner.enqueue_or_rollback(PendingBatch {
+                bytes,
+                n_ops,
+                last_seq,
+            })?;
+            w.next_seq = last_seq + 1;
+            (n_ops as u64, last_seq, any_tombstone)
+        };
+        inner.commit_wait(last_seq)?;
+        let needs_compaction = any_tombstone && {
+            let core = inner.core.read();
+            let stored: u64 = core
+                .components
+                .iter()
+                .flatten()
+                .map(|c| c.len())
+                .sum::<u64>()
+                + core.sealed.as_ref().map_or(0, |s| s.len() as u64);
+            inner
+                .policy
+                .needs_compaction(core.tombstones.total(), stored)
         };
         if needs_compaction {
             self.request_merge(MergeKind::Full { reclaim: false })?;
@@ -638,7 +906,10 @@ impl<const D: usize> LiveIndex<D> {
 
     /// Forces the memtable (any size) through a merge, synchronously.
     /// After this returns every prior write is reflected in committed
-    /// components and the WAL holds nothing the manifest doesn't cover.
+    /// components and the WAL holds nothing the manifest doesn't cover
+    /// — in particular, under [`Durability::Async`] the in-flight
+    /// window is fully drained (the merge cut quiesces the commit
+    /// queue), so every acknowledged write is durable.
     pub fn flush(&self) -> Result<(), LiveError> {
         self.surface_worker_error()?;
         run_merge(&self.inner, MergeKind::Force)?;
@@ -699,9 +970,16 @@ impl<const D: usize> LiveIndex<D> {
             )
         };
         let (wal_segments, wal_bytes) = {
-            let w = self.inner.writer.lock();
-            (w.wal.num_segments()?, w.wal.total_bytes()?)
+            let wal = self.inner.group.wal.lock().expect("wal mutex");
+            (wal.num_segments()?, wal.total_bytes()?)
         };
+        let synced_seq = {
+            let q = self.inner.group.q.lock().expect("commit queue");
+            q.synced_seq
+        };
+        let wal_fsyncs = self.inner.group.fsyncs.load(Ordering::Relaxed);
+        let wal_groups = self.inner.group.groups.load(Ordering::Relaxed);
+        let wal_group_records = self.inner.group.records.load(Ordering::Relaxed);
         let (store_epoch, store_file_bytes) = {
             let store = self.inner.store.lock();
             (store.superblock().epoch, store.file_len()?)
@@ -720,16 +998,29 @@ impl<const D: usize> LiveIndex<D> {
             components,
             tombstones,
             durable_seq,
+            synced_seq,
             merged_seq,
             merges,
             wal_segments,
             wal_bytes,
+            wal_fsyncs,
+            wal_groups,
+            wal_group_records,
             store_epoch,
             store_file_bytes,
             leaf_cache_hits,
             leaf_cache_misses,
             leaf_cache_bytes,
         })
+    }
+
+    /// Forces every *acknowledged* WAL byte to disk and advances the
+    /// synced horizon. Under [`Durability::Async`] this drains the
+    /// in-flight window on demand (the syncer thread does the same
+    /// continuously); under [`Durability::Fsync`] it is just an extra
+    /// fsync — acknowledged writes are already durable.
+    pub fn sync_wal(&self) -> Result<(), LiveError> {
+        self.inner.group.sync_window()
     }
 
     /// Arms a one-shot injected crash for the next merge (test harness).
@@ -812,6 +1103,14 @@ impl<const D: usize> Drop for LiveIndex<D> {
             self.inner.cv.notify_all();
             let _ = handle.join();
         }
+        if let Some(handle) = self.syncer.take() {
+            // The syncer drains the async window once more on its way
+            // out — a clean close shouldn't strand acknowledged writes
+            // behind a missing fsync. (A crash still can; that is the
+            // `Async` contract.)
+            self.inner.group.begin_shutdown();
+            let _ = handle.join();
+        }
         // An unmerged memtable/sealed batch needs no goodbye: the WAL
         // has every acknowledged record and reopen replays it.
     }
@@ -887,6 +1186,10 @@ pub struct LiveStats {
     pub tombstones: u64,
     /// Highest acknowledged WAL sequence.
     pub durable_seq: u64,
+    /// Highest WAL sequence covered by an fsync. Equals `durable_seq`
+    /// under [`Durability::Fsync`]; can trail it by the in-flight
+    /// window under [`Durability::Async`].
+    pub synced_seq: u64,
     /// The committed manifest's WAL cut.
     pub merged_seq: u64,
     /// Merge commits completed this process.
@@ -895,6 +1198,14 @@ pub struct LiveStats {
     pub wal_segments: u64,
     /// Total WAL bytes on disk.
     pub wal_bytes: u64,
+    /// Commit-path fsyncs issued since open. With concurrent writers
+    /// this stays **below** the number of committed batches — the whole
+    /// point of group commit.
+    pub wal_fsyncs: u64,
+    /// Commit groups written since open.
+    pub wal_groups: u64,
+    /// Records written through commit groups since open.
+    pub wal_group_records: u64,
     /// Store commit epoch.
     pub store_epoch: u64,
     /// Store file size in bytes.

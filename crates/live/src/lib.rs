@@ -6,16 +6,19 @@
 //! the background.
 //!
 //! ```text
-//!            insert/delete                      window/knn
-//!                 │                                  │
-//!                 ▼                                  ▼
-//!   ┌──── WAL append + fsync ────┐      ┌── LiveSnapshot (pinned) ──┐
-//!   │  wal-000007.log  (ack ✓)   │      │ memtable copy             │
-//!   └──────────────┬─────────────┘      │ sealed batch   (Arc)      │
-//!                  ▼                    │ components     (Arc, SoA  │
-//!            memtable ──seal──▶ sealed  │   decode-free engine)     │
-//!                  │              │     │ tombstones     (Arc)      │
-//!                  │              ▼     └───────────────────────────┘
+//!   writer A   writer B   writer C            window/knn
+//!      │          │          │                     │
+//!      └──────────┼──────────┘                     ▼
+//!                 ▼ enqueue (seq + encode)  ┌── LiveSnapshot (pinned) ──┐
+//!   ┌──────── commit queue ────────┐        │ memtable copy             │
+//!   │ leader: 1 writev + 1 fsync   │        │ sealed batch   (Arc)      │
+//!   │ for the whole group; apply;  │        │ components     (Arc, SoA  │
+//!   │ followers wake on condvar    │        │   decode-free engine)     │
+//!   └──────────────┬───────────────┘        │ tombstones     (Arc)      │
+//!                  ▼                        └───────────────────────────┘
+//!            memtable ──seal──▶ sealed
+//!                  │              │
+//!                  │              ▼
 //!                  │      geometric merge (background)
 //!                  │              │  bulk-load PR-tree
 //!                  │              ▼
@@ -25,15 +28,23 @@
 //!                  └──────────────┴──▶ WAL segments ≤ cut pruned
 //! ```
 //!
-//! **Durability contract:** when `insert`/`insert_batch`/`delete`
-//! returns, the operation is fsynced in the WAL; reopening after a crash
-//! at *any* point recovers exactly the acknowledged prefix (manifest
-//! checkpoint + WAL replay past its cut). **Concurrency contract:**
+//! **Durability contract** ([`index::Durability`]): under `Fsync`, when
+//! `insert`/`insert_batch`/`delete` returns the operation is fsynced in
+//! the WAL (one group fsync shared by every concurrent writer);
+//! reopening after a crash at *any* point recovers exactly the
+//! acknowledged prefix (manifest checkpoint + WAL replay past its cut).
+//! Under `Async { max_inflight_bytes }`, returns happen after the
+//! buffered group append — a syncer thread fsyncs behind a bounded
+//! window, and crash recovery reaches at least the last *synced* prefix
+//! of the acknowledged sequence (and never anything unacknowledged);
+//! `flush()`/`sync_wal()` drain the window. **Concurrency contract:**
 //! readers take [`LiveSnapshot`]s — point-in-time, immutable views
 //! served by the PR 3 decode-free engine — and are never blocked by
-//! ingest, merges, or compaction. Both contracts are enforced by tests
-//! (`tests/live_recovery.rs`, `tests/live_concurrency.rs`).
+//! ingest, merges, or compaction. The contracts are enforced by tests
+//! (`tests/live_recovery.rs`, `tests/live_concurrency.rs`,
+//! `tests/live_group_commit.rs`).
 
+mod commit;
 pub mod error;
 pub mod index;
 pub mod manifest;
@@ -42,7 +53,7 @@ mod merge;
 pub mod wal;
 
 pub use error::LiveError;
-pub use index::{CrashPoint, LiveIndex, LiveOptions, LiveSnapshot, LiveStats};
+pub use index::{CrashPoint, Durability, LiveIndex, LiveOptions, LiveSnapshot, LiveStats};
 pub use manifest::LiveManifest;
 pub use memtable::Memtable;
-pub use wal::{Wal, WalOp, WalRecord};
+pub use wal::{encode_records, Wal, WalOp, WalRecord};

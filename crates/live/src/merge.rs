@@ -6,15 +6,20 @@
 //! (pages, then live manifest, then superblock flip — fsynced in that
 //! order) and only then prunes the WAL. The phases and what they hold:
 //!
-//! 1. **Seal** (`writer` + `core` write, O(1)): move the memtable into
-//!    the immutable `sealed` slot; a fresh memtable keeps taking writes.
+//! 1. **Seal** (`writer` + `core` write, O(1)): quiesce the commit
+//!    queue (every assigned seq applied — no new seqs can appear while
+//!    `writer` is held), then move the memtable into the immutable
+//!    `sealed` slot; a fresh memtable keeps taking writes.
 //! 2. **Snapshot inputs** (`core` read, O(components)): clone Arcs of
 //!    the input components and the tombstone set.
 //! 3. **Build** (no locks — the long part): drain inputs, drop items
 //!    dead in the tombstone snapshot (recording what was *consumed*),
 //!    bulk-load the union. Readers and writers proceed untouched.
-//! 4. **Cut** (`writer`, O(memtable)): rotate the WAL — every assigned
-//!    seq ≤ `cut_seq` sits in old segments — and snapshot {memtable,
+//! 4. **Cut** (`writer`, O(memtable)): quiesce the commit queue again
+//!    (drain + fsync — the old segment must be complete and durable
+//!    before rotation, which is also what makes `flush()` drain the
+//!    async in-flight window), rotate the WAL — every assigned seq ≤
+//!    `cut_seq` sits in old segments — and snapshot {memtable,
 //!    tombstones − consumed, survivor Arcs} for the manifest. The lock
 //!    is released immediately: writers keep appending to the new
 //!    segment (seqs past the cut, covered by replay) for the whole
@@ -76,9 +81,15 @@ pub(crate) fn run_merge<const D: usize>(
 ) -> Result<(), LiveError> {
     let _serialize = inner.maintenance.lock();
 
-    // Phase 1: seal the memtable (if this merge wants it).
+    // Phase 1: seal the memtable (if this merge wants it). Quiesce
+    // first: with the sequencing lock held no new seqs can be assigned,
+    // and waiting for every assigned op to be applied ensures the
+    // memtable is complete before it freezes (an enqueued DeleteMem
+    // must find its resident; an enqueued insert must not miss the
+    // seal and then double-apply after it).
     {
-        let _w = inner.writer.lock();
+        let w = inner.writer.lock();
+        inner.group.wait_applied(w.next_seq.saturating_sub(1))?;
         let mut core = inner.core.write();
         if core.sealed.is_none() {
             let should = match kind {
@@ -88,6 +99,9 @@ pub(crate) fn run_merge<const D: usize>(
             if should {
                 let batch = core.memtable.drain();
                 core.sealed = Some(Arc::new(batch));
+                // "Stored" now covers the batch: off-lock delete probes
+                // pinned before this seal are stale.
+                core.structure_epoch += 1;
             }
         }
     }
@@ -176,11 +190,21 @@ pub(crate) fn run_merge<const D: usize>(
         Some(PrTreeLoader::default().load(dev, inner.params, items)?)
     };
 
-    // Phase 4: the cut. Brief writer lock: rotate the WAL and snapshot
-    // the manifest state; then release so writers run during the commit.
+    // Phase 4: the cut. Brief writer lock: quiesce the commit pipeline
+    // — every assigned seq written + applied, then the old segment
+    // fsynced (recovery treats damage in a non-newest segment as
+    // corruption, not a torn tail, so rotation must only ever leave
+    // complete, durable segments behind; this is also what drains the
+    // async in-flight window on flush) — rotate, and snapshot the
+    // manifest state; then release so writers run during the commit.
     let (cut_seq, survivors, manifest_tombstones, memtable_snapshot) = {
-        let mut w = inner.writer.lock();
-        w.wal.rotate()?;
+        let w = inner.writer.lock();
+        inner.group.wait_applied(w.next_seq.saturating_sub(1))?;
+        inner.group.sync_window()?;
+        {
+            let mut wal = inner.group.wal.lock().expect("wal mutex");
+            wal.rotate()?;
+        }
         let cut_seq = w.next_seq - 1;
         let core = inner.core.read();
         let nslots = core.components.len().max(target.map_or(0, |t| t + 1));
@@ -241,7 +265,7 @@ pub(crate) fn run_merge<const D: usize>(
         } else {
             store.save_components(&refs, &app)?;
         }
-        store.components::<D>()?
+        store.components_with::<D>(inner.read_path())?
     };
     // The committed snapshot's components share one page-id space, so
     // they join the shared leaf cache under one fresh epoch; the swap
@@ -257,8 +281,11 @@ pub(crate) fn run_merge<const D: usize>(
 
     // Phase 6: swap + prune. The tombstone set is re-derived from the
     // *current* map minus what this merge consumed, so deletes recorded
-    // during the commit window survive the swap.
-    let mut w = inner.writer.lock();
+    // during the commit window survive the swap. (Ops still pending in
+    // the commit queue are untouched: their liveness decisions hold
+    // across the swap because a merge preserves per-identity stored-copy
+    // and tombstone counts.)
+    let _w = inner.writer.lock();
     {
         let mut core = inner.core.write();
         let mut components: Vec<Option<Arc<RTree<D>>>> = vec![None; survivors.len()];
@@ -272,6 +299,7 @@ pub(crate) fn run_merge<const D: usize>(
         core.tombstones = Arc::new(after);
         core.merged_seq = cut_seq;
         core.merges += 1;
+        core.structure_epoch += 1;
     }
     // Old snapshots' leaves are dead to the live index (pinned reader
     // snapshots keep their own component Arcs and simply miss the
@@ -281,7 +309,10 @@ pub(crate) fn run_merge<const D: usize>(
     }
     // The manifest at cut_seq is durable; segments at or below the
     // rotation hold nothing newer than cut_seq.
-    w.wal.prune_old()?;
+    {
+        let mut wal = inner.group.wal.lock().expect("wal mutex");
+        wal.prune_old()?;
+    }
     Ok(())
 }
 

@@ -1,13 +1,39 @@
 //! The CRC-guarded, segmented write-ahead log.
 //!
-//! Every mutation is appended as one record and `fsync`ed **before** it
-//! is acknowledged or applied to the memtable — the WAL is the sole
-//! durability story between merges. Records live in numbered segment
-//! files `wal-NNNNNN.log`; a merge commit *rotates* to a fresh segment
-//! first, so after the manifest (which records the merge's WAL cut
-//! `wal_seq`) is durable, every record the index still needs lives in
-//! segments at or after the rotation and the older segments are deleted
-//! whole ([`Wal::prune_old`]). No in-place truncation, no rewriting.
+//! The WAL is the sole durability story between merges, and since PR 6
+//! it is fed through a **group-commit pipeline** rather than one
+//! append+fsync per caller. The append path has three roles:
+//!
+//! * **Enqueue** — a writer, holding only the sequencing lock, assigns
+//!   sequence numbers and *encodes* its batch into a frame buffer
+//!   ([`encode_records`]), then pushes the buffer onto the commit
+//!   queue. No I/O happens under the sequencing lock.
+//! * **Lead** — the first waiter to find the queue non-idle drains
+//!   *every* queued batch, lands them with one vectored positioned
+//!   write ([`Wal::append_encoded`] → `pwritev`), issues **one**
+//!   `fsync` for the whole group ([`Wal::sync`]; skipped in async
+//!   durability, where a dedicated syncer thread syncs behind a bounded
+//!   window), applies the group to the memtable, and publishes the new
+//!   durable horizon.
+//! * **Follow** — every other waiter sleeps on the commit condvar until
+//!   the horizon covers its last sequence number. N concurrent writers
+//!   therefore share one fsync instead of paying N.
+//!
+//! The queue/leader machinery lives in [`crate::commit`]; this module
+//! owns the on-disk format, which is **unchanged** from the
+//! one-fsync-per-batch era: a group is nothing but the batches' record
+//! frames laid back to back, so recovery cannot tell (and need not
+//! care) where group boundaries fell.
+//!
+//! Records live in numbered segment files `wal-NNNNNN.log`; a merge
+//! commit *rotates* to a fresh segment first, so after the manifest
+//! (which records the merge's WAL cut `wal_seq`) is durable, every
+//! record the index still needs lives in segments at or after the
+//! rotation and the older segments are deleted whole
+//! ([`Wal::prune_old`]). No in-place truncation, no rewriting. Rotation
+//! only ever happens after the commit queue is quiesced and the current
+//! segment fsynced, preserving the invariant that non-newest segments
+//! are complete and durable.
 //!
 //! ## Wire format
 //!
@@ -23,12 +49,14 @@
 //!
 //! [`Wal::open`] replays every segment in index order. A record whose
 //! length or CRC does not check out in the **newest** segment is a torn
-//! tail — the write that died with the process before its fsync
-//! returned, hence never acknowledged — so the segment is truncated at
-//! the last valid boundary and replay stops there. The same damage in
-//! an *older* segment cannot be a torn tail (older segments were
-//! complete and fsynced before the log rotated past them) and surfaces
-//! as [`LiveError::Corrupt`].
+//! tail — a write that died with the process before it was fsynced
+//! (under `Durability::Fsync` that means it was never acknowledged;
+//! under `Durability::Async` it may cover acknowledged records past the
+//! synced prefix, which is exactly the contract of that mode) — so the
+//! segment is truncated at the last valid boundary and replay stops
+//! there. The same damage in an *older* segment cannot be a torn tail
+//! (older segments were complete and fsynced before the log rotated
+//! past them) and surfaces as [`LiveError::Corrupt`].
 
 use crate::error::LiveError;
 use pr_em::{fsync_dir, PositionedFile};
@@ -232,18 +260,53 @@ impl Wal {
 
     /// Appends a batch of records and `fsync`s once. When this returns,
     /// every record in the batch is durable — the caller may acknowledge.
+    ///
+    /// This is the pre-group-commit primitive, kept for standalone users
+    /// (the raw-append ceiling benchmark, tests); the live index goes
+    /// through [`Wal::append_encoded`] + [`Wal::sync`] via the commit
+    /// queue instead.
     pub fn append<const D: usize>(&mut self, records: &[WalRecord<D>]) -> Result<(), LiveError> {
+        self.append_buffered(records)?;
+        if !records.is_empty() {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Appends a batch of records **without** syncing: the buffered half
+    /// of [`Wal::append`]. Durability comes from a later [`Wal::sync`].
+    pub fn append_buffered<const D: usize>(
+        &mut self,
+        records: &[WalRecord<D>],
+    ) -> Result<(), LiveError> {
         if records.is_empty() {
             return Ok(());
         }
-        let mut buf =
-            Vec::with_capacity(records.len() * (RECORD_HEADER_SIZE + WalRecord::<D>::PAYLOAD_SIZE));
-        for r in records {
-            r.encode_into(&mut buf);
+        let buf = encode_records(records);
+        self.append_encoded(&[&buf])?;
+        Ok(())
+    }
+
+    /// Appends pre-encoded record frames — one buffer per enqueued batch
+    /// — with a single vectored positioned write, and **no** sync. This
+    /// is the group leader's step: the whole commit group reaches the
+    /// kernel in one crossing; the one shared fsync (or the async
+    /// syncer's next pass) follows. Returns the bytes appended.
+    pub fn append_encoded(&mut self, bufs: &[&[u8]]) -> Result<u64, LiveError> {
+        let total: u64 = bufs.iter().map(|b| b.len() as u64).sum();
+        if total == 0 {
+            return Ok(0);
         }
-        self.file.write_all_at(&buf, self.write_off)?;
+        self.file.write_all_vectored_at(bufs, self.write_off)?;
+        self.write_off += total;
+        Ok(total)
+    }
+
+    /// Forces every appended byte to disk. The group-commit
+    /// acknowledgment point under `Durability::Fsync`; the syncer
+    /// thread's heartbeat under `Durability::Async`.
+    pub fn sync(&mut self) -> Result<(), LiveError> {
         self.file.sync_all()?;
-        self.write_off += buf.len() as u64;
         Ok(())
     }
 
@@ -293,6 +356,19 @@ impl Wal {
         }
         Ok(total)
     }
+}
+
+/// Encodes `records` into one contiguous buffer of framed records —
+/// the enqueue step of group commit, run under the sequencing lock so
+/// the only work there is CPU (no I/O). The buffer is byte-identical to
+/// what [`Wal::append`] would have written.
+pub fn encode_records<const D: usize>(records: &[WalRecord<D>]) -> Vec<u8> {
+    let mut buf =
+        Vec::with_capacity(records.len() * (RECORD_HEADER_SIZE + WalRecord::<D>::PAYLOAD_SIZE));
+    for r in records {
+        r.encode_into(&mut buf);
+    }
+    buf
 }
 
 /// Walks one segment's bytes, pushing intact records. Returns the byte

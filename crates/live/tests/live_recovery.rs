@@ -424,6 +424,51 @@ fn create_over_existing_index_leaves_no_stale_wal() {
     assert_eq!(ix.snapshot().items().unwrap(), vec![item(1000)]);
 }
 
+/// `Durability::Async` at **every op boundary**: ops `0..k` are acked
+/// and explicitly synced, then a few more ops are acked into the
+/// in-flight window; the process crashes and the unsynced bytes never
+/// reach disk (modelled by truncating the newest segment back to the
+/// synced length — an in-process drop drains the window, a power cut
+/// would not). Reopen must recover **exactly the synced prefix of the
+/// acknowledged sequence**: never a torn suffix, never op `k` or later.
+#[test]
+fn async_crash_at_every_boundary_recovers_synced_prefix() {
+    const TAIL: u32 = 3;
+    let aopts = |cap| LiveOptions {
+        durability: pr_live::Durability::Async {
+            max_inflight_bytes: 1 << 20,
+        },
+        ..opts(cap)
+    };
+    for k in 0..40u32 {
+        let dir = tmpdir(&format!("async-boundary-{k}"));
+        let mut oracle: Vec<Item<2>> = Vec::new();
+        let ix = LiveIndex::<2>::create(&dir, params(), aopts(1000)).unwrap();
+        for j in 0..k {
+            apply_op(&ix, &mut oracle, j);
+        }
+        ix.sync_wal().unwrap();
+        // buffer_cap 1000 → no merges, single segment: its length right
+        // now is exactly the synced prefix boundary.
+        let newest = newest_wal_segment(&dir);
+        let synced_len = std::fs::metadata(&newest).unwrap().len();
+        let mut tail_oracle = oracle.clone();
+        for j in k..k + TAIL {
+            apply_op(&ix, &mut tail_oracle, j); // acked, not synced
+        }
+        drop(ix); // crash
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&newest)
+            .unwrap();
+        f.set_len(synced_len).unwrap();
+        drop(f);
+        let ix = LiveIndex::<2>::open(&dir, aopts(1000)).unwrap();
+        assert_state_matches(&ix, &oracle, &format!("synced prefix at boundary {k}"));
+        assert_eq!(ix.stats().unwrap().durable_seq, k as u64);
+    }
+}
+
 fn newest_wal_segment(dir: &std::path::Path) -> PathBuf {
     let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
         .unwrap()

@@ -26,8 +26,8 @@
 use pr_data::{size_dataset, uniform_points, TigerProfile};
 use pr_em::{BlockDevice, MemDevice};
 use pr_geom::{Item, Point, Rect};
-use pr_live::{LiveIndex, LiveOptions};
-use pr_store::Store;
+use pr_live::{Durability, LiveIndex, LiveOptions};
+use pr_store::{ReadPath, Store};
 use pr_tree::bulk::LoaderKind;
 use pr_tree::{LeafCache, QueryScratch, RTree, TreeParams};
 use std::path::{Path, PathBuf};
@@ -68,11 +68,17 @@ fn usage() {
          \x20       L:    PR | H | H4 | TGS | STR                    (default PR)\n\
          \x20       C:    entries per node (default: the paper's 113 / 4KB pages)\n\
          \x20 ingest DIR [--data KIND] [--n N] [--seed S] [--id-base B] [--batch SIZE]\n\
+         \x20        [--writers W] [--durability fsync|async|async:BYTES]\n\
          \x20        [--buffer-cap C] [--cap C] [--leaf-cache-bytes B] [--inline-merge]\n\
          \x20        [--flush]\n\
          \x20       durably insert N synthetic items into the live index at DIR\n\
-         \x20       (created on first use). Every batch is WAL-fsynced before it\n\
-         \x20       is acknowledged; --id-base offsets ids so successive ingests\n\
+         \x20       (created on first use). --writers W shards the stream over W\n\
+         \x20       threads whose batches coalesce into shared group-commit\n\
+         \x20       fsyncs; --durability picks the ack point: fsync (default —\n\
+         \x20       acked writes are on disk) or async[:BYTES] (ack after the\n\
+         \x20       buffered append; a syncer thread fsyncs behind a window of\n\
+         \x20       at most BYTES unsynced WAL bytes, default 8 MiB);\n\
+         \x20       --id-base offsets ids so successive ingests\n\
          \x20       stay unique; --flush forces a merge commit before exiting;\n\
          \x20       --inline-merge runs merges on the writer instead of the\n\
          \x20       background thread. Every live-dir command accepts\n\
@@ -84,16 +90,18 @@ fn usage() {
          \x20       merge memtable + all components into one tree, drop all\n\
          \x20       tombstones, and rewrite the store file (reclaims space)\n\
          \x20 query FILE|DIR --window X1,Y1,X2,Y2 [--expect N] [--verbose] [--repeat R]\n\
-         \x20       [--leaf-cache-bytes B]\n\
+         \x20       [--leaf-cache-bytes B] [--paranoid]\n\
          \x20       reopen the index and run one window query (--expect N: exit 1\n\
          \x20       unless exactly N results — used by CI roundtrips; --repeat R:\n\
          \x20       rerun the query R times through one reused scratch and report\n\
          \x20       warm-cache throughput of the decode-free engine;\n\
          \x20       --leaf-cache-bytes B: budget of the transcoded-leaf cache in\n\
          \x20       front of the store, 0 disables — default 16 MiB)\n\
-         \x20 knn FILE|DIR --point X,Y [--k K] [--leaf-cache-bytes B]\n\
-         \x20       reopen the index and report the K nearest rectangles (default K=5)\n\
-         \x20 stats FILE|DIR [--no-verify]\n\
+         \x20 knn FILE|DIR --point X,Y [--k K] [--leaf-cache-bytes B] [--paranoid]\n\
+         \x20       reopen the index and report the K nearest rectangles (default K=5).\n\
+         \x20       query/knn/stats accept --paranoid: re-hash every store page on\n\
+         \x20       every read (CRC rechecked each touch) instead of verify-once\n\
+         \x20 stats FILE|DIR [--no-verify] [--paranoid]\n\
          \x20       store file: dump the superblock, eagerly scrub every page CRC\n\
          \x20       through the verify-once bitmap (reporting verified/total), report\n\
          \x20       tree shape + I/O counters (--no-verify stops after the superblock\n\
@@ -271,9 +279,14 @@ fn cmd_build(args: &[String]) -> i32 {
 /// Opens a store file and reopens its tree, attaching a shared leaf
 /// cache of `leaf_cache_bytes` when nonzero. Returns the store too so
 /// callers can report verify-once / scrub state.
-fn open_2d(path: &str, leaf_cache_bytes: usize) -> Result<(Store, RTree<2>), i32> {
+fn open_2d(path: &str, leaf_cache_bytes: usize, paranoid: bool) -> Result<(Store, RTree<2>), i32> {
+    let read_path = if paranoid {
+        ReadPath::Recheck
+    } else {
+        ReadPath::ZeroCopy
+    };
     let store = Store::open(Path::new(path)).map_err(fail)?;
-    let mut tree = store.tree::<2>().map_err(fail)?;
+    let mut tree = store.tree_with::<2>(read_path).map_err(fail)?;
     if leaf_cache_bytes > 0 {
         let cache = Arc::new(LeafCache::new(leaf_cache_bytes));
         let epoch = cache.register_epoch();
@@ -291,6 +304,25 @@ fn parse_leaf_cache_bytes(opts: &Opts, default: usize) -> Result<usize, String> 
     }
 }
 
+fn parse_durability(s: &str) -> Result<Durability, String> {
+    match s {
+        "fsync" => Ok(Durability::Fsync),
+        "async" => Ok(Durability::Async {
+            max_inflight_bytes: 8 << 20,
+        }),
+        other => other
+            .strip_prefix("async:")
+            .and_then(|b| b.parse::<usize>().ok())
+            .filter(|&b| b >= 1)
+            .map(|b| Durability::Async {
+                max_inflight_bytes: b,
+            })
+            .ok_or_else(|| {
+                format!("--durability expects fsync | async | async:BYTES, got '{other}'")
+            }),
+    }
+}
+
 fn live_opts(opts: &Opts) -> Result<LiveOptions, String> {
     let mut lo = LiveOptions::default();
     if let Some(cap) = opts.get("buffer-cap") {
@@ -302,6 +334,12 @@ fn live_opts(opts: &Opts) -> Result<LiveOptions, String> {
     }
     if opts.has("inline-merge") {
         lo.background_merge = false;
+    }
+    if let Some(d) = opts.get("durability") {
+        lo.durability = parse_durability(d)?;
+    }
+    if opts.has("paranoid") {
+        lo.recheck_reads = true;
     }
     lo.leaf_cache_bytes = parse_leaf_cache_bytes(opts, lo.leaf_cache_bytes)?;
     Ok(lo)
@@ -330,8 +368,12 @@ fn print_live_stats(ix: &LiveIndex<2>) -> i32 {
     }
     println!("]");
     println!(
-        "wal:          seq {} acked / {} merged; {} segment(s), {} bytes",
-        s.durable_seq, s.merged_seq, s.wal_segments, s.wal_bytes
+        "wal:          seq {} acked / {} synced / {} merged; {} segment(s), {} bytes",
+        s.durable_seq, s.synced_seq, s.merged_seq, s.wal_segments, s.wal_bytes
+    );
+    println!(
+        "group commit: {} records in {} groups, {} fsyncs",
+        s.wal_group_records, s.wal_groups, s.wal_fsyncs
     );
     println!(
         "store:        epoch {}, {} bytes on disk; {} merges this session",
@@ -356,6 +398,8 @@ fn cmd_ingest(args: &[String]) -> i32 {
             "buffer-cap",
             "cap",
             "leaf-cache-bytes",
+            "durability",
+            "writers",
         ],
         &["inline-merge", "flush"],
     ) {
@@ -381,6 +425,10 @@ fn cmd_ingest(args: &[String]) -> i32 {
     let batch: usize = match opts.get("batch").unwrap_or("1024").parse() {
         Ok(b) if b >= 1 => b,
         _ => return fail("--batch expects an integer >= 1"),
+    };
+    let writers: usize = match opts.get("writers").unwrap_or("1").parse() {
+        Ok(w) if w >= 1 => w,
+        _ => return fail("--writers expects an integer >= 1"),
     };
     let params = match opts.get("cap") {
         None => TreeParams::paper_2d(),
@@ -410,10 +458,31 @@ fn cmd_ingest(args: &[String]) -> i32 {
         Err(e) => return fail(e),
     };
     let t0 = Instant::now();
-    for chunk in items.chunks(batch) {
-        if let Err(e) = ix.insert_batch(chunk) {
-            return fail(e);
+    // With --writers N the items are sharded across N threads whose
+    // batches coalesce into shared group-commit fsyncs.
+    let shard = items.len().div_ceil(writers).max(1);
+    let mut failed: Option<String> = None;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(shard)
+            .map(|shard_items| {
+                let ix = &ix;
+                s.spawn(move || {
+                    for chunk in shard_items.chunks(batch) {
+                        ix.insert_batch(chunk)?;
+                    }
+                    Ok::<(), pr_live::LiveError>(())
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(e) = h.join().expect("ingest writer panicked") {
+                failed.get_or_insert(e.to_string());
+            }
         }
+    });
+    if let Some(e) = failed {
+        return fail(e);
     }
     let acked_s = t0.elapsed().as_secs_f64();
     if let Err(e) = ix.wait_idle() {
@@ -426,8 +495,8 @@ fn cmd_ingest(args: &[String]) -> i32 {
     }
     let total_s = t0.elapsed().as_secs_f64();
     println!(
-        "ingested {n} items ({data}, seed {seed}, ids {id_base}..{}) in {acked_s:.2}s \
-         acked ({:.0} items/s), {total_s:.2}s to idle",
+        "ingested {n} items ({data}, seed {seed}, ids {id_base}..{}) with {writers} \
+         writer(s) in {acked_s:.2}s acked ({:.0} items/s), {total_s:.2}s to idle",
         id_base as u64 + n as u64,
         n as f64 / acked_s.max(1e-9),
     );
@@ -625,7 +694,7 @@ fn cmd_query(args: &[String]) -> i32 {
             "buffer-cap",
             "leaf-cache-bytes",
         ],
-        &["verbose", "inline-merge"],
+        &["verbose", "inline-merge", "paranoid"],
     ) {
         Ok(o) => o,
         Err(e) => return fail(e),
@@ -650,7 +719,7 @@ fn cmd_query(args: &[String]) -> i32 {
         Err(e) => return fail(e),
     };
     let t0 = Instant::now();
-    let (_store, tree) = match open_2d(file, lcb) {
+    let (_store, tree) = match open_2d(file, lcb, opts.has("paranoid")) {
         Ok(t) => t,
         Err(code) => return code,
     };
@@ -745,7 +814,7 @@ fn cmd_knn(args: &[String]) -> i32 {
     let opts = match Opts::parse(
         args,
         &["point", "k", "buffer-cap", "leaf-cache-bytes"],
-        &["inline-merge"],
+        &["inline-merge", "paranoid"],
     ) {
         Ok(o) => o,
         Err(e) => return fail(e),
@@ -795,7 +864,7 @@ fn cmd_knn(args: &[String]) -> i32 {
         Ok(b) => b,
         Err(e) => return fail(e),
     };
-    let (_store, tree) = match open_2d(file, lcb) {
+    let (_store, tree) = match open_2d(file, lcb, opts.has("paranoid")) {
         Ok(t) => t,
         Err(code) => return code,
     };
@@ -825,7 +894,7 @@ fn cmd_stats(args: &[String]) -> i32 {
     let opts = match Opts::parse(
         args,
         &["buffer-cap", "leaf-cache-bytes"],
-        &["no-verify", "inline-merge"],
+        &["no-verify", "inline-merge", "paranoid"],
     ) {
         Ok(o) => o,
         Err(e) => return fail(e),
@@ -914,7 +983,12 @@ fn cmd_stats(args: &[String]) -> i32 {
         Err(e) => return fail(e),
     }
 
-    let tree = match store.tree::<2>() {
+    let read_path = if opts.has("paranoid") {
+        ReadPath::Recheck
+    } else {
+        ReadPath::ZeroCopy
+    };
+    let tree = match store.tree_with::<2>(read_path) {
         Ok(t) => t,
         Err(e) => return fail(e),
     };
