@@ -249,37 +249,32 @@ fn bench_cold_read(c: &mut Criterion) {
     std::fs::remove_file(&path).ok();
 
     let per_q = |secs: f64| secs / N_QUERIES as f64 * 1e9;
-    let row = format!(
-        "{{\n  \"experiment\": \"cold_read\",\n  \"dataset\": \"uniform\",\n  \"n\": {N},\n  \
-         \"loader\": \"PR\",\n  \"queries\": {N_QUERIES},\n  \"query_area_pct\": 1.0,\n  \
-         \"knn_k\": {KNN_K},\n  \"leaf_cache_bytes\": {LEAF_CACHE_BYTES},\n  \
-         \"window_recheck_ns_per_query\": {:.0},\n  \
-         \"window_zero_copy_ns_per_query\": {:.0},\n  \
-         \"window_leaf_cache_ns_per_query\": {:.0},\n  \
-         \"window_in_memory_ns_per_query\": {:.0},\n  \
-         \"window_zero_copy_speedup\": {:.2},\n  \
-         \"window_leaf_cache_speedup\": {:.2},\n  \
-         \"window_leaf_cache_vs_in_memory\": {:.2},\n  \
-         \"knn_recheck_ns_per_query\": {:.0},\n  \
-         \"knn_zero_copy_ns_per_query\": {:.0},\n  \
-         \"knn_leaf_cache_ns_per_query\": {:.0},\n  \
-         \"knn_in_memory_ns_per_query\": {:.0},\n  \
-         \"knn_leaf_cache_speedup\": {:.2},\n  \
-         \"results_identical\": true,\n  \"leaf_visit_stats_identical\": true,\n  \
-         \"loaders_checked\": [\"PR\", \"H\", \"H4\", \"TGS\", \"STR\"]\n}}\n",
-        per_q(win_recheck),
-        per_q(win_zero),
-        per_q(win_cached),
-        per_q(win_mem),
-        win_recheck / win_zero,
-        win_recheck / win_cached,
-        win_cached / win_mem,
-        per_q(knn_recheck),
-        per_q(knn_zero),
-        per_q(knn_cached),
-        per_q(knn_mem),
-        knn_recheck / knn_cached,
-    );
+    let mut obj = pr_obs::json::JsonObj::new();
+    obj.u64("schema_version", pr_obs::SCHEMA_VERSION)
+        .str("experiment", "cold_read")
+        .str("dataset", "uniform")
+        .u64("n", N as u64)
+        .str("loader", "PR")
+        .u64("queries", N_QUERIES as u64)
+        .f64p("query_area_pct", 1.0, 1)
+        .u64("knn_k", KNN_K as u64)
+        .u64("leaf_cache_bytes", LEAF_CACHE_BYTES as u64)
+        .f64p("window_recheck_ns_per_query", per_q(win_recheck), 0)
+        .f64p("window_zero_copy_ns_per_query", per_q(win_zero), 0)
+        .f64p("window_leaf_cache_ns_per_query", per_q(win_cached), 0)
+        .f64p("window_in_memory_ns_per_query", per_q(win_mem), 0)
+        .f64p("window_zero_copy_speedup", win_recheck / win_zero, 2)
+        .f64p("window_leaf_cache_speedup", win_recheck / win_cached, 2)
+        .f64p("window_leaf_cache_vs_in_memory", win_cached / win_mem, 2)
+        .f64p("knn_recheck_ns_per_query", per_q(knn_recheck), 0)
+        .f64p("knn_zero_copy_ns_per_query", per_q(knn_zero), 0)
+        .f64p("knn_leaf_cache_ns_per_query", per_q(knn_cached), 0)
+        .f64p("knn_in_memory_ns_per_query", per_q(knn_mem), 0)
+        .f64p("knn_leaf_cache_speedup", knn_recheck / knn_cached, 2)
+        .bool("results_identical", true)
+        .bool("leaf_visit_stats_identical", true)
+        .strings("loaders_checked", &["PR", "H", "H4", "TGS", "STR"]);
+    let row = obj.finish();
     println!("{row}");
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_cold_read.json");
     if let Err(e) = std::fs::write(&out, &row) {

@@ -10,9 +10,12 @@
 //!
 //! Besides the criterion groups, the run writes one machine-readable
 //! row to `BENCH_hot_query.json` at the repo root (old vs new ns/query
-//! for windows and k-NN, speedups, gate verdict). Set
+//! for windows and k-NN, speedups, gate verdict, metrics overhead). Set
 //! `PRTREE_REQUIRE_SPEEDUP=1` to turn the ≥2× window-throughput claim
-//! into a hard assertion (off by default: CI machines throttle).
+//! into a hard assertion (off by default: CI machines throttle), and
+//! `PRTREE_REQUIRE_OBS_OVERHEAD=1` to assert that the registry's
+//! recording switch costs ≤ 5% on the hot window path (measured on the
+//! same instrumented loop with recording on vs off).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pr_data::queries::square_queries;
@@ -103,30 +106,36 @@ fn json_row(
     collect_new: f64,
     knn_old: f64,
     knn_new: f64,
+    obs_on: f64,
+    obs_off: f64,
 ) -> String {
     let per_q = |secs: f64| secs / N_QUERIES as f64 * 1e9;
-    format!(
-        "{{\n  \"experiment\": \"hot_query\",\n  \"dataset\": \"uniform\",\n  \"n\": {N},\n  \
-         \"loader\": \"PR\",\n  \"cache\": \"InternalNodes (warm, frozen)\",\n  \
-         \"queries\": {N_QUERIES},\n  \"query_area_pct\": 1.0,\n  \"knn_k\": {KNN_K},\n  \
-         \"window_old_ns_per_query\": {:.0},\n  \"window_new_ns_per_query\": {:.0},\n  \
-         \"window_speedup\": {:.2},\n  \
-         \"window_collect_old_ns_per_query\": {:.0},\n  \
-         \"window_collect_new_ns_per_query\": {:.0},\n  \"window_collect_speedup\": {:.2},\n  \
-         \"knn_old_ns_per_query\": {:.0},\n  \
-         \"knn_new_ns_per_query\": {:.0},\n  \"knn_speedup\": {:.2},\n  \
-         \"results_identical\": true,\n  \"leaf_io_identical\": true,\n  \
-         \"loaders_checked\": [\"PR\", \"H\", \"H4\", \"TGS\", \"STR\"]\n}}\n",
-        per_q(count_old),
-        per_q(count_new),
-        count_old / count_new,
-        per_q(collect_old),
-        per_q(collect_new),
-        collect_old / collect_new,
-        per_q(knn_old),
-        per_q(knn_new),
-        knn_old / knn_new,
-    )
+    let mut row = pr_obs::json::JsonObj::new();
+    row.u64("schema_version", pr_obs::SCHEMA_VERSION)
+        .str("experiment", "hot_query")
+        .str("dataset", "uniform")
+        .u64("n", N as u64)
+        .str("loader", "PR")
+        .str("cache", "InternalNodes (warm, frozen)")
+        .u64("queries", N_QUERIES as u64)
+        .f64p("query_area_pct", 1.0, 1)
+        .u64("knn_k", KNN_K as u64)
+        .f64p("window_old_ns_per_query", per_q(count_old), 0)
+        .f64p("window_new_ns_per_query", per_q(count_new), 0)
+        .f64p("window_speedup", count_old / count_new, 2)
+        .f64p("window_collect_old_ns_per_query", per_q(collect_old), 0)
+        .f64p("window_collect_new_ns_per_query", per_q(collect_new), 0)
+        .f64p("window_collect_speedup", collect_old / collect_new, 2)
+        .f64p("knn_old_ns_per_query", per_q(knn_old), 0)
+        .f64p("knn_new_ns_per_query", per_q(knn_new), 0)
+        .f64p("knn_speedup", knn_old / knn_new, 2)
+        .f64p("obs_on_ns_per_query", per_q(obs_on), 0)
+        .f64p("obs_off_ns_per_query", per_q(obs_off), 0)
+        .f64p("obs_overhead_pct", (obs_on / obs_off - 1.0) * 100.0, 2)
+        .bool("results_identical", true)
+        .bool("leaf_io_identical", true)
+        .strings("loaders_checked", &["PR", "H", "H4", "TGS", "STR"]);
+    row.finish()
 }
 
 fn bench_hot_query(c: &mut Criterion) {
@@ -250,6 +259,28 @@ fn bench_hot_query(c: &mut Criterion) {
             .sum()
     });
 
+    // Observability overhead: the same instrumented window pass with the
+    // registry recording switch on vs off. The switch gates exactly the
+    // per-query registry flush (`pr_tree::obs`), so the ratio isolates
+    // what the metrics cost a hot read path.
+    pr_obs::set_recording(true);
+    let obs_on = best_of(5, || {
+        queries
+            .iter()
+            .map(|q| tree.window_count_into(q, &mut scratch).unwrap().0)
+            .sum()
+    });
+    pr_obs::set_recording(false);
+    let obs_off = best_of(5, || {
+        queries
+            .iter()
+            .map(|q| tree.window_count_into(q, &mut scratch).unwrap().0)
+            .sum()
+    });
+    pr_obs::set_recording(true);
+    let obs_overhead_pct = (obs_on / obs_off - 1.0) * 100.0;
+    println!("hot_query obs overhead: {obs_overhead_pct:.2}% (on vs off, best-of-5)");
+
     let row = json_row(
         window_old,
         window_new,
@@ -257,6 +288,8 @@ fn bench_hot_query(c: &mut Criterion) {
         collect_new,
         knn_old,
         knn_new,
+        obs_on,
+        obs_off,
     );
     println!("{row}");
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_hot_query.json");
@@ -274,6 +307,15 @@ fn bench_hot_query(c: &mut Criterion) {
         );
     } else if speedup < 2.0 {
         eprintln!("note: window speedup {speedup:.2}x below the 2x target on this host");
+    }
+    if std::env::var("PRTREE_REQUIRE_OBS_OVERHEAD").as_deref() == Ok("1") {
+        assert!(
+            obs_overhead_pct <= 5.0,
+            "metrics recording costs {obs_overhead_pct:.2}% on the hot window path \
+             (> 5% acceptance threshold)"
+        );
+    } else if obs_overhead_pct > 5.0 {
+        eprintln!("note: obs overhead {obs_overhead_pct:.2}% above the 5% target on this host");
     }
 }
 

@@ -427,61 +427,54 @@ fn bench_live_update(c: &mut Criterion) {
 
     // Percentiles in µs (histograms record ns).
     let us = |h: &LatencyHistogram, q: f64| h.quantile(q) as f64 / 1e3;
-    let mw_rows = mw
-        .iter()
-        .map(|r| {
-            format!(
-                "    {{\"writers\": {}, \"durability\": \"{}\", \"items_per_s\": {:.0}, \
-                 \"batch_p50_us\": {:.1}, \"batch_p95_us\": {:.1}, \"batch_p99_us\": {:.1}, \
-                 \"wal_fsyncs\": {}, \"batches\": {}}}",
-                r.writers,
-                r.durability,
-                r.rate,
-                us(&r.hist, 0.50),
-                us(&r.hist, 0.95),
-                us(&r.hist, 0.99),
-                r.fsyncs,
-                r.batches,
-            )
-        })
-        .collect::<Vec<_>>()
-        .join(",\n");
-    let row = format!(
-        "{{\n  \"experiment\": \"live_update\",\n  \"n\": {INGEST_N},\n  \
-         \"batch\": {BATCH},\n  \"buffer_cap\": {BUFFER_CAP},\n  \
-         \"durability\": \"fsync per batch, ack after fsync\",\n  \
-         \"ingest_items_per_s\": {:.0},\n  \
-         \"ingest_batch_p50_us\": {:.1},\n  \"ingest_batch_p95_us\": {:.1},\n  \
-         \"ingest_batch_p99_us\": {:.1},\n  \"ingest_batch_max_us\": {:.1},\n  \
-         \"mixed_inserts_per_s\": {:.0},\n  \"mixed_queries_per_s\": {:.0},\n  \
-         \"mixed_insert_batch_p50_us\": {:.1},\n  \"mixed_insert_batch_p95_us\": {:.1},\n  \
-         \"mixed_insert_batch_p99_us\": {:.1},\n  \
-         \"mixed_query_mean_us\": {:.1},\n  \
-         \"mixed_query_p50_us\": {:.1},\n  \"mixed_query_p95_us\": {:.1},\n  \
-         \"mixed_query_p99_us\": {:.1},\n  \"mixed_query_max_us\": {:.1},\n  \
-         \"histogram\": \"hand-rolled HDR-style, 32 sub-buckets/octave (<=3.2% error)\",\n  \
-         \"reopen_to_first_answer_ms\": {:.1},\n  \
-         \"wal_append_ceiling_items_per_s\": {ceiling:.0},\n  \
-         \"multi_writer_n\": {MW_N},\n  \
-         \"multi_writer\": [\n{mw_rows}\n  ],\n  \
-         \"gate\": \"serial oracle + snapshot prefix invariant (1 and 2 writers) + reopen\"\n}}\n",
-        ingest_rate,
-        us(&ingest_hist, 0.50),
-        us(&ingest_hist, 0.95),
-        us(&ingest_hist, 0.99),
-        ingest_hist.max() as f64 / 1e3,
-        mixed.inserts_per_s,
-        mixed.queries_per_s,
-        us(&mixed.insert_hist, 0.50),
-        us(&mixed.insert_hist, 0.95),
-        us(&mixed.insert_hist, 0.99),
-        mixed.query_mean_us,
-        us(&mixed.query_hist, 0.50),
-        us(&mixed.query_hist, 0.95),
-        us(&mixed.query_hist, 0.99),
-        mixed.query_hist.max() as f64 / 1e3,
-        reopen_s * 1e3,
-    );
+    let mut mw_arr = pr_obs::json::JsonArr::new();
+    for r in &mw {
+        let mut o = pr_obs::json::JsonObj::new();
+        o.u64("writers", r.writers as u64)
+            .str("durability", r.durability)
+            .f64p("items_per_s", r.rate, 0)
+            .f64p("batch_p50_us", us(&r.hist, 0.50), 1)
+            .f64p("batch_p95_us", us(&r.hist, 0.95), 1)
+            .f64p("batch_p99_us", us(&r.hist, 0.99), 1)
+            .u64("wal_fsyncs", r.fsyncs)
+            .u64("batches", r.batches);
+        mw_arr.push_raw(o.finish());
+    }
+    let mut obj = pr_obs::json::JsonObj::new();
+    obj.u64("schema_version", pr_obs::SCHEMA_VERSION)
+        .str("experiment", "live_update")
+        .u64("n", INGEST_N as u64)
+        .u64("batch", BATCH as u64)
+        .u64("buffer_cap", BUFFER_CAP as u64)
+        .str("durability", "fsync per batch, ack after fsync")
+        .f64p("ingest_items_per_s", ingest_rate, 0)
+        .f64p("ingest_batch_p50_us", us(&ingest_hist, 0.50), 1)
+        .f64p("ingest_batch_p95_us", us(&ingest_hist, 0.95), 1)
+        .f64p("ingest_batch_p99_us", us(&ingest_hist, 0.99), 1)
+        .f64p("ingest_batch_max_us", ingest_hist.max() as f64 / 1e3, 1)
+        .f64p("mixed_inserts_per_s", mixed.inserts_per_s, 0)
+        .f64p("mixed_queries_per_s", mixed.queries_per_s, 0)
+        .f64p("mixed_insert_batch_p50_us", us(&mixed.insert_hist, 0.50), 1)
+        .f64p("mixed_insert_batch_p95_us", us(&mixed.insert_hist, 0.95), 1)
+        .f64p("mixed_insert_batch_p99_us", us(&mixed.insert_hist, 0.99), 1)
+        .f64p("mixed_query_mean_us", mixed.query_mean_us, 1)
+        .f64p("mixed_query_p50_us", us(&mixed.query_hist, 0.50), 1)
+        .f64p("mixed_query_p95_us", us(&mixed.query_hist, 0.95), 1)
+        .f64p("mixed_query_p99_us", us(&mixed.query_hist, 0.99), 1)
+        .f64p("mixed_query_max_us", mixed.query_hist.max() as f64 / 1e3, 1)
+        .str(
+            "histogram",
+            "hand-rolled HDR-style, 32 sub-buckets/octave (<=3.2% error)",
+        )
+        .f64p("reopen_to_first_answer_ms", reopen_s * 1e3, 1)
+        .f64p("wal_append_ceiling_items_per_s", ceiling, 0)
+        .u64("multi_writer_n", MW_N as u64)
+        .raw("multi_writer", &mw_arr.finish())
+        .str(
+            "gate",
+            "serial oracle + snapshot prefix invariant (1 and 2 writers) + reopen",
+        );
+    let row = obj.finish();
     println!("{row}");
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_live_update.json");
     if let Err(e) = std::fs::write(&out, &row) {

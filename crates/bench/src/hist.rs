@@ -1,246 +1,10 @@
-//! Hand-rolled HDR-style latency histogram (no crates.io).
+//! Latency histogram — re-exported from `pr-obs`.
 //!
-//! Fixed log₂-bucketed layout, the scheme HdrHistogram popularized: a
-//! value is placed by the position of its highest set bit (the
-//! "exponent") and [`SUB_BITS`] further bits of mantissa, giving a
-//! constant relative error of at most `1/2^SUB_BITS` (≈ 3% here) across
-//! the full `u64` range — microseconds and minutes share one array.
-//! Recording is one `leading_zeros` + one increment; percentile lookup
-//! walks the counts once. No allocation after construction, no
-//! dependency, and merging two histograms is element-wise addition,
-//! which is how the mixed read/write bench combines per-thread
-//! recorders.
-//!
-//! Values are raw `u64`s; the benches record **nanoseconds** and report
-//! microseconds at the end.
+//! The HDR-style histogram started life here as a bench-local tool; the
+//! observability crate promoted it to the process-wide registry's
+//! histogram representation (`pr_obs::hist`), where the implementation
+//! and its tests now live. This shim keeps
+//! `pr_bench::hist::LatencyHistogram` working for the benches and any
+//! external callers.
 
-/// Mantissa bits per power of two (32 sub-buckets ⇒ ≤ 3.2% error).
-const SUB_BITS: u32 = 5;
-const SUB_COUNT: usize = 1 << SUB_BITS;
-/// Bucket count: 64 exponents × 32 sub-buckets.
-const BUCKETS: usize = 64 * SUB_COUNT;
-
-/// A fixed-size log-bucketed histogram of `u64` values.
-#[derive(Clone)]
-pub struct LatencyHistogram {
-    counts: Vec<u64>,
-    total: u64,
-    max: u64,
-    min: u64,
-    sum: u128,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            counts: vec![0; BUCKETS],
-            total: 0,
-            max: 0,
-            min: u64::MAX,
-            sum: 0,
-        }
-    }
-
-    /// Bucket index of `value` (monotone in `value`).
-    fn index(value: u64) -> usize {
-        if value < SUB_COUNT as u64 {
-            // Values below one full mantissa resolve exactly.
-            return value as usize;
-        }
-        let exp = 63 - value.leading_zeros();
-        let sub = (value >> (exp - SUB_BITS)) as usize & (SUB_COUNT - 1);
-        ((exp - SUB_BITS + 1) as usize) * SUB_COUNT + sub
-    }
-
-    /// Representative (upper-edge) value of bucket `i` — what
-    /// percentile queries report. At most `1/2^SUB_BITS` above any
-    /// value the bucket holds.
-    fn value_at(i: usize) -> u64 {
-        if i < SUB_COUNT {
-            return i as u64;
-        }
-        let exp = (i / SUB_COUNT) as u32 + SUB_BITS - 1;
-        let sub = (i % SUB_COUNT) as u64 | SUB_COUNT as u64;
-        // Upper edge: next sub-bucket boundary minus one.
-        ((sub + 1) << (exp - SUB_BITS)) - 1
-    }
-
-    /// Records one value.
-    pub fn record(&mut self, value: u64) {
-        self.counts[Self::index(value)] += 1;
-        self.total += 1;
-        self.max = self.max.max(value);
-        self.min = self.min.min(value);
-        self.sum += value as u128;
-    }
-
-    /// Number of recorded values.
-    pub fn len(&self) -> u64 {
-        self.total
-    }
-
-    /// True when nothing was recorded.
-    pub fn is_empty(&self) -> bool {
-        self.total == 0
-    }
-
-    /// Largest recorded value (exact, not bucketed).
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// Smallest recorded value (exact; 0 when empty).
-    pub fn min(&self) -> u64 {
-        if self.total == 0 {
-            0
-        } else {
-            self.min
-        }
-    }
-
-    /// Arithmetic mean of recorded values (exact sum / count).
-    pub fn mean(&self) -> f64 {
-        if self.total == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.total as f64
-        }
-    }
-
-    /// The value at quantile `q` in `[0, 1]`: an upper bound within the
-    /// bucket resolution (≈3%) of the true order statistic. `q = 0.5`
-    /// is the median, `q = 0.99` the p99. Returns 0 on an empty
-    /// histogram; `q ≥ 1` returns the exact max.
-    pub fn quantile(&self, q: f64) -> u64 {
-        if self.total == 0 {
-            return 0;
-        }
-        if q >= 1.0 {
-            return self.max;
-        }
-        // Rank of the order statistic, 1-based, ceil(q·n) clamped to [1, n].
-        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
-        let mut seen = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Self::value_at(i).min(self.max);
-            }
-        }
-        self.max
-    }
-
-    /// Element-wise merge of another histogram into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-        self.total += other.total;
-        self.max = self.max.max(other.max);
-        self.min = self.min.min(other.min);
-        self.sum += other.sum;
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn small_values_are_exact() {
-        let mut h = LatencyHistogram::new();
-        for v in 0..32u64 {
-            h.record(v);
-        }
-        assert_eq!(h.len(), 32);
-        assert_eq!(h.min(), 0);
-        assert_eq!(h.max(), 31);
-        assert_eq!(h.quantile(0.5), 15);
-        assert_eq!(h.quantile(1.0), 31);
-        assert!((h.mean() - 15.5).abs() < 1e-9);
-    }
-
-    #[test]
-    fn index_is_monotone_and_value_at_bounds_bucket() {
-        let mut prev = 0usize;
-        for shift in 0..50u32 {
-            for off in [0u64, 1, 3] {
-                let v = (1u64 << shift) + off * (1 << shift) / 7;
-                let i = LatencyHistogram::index(v);
-                assert!(i >= prev, "index not monotone at {v}");
-                prev = i;
-                let upper = LatencyHistogram::value_at(i);
-                assert!(upper >= v, "bucket upper edge {upper} < value {v}");
-                // Relative error of the representative is bounded.
-                assert!(
-                    (upper - v) as f64 <= v as f64 / 16.0 + 1.0,
-                    "error too large: {v} -> {upper}"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn quantiles_track_a_sorted_oracle_within_resolution() {
-        // Deterministic pseudo-random values across 5 decades.
-        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
-        let mut vals = Vec::new();
-        let mut h = LatencyHistogram::new();
-        for _ in 0..10_000 {
-            x ^= x << 13;
-            x ^= x >> 7;
-            x ^= x << 17;
-            let v = x % 10_000_000;
-            vals.push(v);
-            h.record(v);
-        }
-        vals.sort_unstable();
-        for q in [0.5, 0.9, 0.95, 0.99, 0.999] {
-            let rank = ((q * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
-            let want = vals[rank - 1] as f64;
-            let got = h.quantile(q) as f64;
-            assert!(
-                got >= want * 0.999 && got <= want * 1.04 + 32.0,
-                "q={q}: got {got}, oracle {want}"
-            );
-        }
-    }
-
-    #[test]
-    fn merge_equals_combined_recording() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        let mut all = LatencyHistogram::new();
-        for v in [5u64, 900, 12_345, 7, 1_000_000, 64] {
-            if v % 2 == 0 {
-                a.record(v);
-            } else {
-                b.record(v);
-            }
-            all.record(v);
-        }
-        a.merge(&b);
-        assert_eq!(a.len(), all.len());
-        assert_eq!(a.max(), all.max());
-        assert_eq!(a.min(), all.min());
-        for q in [0.1, 0.5, 0.9, 1.0] {
-            assert_eq!(a.quantile(q), all.quantile(q));
-        }
-    }
-
-    #[test]
-    fn empty_histogram_is_all_zeros() {
-        let h = LatencyHistogram::new();
-        assert!(h.is_empty());
-        assert_eq!(h.quantile(0.5), 0);
-        assert_eq!(h.min(), 0);
-        assert_eq!(h.mean(), 0.0);
-    }
-}
+pub use pr_obs::LatencyHistogram;

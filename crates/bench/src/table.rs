@@ -1,5 +1,6 @@
 //! Plain-text result tables mirroring the paper's figures.
 
+use pr_obs::json::{JsonArr, JsonObj};
 use std::fmt;
 
 /// One experiment's results.
@@ -40,63 +41,41 @@ impl Table {
         self.notes.push(s.into());
     }
 
-    /// Serializes to a JSON object (hand-rolled: the offline build has no
-    /// serde; field layout matches what `#[derive(Serialize)]` produced).
+    /// Serializes to a JSON object through the workspace's shared
+    /// encoder (`pr_obs::json`; the offline build has no serde). Field
+    /// layout matches what `#[derive(Serialize)]` produced.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{");
-        json_field(&mut out, "id", &json_string(&self.id));
-        out.push(',');
-        json_field(&mut out, "title", &json_string(&self.title));
-        out.push(',');
-        json_field(&mut out, "headers", &json_string_array(&self.headers));
-        out.push(',');
-        let rows: Vec<String> = self.rows.iter().map(|r| json_string_array(r)).collect();
-        json_field(&mut out, "rows", &format!("[{}]", rows.join(",")));
-        out.push(',');
-        json_field(&mut out, "notes", &json_string_array(&self.notes));
-        out.push('}');
-        out
-    }
-}
-
-/// Serializes a slice of tables as a pretty-printed JSON array (one
-/// table per line — enough structure for downstream tooling).
-pub fn tables_to_json(tables: &[Table]) -> String {
-    let body: Vec<String> = tables
-        .iter()
-        .map(|t| format!("  {}", t.to_json()))
-        .collect();
-    format!("[\n{}\n]", body.join(",\n"))
-}
-
-fn json_field(out: &mut String, key: &str, value: &str) {
-    out.push_str(&json_string(key));
-    out.push(':');
-    out.push_str(value);
-}
-
-fn json_string_array(items: &[String]) -> String {
-    let quoted: Vec<String> = items.iter().map(|s| json_string(s)).collect();
-    format!("[{}]", quoted.join(","))
-}
-
-/// Escapes a string per RFC 8259.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+        let mut rows = JsonArr::new();
+        for r in &self.rows {
+            let mut cells = JsonArr::new();
+            for c in r {
+                cells.push_str(c);
+            }
+            rows.push_raw(cells.finish());
         }
+        JsonObj::new()
+            .str("id", &self.id)
+            .str("title", &self.title)
+            .strings("headers", &self.headers)
+            .raw("rows", &rows.finish())
+            .strings("notes", &self.notes)
+            .finish()
     }
-    out.push('"');
-    out
+}
+
+/// Serializes a slice of tables as a versioned JSON document: one
+/// `{"schema_version":N,"tables":[...]}` object, one table per line —
+/// enough structure for downstream tooling and diffable output files.
+pub fn tables_to_json(tables: &[Table]) -> String {
+    let mut arr = JsonArr::new();
+    for t in tables {
+        arr.push_raw(t.to_json());
+    }
+    format!(
+        "{{\n\"schema_version\": {},\n\"tables\": {}\n}}",
+        pr_obs::SCHEMA_VERSION,
+        arr.finish_pretty()
+    )
 }
 
 impl fmt::Display for Table {
@@ -191,7 +170,8 @@ mod tests {
         let json = t.to_json();
         assert!(json.contains("quote \\\" backslash \\\\ newline \\n"));
         assert!(json.contains("tab\\there"));
-        let arr = tables_to_json(&[t.clone(), t]);
-        assert!(arr.starts_with("[\n") && arr.ends_with("\n]"));
+        let doc = tables_to_json(&[t.clone(), t]);
+        assert!(doc.contains("\"schema_version\""));
+        assert!(doc.contains("\"tables\": [\n"));
     }
 }

@@ -260,6 +260,7 @@ impl PositionedFile {
 
     /// Forces written data (and metadata needed to read it back) to disk.
     pub fn sync_data(&self) -> std::io::Result<()> {
+        crate::obs::metrics().device_fsyncs.inc();
         #[cfg(unix)]
         {
             self.file.sync_data()
@@ -274,6 +275,7 @@ impl PositionedFile {
     /// Write-ahead-log segments use this when the commit point is the
     /// record reaching the file, not a later superblock flip.
     pub fn sync_all(&self) -> std::io::Result<()> {
+        crate::obs::metrics().device_fsyncs.inc();
         #[cfg(unix)]
         {
             self.file.sync_all()

@@ -27,6 +27,7 @@
 pub mod device;
 pub mod error;
 pub mod lru;
+pub mod obs;
 pub mod pool;
 pub mod sort;
 pub mod stats;

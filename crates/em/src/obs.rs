@@ -1,0 +1,41 @@
+//! pr-em's catalog of process-wide metrics.
+//!
+//! Registered once in the global `pr-obs` registry on first use; every
+//! device shares these running totals while per-device [`crate::IoCounters`]
+//! remain the exact, resettable per-instance view (experiments snapshot
+//! those; operators read the registry).
+
+use std::sync::OnceLock;
+
+/// Handles to pr-em's registry metrics.
+pub struct Metrics {
+    /// `em_device_reads_total` — block reads across all devices.
+    pub device_reads: pr_obs::Counter,
+    /// `em_device_writes_total` — block writes across all devices.
+    pub device_writes: pr_obs::Counter,
+    /// `em_device_fsyncs_total` — fsyncs through [`crate::PositionedFile`]
+    /// (store commits, WAL groups, compaction renames all funnel here).
+    pub device_fsyncs: pr_obs::Counter,
+}
+
+/// The lazily registered catalog.
+pub fn metrics() -> &'static Metrics {
+    static M: OnceLock<Metrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = pr_obs::global();
+        Metrics {
+            device_reads: r.counter(
+                "em_device_reads_total",
+                "block reads across all block devices",
+            ),
+            device_writes: r.counter(
+                "em_device_writes_total",
+                "block writes across all block devices",
+            ),
+            device_fsyncs: r.counter(
+                "em_device_fsyncs_total",
+                "fsync calls through PositionedFile (store commits, WAL groups)",
+            ),
+        }
+    })
+}

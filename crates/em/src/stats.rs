@@ -22,16 +22,18 @@ impl IoCounters {
         Arc::new(IoCounters::default())
     }
 
-    /// Records `n` block reads.
+    /// Records `n` block reads (here and in the process-wide registry).
     #[inline]
     pub fn add_reads(&self, n: u64) {
         self.reads.fetch_add(n, Ordering::Relaxed);
+        crate::obs::metrics().device_reads.add(n);
     }
 
-    /// Records `n` block writes.
+    /// Records `n` block writes (here and in the process-wide registry).
     #[inline]
     pub fn add_writes(&self, n: u64) {
         self.writes.fetch_add(n, Ordering::Relaxed);
+        crate::obs::metrics().device_writes.add(n);
     }
 
     /// Current totals.

@@ -197,14 +197,28 @@ impl GroupCommit {
                 q.leader_active = false;
                 match res {
                     Ok(()) => {
+                        let n_batches = group.len();
                         q.applied_seq = last_seq;
                         q.written_bytes += bytes;
                         if fsync_mode {
                             q.synced_seq = last_seq;
                             q.synced_bytes = q.written_bytes;
                         }
+                        let inflight = q.written_bytes - q.synced_bytes;
                         self.groups.fetch_add(1, Ordering::Relaxed);
                         self.records.fetch_add(n_ops, Ordering::Relaxed);
+                        let m = crate::obs::metrics();
+                        m.wal_groups.inc();
+                        m.wal_records.add(n_ops);
+                        m.wal_bytes.add(bytes);
+                        m.inflight_wal_bytes.set(inflight);
+                        pr_obs::events().emit(
+                            "group_flush",
+                            format!(
+                                "last_seq={last_seq} batches={n_batches} ops={n_ops} \
+                                 bytes={bytes} fsync={fsync_mode}"
+                            ),
+                        );
                         self.cv.notify_all();
                     }
                     Err(e) => {
@@ -256,6 +270,9 @@ impl GroupCommit {
                 q.synced_seq = q.synced_seq.max(seq);
                 q.synced_bytes = q.synced_bytes.max(bytes);
                 self.fsyncs.fetch_add(1, Ordering::Relaxed);
+                let m = crate::obs::metrics();
+                m.wal_fsyncs.inc();
+                m.inflight_wal_bytes.set(q.written_bytes - q.synced_bytes);
                 self.cv.notify_all();
                 Ok(())
             }

@@ -362,6 +362,7 @@ impl<const D: usize> LiveInner<D> {
                 if fsync_mode {
                     wal.sync()?;
                     self.group.fsyncs.fetch_add(1, Ordering::Relaxed);
+                    crate::obs::metrics().wal_fsyncs.inc();
                 }
             }
             let n_ops: usize = group.iter().map(|b| b.n_ops).sum();
@@ -369,6 +370,9 @@ impl<const D: usize> LiveInner<D> {
             let mut core = self.core.write();
             core.apply_pending(n_ops);
             core.durable_seq = last_seq;
+            crate::obs::metrics()
+                .memtable_items
+                .set(core.memtable.len() as u64);
             Ok(())
         })
     }
@@ -563,6 +567,7 @@ impl<const D: usize> LiveIndex<D> {
 
         // WAL replay: everything past the manifest's cut, in order.
         let mut next_seq = manifest.wal_seq + 1;
+        let mut replayed: u64 = 0;
         let mut scratch = QueryScratch::new();
         let mut hits = Vec::new();
         for rec in records {
@@ -591,7 +596,18 @@ impl<const D: usize> LiveIndex<D> {
             }
             core.durable_seq = rec.seq;
             next_seq = rec.seq + 1;
+            replayed += 1;
         }
+        crate::obs::metrics()
+            .memtable_items
+            .set(core.memtable.len() as u64);
+        pr_obs::events().emit(
+            "wal_replay",
+            format!(
+                "cut_seq={} replayed={replayed} recovered_seq={}",
+                manifest.wal_seq, core.durable_seq
+            ),
+        );
 
         let recovered_seq = core.durable_seq;
         let inner = Arc::new(LiveInner {
@@ -675,6 +691,7 @@ impl<const D: usize> LiveIndex<D> {
         if items.is_empty() {
             return Ok(());
         }
+        let t0 = std::time::Instant::now();
         let inner = &self.inner;
         let last_seq = {
             let mut w = inner.writer.lock();
@@ -704,6 +721,9 @@ impl<const D: usize> LiveIndex<D> {
             last_seq
         };
         inner.commit_wait(last_seq)?;
+        let m = crate::obs::metrics();
+        m.inserts_acked.add(items.len() as u64);
+        m.insert_batch_us.record_duration_us(t0.elapsed());
         let overflow = inner.core.read().memtable.len() >= inner.policy.buffer_cap();
         if overflow {
             self.on_overflow()?;
@@ -737,6 +757,7 @@ impl<const D: usize> LiveIndex<D> {
         if items.is_empty() {
             return Ok(0);
         }
+        let t0 = std::time::Instant::now();
         let inner = &self.inner;
         // Pin the stored structure (sealed + components) with a brief
         // read lock, then probe copies entirely off-lock. Validity: a
@@ -846,6 +867,9 @@ impl<const D: usize> LiveIndex<D> {
             (n_ops as u64, last_seq, any_tombstone)
         };
         inner.commit_wait(last_seq)?;
+        let m = crate::obs::metrics();
+        m.deletes_acked.add(deleted);
+        m.delete_batch_us.record_duration_us(t0.elapsed());
         let needs_compaction = any_tombstone && {
             let core = inner.core.read();
             let stored: u64 = core
@@ -1264,6 +1288,7 @@ impl<const D: usize> LiveSnapshot<D> {
         scratch: &mut QueryScratch<D>,
         out: &mut Vec<Item<D>>,
     ) -> Result<QueryStats, LiveError> {
+        let t0 = std::time::Instant::now();
         out.clear();
         out.extend(self.memtable.iter().filter(|i| i.rect.intersects(query)));
         let mut stats = QueryStats::default();
@@ -1282,6 +1307,9 @@ impl<const D: usize> LiveSnapshot<D> {
             filter.retain_admitted(out, start);
         }
         stats.results = out.len() as u64;
+        crate::obs::metrics()
+            .window_query_us
+            .record_duration_us(t0.elapsed());
         Ok(stats)
     }
 
@@ -1316,6 +1344,7 @@ impl<const D: usize> LiveSnapshot<D> {
         if k == 0 {
             return Ok(stats);
         }
+        let t0 = std::time::Instant::now();
         let mut merged: Vec<(Item<D>, f64)> = self
             .memtable
             .iter()
@@ -1342,6 +1371,9 @@ impl<const D: usize> LiveSnapshot<D> {
         merged.truncate(k);
         out.extend(merged);
         stats.results = out.len() as u64;
+        crate::obs::metrics()
+            .knn_query_us
+            .record_duration_us(t0.elapsed());
         Ok(stats)
     }
 

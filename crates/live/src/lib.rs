@@ -50,6 +50,7 @@ pub mod index;
 pub mod manifest;
 pub mod memtable;
 mod merge;
+pub mod obs;
 pub mod wal;
 
 pub use error::LiveError;

@@ -80,6 +80,8 @@ pub(crate) fn run_merge<const D: usize>(
     kind: MergeKind,
 ) -> Result<(), LiveError> {
     let _serialize = inner.maintenance.lock();
+    let merge_start = std::time::Instant::now();
+    pr_obs::events().emit("merge_start", format!("kind={kind:?}"));
 
     // Phase 1: seal the memtable (if this merge wants it). Quiesce
     // first: with the sequencing lock held no new seqs can be assigned,
@@ -98,6 +100,10 @@ pub(crate) fn run_merge<const D: usize>(
             };
             if should {
                 let batch = core.memtable.drain();
+                let m = crate::obs::metrics();
+                m.memtable_seals.inc();
+                m.memtable_items.set(0);
+                pr_obs::events().emit("memtable_seal", format!("items={}", batch.len()));
                 core.sealed = Some(Arc::new(batch));
                 // "Stored" now covers the batch: off-lock delete probes
                 // pinned before this seal are stale.
@@ -262,6 +268,11 @@ pub(crate) fn run_merge<const D: usize>(
             std::fs::rename(&tmp, inner.dir.join("index.prt"))?;
             fsync_dir(&inner.dir)?;
             *store = Store::open(&inner.dir.join("index.prt"))?;
+            crate::obs::metrics().compactions.inc();
+            pr_obs::events().emit(
+                "compaction",
+                format!("cut_seq={cut_seq} components={}", refs.len()),
+            );
         } else {
             store.save_components(&refs, &app)?;
         }
@@ -313,6 +324,15 @@ pub(crate) fn run_merge<const D: usize>(
         let mut wal = inner.group.wal.lock().expect("wal mutex");
         wal.prune_old()?;
     }
+    let elapsed = merge_start.elapsed();
+    let m = crate::obs::metrics();
+    m.merges.inc();
+    m.merge_us.record_duration_us(elapsed);
+    pr_obs::events().emit_timed(
+        "merge_commit",
+        format!("cut_seq={cut_seq} components={}", slots.len()),
+        elapsed,
+    );
     Ok(())
 }
 

@@ -306,7 +306,11 @@ impl Wal {
     /// acknowledgment point under `Durability::Fsync`; the syncer
     /// thread's heartbeat under `Durability::Async`.
     pub fn sync(&mut self) -> Result<(), LiveError> {
+        let start = std::time::Instant::now();
         self.file.sync_all()?;
+        crate::obs::metrics()
+            .wal_fsync_us
+            .record_duration_us(start.elapsed());
         Ok(())
     }
 
@@ -318,6 +322,8 @@ impl Wal {
         self.file = create_segment(&self.dir, next)?;
         self.seg_index = next;
         self.write_off = SEGMENT_HEADER_SIZE;
+        crate::obs::metrics().wal_rotations.inc();
+        pr_obs::events().emit("wal_rotate", format!("segment={next}"));
         Ok(())
     }
 

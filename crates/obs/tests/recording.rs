@@ -1,0 +1,36 @@
+//! The global recording switch, exercised in a dedicated test binary:
+//! `set_recording` flips process-wide state, so this must not share a
+//! process with tests that assume recording is on.
+
+use pr_obs::{events, set_recording, Registry};
+
+#[test]
+fn recording_switch_gates_counters_histograms_and_events() {
+    let r = Registry::new();
+    let c = r.counter("gated_total", "gated");
+    let h = r.histogram("gated_us", "gated");
+    let ring = events();
+    let before = ring.snapshot().events.len();
+
+    set_recording(false);
+    c.add(10);
+    h.record(10);
+    ring.emit("gated_event", "dropped while disabled");
+    set_recording(true);
+
+    c.add(1);
+    h.record(1);
+    ring.emit("gated_event", "recorded while enabled");
+
+    assert_eq!(c.get(), 1);
+    assert_eq!(h.snapshot().len(), 1);
+    let log = ring.snapshot();
+    let gated: Vec<_> = log
+        .events
+        .iter()
+        .skip(before)
+        .filter(|e| e.kind == "gated_event")
+        .collect();
+    assert_eq!(gated.len(), 1);
+    assert_eq!(gated[0].detail, "recorded while enabled");
+}

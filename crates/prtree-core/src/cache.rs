@@ -471,16 +471,22 @@ impl<const D: usize> LeafCache<D> {
         if epoch < self.retired_below.load(Ordering::Acquire) {
             return;
         }
+        let mut delta = add as i64;
         if let Some((_, old)) = shard.lru.insert((epoch, page), node) {
             shard.bytes -= old.approx_bytes();
+            delta -= old.approx_bytes() as i64;
         }
         shard.bytes += add;
         while shard.bytes > self.shard_budget {
             match shard.lru.pop_lru() {
-                Some((_, evicted)) => shard.bytes -= evicted.approx_bytes(),
+                Some((_, evicted)) => {
+                    shard.bytes -= evicted.approx_bytes();
+                    delta -= evicted.approx_bytes() as i64;
+                }
                 None => break,
             }
         }
+        crate::obs::leaf_cache_bytes_delta(delta);
     }
 
     /// Folds a per-query tally's leaf-cache counts into the shared
@@ -496,6 +502,7 @@ impl<const D: usize> LeafCache<D> {
         let mut shard = self.shard(page).lock();
         if let Some(node) = shard.lru.remove(&(epoch, page)) {
             shard.bytes -= node.approx_bytes();
+            crate::obs::leaf_cache_bytes_delta(-(node.approx_bytes() as i64));
         }
     }
 
@@ -507,6 +514,8 @@ impl<const D: usize> LeafCache<D> {
     /// admissions no longer land in the shared budget.
     pub fn retain_epoch(&self, epoch: u64) {
         self.retired_below.fetch_max(epoch, Ordering::AcqRel);
+        let mut evicted = 0u64;
+        let mut freed = 0u64;
         for shard in &self.shards {
             let mut shard = shard.lock();
             let dead: Vec<(u64, BlockId)> = shard
@@ -518,18 +527,29 @@ impl<const D: usize> LeafCache<D> {
             for key in dead {
                 if let Some(node) = shard.lru.remove(&key) {
                     shard.bytes -= node.approx_bytes();
+                    evicted += 1;
+                    freed += node.approx_bytes() as u64;
                 }
             }
         }
+        crate::obs::leaf_cache_bytes_delta(-(freed as i64));
+        crate::obs::metrics().cache_epochs_retired.inc();
+        pr_obs::events().emit(
+            "cache_epoch_retire",
+            format!("epoch={epoch} evicted={evicted} freed_bytes={freed}"),
+        );
     }
 
     /// Drops everything (keeps hit statistics).
     pub fn clear(&self) {
+        let mut freed = 0u64;
         for shard in &self.shards {
             let mut shard = shard.lock();
             shard.lru.drain();
+            freed += shard.bytes as u64;
             shard.bytes = 0;
         }
+        crate::obs::leaf_cache_bytes_delta(-(freed as i64));
     }
 
     /// Cached leaves across all shards.

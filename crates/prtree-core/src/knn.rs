@@ -191,6 +191,7 @@ impl<const D: usize> RTree<D> {
         stats.leaf_cache_hits = tally.leaf_hits;
         stats.leaf_cache_misses = tally.leaf_misses;
         self.record_cache_tally(tally);
+        crate::obs::record_query(crate::obs::QueryKind::Knn, &stats);
         walk.map(|()| stats)
     }
 }

@@ -54,6 +54,7 @@ pub mod dynamic;
 pub mod entry;
 pub mod knn;
 pub mod meta;
+pub mod obs;
 pub mod page;
 pub mod params;
 pub mod pseudo;

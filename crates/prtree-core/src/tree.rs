@@ -274,6 +274,7 @@ impl<const D: usize> RTree<D> {
         if let Some((cache, _)) = &self.leaf_cache {
             cache.record(tally);
         }
+        crate::obs::record_cache(&tally);
     }
 
     /// Writes a node page and invalidates (then re-admits) its cache slot.

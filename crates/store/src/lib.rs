@@ -95,6 +95,7 @@ pub mod crc;
 pub mod device;
 pub mod error;
 pub mod format;
+pub mod obs;
 pub mod store;
 
 pub use crc::crc32;

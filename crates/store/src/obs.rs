@@ -1,0 +1,48 @@
+//! pr-store's catalog of process-wide metrics.
+//!
+//! Commits and scrubs are rare, heavyweight operations, so each one
+//! records a counter bump, a latency sample, and a lifecycle event —
+//! the full treatment, since the cost of recording vanishes next to
+//! the fsyncs the operation itself performs.
+
+use std::sync::OnceLock;
+
+/// Handles to pr-store's registry metrics.
+pub struct Metrics {
+    /// `store_commits_total` — successful snapshot commits (superblock
+    /// flips).
+    pub commits: pr_obs::Counter,
+    /// `store_commit_pages_total` — pages written by commits.
+    pub commit_pages: pr_obs::Counter,
+    /// `store_commit_us` — commit latency (BFS copy through superblock
+    /// flip).
+    pub commit_us: pr_obs::Histogram,
+    /// `store_scrubs_total` — completed full-snapshot scrubs.
+    pub scrubs: pr_obs::Counter,
+    /// `store_scrub_pages_total` — pages re-hashed by scrubs.
+    pub scrub_pages: pr_obs::Counter,
+    /// `store_scrub_us` — scrub latency.
+    pub scrub_us: pr_obs::Histogram,
+}
+
+/// The lazily registered catalog.
+pub fn metrics() -> &'static Metrics {
+    static M: OnceLock<Metrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = pr_obs::global();
+        Metrics {
+            commits: r.counter(
+                "store_commits_total",
+                "successful snapshot commits (superblock flips)",
+            ),
+            commit_pages: r.counter("store_commit_pages_total", "pages written by commits"),
+            commit_us: r.histogram(
+                "store_commit_us",
+                "commit latency in microseconds (copy, fsync, flip)",
+            ),
+            scrubs: r.counter("store_scrubs_total", "completed full-snapshot scrubs"),
+            scrub_pages: r.counter("store_scrub_pages_total", "pages re-hashed by scrubs"),
+            scrub_us: r.histogram("store_scrub_us", "scrub latency in microseconds"),
+        }
+    })
+}

@@ -236,6 +236,7 @@ impl Store {
         trees: &[&RTree<D>],
         app: Option<&[u8]>,
     ) -> Result<(), StoreError> {
+        let commit_start = std::time::Instant::now();
         if self.read_only {
             return Err(StoreError::ReadOnly);
         }
@@ -381,6 +382,20 @@ impl Store {
         self.map = map_snapshot(&self.file, &self.sb);
         self.verified = Arc::new(VerifiedBitmap::new(self.sb.num_pages));
         self.manifest = manifest;
+        let m = crate::obs::metrics();
+        m.commits.inc();
+        m.commit_pages.add(written);
+        m.commit_us.record_duration_us(commit_start.elapsed());
+        pr_obs::events().emit_timed(
+            "store_commit",
+            format!(
+                "epoch={} components={} pages={}",
+                self.sb.epoch,
+                trees.len(),
+                written
+            ),
+            commit_start.elapsed(),
+        );
         Ok(())
     }
 
@@ -494,7 +509,21 @@ impl Store {
     /// before the typed error returns, so it cannot be served from its
     /// stale verification afterwards.
     pub fn scrub(&self) -> Result<ScrubReport, StoreError> {
-        self.snapshot_device(ReadPath::ZeroCopy).scrub()
+        let start = std::time::Instant::now();
+        let report = self.snapshot_device(ReadPath::ZeroCopy).scrub()?;
+        let m = crate::obs::metrics();
+        m.scrubs.inc();
+        m.scrub_pages.add(report.pages);
+        m.scrub_us.record_duration_us(start.elapsed());
+        pr_obs::events().emit_timed(
+            "scrub",
+            format!(
+                "epoch={} pages={} already_verified={}",
+                self.sb.epoch, report.pages, report.already_verified
+            ),
+            start.elapsed(),
+        );
+        Ok(report)
     }
 
     /// [`Store::scrub`] without the report (compatibility wrapper).

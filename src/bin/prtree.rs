@@ -35,6 +35,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
+    init_obs();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("build") => cmd_build(&args[1..]),
@@ -44,6 +45,7 @@ fn main() {
         Some("query") => cmd_query(&args[1..]),
         Some("knn") => cmd_knn(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("events") => cmd_events(&args[1..]),
         Some("--help") | Some("-h") | None => {
             usage();
             0
@@ -70,7 +72,7 @@ fn usage() {
          \x20 ingest DIR [--data KIND] [--n N] [--seed S] [--id-base B] [--batch SIZE]\n\
          \x20        [--writers W] [--durability fsync|async|async:BYTES]\n\
          \x20        [--buffer-cap C] [--cap C] [--leaf-cache-bytes B] [--inline-merge]\n\
-         \x20        [--flush]\n\
+         \x20        [--flush] [--metrics-file FILE]\n\
          \x20       durably insert N synthetic items into the live index at DIR\n\
          \x20       (created on first use). --writers W shards the stream over W\n\
          \x20       threads whose batches coalesce into shared group-commit\n\
@@ -80,6 +82,8 @@ fn usage() {
          \x20       at most BYTES unsynced WAL bytes, default 8 MiB);\n\
          \x20       --id-base offsets ids so successive ingests\n\
          \x20       stay unique; --flush forces a merge commit before exiting;\n\
+         \x20       --metrics-file FILE periodically flushes the metrics registry\n\
+         \x20       to FILE as JSON (atomic rename; final flush on exit);\n\
          \x20       --inline-merge runs merges on the writer instead of the\n\
          \x20       background thread. Every live-dir command accepts\n\
          \x20       --leaf-cache-bytes B (shared transcoded-leaf cache across the\n\
@@ -101,12 +105,83 @@ fn usage() {
          \x20       reopen the index and report the K nearest rectangles (default K=5).\n\
          \x20       query/knn/stats accept --paranoid: re-hash every store page on\n\
          \x20       every read (CRC rechecked each touch) instead of verify-once\n\
-         \x20 stats FILE|DIR [--no-verify] [--paranoid]\n\
+         \x20 stats FILE|DIR [--no-verify] [--paranoid] [--json]\n\
          \x20       store file: dump the superblock, eagerly scrub every page CRC\n\
          \x20       through the verify-once bitmap (reporting verified/total), report\n\
-         \x20       tree shape + I/O counters (--no-verify stops after the superblock\n\
-         \x20       dump). Live dir: WAL/memtable/component/tombstone/leaf-cache state"
+         \x20       tree shape (--no-verify stops after the superblock dump).\n\
+         \x20       Live dir: WAL/memtable/component/tombstone state. Both paths end\n\
+         \x20       with the process-wide metrics registry (one formatter; the\n\
+         \x20       --leaf-cache-bytes budget applies to both). --json emits the\n\
+         \x20       registry snapshot + lifecycle events as one JSON document\n\
+         \x20 events FILE|DIR [--limit N] [--json] [--paranoid]\n\
+         \x20       replay the lifecycle event ring after opening the index (store\n\
+         \x20       file: open + scrub; live dir: open + WAL replay) — WAL rotations,\n\
+         \x20       group flushes, seals, merges, compactions, scrubs, cache epochs"
     );
+}
+
+/// Touches every layer's metric catalog so a registry snapshot always
+/// carries the full key set, even for counters still at zero — CI
+/// parses `stats --json` and asserts on key presence.
+fn init_obs() {
+    pr_em::obs::metrics();
+    pr_tree::obs::metrics();
+    pr_store::obs::metrics();
+    pr_live::obs::metrics();
+}
+
+/// The one stats formatter both the store-file and live-dir paths end
+/// with: the process-wide registry, as human-readable lines or as the
+/// versioned JSON document (with the lifecycle event ring).
+fn report_registry(json: bool) -> i32 {
+    let snap = pr_obs::global().snapshot();
+    if json {
+        let events = pr_obs::events().snapshot();
+        println!("{}", pr_obs::snapshot_json(&snap, Some(&events)));
+    } else {
+        print_metrics_human(&snap);
+    }
+    0
+}
+
+fn print_metrics_human(snap: &pr_obs::RegistrySnapshot) {
+    println!("metrics (process-wide registry):");
+    for m in &snap.metrics {
+        let name = if m.labels.is_empty() {
+            m.name.clone()
+        } else {
+            let labels: Vec<String> = m.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("{}{{{}}}", m.name, labels.join(","))
+        };
+        match &m.value {
+            pr_obs::MetricValue::Counter(v) | pr_obs::MetricValue::Gauge(v) => {
+                println!("  {name:<44} {v}");
+            }
+            pr_obs::MetricValue::Histogram(h) if h.is_empty() => {
+                println!("  {name:<44} count=0");
+            }
+            pr_obs::MetricValue::Histogram(h) => {
+                println!(
+                    "  {name:<44} count={} p50={} p99={} max={}",
+                    h.len(),
+                    h.quantile(0.5),
+                    h.quantile(0.99),
+                    h.max()
+                );
+            }
+        }
+    }
+}
+
+/// Writes the registry snapshot + event ring to `path` atomically
+/// (temp file + rename), so a reader never sees a torn document.
+fn write_metrics_file(path: &Path) -> std::io::Result<()> {
+    let snap = pr_obs::global().snapshot();
+    let events = pr_obs::events().snapshot();
+    let doc = pr_obs::snapshot_json(&snap, Some(&events));
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, doc)?;
+    std::fs::rename(&tmp, path)
 }
 
 /// Tiny flag parser: `--key value` pairs plus positional arguments.
@@ -400,6 +475,7 @@ fn cmd_ingest(args: &[String]) -> i32 {
             "leaf-cache-bytes",
             "durability",
             "writers",
+            "metrics-file",
         ],
         &["inline-merge", "flush"],
     ) {
@@ -457,6 +533,23 @@ fn cmd_ingest(args: &[String]) -> i32 {
         Ok(ix) => ix,
         Err(e) => return fail(e),
     };
+    // Periodic metrics flusher: a background thread rewrites FILE
+    // (atomic rename) every 500 ms while the ingest runs, then a final
+    // flush below captures the finished totals.
+    let metrics_file = opts.get("metrics-file").map(PathBuf::from);
+    let stop_flusher = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let flusher = metrics_file.clone().map(|path| {
+        let stop = Arc::clone(&stop_flusher);
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                if let Err(e) = write_metrics_file(&path) {
+                    eprintln!("warning: could not write {}: {e}", path.display());
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(500));
+            }
+        })
+    });
     let t0 = Instant::now();
     // With --writers N the items are sharded across N threads whose
     // batches coalesce into shared group-commit fsyncs.
@@ -494,6 +587,16 @@ fn cmd_ingest(args: &[String]) -> i32 {
         }
     }
     let total_s = t0.elapsed().as_secs_f64();
+    stop_flusher.store(true, std::sync::atomic::Ordering::Relaxed);
+    if let Some(h) = flusher {
+        h.join().expect("metrics flusher panicked");
+    }
+    if let Some(path) = &metrics_file {
+        match write_metrics_file(path) {
+            Ok(()) => println!("wrote metrics to {}", path.display()),
+            Err(e) => return fail(format!("could not write {}: {e}", path.display())),
+        }
+    }
     println!(
         "ingested {n} items ({data}, seed {seed}, ids {id_base}..{}) with {writers} \
          writer(s) in {acked_s:.2}s acked ({:.0} items/s), {total_s:.2}s to idle",
@@ -894,7 +997,7 @@ fn cmd_stats(args: &[String]) -> i32 {
     let opts = match Opts::parse(
         args,
         &["buffer-cap", "leaf-cache-bytes"],
-        &["no-verify", "inline-merge", "paranoid"],
+        &["no-verify", "inline-merge", "paranoid", "json"],
     ) {
         Ok(o) => o,
         Err(e) => return fail(e),
@@ -902,6 +1005,7 @@ fn cmd_stats(args: &[String]) -> i32 {
     let [file] = opts.positional.as_slice() else {
         return fail("stats expects exactly one FILE argument");
     };
+    let json = opts.has("json");
     if Path::new(file).is_dir() {
         let lo = match live_opts(&opts) {
             Ok(lo) => lo,
@@ -911,61 +1015,64 @@ fn cmd_stats(args: &[String]) -> i32 {
             Ok(ix) => ix,
             Err(code) => return code,
         };
-        return print_live_stats(&ix);
-    }
-    if opts.get("leaf-cache-bytes").is_some() {
-        // The store-file stats path scrubs and walks the tree through
-        // the maintenance reader, which never consults a leaf cache —
-        // say so instead of silently accepting a no-op knob.
-        eprintln!(
-            "note: --leaf-cache-bytes affects query/knn and live \
-             directories; stats on a store file ignores it"
-        );
+        if !json {
+            let code = print_live_stats(&ix);
+            if code != 0 {
+                return code;
+            }
+        }
+        return report_registry(json);
     }
     let store = match Store::open(Path::new(file)) {
         Ok(s) => s,
         Err(e) => return fail(e),
     };
     let sb = *store.superblock();
-    println!("store:        {file}");
-    println!("format:       v{} (pr-store)", pr_store::FORMAT_VERSION);
-    println!(
-        "superblock:   slot {} of 2, epoch {}",
-        store.active_slot(),
-        sb.epoch
-    );
-    println!("dimension:    {}", sb.dim);
-    println!("block size:   {} bytes", sb.block_size);
-    println!(
-        "pages:        {} ({} bytes of pages)",
-        sb.num_pages,
-        sb.num_pages * sb.block_size as u64
-    );
-    println!(
-        "layout:       data @ {}, checksum table @ {}, footer @ {}",
-        sb.data_offset, sb.table_offset, sb.footer_offset
-    );
-    if let Ok(len) = store.file_len() {
-        println!("file length:  {len} bytes");
+    if !json {
+        println!("store:        {file}");
+        println!("format:       v{} (pr-store)", pr_store::FORMAT_VERSION);
+        println!(
+            "superblock:   slot {} of 2, epoch {}",
+            store.active_slot(),
+            sb.epoch
+        );
+        println!("dimension:    {}", sb.dim);
+        println!("block size:   {} bytes", sb.block_size);
+        println!(
+            "pages:        {} ({} bytes of pages)",
+            sb.num_pages,
+            sb.num_pages * sb.block_size as u64
+        );
+        println!(
+            "layout:       data @ {}, checksum table @ {}, footer @ {}",
+            sb.data_offset, sb.table_offset, sb.footer_offset
+        );
+        if let Ok(len) = store.file_len() {
+            println!("file length:  {len} bytes");
+        }
+        println!(
+            "tree meta:    {} items, root level {}, leaf/node cap {}/{}, page size {}",
+            sb.meta.len,
+            sb.meta.root_level,
+            sb.meta.params.leaf_cap,
+            sb.meta.params.node_cap,
+            sb.meta.params.page_size
+        );
     }
-    println!(
-        "tree meta:    {} items, root level {}, leaf/node cap {}/{}, page size {}",
-        sb.meta.len,
-        sb.meta.root_level,
-        sb.meta.params.leaf_cap,
-        sb.meta.params.node_cap,
-        sb.meta.params.page_size
-    );
     if !sb.has_snapshot() {
-        println!("snapshot:     none committed yet");
-        return 0;
+        if !json {
+            println!("snapshot:     none committed yet");
+        }
+        return report_registry(json);
     }
 
     if opts.has("no-verify") {
         // Metadata-only mode: no page is read, so this works (and stays
         // fast) even when the page region is damaged or huge.
-        println!("checksums:    skipped (--no-verify; superblock metadata only)");
-        return 0;
+        if !json {
+            println!("checksums:    skipped (--no-verify; superblock metadata only)");
+        }
+        return report_registry(json);
     }
     // Eager scrub: re-hashes every page (its job is catching bit rot
     // even on pages earlier reads already verified) and marks them all
@@ -973,44 +1080,136 @@ fn cmd_stats(args: &[String]) -> i32 {
     // traversal below, which shares that bitmap, re-verifies nothing.
     let t0 = Instant::now();
     match store.scrub() {
-        Ok(report) => println!(
-            "checksums:    all {} pages scrubbed in {:.1} ms \
-             ({} were already verified by earlier reads)",
-            report.pages,
-            t0.elapsed().as_secs_f64() * 1e3,
-            report.already_verified,
-        ),
+        Ok(report) => {
+            if !json {
+                println!(
+                    "checksums:    all {} pages scrubbed in {:.1} ms \
+                     ({} were already verified by earlier reads)",
+                    report.pages,
+                    t0.elapsed().as_secs_f64() * 1e3,
+                    report.already_verified,
+                );
+            }
+        }
         Err(e) => return fail(e),
     }
 
+    // The tree walk below goes through the same read path as query/knn,
+    // leaf cache included — so --leaf-cache-bytes means the same thing
+    // on every stats invocation, file or directory.
+    let lcb = match parse_leaf_cache_bytes(&opts, pr_tree::DEFAULT_LEAF_CACHE_BYTES) {
+        Ok(b) => b,
+        Err(e) => return fail(e),
+    };
     let read_path = if opts.has("paranoid") {
         ReadPath::Recheck
     } else {
         ReadPath::ZeroCopy
     };
-    let tree = match store.tree_with::<2>(read_path) {
+    let mut tree = match store.tree_with::<2>(read_path) {
         Ok(t) => t,
         Err(e) => return fail(e),
     };
+    if lcb > 0 {
+        let cache = Arc::new(LeafCache::new(lcb));
+        let epoch = cache.register_epoch();
+        tree.attach_leaf_cache(cache, epoch);
+    }
     match tree.stats() {
         Ok(s) => {
-            println!(
-                "tree shape:   {} nodes ({} leaves), utilization {:.1}% (leaves {:.1}%)",
-                s.num_nodes(),
-                s.num_leaves(),
-                s.utilization() * 100.0,
-                s.leaf_utilization() * 100.0
-            );
-            println!("nodes/level:  {:?} (leaves first)", s.nodes_per_level);
+            if !json {
+                println!(
+                    "tree shape:   {} nodes ({} leaves), utilization {:.1}% (leaves {:.1}%)",
+                    s.num_nodes(),
+                    s.num_leaves(),
+                    s.utilization() * 100.0,
+                    s.leaf_utilization() * 100.0
+                );
+                println!("nodes/level:  {:?} (leaves first)", s.nodes_per_level);
+            }
         }
         Err(e) => return fail(e),
     }
-    let io = tree.device().io_stats();
-    let (verified, total) = store.verified_pages();
-    println!(
-        "I/O counters: {} reads, {} writes through the store device",
-        io.reads, io.writes
-    );
-    println!("verify-once:  {verified}/{total} pages verified; reads of verified pages skip CRC");
+    if !json {
+        let io = tree.device().io_stats();
+        let (verified, total) = store.verified_pages();
+        println!(
+            "I/O counters: {} reads, {} writes through the store device",
+            io.reads, io.writes
+        );
+        println!(
+            "verify-once:  {verified}/{total} pages verified; reads of verified pages skip CRC"
+        );
+    }
+    report_registry(json)
+}
+
+fn cmd_events(args: &[String]) -> i32 {
+    let opts = match Opts::parse(
+        args,
+        &["buffer-cap", "leaf-cache-bytes", "limit"],
+        &["inline-merge", "paranoid", "json"],
+    ) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let [file] = opts.positional.as_slice() else {
+        return fail("events expects exactly one FILE argument");
+    };
+    let json = opts.has("json");
+    let limit: usize = match opts.get("limit").map(str::parse) {
+        None => usize::MAX,
+        Some(Ok(l)) => l,
+        Some(Err(_)) => return fail("--limit expects an integer"),
+    };
+    // Drive the index through its lifecycle so the ring has something
+    // to say: a live dir replays its WAL on open, a store file gets a
+    // full scrub.
+    if Path::new(file).is_dir() {
+        let lo = match live_opts(&opts) {
+            Ok(lo) => lo,
+            Err(e) => return fail(e),
+        };
+        let _ix = match open_live(file, lo) {
+            Ok(ix) => ix,
+            Err(code) => return code,
+        };
+    } else {
+        let store = match Store::open(Path::new(file)) {
+            Ok(s) => s,
+            Err(e) => return fail(e),
+        };
+        if store.superblock().has_snapshot() {
+            if let Err(e) = store.scrub() {
+                return fail(e);
+            }
+        }
+    }
+    let log = pr_obs::events().snapshot();
+    let skip = log.events.len().saturating_sub(limit);
+    if json {
+        let mut arr = pr_obs::json::JsonArr::new();
+        for e in &log.events[skip..] {
+            arr.push_raw(pr_obs::event_json(e));
+        }
+        let mut obj = pr_obs::json::JsonObj::new();
+        obj.u64("schema_version", pr_obs::SCHEMA_VERSION)
+            .raw("events", &arr.finish_pretty())
+            .u64("events_dropped", log.dropped);
+        println!("{}", obj.finish());
+    } else {
+        println!(
+            "{} lifecycle event(s) ({} dropped by the bounded ring):",
+            log.events.len(),
+            log.dropped
+        );
+        for e in &log.events[skip..] {
+            let dur = e
+                .duration_us
+                .map(|d| format!("  [{d} µs]"))
+                .unwrap_or_default();
+            println!("  #{:<4} {:<18} {}{dur}", e.seq, e.kind, e.detail);
+        }
+    }
     0
 }
