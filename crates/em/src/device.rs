@@ -7,6 +7,7 @@
 //! the same algorithms run unchanged against a real file.
 
 use crate::error::EmError;
+use crate::fault::{self, Decision, OpClass, Realm};
 use crate::stats::{IoCounters, IoStats};
 use crate::Result;
 #[cfg(not(unix))]
@@ -22,6 +23,37 @@ pub type BlockId = u64;
 
 /// The paper's disk block size: 4KB (§3.1).
 pub const DEFAULT_BLOCK_SIZE: usize = 4096;
+
+/// How many times a syscall interrupted by a signal (`EINTR`) is
+/// transparently retried before the error surfaces. Bounded: a signal
+/// storm (or a sticky injected `EINTR`) must eventually fail loudly
+/// instead of hanging the caller.
+const MAX_EINTR_RETRIES: u32 = 8;
+
+/// Runs `op`, retrying `EINTR` with bounded exponential backoff. Any
+/// error that finally surfaces — retries exhausted or a different kind —
+/// is counted in `em_io_errors_total` and emitted as an `io_error`
+/// event, so operators see every failure callers have to handle.
+fn retry_io<T>(mut op: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
+    let mut attempts = 0u32;
+    loop {
+        match op() {
+            Err(e)
+                if e.kind() == std::io::ErrorKind::Interrupted && attempts < MAX_EINTR_RETRIES =>
+            {
+                attempts += 1;
+                crate::obs::metrics().io_retries.inc();
+                std::thread::sleep(std::time::Duration::from_micros(20u64 << attempts.min(6)));
+            }
+            Err(e) => {
+                crate::obs::metrics().io_errors.inc();
+                pr_obs::events().emit("io_error", format!("{e}"));
+                return Err(e);
+            }
+            ok => return ok,
+        }
+    }
+}
 
 /// A device of fixed-size blocks with exact transfer accounting.
 ///
@@ -132,7 +164,22 @@ impl PositionedFile {
     /// Fills `buf` from byte `offset`, zero-filling anything past the
     /// materialized end of the file (sparse-file semantics: unwritten
     /// regions read as zeros, mirroring zero-initialized allocation).
+    /// `EINTR` is retried with bounded backoff.
     pub fn read_exact_or_zero_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+        retry_io(
+            || match fault::on_op(Realm::File, OpClass::Read, buf.len()) {
+                Decision::Proceed => self.read_exact_or_zero_at_impl(buf, offset),
+                Decision::Fail(e) | Decision::Torn { errno: e, .. } => Err(e.to_io_error()),
+                Decision::FlipBit { bit } => {
+                    self.read_exact_or_zero_at_impl(buf, offset)?;
+                    fault::flip_bit(buf, bit);
+                    Ok(())
+                }
+            },
+        )
+    }
+
+    fn read_exact_or_zero_at_impl(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
         #[cfg(unix)]
         {
             use std::os::unix::fs::FileExt;
@@ -165,8 +212,29 @@ impl PositionedFile {
         }
     }
 
-    /// Writes all of `buf` at byte `offset`.
+    /// Writes all of `buf` at byte `offset`. `EINTR` is retried with
+    /// bounded backoff.
     pub fn write_all_at(&self, buf: &[u8], offset: u64) -> std::io::Result<()> {
+        retry_io(
+            || match fault::on_op(Realm::File, OpClass::Write, buf.len()) {
+                Decision::Proceed => self.write_all_at_impl(buf, offset),
+                Decision::Fail(e) => Err(e.to_io_error()),
+                Decision::Torn { keep, errno } => {
+                    // The short-write-then-fail shape: a strict prefix
+                    // reaches the file before the error surfaces.
+                    let _ = self.write_all_at_impl(&buf[..keep], offset);
+                    Err(errno.to_io_error())
+                }
+                Decision::FlipBit { bit } => {
+                    let mut copy = buf.to_vec();
+                    fault::flip_bit(&mut copy, bit);
+                    self.write_all_at_impl(&copy, offset)
+                }
+            },
+        )
+    }
+
+    fn write_all_at_impl(&self, buf: &[u8], offset: u64) -> std::io::Result<()> {
         #[cfg(unix)]
         {
             use std::os::unix::fs::FileExt;
@@ -187,8 +255,41 @@ impl PositionedFile {
     /// gathers the whole group in the common case); elsewhere this
     /// degrades to one `write_all_at` per buffer. The WAL's group-commit
     /// leader uses it to land a queue of independently encoded batches
-    /// in a single syscall ahead of the one shared fsync.
+    /// in a single syscall ahead of the one shared fsync. The whole
+    /// gather counts as **one** op for fault injection (it is one
+    /// logical append); a torn fault keeps a prefix of the logical
+    /// concatenation.
     pub fn write_all_vectored_at(&self, bufs: &[&[u8]], offset: u64) -> std::io::Result<()> {
+        let total: usize = bufs.iter().map(|b| b.len()).sum();
+        retry_io(|| match fault::on_op(Realm::File, OpClass::Write, total) {
+            Decision::Proceed => self.write_all_vectored_at_impl(bufs, offset),
+            Decision::Fail(e) => Err(e.to_io_error()),
+            Decision::Torn { keep, errno } => {
+                let mut remaining = keep;
+                let mut off = offset;
+                for b in bufs {
+                    if remaining == 0 {
+                        break;
+                    }
+                    let n = b.len().min(remaining);
+                    let _ = self.write_all_at_impl(&b[..n], off);
+                    off += n as u64;
+                    remaining -= n;
+                }
+                Err(errno.to_io_error())
+            }
+            Decision::FlipBit { bit } => {
+                let mut flat: Vec<u8> = Vec::with_capacity(total);
+                for b in bufs {
+                    flat.extend_from_slice(b);
+                }
+                fault::flip_bit(&mut flat, bit);
+                self.write_all_at_impl(&flat, offset)
+            }
+        })
+    }
+
+    fn write_all_vectored_at_impl(&self, bufs: &[&[u8]], offset: u64) -> std::io::Result<()> {
         #[cfg(all(unix, target_pointer_width = "64"))]
         {
             use std::os::unix::io::AsRawFd;
@@ -261,6 +362,13 @@ impl PositionedFile {
     /// Forces written data (and metadata needed to read it back) to disk.
     pub fn sync_data(&self) -> std::io::Result<()> {
         crate::obs::metrics().device_fsyncs.inc();
+        retry_io(|| match fault::on_op(Realm::File, OpClass::Fsync, 0) {
+            Decision::Fail(e) | Decision::Torn { errno: e, .. } => Err(e.to_io_error()),
+            _ => self.sync_data_impl(),
+        })
+    }
+
+    fn sync_data_impl(&self) -> std::io::Result<()> {
         #[cfg(unix)]
         {
             self.file.sync_data()
@@ -276,6 +384,13 @@ impl PositionedFile {
     /// record reaching the file, not a later superblock flip.
     pub fn sync_all(&self) -> std::io::Result<()> {
         crate::obs::metrics().device_fsyncs.inc();
+        retry_io(|| match fault::on_op(Realm::File, OpClass::Fsync, 0) {
+            Decision::Fail(e) | Decision::Torn { errno: e, .. } => Err(e.to_io_error()),
+            _ => self.sync_all_impl(),
+        })
+    }
+
+    fn sync_all_impl(&self) -> std::io::Result<()> {
         #[cfg(unix)]
         {
             self.file.sync_all()
@@ -288,8 +403,16 @@ impl PositionedFile {
 
     /// Truncates (or extends, zero-filled) the file to `len` bytes.
     /// WAL recovery uses this to chop a torn tail off a log segment so
-    /// later appends land on a clean boundary.
+    /// later appends land on a clean boundary. Faultable as its own
+    /// [`OpClass::Trunc`] class (a full disk fails writes, not shrinks).
     pub fn set_len(&self, len: u64) -> std::io::Result<()> {
+        retry_io(|| match fault::on_op(Realm::File, OpClass::Trunc, 0) {
+            Decision::Fail(e) | Decision::Torn { errno: e, .. } => Err(e.to_io_error()),
+            _ => self.set_len_impl(len),
+        })
+    }
+
+    fn set_len_impl(&self, len: u64) -> std::io::Result<()> {
         #[cfg(unix)]
         {
             self.file.set_len(len)
@@ -313,6 +436,11 @@ impl PositionedFile {
     /// like an open descriptor: unlinking or renaming over the file
     /// leaves existing [`Mmap`]s (and their readers) intact.
     pub fn map_readonly(&self, len: u64) -> std::io::Result<Option<Mmap>> {
+        if fault::mmap_denied() {
+            // An installed schedule is forcing the positioned-read
+            // fallback path; `None` is the documented "no mapping" case.
+            return Ok(None);
+        }
         let len = len.min(self.len()?);
         if len == 0 {
             return Ok(None);
@@ -495,6 +623,13 @@ impl Mmap {
 /// non-unix platforms this is a best-effort no-op (the rename itself is
 /// still atomic; only its crash-durability ordering is weaker).
 pub fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    retry_io(|| match fault::on_op(Realm::File, OpClass::Fsync, 0) {
+        Decision::Fail(e) | Decision::Torn { errno: e, .. } => Err(e.to_io_error()),
+        _ => fsync_dir_impl(dir),
+    })
+}
+
+fn fsync_dir_impl(dir: &Path) -> std::io::Result<()> {
     #[cfg(unix)]
     {
         File::open(dir)?.sync_all()
@@ -563,6 +698,13 @@ impl BlockDevice for MemDevice {
                 want: self.block_size,
             });
         }
+        let flip = match fault::on_op(Realm::Mem, OpClass::Read, buf.len()) {
+            Decision::Proceed => None,
+            Decision::Fail(e) | Decision::Torn { errno: e, .. } => {
+                return Err(EmError::Io(e.to_io_error()))
+            }
+            Decision::FlipBit { bit } => Some(bit),
+        };
         let blocks = self.blocks.read();
         let slot = blocks.get(block as usize).ok_or(EmError::BlockOutOfRange {
             block,
@@ -573,6 +715,9 @@ impl BlockDevice for MemDevice {
             .ok_or_else(|| EmError::Corrupt(format!("read of discarded block {block}")))?;
         buf.copy_from_slice(src);
         drop(blocks);
+        if let Some(bit) = flip {
+            fault::flip_bit(buf, bit);
+        }
         self.counters.add_reads(1);
         Ok(())
     }
@@ -580,9 +725,13 @@ impl BlockDevice for MemDevice {
     fn with_block(
         &self,
         block: BlockId,
-        _scratch: &mut Vec<u8>,
+        scratch: &mut Vec<u8>,
         f: &mut dyn FnMut(&[u8]),
     ) -> Result<()> {
+        let decision = fault::on_op(Realm::Mem, OpClass::Read, self.block_size);
+        if let Decision::Fail(e) | Decision::Torn { errno: e, .. } = decision {
+            return Err(EmError::Io(e.to_io_error()));
+        }
         // Zero-copy: hand out the stored block under a *read* lock (any
         // number of concurrent readers) instead of memcpy-ing a page the
         // caller will only transcode once.
@@ -594,7 +743,14 @@ impl BlockDevice for MemDevice {
         let src = slot
             .as_ref()
             .ok_or_else(|| EmError::Corrupt(format!("read of discarded block {block}")))?;
-        f(src);
+        if let Decision::FlipBit { bit } = decision {
+            scratch.clear();
+            scratch.extend_from_slice(src);
+            fault::flip_bit(scratch, bit);
+            f(scratch);
+        } else {
+            f(src);
+        }
         drop(blocks);
         self.counters.add_reads(1);
         Ok(())
@@ -607,14 +763,41 @@ impl BlockDevice for MemDevice {
                 want: self.block_size,
             });
         }
+        let decision = fault::on_op(Realm::Mem, OpClass::Write, buf.len());
+        if let Decision::Fail(e) = decision {
+            return Err(EmError::Io(e.to_io_error()));
+        }
         let mut blocks = self.blocks.write();
         let len = blocks.len() as u64;
         let slot = blocks
             .get_mut(block as usize)
             .ok_or(EmError::BlockOutOfRange { block, len })?;
-        match slot {
-            Some(dst) => dst.copy_from_slice(buf),
-            None => *slot = Some(buf.to_vec().into_boxed_slice()),
+        match decision {
+            Decision::Torn { keep, errno } => {
+                // A prefix lands, then the write fails — same shape a
+                // file-backed short write leaves on disk.
+                match slot {
+                    Some(dst) => dst[..keep].copy_from_slice(&buf[..keep]),
+                    None => {
+                        let mut fresh = vec![0u8; self.block_size];
+                        fresh[..keep].copy_from_slice(&buf[..keep]);
+                        *slot = Some(fresh.into_boxed_slice());
+                    }
+                }
+                return Err(EmError::Io(errno.to_io_error()));
+            }
+            Decision::FlipBit { bit } => {
+                let mut copy = buf.to_vec();
+                fault::flip_bit(&mut copy, bit);
+                match slot {
+                    Some(dst) => dst.copy_from_slice(&copy),
+                    None => *slot = Some(copy.into_boxed_slice()),
+                }
+            }
+            _ => match slot {
+                Some(dst) => dst.copy_from_slice(buf),
+                None => *slot = Some(buf.to_vec().into_boxed_slice()),
+            },
         }
         drop(blocks);
         self.counters.add_writes(1);

@@ -71,6 +71,31 @@ impl From<std::io::Error> for EmError {
     }
 }
 
+/// True for I/O error kinds a caller can reasonably expect to clear up
+/// when conditions change — the transient side of the transient-vs-fatal
+/// classification the upper layers' retry and degraded-mode logic is
+/// built on: interrupted syscalls, a full disk or quota (space can be
+/// freed), timeouts and would-block. `EIO` and everything else are
+/// fatal: the device itself failed, retrying cannot help.
+pub fn io_error_is_transient(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::StorageFull
+            | std::io::ErrorKind::QuotaExceeded
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+    )
+}
+
+impl EmError {
+    /// True when the underlying failure is transient per
+    /// [`io_error_is_transient`] (only I/O-backed variants can be).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, EmError::Io(e) if io_error_is_transient(e))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -26,6 +26,7 @@
 
 pub mod device;
 pub mod error;
+pub mod fault;
 pub mod lru;
 pub mod obs;
 pub mod pool;
@@ -37,7 +38,7 @@ pub use device::{
     fsync_dir, BlockDevice, BlockId, FileDevice, MemDevice, Mmap, PositionedFile,
     DEFAULT_BLOCK_SIZE,
 };
-pub use error::EmError;
+pub use error::{io_error_is_transient, EmError};
 pub use pool::BufferPool;
 pub use sort::{external_sort, external_sort_by, SortConfig};
 pub use stats::{HitCounters, IoCounters, IoStats};

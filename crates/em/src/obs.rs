@@ -16,6 +16,13 @@ pub struct Metrics {
     /// `em_device_fsyncs_total` — fsyncs through [`crate::PositionedFile`]
     /// (store commits, WAL groups, compaction renames all funnel here).
     pub device_fsyncs: pr_obs::Counter,
+    /// `em_io_errors_total` — I/O errors surfaced to callers of the
+    /// hooked file primitives (after any retries), injected or real.
+    pub io_errors: pr_obs::Counter,
+    /// `em_io_retries_total` — transparently retried `EINTR` attempts.
+    pub io_retries: pr_obs::Counter,
+    /// `em_faults_injected_total` — faults fired by [`crate::fault`].
+    pub faults_injected: pr_obs::Counter,
 }
 
 /// The lazily registered catalog.
@@ -35,6 +42,18 @@ pub fn metrics() -> &'static Metrics {
             device_fsyncs: r.counter(
                 "em_device_fsyncs_total",
                 "fsync calls through PositionedFile (store commits, WAL groups)",
+            ),
+            io_errors: r.counter(
+                "em_io_errors_total",
+                "I/O errors surfaced by the hooked file primitives (after retries)",
+            ),
+            io_retries: r.counter(
+                "em_io_retries_total",
+                "transparently retried EINTR attempts",
+            ),
+            faults_injected: r.counter(
+                "em_faults_injected_total",
+                "faults fired by the pr_em::fault injection layer",
             ),
         }
     })

@@ -25,12 +25,31 @@
 //!
 //! ## Failure model
 //!
-//! A failed group write or fsync leaves the log in an unknown state, so
-//! the first I/O error is **sticky**: it is stored on the queue, every
-//! current waiter is woken with the error, and every later enqueue or
-//! wait fails fast. The index stays readable; only the write path is
-//! poisoned (mirroring what a real fail-stop would do, which is what
-//! the crash-recovery tests simulate).
+//! A failed group write or fsync fails the **whole group**: the leader
+//! rolls the WAL back to the pre-group offset and discards the group's
+//! never-applied pending ops (see `LiveInner::commit_wait`), then every
+//! member — leader and followers alike — gets
+//! [`LiveError::GroupFailed`] naming the cause. What happens next
+//! depends on the error's class ([`LiveError::is_transient`]):
+//!
+//! * **Transient** (ENOSPC, EINTR past the device layer's own retries,
+//!   timeouts): the write path is *not* poisoned. The queue is marked
+//!   degraded; the next group that lands cleanly clears the mark and
+//!   bumps `live_wal_unpoisons_total` — ingest resumes without a
+//!   reopen once (say) disk space is freed. Failed batches stay
+//!   failed: they were rolled back, never acknowledged, and their
+//!   sequence numbers are simply skipped.
+//! * **Fatal** (EIO, corruption, a failed rollback): the first error
+//!   is **sticky** — stored on the queue, every current waiter woken
+//!   with it, every later enqueue or wait failing fast. The index
+//!   stays readable; only the write path is poisoned (mirroring a real
+//!   fail-stop, which is what the crash-recovery tests simulate).
+//!
+//! Waiters of a failed group are told apart from waiters of later,
+//! successful groups by per-group failed ranges: membership is decided
+//! by sequence number *before* the ack horizons are consulted, so a
+//! later group advancing `applied_seq` past a rolled-back seq can
+//! never turn that seq's rollback into a false ack.
 //!
 //! Lock ordering: the queue mutex is never held across WAL I/O (the
 //! leader and the syncer both drop it first), and the WAL mutex is
@@ -43,6 +62,7 @@ use crate::error::LiveError;
 use crate::wal::Wal;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 /// One enqueued, already-encoded WAL batch awaiting its group.
 pub(crate) struct PendingBatch {
@@ -52,6 +72,25 @@ pub(crate) struct PendingBatch {
     pub(crate) n_ops: usize,
     /// Highest sequence number in the batch.
     pub(crate) last_seq: u64,
+}
+
+/// The sequence range of a group whose commit failed: its batches were
+/// rolled back and will never be acknowledged. Kept (briefly) so the
+/// group's followers wake into [`LiveError::GroupFailed`] instead of
+/// mistaking a later group's ack horizon for their own — removed once
+/// every follower has collected the verdict.
+pub(crate) struct FailedRange {
+    /// First sequence number of the failed group.
+    pub(crate) lo: u64,
+    /// Last sequence number of the failed group.
+    pub(crate) hi: u64,
+    /// Rendered cause, shared by every member's error.
+    pub(crate) reason: String,
+    /// Whether the failure was transient (see the module docs).
+    pub(crate) transient: bool,
+    /// Followers still to be woken with the verdict; the range is
+    /// dropped when this reaches zero.
+    pub(crate) remaining: usize,
 }
 
 /// Mutable queue state, behind [`GroupCommit::q`].
@@ -73,9 +112,21 @@ pub(crate) struct CommitQueue {
     pub(crate) written_bytes: u64,
     /// Monotone count of frame bytes covered by an fsync.
     pub(crate) synced_bytes: u64,
+    /// Highest seq whose outcome is decided — success (acknowledged and
+    /// applied) *or* failure (rolled back). Runs at or ahead of
+    /// `applied_seq`; quiesce waits ([`GroupCommit::wait_applied`]) use
+    /// this horizon so a rolled-back group cannot hang them.
+    pub(crate) resolved_seq: u64,
+    /// Failed groups whose followers have not all been woken yet.
+    pub(crate) failed: Vec<FailedRange>,
+    /// A transient group failure happened and no group has landed
+    /// cleanly since; cleared (with `live_wal_unpoisons_total` bumped)
+    /// by the next successful group.
+    pub(crate) degraded: bool,
     /// Tells the async syncer thread to drain and exit.
     pub(crate) shutdown: bool,
-    /// Sticky first I/O error; poisons the write path.
+    /// Sticky first **fatal** I/O error; poisons the write path.
+    /// Transient failures never set this (see the module docs).
     pub(crate) io_error: Option<String>,
 }
 
@@ -85,6 +136,24 @@ impl CommitQueue {
             Some(e) => Err(LiveError::Corrupt(format!("write-ahead log failed: {e}"))),
             None => Ok(()),
         }
+    }
+
+    /// If `seq` belongs to a failed (rolled-back) group, consumes one
+    /// follower slot from its range and returns the group's verdict.
+    fn take_failed(&mut self, seq: u64) -> Option<LiveError> {
+        let idx = self
+            .failed
+            .iter()
+            .position(|r| r.lo <= seq && seq <= r.hi)?;
+        let err = LiveError::GroupFailed {
+            reason: self.failed[idx].reason.clone(),
+            transient: self.failed[idx].transient,
+        };
+        self.failed[idx].remaining -= 1;
+        if self.failed[idx].remaining == 0 {
+            self.failed.swap_remove(idx);
+        }
+        Some(err)
     }
 }
 
@@ -117,6 +186,9 @@ impl GroupCommit {
                 synced_seq: start_seq,
                 written_bytes: 0,
                 synced_bytes: 0,
+                resolved_seq: start_seq,
+                failed: Vec::new(),
+                degraded: false,
                 shutdown: false,
                 io_error: None,
             }),
@@ -175,6 +247,13 @@ impl GroupCommit {
     {
         let mut q = self.q.lock().expect("commit queue");
         loop {
+            // Failed-group membership FIRST: once a later group lands,
+            // applied_seq covers the rolled-back seqs numerically, and
+            // checking the ack horizon first would turn this waiter's
+            // rollback into a false ack (a lost write reported ok).
+            if let Some(err) = q.take_failed(seq) {
+                return Err(err);
+            }
             let acked = if fsync_mode {
                 q.synced_seq >= seq
             } else {
@@ -199,6 +278,19 @@ impl GroupCommit {
                     Ok(()) => {
                         let n_batches = group.len();
                         q.applied_seq = last_seq;
+                        q.resolved_seq = q.resolved_seq.max(last_seq);
+                        if q.degraded {
+                            // The write path healed: a group landed
+                            // cleanly after a transient failure.
+                            q.degraded = false;
+                            crate::obs::metrics().wal_unpoisons.inc();
+                            pr_obs::events().emit(
+                                "wal_unpoison",
+                                format!(
+                                    "group landed after transient failure, last_seq={last_seq}"
+                                ),
+                            );
+                        }
                         q.written_bytes += bytes;
                         if fsync_mode {
                             q.synced_seq = last_seq;
@@ -222,11 +314,39 @@ impl GroupCommit {
                         self.cv.notify_all();
                     }
                     Err(e) => {
-                        if q.io_error.is_none() {
-                            q.io_error = Some(e.to_string());
+                        // The lead closure rolled the group back (WAL
+                        // truncated, pending ops discarded): resolve its
+                        // whole seq range as failed so quiesce waiters
+                        // don't hang on seqs that will never apply, and
+                        // leave the verdict for the followers.
+                        let transient = e.is_transient();
+                        let reason = e.to_string();
+                        let lo = q.resolved_seq + 1;
+                        q.resolved_seq = q.resolved_seq.max(last_seq);
+                        if group.len() > 1 {
+                            q.failed.push(FailedRange {
+                                lo,
+                                hi: last_seq,
+                                reason: reason.clone(),
+                                transient,
+                                remaining: group.len() - 1,
+                            });
                         }
+                        if transient {
+                            q.degraded = true;
+                        } else if q.io_error.is_none() {
+                            q.io_error = Some(reason.clone());
+                        }
+                        crate::obs::metrics().wal_io_errors.inc();
+                        pr_obs::events().emit(
+                            "wal_group_fail",
+                            format!(
+                                "seqs={lo}..={last_seq} transient={transient} \
+                                 reason={reason}"
+                            ),
+                        );
                         self.cv.notify_all();
-                        return Err(e);
+                        return Err(LiveError::GroupFailed { reason, transient });
                     }
                 }
                 continue;
@@ -236,13 +356,15 @@ impl GroupCommit {
     }
 
     /// Blocks until every assigned sequence number at or below `seq` is
-    /// written and applied. Quiesce primitive for merges — the caller
-    /// holds the sequencing lock, so no new sequences can appear, and
-    /// each in-flight group is driven to completion by its own waiters
-    /// (which never take that lock).
+    /// **resolved**: written and applied, or rolled back by a failed
+    /// group (whose seqs will never apply — waiting on the applied
+    /// horizon would hang forever on them). Quiesce primitive for
+    /// merges — the caller holds the sequencing lock, so no new
+    /// sequences can appear, and each in-flight group is driven to
+    /// completion by its own waiters (which never take that lock).
     pub(crate) fn wait_applied(&self, seq: u64) -> Result<(), LiveError> {
         let mut q = self.q.lock().expect("commit queue");
-        while q.applied_seq < seq {
+        while q.resolved_seq < seq {
             q.check_poisoned()?;
             q = self.cv.wait(q).expect("commit queue");
         }
@@ -277,9 +399,19 @@ impl GroupCommit {
                 Ok(())
             }
             Err(e) => {
-                if q.io_error.is_none() {
+                // The fsync moved no horizon, so a transient failure
+                // (ENOSPC journal commit, EINTR storm) needs no
+                // rollback and no poison: the window simply stays
+                // unsynced and the next pass retries. Fatal errors
+                // poison as usual.
+                if !e.is_transient() && q.io_error.is_none() {
                     q.io_error = Some(e.to_string());
                 }
+                crate::obs::metrics().wal_io_errors.inc();
+                pr_obs::events().emit(
+                    "wal_sync_fail",
+                    format!("transient={} reason={e}", e.is_transient()),
+                );
                 self.cv.notify_all();
                 Err(e)
             }
@@ -296,9 +428,15 @@ impl GroupCommit {
     /// Syncer-thread body: sleep until written bytes run ahead of synced
     /// bytes, fsync, publish, repeat. On shutdown it drains the window
     /// once more (a clean close shouldn't strand acknowledged writes
-    /// behind a missing fsync) and exits. Exits early if the write path
-    /// is poisoned.
+    /// behind a missing fsync) and exits. Transient fsync failures are
+    /// retried with exponential backoff (the window just stays open a
+    /// little longer — that is the `Async` contract); fatal ones poison
+    /// the write path and end the thread. A shutdown with a persisting
+    /// transient error gives up after a bounded number of retries so a
+    /// full disk can't hang `Drop` forever.
     pub(crate) fn syncer_loop(&self) {
+        let mut backoff = Duration::from_millis(1);
+        let mut consecutive_failures = 0u32;
         loop {
             {
                 let mut q = self.q.lock().expect("commit queue");
@@ -307,7 +445,7 @@ impl GroupCommit {
                         return;
                     }
                     let dirty = q.written_bytes > q.synced_bytes;
-                    if q.shutdown && !dirty {
+                    if q.shutdown && (!dirty || consecutive_failures >= 8) {
                         return;
                     }
                     if dirty {
@@ -316,8 +454,17 @@ impl GroupCommit {
                     q = self.cv.wait(q).expect("commit queue");
                 }
             }
-            if self.sync_window().is_err() {
-                return;
+            match self.sync_window() {
+                Ok(()) => {
+                    backoff = Duration::from_millis(1);
+                    consecutive_failures = 0;
+                }
+                Err(e) if e.is_transient() => {
+                    consecutive_failures += 1;
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(100));
+                }
+                Err(_) => return, // fatal: sync_window poisoned the queue
             }
         }
     }

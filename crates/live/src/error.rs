@@ -23,6 +23,35 @@ pub enum LiveError {
     /// A test-injected crash point fired (failure-injection harness
     /// only; never produced in normal operation).
     Injected(&'static str),
+    /// This writer's group commit failed: its batch was rolled back
+    /// (WAL truncated to the pre-group offset, pending ops discarded)
+    /// and was never applied. When `transient` the write path is *not*
+    /// poisoned — the next successful append clears degraded mode and
+    /// ingest resumes (e.g. ENOSPC after space is freed). When fatal
+    /// the write path stays poisoned until reopen.
+    GroupFailed {
+        /// Rendered cause of the group's I/O failure.
+        reason: String,
+        /// Whether retrying the write can succeed without a reopen.
+        transient: bool,
+    },
+}
+
+impl LiveError {
+    /// Transient-vs-fatal classification (see
+    /// [`pr_em::io_error_is_transient`]): `true` for failures expected
+    /// to clear up when conditions change — ENOSPC once space is freed,
+    /// EINTR, timeouts — and for group failures flagged transient.
+    /// Corruption, lock conflicts, and hard I/O errors are fatal.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            LiveError::Io(e) => pr_em::io_error_is_transient(e),
+            LiveError::Em(e) => e.is_transient(),
+            LiveError::Store(e) => e.is_transient(),
+            LiveError::GroupFailed { transient, .. } => *transient,
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for LiveError {
@@ -38,6 +67,15 @@ impl fmt::Display for LiveError {
                 dir.display()
             ),
             LiveError::Injected(point) => write!(f, "injected crash at {point}"),
+            LiveError::GroupFailed { reason, transient } => write!(
+                f,
+                "group commit failed ({}): {reason}",
+                if *transient {
+                    "transient; batch rolled back, ingest can resume"
+                } else {
+                    "fatal; write path poisoned"
+                }
+            ),
         }
     }
 }
@@ -91,5 +129,32 @@ mod tests {
         assert!(e.to_string().contains("magic"));
         assert!(LiveError::Corrupt("x".into()).to_string().contains("x"));
         assert!(LiveError::Injected("p").to_string().contains("p"));
+        let e = LiveError::GroupFailed {
+            reason: "no space".into(),
+            transient: true,
+        };
+        assert!(e.to_string().contains("no space"));
+        assert!(e.to_string().contains("resume"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        let enospc = std::io::Error::from_raw_os_error(28);
+        assert!(LiveError::Io(enospc).is_transient());
+        let eintr = std::io::Error::from_raw_os_error(4);
+        assert!(LiveError::Em(EmError::Io(eintr)).is_transient());
+        let eio = std::io::Error::from_raw_os_error(5);
+        assert!(!LiveError::Io(eio).is_transient());
+        assert!(!LiveError::Corrupt("x".into()).is_transient());
+        assert!(LiveError::GroupFailed {
+            reason: "r".into(),
+            transient: true
+        }
+        .is_transient());
+        assert!(!LiveError::GroupFailed {
+            reason: "r".into(),
+            transient: false
+        }
+        .is_transient());
     }
 }

@@ -193,8 +193,15 @@ pub(crate) struct Signal {
     /// observe cleared flags + no sealed batch while the worker is still
     /// between claiming and sealing, and report idle too early.
     pub(crate) busy: bool,
-    /// First error a background merge hit (surfaced by flush/wait_idle).
+    /// First **fatal** error a background merge hit (surfaced by
+    /// flush/wait_idle). Transient failures never land here — they set
+    /// `merges_paused` and retry instead.
     pub(crate) error: Option<String>,
+    /// Degraded mode: the last background merge failed transiently
+    /// (ENOSPC, most likely) and the worker is backing off before
+    /// retrying. Writers keep ingesting, bounded only by memtable
+    /// backpressure; cleared by the next successful merge.
+    pub(crate) merges_paused: bool,
 }
 
 pub(crate) struct LiveInner<const D: usize> {
@@ -355,17 +362,60 @@ impl<const D: usize> LiveInner<D> {
     fn commit_wait(&self, seq: u64) -> Result<(), LiveError> {
         let fsync_mode = matches!(self.opts.durability, Durability::Fsync);
         self.group.commit_wait(seq, fsync_mode, |group| {
+            let n_ops: usize = group.iter().map(|b| b.n_ops).sum();
             {
                 let mut wal = self.group.wal.lock().expect("wal mutex");
+                let saved_off = wal.offset();
                 let bufs: Vec<&[u8]> = group.iter().map(|b| b.bytes.as_slice()).collect();
-                wal.append_encoded(&bufs)?;
+                let res = wal.append_encoded(&bufs).and_then(|_| {
+                    if fsync_mode {
+                        wal.sync()
+                    } else {
+                        Ok(())
+                    }
+                });
+                if let Err(e) = res {
+                    // The group was never acknowledged; scrub every
+                    // trace of it so this failure — transient or not —
+                    // leaves the index exactly as if the group had
+                    // never been enqueued. Two halves:
+                    //
+                    // 1. WAL truncation back to the pre-group offset. A
+                    //    short (torn) group write can leave CRC-valid
+                    //    frames behind, and recovery cannot tell a
+                    //    rolled-back frame from a real one — without
+                    //    the cut, reopening would resurrect writes
+                    //    whose callers were told they failed.
+                    let rollback = wal.rollback_to(saved_off);
+                    drop(wal);
+                    // 2. Discard the group's pending (never-applied)
+                    //    logical ops — the oldest n_ops entries: groups
+                    //    apply in seq order and only one leader runs at
+                    //    a time, so the queue's front is exactly this
+                    //    group.
+                    {
+                        let mut core = self.core.write();
+                        for _ in 0..n_ops {
+                            core.pending.pop_front().expect("pending ops underflow");
+                        }
+                    }
+                    return match rollback {
+                        Ok(()) => Err(e),
+                        // Ghost frames may survive on disk where replay
+                        // would find them: even a transient append
+                        // error must escalate to fatal.
+                        Err(rb) => Err(LiveError::Corrupt(format!(
+                            "group write failed ({e}) and the WAL rollback \
+                             failed too ({rb}); unacknowledged frames may \
+                             survive on disk"
+                        ))),
+                    };
+                }
                 if fsync_mode {
-                    wal.sync()?;
                     self.group.fsyncs.fetch_add(1, Ordering::Relaxed);
                     crate::obs::metrics().wal_fsyncs.inc();
                 }
             }
-            let n_ops: usize = group.iter().map(|b| b.n_ops).sum();
             let last_seq = group.last().expect("group nonempty").last_seq;
             let mut core = self.core.write();
             core.apply_pending(n_ops);
@@ -626,6 +676,7 @@ impl<const D: usize> LiveIndex<D> {
                 shutdown: false,
                 busy: false,
                 error: None,
+                merges_paused: false,
             }),
             cv: Condvar::new(),
             leaf_cache,
@@ -937,6 +988,7 @@ impl<const D: usize> LiveIndex<D> {
     pub fn flush(&self) -> Result<(), LiveError> {
         self.surface_worker_error()?;
         run_merge(&self.inner, MergeKind::Force)?;
+        self.merge_recovered();
         self.notify_done();
         Ok(())
     }
@@ -949,8 +1001,20 @@ impl<const D: usize> LiveIndex<D> {
     pub fn compact(&self) -> Result<(), LiveError> {
         self.surface_worker_error()?;
         run_merge(&self.inner, MergeKind::Full { reclaim: true })?;
+        self.merge_recovered();
         self.notify_done();
         Ok(())
+    }
+
+    /// An explicit merge just succeeded: lift merges-paused degraded
+    /// mode if a transient failure had set it.
+    fn merge_recovered(&self) {
+        let mut sig = self.inner.signal.lock().expect("signal mutex");
+        if sig.merges_paused {
+            sig.merges_paused = false;
+            crate::obs::metrics().merges_paused.set(0);
+            pr_obs::events().emit("merges_resume", "merge succeeded after transient failure");
+        }
     }
 
     /// Blocks until no sealed batch is pending and no requested
@@ -1004,9 +1068,21 @@ impl<const D: usize> LiveIndex<D> {
         let wal_fsyncs = self.inner.group.fsyncs.load(Ordering::Relaxed);
         let wal_groups = self.inner.group.groups.load(Ordering::Relaxed);
         let wal_group_records = self.inner.group.records.load(Ordering::Relaxed);
-        let (store_epoch, store_file_bytes) = {
+        let (store_epoch, store_file_bytes, store_degraded) = {
             let store = self.inner.store.lock();
-            (store.superblock().epoch, store.file_len()?)
+            (
+                store.superblock().epoch,
+                store.file_len()?,
+                store.degraded(),
+            )
+        };
+        let merges_paused = {
+            let sig = self.inner.signal.lock().expect("signal mutex");
+            sig.merges_paused
+        };
+        let wal_degraded = {
+            let q = self.inner.group.q.lock().expect("commit queue");
+            q.degraded
         };
         let (leaf_cache_hits, leaf_cache_misses, leaf_cache_bytes) = match &self.inner.leaf_cache {
             Some(cache) => {
@@ -1032,6 +1108,9 @@ impl<const D: usize> LiveIndex<D> {
             wal_group_records,
             store_epoch,
             store_file_bytes,
+            store_degraded,
+            merges_paused,
+            wal_degraded,
             leaf_cache_hits,
             leaf_cache_misses,
             leaf_cache_bytes,
@@ -1045,6 +1124,29 @@ impl<const D: usize> LiveIndex<D> {
     /// fsync — acknowledged writes are already durable.
     pub fn sync_wal(&self) -> Result<(), LiveError> {
         self.inner.group.sync_window()
+    }
+
+    /// Re-hashes every committed store page against its checksum table
+    /// (see [`Store::scrub`]). On detected corruption the shared leaf
+    /// cache is dropped wholesale — resident transcoded pages were
+    /// verified when loaded, but a device caught rotting forfeits the
+    /// benefit of the doubt — and the store keeps serving reads in
+    /// forced-recheck degraded mode until a later scrub comes back
+    /// clean.
+    pub fn scrub(&self) -> Result<pr_store::ScrubReport, LiveError> {
+        let res = {
+            let store = self.inner.store.lock();
+            store.scrub()
+        };
+        match res {
+            Ok(report) => Ok(report),
+            Err(e) => {
+                if let Some(cache) = &self.inner.leaf_cache {
+                    cache.clear();
+                }
+                Err(e.into())
+            }
+        }
     }
 
     /// Arms a one-shot injected crash for the next merge (test harness).
@@ -1065,7 +1167,27 @@ impl<const D: usize> LiveIndex<D> {
             self.inner.cv.notify_all();
             Ok(())
         } else {
-            run_merge(&self.inner, kind)?;
+            match run_merge(&self.inner, kind) {
+                Ok(()) => self.merge_recovered(),
+                Err(e) if e.is_transient() => {
+                    // This merge piggybacked on an insert/delete that
+                    // was already acknowledged — a transient failure
+                    // (ENOSPC) must not retro-fail that ack. The data
+                    // is safe in the memtable/sealed batch + WAL; mark
+                    // merges paused and let a later overflow or an
+                    // explicit flush() retry.
+                    let mut sig = self.inner.signal.lock().expect("signal mutex");
+                    sig.merges_paused = true;
+                    let m = crate::obs::metrics();
+                    m.merge_retries.inc();
+                    m.merges_paused.set(1);
+                    pr_obs::events().emit(
+                        "merge_retry",
+                        format!("transient inline-merge failure: {e}"),
+                    );
+                }
+                Err(e) => return Err(e),
+            }
             self.notify_done();
             Ok(())
         }
@@ -1141,6 +1263,7 @@ impl<const D: usize> Drop for LiveIndex<D> {
 }
 
 fn worker_loop<const D: usize>(inner: Arc<LiveInner<D>>) {
+    let mut backoff = Duration::from_millis(2);
     loop {
         let kind = {
             let mut sig = inner.signal.lock().expect("signal mutex");
@@ -1162,16 +1285,60 @@ fn worker_loop<const D: usize>(inner: Arc<LiveInner<D>>) {
             }
         };
         let outcome = run_merge(&inner, kind);
+        let mut retry_after = None;
         {
             let mut sig = inner.signal.lock().expect("signal mutex");
             sig.busy = false;
-            if let Err(e) = outcome {
-                if sig.error.is_none() {
-                    sig.error = Some(e.to_string());
+            match outcome {
+                Ok(()) => {
+                    backoff = Duration::from_millis(2);
+                    if sig.merges_paused {
+                        sig.merges_paused = false;
+                        crate::obs::metrics().merges_paused.set(0);
+                        pr_obs::events()
+                            .emit("merges_resume", "merge succeeded after transient failure");
+                    }
+                }
+                Err(e) if e.is_transient() => {
+                    // Transient (ENOSPC): a merge is safe to retry from
+                    // scratch — rotation keeps the old segment on any
+                    // error, and the store commit either flipped the
+                    // superblock or left the old snapshot intact — so
+                    // back off and re-request instead of failing acked
+                    // writes. Writers stay up (memtable backpressure
+                    // bounds memory); `sig.error` stays reserved for
+                    // fatal failures.
+                    sig.merges_paused = true;
+                    match kind {
+                        MergeKind::Overflow => sig.merge = true,
+                        _ => sig.full = true,
+                    }
+                    let m = crate::obs::metrics();
+                    m.merge_retries.inc();
+                    m.merges_paused.set(1);
+                    pr_obs::events().emit(
+                        "merge_retry",
+                        format!("transient failure, retrying in {backoff:?}: {e}"),
+                    );
+                    retry_after = Some(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(500));
+                }
+                Err(e) => {
+                    if sig.error.is_none() {
+                        sig.error = Some(e.to_string());
+                    }
                 }
             }
         }
         inner.cv.notify_all();
+        if let Some(pause) = retry_after {
+            // Shutdown-interruptible backoff: sleep on the signal
+            // condvar so a closing index doesn't wait out the timer.
+            let sig = inner.signal.lock().expect("signal mutex");
+            if !sig.shutdown {
+                let _ = inner.cv.wait_timeout(sig, pause).expect("signal mutex");
+            }
+        }
     }
 }
 
@@ -1234,6 +1401,16 @@ pub struct LiveStats {
     pub store_epoch: u64,
     /// Store file size in bytes.
     pub store_file_bytes: u64,
+    /// True while the store serves reads in forced-recheck degraded
+    /// mode after detected page corruption (cleared by a clean scrub).
+    pub store_degraded: bool,
+    /// True while background merges back off after a transient failure
+    /// (writers still ingest under memtable backpressure).
+    pub merges_paused: bool,
+    /// True while the write path is degraded by a transient group
+    /// failure with no clean group landed since (see
+    /// [`LiveError::GroupFailed`]).
+    pub wal_degraded: bool,
     /// Shared leaf-cache hits since open (0 when the cache is disabled).
     pub leaf_cache_hits: u64,
     /// Shared leaf-cache misses since open.

@@ -51,10 +51,12 @@ pub mod manifest;
 pub mod memtable;
 mod merge;
 pub mod obs;
+pub mod torture;
 pub mod wal;
 
 pub use error::LiveError;
 pub use index::{CrashPoint, Durability, LiveIndex, LiveOptions, LiveSnapshot, LiveStats};
 pub use manifest::LiveManifest;
 pub use memtable::Memtable;
+pub use torture::{run_torture, run_torture_multi, TortureConfig, TortureReport};
 pub use wal::{encode_records, Wal, WalOp, WalRecord};

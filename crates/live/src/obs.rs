@@ -44,6 +44,20 @@ pub struct Metrics {
     /// `live_compactions_total` — merges that rewrote the store file to
     /// reclaim dead snapshot space.
     pub compactions: pr_obs::Counter,
+    /// `live_wal_io_errors_total` — group writes / fsyncs that failed
+    /// with an I/O error (transient and fatal alike).
+    pub wal_io_errors: pr_obs::Counter,
+    /// `live_wal_unpoisons_total` — times the write path recovered from
+    /// a transient group failure: the next group landed cleanly and
+    /// degraded mode lifted (e.g. ENOSPC, then space was freed).
+    pub wal_unpoisons: pr_obs::Counter,
+    /// `live_merge_retries_total` — merges that failed transiently and
+    /// were re-queued for a backoff retry instead of poisoning writes.
+    pub merge_retries: pr_obs::Counter,
+    /// `live_merges_paused` — 1 while background merges are backing off
+    /// after a transient failure (writers still ingest, bounded by
+    /// memtable backpressure), 0 when merging normally.
+    pub merges_paused: pr_obs::Gauge,
     /// `live_insert_batch_us` — `insert_batch` latency, enqueue through
     /// group ack.
     pub insert_batch_us: pr_obs::Histogram,
@@ -95,6 +109,22 @@ pub fn metrics() -> &'static Metrics {
             compactions: r.counter(
                 "live_compactions_total",
                 "merges that rewrote the store file to reclaim space",
+            ),
+            wal_io_errors: r.counter(
+                "live_wal_io_errors_total",
+                "group writes or fsyncs that failed with an I/O error",
+            ),
+            wal_unpoisons: r.counter(
+                "live_wal_unpoisons_total",
+                "write-path recoveries from a transient group failure",
+            ),
+            merge_retries: r.counter(
+                "live_merge_retries_total",
+                "merges re-queued after a transient failure",
+            ),
+            merges_paused: r.gauge(
+                "live_merges_paused",
+                "1 while background merges back off after a transient failure",
             ),
             insert_batch_us: r.histogram(
                 "live_insert_batch_us",

@@ -302,6 +302,27 @@ impl Wal {
         Ok(total)
     }
 
+    /// Current append offset in the active segment. Captured by a group
+    /// leader *before* its vectored append so a failed group can be
+    /// rolled back with [`Wal::rollback_to`].
+    pub fn offset(&self) -> u64 {
+        self.write_off
+    }
+
+    /// Rolls the active segment back to `off`, discarding every byte a
+    /// failed (never-acknowledged) group may have landed past it. The
+    /// truncation matters: a short/torn group write can leave CRC-valid
+    /// record frames on disk, and recovery cannot tell a rolled-back
+    /// frame from a real one — without the cut those ghosts would
+    /// resurrect on reopen. Uses `set_len`, a *shrinking* truncate that
+    /// needs no data-block allocation, so it succeeds even on the full
+    /// disk that just failed the append.
+    pub fn rollback_to(&mut self, off: u64) -> Result<(), LiveError> {
+        self.file.set_len(off)?;
+        self.write_off = off;
+        Ok(())
+    }
+
     /// Forces every appended byte to disk. The group-commit
     /// acknowledgment point under `Durability::Fsync`; the syncer
     /// thread's heartbeat under `Durability::Async`.

@@ -42,7 +42,7 @@
 use crate::crc::crc32;
 use crate::error::StoreError;
 use pr_em::{BlockDevice, BlockId, EmError, IoCounters, Mmap, PositionedFile};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One atomic bit per page: set once the page's CRC32 has been checked
@@ -114,6 +114,23 @@ pub struct ScrubReport {
     pub already_verified: u64,
 }
 
+/// Sets/clears the shared degraded flag, mirroring it into the registry
+/// gauge and emitting the transition event exactly once per flip.
+fn set_degraded(flag: &AtomicBool, degraded: bool, why: &str) {
+    let was = flag.swap(degraded, Ordering::SeqCst);
+    if was != degraded {
+        crate::obs::metrics().degraded.set(u64::from(degraded));
+        pr_obs::events().emit(
+            if degraded {
+                "degraded_enter"
+            } else {
+                "degraded_exit"
+            },
+            format!("store read path: {why}"),
+        );
+    }
+}
+
 /// Read-only, checksum-verifying view of one committed snapshot.
 pub struct StoreDevice {
     file: Arc<PositionedFile>,
@@ -127,6 +144,13 @@ pub struct StoreDevice {
     verified: Arc<VerifiedBitmap>,
     /// Recheck mode: ignore the bitmap and re-hash on every read.
     verify_every_read: bool,
+    /// Shared degraded flag: set (by any handle, or a scrub) when
+    /// corruption is detected, making **every** handle of this store
+    /// re-hash every read — [`crate::store::ReadPath::Recheck`]
+    /// semantics forced on the whole snapshot until a clean scrub
+    /// clears it. Possibly-rotten pages are never served off a stale
+    /// verified bit.
+    degraded: Arc<AtomicBool>,
     /// Ids handed out by `allocate` (they are unusable, but the contract
     /// says ids are unique and monotone).
     allocated_past_end: AtomicU64,
@@ -137,6 +161,7 @@ impl StoreDevice {
     /// Wraps a committed snapshot region. `checksums[i]` must be the
     /// CRC32 of page `i`; `map`, when present, must cover at least
     /// `data_offset + checksums.len() · block_size` bytes of the file.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         file: Arc<PositionedFile>,
         map: Option<Arc<Mmap>>,
@@ -145,6 +170,7 @@ impl StoreDevice {
         checksums: Arc<Vec<u32>>,
         verified: Arc<VerifiedBitmap>,
         verify_every_read: bool,
+        degraded: Arc<AtomicBool>,
     ) -> Self {
         debug_assert_eq!(verified.total_pages(), checksums.len() as u64);
         if let Some(m) = &map {
@@ -161,6 +187,7 @@ impl StoreDevice {
             checksums,
             verified,
             verify_every_read,
+            degraded,
             allocated_past_end: AtomicU64::new(0),
             counters: IoCounters::new(),
         }
@@ -169,6 +196,12 @@ impl StoreDevice {
     /// True when reads are served from the memory mapping.
     pub fn is_mmapped(&self) -> bool {
         self.map.is_some()
+    }
+
+    /// True while this snapshot's shared degraded flag forces re-hashing
+    /// every read.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
     }
 
     /// The shared verify-once state (counts for `prtree stats`).
@@ -201,7 +234,10 @@ impl StoreDevice {
     /// on success.
     #[inline]
     fn verify(&self, block: BlockId, bytes: &[u8]) -> Result<(), EmError> {
-        if !self.verify_every_read && self.verified.is_verified(block) {
+        if !self.verify_every_read
+            && !self.degraded.load(Ordering::Relaxed)
+            && self.verified.is_verified(block)
+        {
             return Ok(());
         }
         let computed = crc32(bytes);
@@ -210,8 +246,13 @@ impl StoreDevice {
             // Proof of rot is proof for every handle of this snapshot:
             // clear the shared bit (a Recheck handle may be re-hashing
             // a page some ZeroCopy sibling verified earlier) so no
-            // handle keeps serving the page off its stale verification.
+            // handle keeps serving the page off its stale verification —
+            // and flip the shared degraded flag so every handle re-hashes
+            // everything until a clean scrub proves health.
             self.verified.clear(block);
+            crate::obs::metrics().corrupt_pages.inc();
+            pr_obs::events().emit("corruption", format!("page={block} (query-path verify)"));
+            set_degraded(&self.degraded, true, "page failed CRC during read");
             return Err(EmError::Corrupt(format!(
                 "page {block} failed its CRC32 checksum (stored {stored:08x}, computed {computed:08x})"
             )));
@@ -232,10 +273,12 @@ impl StoreDevice {
     pub fn scrub(&self) -> Result<ScrubReport, StoreError> {
         let already = self.verified.verified_pages();
         let mut buf = vec![0u8; self.block_size];
+        let mut scratch = Vec::new();
         let mut first_bad: Option<u64> = None;
+        let mut bad: u64 = 0;
         for page in 0..self.num_pages {
             let bytes: &[u8] = match self.mapped_page(page) {
-                Some(slice) => slice,
+                Some(slice) => pr_em::fault::mapped_read(slice, &mut scratch)?,
                 None => {
                     self.file.read_exact_or_zero_at(
                         &mut buf,
@@ -246,10 +289,25 @@ impl StoreDevice {
             };
             if crc32(bytes) != self.checksums[page as usize] {
                 self.verified.clear(page);
+                crate::obs::metrics().corrupt_pages.inc();
+                pr_obs::events().emit("corruption", format!("page={page} (scrub)"));
+                bad += 1;
                 first_bad.get_or_insert(page);
             } else {
                 self.verified.set(page);
             }
+        }
+        // The scrub's verdict drives the shared degraded flag: any rot
+        // forces every handle into recheck-everything mode; a fully
+        // clean sweep is the documented way back out.
+        if bad > 0 {
+            set_degraded(
+                &self.degraded,
+                true,
+                &format!("scrub found {bad} corrupt pages"),
+            );
+        } else {
+            set_degraded(&self.degraded, false, "scrub found every page intact");
         }
         if let Some(page) = first_bad {
             return Err(StoreError::ChecksumMismatch { page });
@@ -287,8 +345,14 @@ impl BlockDevice for StoreDevice {
         }
         self.range_check(block)?;
         if let Some(slice) = self.mapped_page(block) {
-            self.verify(block, slice)?;
-            buf.copy_from_slice(slice);
+            // Mapped reads have no syscall; the probe gives the fault
+            // layer the same interception point `read_at` gets (it can
+            // fail the read or serve a bit-flipped copy — which the CRC
+            // verify below then catches).
+            let mut scratch = Vec::new();
+            let bytes = pr_em::fault::mapped_read(slice, &mut scratch).map_err(EmError::Io)?;
+            self.verify(block, bytes)?;
+            buf.copy_from_slice(bytes);
         } else {
             self.file
                 .read_exact_or_zero_at(buf, self.data_offset + block * self.block_size as u64)?;
@@ -309,9 +373,12 @@ impl BlockDevice for StoreDevice {
         // Verification (when still needed for this page) runs on the
         // same slice, so the page is hashed at most once ever and copied
         // never. Falls back to the buffered read where no mapping exists.
+        // The fault probe sits in front (one relaxed load when disarmed)
+        // so even syscall-free mapped visits are interceptable.
         if let Some(slice) = self.mapped_page(block) {
-            self.verify(block, slice)?;
-            f(slice);
+            let bytes = pr_em::fault::mapped_read(slice, scratch).map_err(EmError::Io)?;
+            self.verify(block, bytes)?;
+            f(bytes);
             self.counters.add_reads(1);
             return Ok(());
         }

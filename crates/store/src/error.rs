@@ -118,6 +118,21 @@ impl std::error::Error for StoreError {
     }
 }
 
+impl StoreError {
+    /// Transient-vs-fatal classification (see
+    /// [`pr_em::io_error_is_transient`]): `true` for failures that can
+    /// clear up when conditions change (ENOSPC once space is freed,
+    /// EINTR, timeouts). Corruption, torn snapshots, and hard I/O
+    /// errors are fatal.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StoreError::Io(e) => pr_em::io_error_is_transient(e),
+            StoreError::Em(e) => e.is_transient(),
+            _ => false,
+        }
+    }
+}
+
 impl From<std::io::Error> for StoreError {
     fn from(e: std::io::Error) -> Self {
         StoreError::Io(e)

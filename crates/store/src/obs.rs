@@ -23,6 +23,12 @@ pub struct Metrics {
     pub scrub_pages: pr_obs::Counter,
     /// `store_scrub_us` — scrub latency.
     pub scrub_us: pr_obs::Histogram,
+    /// `store_corrupt_pages_total` — pages caught failing their CRC
+    /// (scrub sweeps and query-path verification alike).
+    pub corrupt_pages: pr_obs::Counter,
+    /// `store_degraded` — 1 while a store serves reads in forced-recheck
+    /// degraded mode after detected corruption, 0 when healthy.
+    pub degraded: pr_obs::Gauge,
 }
 
 /// The lazily registered catalog.
@@ -43,6 +49,14 @@ pub fn metrics() -> &'static Metrics {
             scrubs: r.counter("store_scrubs_total", "completed full-snapshot scrubs"),
             scrub_pages: r.counter("store_scrub_pages_total", "pages re-hashed by scrubs"),
             scrub_us: r.histogram("store_scrub_us", "scrub latency in microseconds"),
+            corrupt_pages: r.counter(
+                "store_corrupt_pages_total",
+                "pages caught failing their CRC32 checksum",
+            ),
+            degraded: r.gauge(
+                "store_degraded",
+                "1 while reads run in forced-recheck degraded mode after corruption",
+            ),
         }
     })
 }

@@ -49,6 +49,11 @@ pub struct Store {
     verified: Arc<VerifiedBitmap>,
     /// Multi-component manifest of the active snapshot, when present.
     manifest: Option<ManifestRecord>,
+    /// Shared degraded flag (see [`StoreDevice`]): set by any handle or
+    /// scrub that catches corruption; while set, every read re-hashes.
+    /// Lives for the whole `Store` (not per snapshot): once rot is seen,
+    /// paranoia persists until a clean scrub clears it.
+    degraded: Arc<std::sync::atomic::AtomicBool>,
     /// True when the backing file could only be opened for reading
     /// (read-only permissions or filesystem). Queries work; `save` is a
     /// typed error.
@@ -98,6 +103,7 @@ impl Store {
             map: None,
             verified: Arc::new(VerifiedBitmap::new(0)),
             manifest: None,
+            degraded: Arc::new(std::sync::atomic::AtomicBool::new(false)),
             read_only: false,
         })
     }
@@ -175,6 +181,7 @@ impl Store {
                         map,
                         verified,
                         manifest,
+                        degraded: Arc::new(std::sync::atomic::AtomicBool::new(false)),
                         read_only,
                     });
                 }
@@ -495,6 +502,7 @@ impl Store {
             Arc::clone(&self.checksums),
             Arc::clone(&self.verified),
             recheck,
+            Arc::clone(&self.degraded),
         ))
     }
 
@@ -535,6 +543,19 @@ impl Store {
     /// verify-once bitmap.
     pub fn verified_pages(&self) -> (u64, u64) {
         (self.verified.verified_pages(), self.sb.num_pages)
+    }
+
+    /// True while detected corruption forces every read of this store
+    /// through a full CRC re-hash (degraded mode). A clean [`Store::scrub`]
+    /// clears it.
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// True when the active snapshot is served through a memory mapping
+    /// (false: no snapshot, non-unix, mapping failed, or denied).
+    pub fn is_mmapped(&self) -> bool {
+        self.map.is_some()
     }
 
     /// The active superblock (what `prtree stats` dumps).

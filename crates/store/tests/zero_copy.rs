@@ -215,6 +215,69 @@ fn recheck_path_detects_post_verification_rot_immediately() {
     std::fs::remove_file(&path).ok();
 }
 
+/// The zero-copy battery's guarantees must not secretly depend on mmap:
+/// with mapping denied (the fault layer's `deny_mmap`, standing in for
+/// platforms and filesystems where `mmap` fails), `Store::open` falls
+/// back to positioned reads and every semantic above must hold
+/// bit-identically — same query answers, same verify-once accounting,
+/// same corruption detection on first touch and under the scrub.
+#[test]
+fn non_mmap_fallback_is_bit_identical_and_detects_rot() {
+    use pr_em::fault::{self, FaultSchedule};
+    let _hook = fault::exclusive();
+    let (path, pages) = build_store("no-mmap", 4_000);
+
+    // Baseline: the mmap path's answer on the healthy file.
+    let store = Store::open(&path).unwrap();
+    assert!(store.is_mmapped(), "test premise: mmap is the default");
+    let tree: RTree<2> = store.tree().unwrap();
+    tree.warm_cache().unwrap();
+    let want = tree.window(&everything()).unwrap();
+    drop(tree);
+    drop(store);
+
+    // Same file, mapping denied: the fallback must agree bit for bit.
+    let guard = fault::install(FaultSchedule::never(false).with_deny_mmap());
+    let store = Store::open(&path).unwrap();
+    assert!(
+        !store.is_mmapped(),
+        "deny_mmap must force the read_at fallback"
+    );
+    let tree: RTree<2> = store.tree().unwrap();
+    tree.warm_cache().unwrap();
+    let got = tree.window(&everything()).unwrap();
+    assert_eq!(got, want, "fallback read path must agree with mmap");
+    let (verified, total) = store.verified_pages();
+    assert_eq!(
+        verified, total,
+        "full window verifies every page, mmap or not"
+    );
+
+    // Post-verification rot: same verify-once trade, same scrub catch.
+    let victim = pages - 1;
+    flip_byte(&path, &store, victim);
+    let err = store.scrub().unwrap_err();
+    assert!(
+        matches!(err, StoreError::ChecksumMismatch { page } if page == victim),
+        "scrub on the fallback path must name the rotted page, got {err:?}"
+    );
+    let err = tree.window(&everything()).unwrap_err();
+    assert!(matches!(&err, EmError::Corrupt(msg) if msg.contains("CRC32")));
+    drop(tree);
+    drop(store);
+
+    // Unverified first touch: a fresh open (fresh bitmap, still no
+    // mmap) fails loudly on the first read of the rotted leaf.
+    let store = Store::open(&path).unwrap();
+    assert!(!store.is_mmapped());
+    let tree: RTree<2> = store.tree().unwrap();
+    tree.warm_cache().unwrap();
+    let err = tree.window(&everything()).unwrap_err();
+    assert!(matches!(&err, EmError::Corrupt(msg) if msg.contains("CRC32")));
+    drop(guard);
+    std::fs::remove_file(&path).ok();
+}
+
 #[test]
 fn all_read_paths_agree_on_a_healthy_store() {
     let (path, _) = build_store("healthy", 4_000);

@@ -46,6 +46,7 @@ fn main() {
         Some("knn") => cmd_knn(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("events") => cmd_events(&args[1..]),
+        Some("torture") => cmd_torture(&args[1..]),
         Some("--help") | Some("-h") | None => {
             usage();
             0
@@ -109,14 +110,25 @@ fn usage() {
          \x20       store file: dump the superblock, eagerly scrub every page CRC\n\
          \x20       through the verify-once bitmap (reporting verified/total), report\n\
          \x20       tree shape (--no-verify stops after the superblock dump).\n\
-         \x20       Live dir: WAL/memtable/component/tombstone state. Both paths end\n\
+         \x20       Live dir: WAL/memtable/component/tombstone/degraded-mode state,\n\
+         \x20       plus a full store scrub (nonzero exit on any corrupt page;\n\
+         \x20       --no-verify skips it). Both paths end\n\
          \x20       with the process-wide metrics registry (one formatter; the\n\
          \x20       --leaf-cache-bytes budget applies to both). --json emits the\n\
          \x20       registry snapshot + lifecycle events as one JSON document\n\
          \x20 events FILE|DIR [--limit N] [--json] [--paranoid]\n\
          \x20       replay the lifecycle event ring after opening the index (store\n\
          \x20       file: open + scrub; live dir: open + WAL replay) — WAL rotations,\n\
-         \x20       group flushes, seals, merges, compactions, scrubs, cache epochs"
+         \x20       group flushes, seals, merges, compactions, scrubs, cache epochs\n\
+         \x20 torture [DIR] [--seed S] [--batches B] [--batch SIZE] [--writers W]\n\
+         \x20        [--durability fsync|async|async:BYTES] [--stride K]\n\
+         \x20       fault-injection torture sweep: run a scripted ingest trace once\n\
+         \x20       to count its I/O ops, then re-run it once per op with exactly\n\
+         \x20       that op failing (EIO / ENOSPC / torn write / EINTR, cycling),\n\
+         \x20       reopening after each run and verifying the acked-prefix\n\
+         \x20       invariant. --stride K sweeps every Kth op; --writers W > 1\n\
+         \x20       switches to the concurrent insert-only variant. Exits 0 only\n\
+         \x20       if every run recovers exactly the acknowledged operations"
     );
 }
 
@@ -424,7 +436,7 @@ fn open_live(path: &str, lo: LiveOptions) -> Result<LiveIndex<2>, i32> {
     LiveIndex::<2>::open(Path::new(path), lo).map_err(fail)
 }
 
-fn print_live_stats(ix: &LiveIndex<2>) -> i32 {
+fn print_live_stats(ix: &LiveIndex<2>, verify: bool) -> i32 {
     let s = match ix.stats() {
         Ok(s) => s,
         Err(e) => return fail(e),
@@ -458,6 +470,41 @@ fn print_live_stats(ix: &LiveIndex<2>) -> i32 {
         "leaf cache:   {} hits, {} misses, {} bytes resident",
         s.leaf_cache_hits, s.leaf_cache_misses, s.leaf_cache_bytes
     );
+    println!(
+        "health:       wal {}, merges {}, store reads {}",
+        if s.wal_degraded {
+            "DEGRADED (transient group failure; next clean group recovers)"
+        } else {
+            "ok"
+        },
+        if s.merges_paused {
+            "PAUSED (transient failure; retrying with backoff)"
+        } else {
+            "ok"
+        },
+        if s.store_degraded {
+            "RECHECK (corruption seen; every read re-verified)"
+        } else {
+            "ok"
+        },
+    );
+    if verify {
+        // Same bit-rot scrub the store-file path runs: every snapshot
+        // page re-hashed. A corrupt page is a nonzero exit either way.
+        let t0 = Instant::now();
+        match ix.scrub() {
+            Ok(report) => println!(
+                "checksums:    all {} pages scrubbed in {:.1} ms \
+                 ({} were already verified by earlier reads)",
+                report.pages,
+                t0.elapsed().as_secs_f64() * 1e3,
+                report.already_verified,
+            ),
+            Err(e) => return fail(e),
+        }
+    } else {
+        println!("checksums:    skipped (--no-verify)");
+    }
     0
 }
 
@@ -603,7 +650,7 @@ fn cmd_ingest(args: &[String]) -> i32 {
         id_base as u64 + n as u64,
         n as f64 / acked_s.max(1e-9),
     );
-    print_live_stats(&ix)
+    print_live_stats(&ix, false)
 }
 
 fn cmd_delete(args: &[String]) -> i32 {
@@ -661,7 +708,7 @@ fn cmd_delete(args: &[String]) -> i32 {
         victims.len(),
         t0.elapsed().as_secs_f64()
     );
-    print_live_stats(&ix)
+    print_live_stats(&ix, false)
 }
 
 fn cmd_compact(args: &[String]) -> i32 {
@@ -703,7 +750,7 @@ fn cmd_compact(args: &[String]) -> i32 {
         before.store_file_bytes,
         after.store_file_bytes
     );
-    print_live_stats(&ix)
+    print_live_stats(&ix, false)
 }
 
 fn cmd_query_live(dir: &str, opts: &Opts, q: &Rect<2>) -> i32 {
@@ -1016,9 +1063,15 @@ fn cmd_stats(args: &[String]) -> i32 {
             Err(code) => return code,
         };
         if !json {
-            let code = print_live_stats(&ix);
+            let code = print_live_stats(&ix, !opts.has("no-verify"));
             if code != 0 {
                 return code;
+            }
+        } else if !opts.has("no-verify") {
+            // JSON mode still scrubs (and still fails loudly on rot) —
+            // the report just stays machine-readable.
+            if let Err(e) = ix.scrub() {
+                return fail(e);
             }
         }
         return report_registry(json);
@@ -1212,4 +1265,90 @@ fn cmd_events(args: &[String]) -> i32 {
         }
     }
     0
+}
+
+fn cmd_torture(args: &[String]) -> i32 {
+    let opts = match Opts::parse(
+        args,
+        &[
+            "seed",
+            "batches",
+            "batch",
+            "writers",
+            "durability",
+            "stride",
+        ],
+        &[],
+    ) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let dir = match opts.positional.as_slice() {
+        [] => std::env::temp_dir().join(format!("prtree-torture-{}", std::process::id())),
+        [dir] => PathBuf::from(dir),
+        _ => return fail("torture expects at most one DIR argument"),
+    };
+    let mut cfg = pr_live::TortureConfig::small(&dir, Durability::Fsync);
+    macro_rules! num_opt {
+        ($name:literal, $field:expr) => {
+            if let Some(v) = opts.get($name) {
+                match v.parse() {
+                    Ok(n) => $field = n,
+                    Err(_) => return fail(concat!("--", $name, " expects an integer")),
+                }
+            }
+        };
+    }
+    num_opt!("seed", cfg.seed);
+    num_opt!("batches", cfg.batches);
+    num_opt!("batch", cfg.batch);
+    num_opt!("writers", cfg.writers);
+    num_opt!("stride", cfg.stride);
+    if let Some(d) = opts.get("durability") {
+        cfg.durability = match parse_durability(d) {
+            Ok(d) => d,
+            Err(e) => return fail(e),
+        };
+    }
+    println!(
+        "torture: sweeping every{} failable I/O op of a {}x{} trace \
+         ({} writer(s), {:?}) in {}",
+        if cfg.stride > 1 {
+            format!(" {}th", cfg.stride)
+        } else {
+            String::new()
+        },
+        cfg.batches,
+        cfg.batch,
+        cfg.writers,
+        cfg.durability,
+        dir.display()
+    );
+    let t0 = Instant::now();
+    let report = if cfg.writers > 1 {
+        pr_live::run_torture_multi(&cfg)
+    } else {
+        pr_live::run_torture(&cfg)
+    };
+    // The harness panics (aborting with a nonzero exit) on any invariant
+    // violation, so reaching a report means the sweep passed.
+    match report {
+        Ok(r) => {
+            println!(
+                "torture: PASS — {} runs over {} ops in {:.2}s: {} faults injected \
+                 ({} silent), {} transient failures, {} fatal; every run recovered \
+                 exactly the acknowledged operations",
+                r.runs,
+                r.total_ops,
+                t0.elapsed().as_secs_f64(),
+                r.injected,
+                r.silent,
+                r.transient_failures,
+                r.fatal_failures
+            );
+            std::fs::remove_dir_all(&dir).ok();
+            0
+        }
+        Err(e) => fail(format!("torture harness could not run: {e}")),
+    }
 }
