@@ -109,6 +109,17 @@ pub struct LiveOptions {
     /// instead of the default verify-once zero-copy path. Catches
     /// in-memory corruption of cached pages at a per-read CRC cost.
     pub recheck_reads: bool,
+    /// Span-trace sampling rate: arm a trace on one in every N
+    /// operations (queries, write groups, merges, WAL replay — see
+    /// `pr_obs::trace`). `0` leaves tracing in its current (default:
+    /// disabled) state, where the per-operation cost is one relaxed
+    /// atomic load. Applied **process-globally** at open/create.
+    pub trace_sample_every: u64,
+    /// Flight-recorder admission threshold in microseconds: sampled
+    /// traces faster than this are not retained by `pr_obs::recorder()`
+    /// (they still reach an installed collector). `0` leaves the
+    /// recorder's current threshold untouched.
+    pub trace_slow_us: u64,
 }
 
 impl Default for LiveOptions {
@@ -120,6 +131,8 @@ impl Default for LiveOptions {
             leaf_cache_bytes: pr_tree::DEFAULT_LEAF_CACHE_BYTES,
             durability: Durability::Fsync,
             recheck_reads: false,
+            trace_sample_every: 0,
+            trace_slow_us: 0,
         }
     }
 }
@@ -359,17 +372,43 @@ impl<const D: usize> LiveInner<D> {
     /// the queue needs one: one vectored WAL write for every enqueued
     /// batch, one fsync for the lot (Fsync mode), then the whole group's
     /// ops applied to the core in sequence order.
-    fn commit_wait(&self, seq: u64) -> Result<(), LiveError> {
+    ///
+    /// When `trace` is armed, the commit phases are recorded on it:
+    /// `lead`/`wait` covering the whole call, and (leader only)
+    /// `wal_append`, `wal_fsync`, and `apply` — the attribution half of
+    /// the group-commit story: a follower's trace shows one opaque wait,
+    /// the leader's shows where the group's time actually went.
+    fn commit_wait(&self, seq: u64, trace: &mut pr_obs::SpanCtx) -> Result<(), LiveError> {
         let fsync_mode = matches!(self.opts.durability, Durability::Fsync);
-        self.group.commit_wait(seq, fsync_mode, |group| {
+        let tracing = trace.is_active();
+        let t_wait = tracing.then(std::time::Instant::now);
+        let mut led = false;
+        let res = self.group.commit_wait(seq, fsync_mode, |group| {
+            led = true;
             let n_ops: usize = group.iter().map(|b| b.n_ops).sum();
             {
                 let mut wal = self.group.wal.lock().expect("wal mutex");
                 let saved_off = wal.offset();
                 let bufs: Vec<&[u8]> = group.iter().map(|b| b.bytes.as_slice()).collect();
-                let res = wal.append_encoded(&bufs).and_then(|_| {
+                let t_append = tracing.then(std::time::Instant::now);
+                let res = wal.append_encoded(&bufs).inspect(|_| {
+                    if let Some(t0) = t_append {
+                        trace.span_since(
+                            "live",
+                            "wal_append",
+                            t0,
+                            &format!("batches={} ops={n_ops}", group.len()),
+                        );
+                    }
+                });
+                let res = res.and_then(|_| {
                     if fsync_mode {
-                        wal.sync()
+                        let t_sync = tracing.then(std::time::Instant::now);
+                        wal.sync().inspect(|_| {
+                            if let Some(t0) = t_sync {
+                                trace.span_since("live", "wal_fsync", t0, "");
+                            }
+                        })
                     } else {
                         Ok(())
                     }
@@ -417,14 +456,29 @@ impl<const D: usize> LiveInner<D> {
                 }
             }
             let last_seq = group.last().expect("group nonempty").last_seq;
-            let mut core = self.core.write();
-            core.apply_pending(n_ops);
-            core.durable_seq = last_seq;
-            crate::obs::metrics()
-                .memtable_items
-                .set(core.memtable.len() as u64);
+            let t_apply = tracing.then(std::time::Instant::now);
+            {
+                let mut core = self.core.write();
+                core.apply_pending(n_ops);
+                core.durable_seq = last_seq;
+                crate::obs::metrics()
+                    .memtable_items
+                    .set(core.memtable.len() as u64);
+            }
+            if let Some(t0) = t_apply {
+                trace.span_since("live", "apply", t0, &format!("ops={n_ops}"));
+            }
             Ok(())
-        })
+        });
+        if let Some(t0) = t_wait {
+            trace.span_since(
+                "live",
+                if led { "lead" } else { "wait" },
+                t0,
+                &format!("seq={seq}"),
+            );
+        }
+        res
     }
 
     /// Enqueues an encoded batch whose logical ops were just pushed onto
@@ -558,6 +612,15 @@ impl<const D: usize> LiveIndex<D> {
         records: Vec<WalRecord<D>>,
         lock: std::fs::File,
     ) -> Result<Self, LiveError> {
+        // Tracing knobs are process-global (the sampler and flight
+        // recorder are shared statics); apply them before anything below
+        // can arm a trace.
+        if opts.trace_sample_every > 0 {
+            pr_obs::trace::set_sampling(opts.trace_sample_every);
+        }
+        if opts.trace_slow_us > 0 {
+            pr_obs::recorder().configure(8, opts.trace_slow_us);
+        }
         // Components out of the store, arranged into their slots. All
         // components of one snapshot share one page-id space (and one
         // store device), so they attach to the shared leaf cache under
@@ -616,6 +679,11 @@ impl<const D: usize> LiveIndex<D> {
         core.live = stored + core.memtable.len() as u64 - core.tombstones.total();
 
         // WAL replay: everything past the manifest's cut, in order.
+        let mut rtrace = pr_obs::SpanCtx::off();
+        if !records.is_empty() {
+            rtrace.arm_sampled("wal_replay");
+        }
+        let t_replay = rtrace.is_active().then(std::time::Instant::now);
         let mut next_seq = manifest.wal_seq + 1;
         let mut replayed: u64 = 0;
         let mut scratch = QueryScratch::new();
@@ -658,6 +726,14 @@ impl<const D: usize> LiveIndex<D> {
                 manifest.wal_seq, core.durable_seq
             ),
         );
+        if let Some(t0) = t_replay {
+            rtrace.span_since("live", "replay", t0, &format!("records={replayed}"));
+            rtrace.set_detail(&format!(
+                "cut_seq={} recovered_seq={}",
+                manifest.wal_seq, core.durable_seq
+            ));
+        }
+        rtrace.finish_publish();
 
         let recovered_seq = core.durable_seq;
         let inner = Arc::new(LiveInner {
@@ -744,9 +820,13 @@ impl<const D: usize> LiveIndex<D> {
         }
         let t0 = std::time::Instant::now();
         let inner = &self.inner;
+        let mut trace = pr_obs::SpanCtx::off();
+        trace.arm_sampled("write");
+        let tracing = trace.is_active();
         let last_seq = {
             let mut w = inner.writer.lock();
             let first = w.next_seq;
+            let t_enc = tracing.then(std::time::Instant::now);
             let records: Vec<WalRecord<D>> = items
                 .iter()
                 .enumerate()
@@ -757,24 +837,38 @@ impl<const D: usize> LiveIndex<D> {
                 })
                 .collect();
             let bytes = encode_records(&records);
+            if let Some(t) = t_enc {
+                trace.span_since(
+                    "live",
+                    "encode",
+                    t,
+                    &format!("ops={} bytes={}", items.len(), bytes.len()),
+                );
+            }
             let last_seq = first + items.len() as u64 - 1;
             {
                 let mut core = inner.core.write();
                 core.pending
                     .extend(items.iter().map(|it| PendingApply::Insert(*it)));
             }
+            let t_enq = tracing.then(std::time::Instant::now);
             inner.enqueue_or_rollback(PendingBatch {
                 bytes,
                 n_ops: items.len(),
                 last_seq,
             })?;
+            if let Some(t) = t_enq {
+                trace.span_since("live", "enqueue", t, "");
+            }
             w.next_seq = last_seq + 1;
             last_seq
         };
-        inner.commit_wait(last_seq)?;
+        inner.commit_wait(last_seq, &mut trace)?;
         let m = crate::obs::metrics();
         m.inserts_acked.add(items.len() as u64);
         m.insert_batch_us.record_duration_us(t0.elapsed());
+        trace.set_detail(&format!("ops={} last_seq={last_seq}", items.len()));
+        trace.finish_publish();
         let overflow = inner.core.read().memtable.len() >= inner.policy.buffer_cap();
         if overflow {
             self.on_overflow()?;
@@ -810,6 +904,9 @@ impl<const D: usize> LiveIndex<D> {
         }
         let t0 = std::time::Instant::now();
         let inner = &self.inner;
+        let mut trace = pr_obs::SpanCtx::off();
+        trace.arm_sampled("delete");
+        let tracing = trace.is_active();
         // Pin the stored structure (sealed + components) with a brief
         // read lock, then probe copies entirely off-lock. Validity: a
         // merge moves copies between sealed/components without changing
@@ -834,6 +931,7 @@ impl<const D: usize> LiveIndex<D> {
         let mut scratch = QueryScratch::new();
         let mut hits = Vec::new();
         let mut probed: Vec<u64> = Vec::with_capacity(items.len());
+        let t_probe = tracing.then(std::time::Instant::now);
         for item in items {
             probed.push(count_stored_copies(
                 pinned_sealed.as_deref().map(|v| v.as_slice()),
@@ -843,8 +941,12 @@ impl<const D: usize> LiveIndex<D> {
                 &mut hits,
             )?);
         }
+        if let Some(t) = t_probe {
+            trace.span_since("live", "probe", t, &format!("victims={}", items.len()));
+        }
         let (deleted, last_seq, any_tombstone) = {
             let mut w = inner.writer.lock();
+            let t_decide = tracing.then(std::time::Instant::now);
             // Decide every victim against the applied state plus every
             // enqueued-but-unapplied op (`core.pending`) plus the
             // batch's own earlier victims — the serial-equivalent view.
@@ -905,22 +1007,36 @@ impl<const D: usize> LiveIndex<D> {
             let bytes = encode_records(&records);
             let n_ops = ops.len();
             let last_seq = first + n_ops as u64 - 1;
+            if let Some(t) = t_decide {
+                trace.span_since(
+                    "live",
+                    "decide",
+                    t,
+                    &format!("ops={n_ops} bytes={}", bytes.len()),
+                );
+            }
             {
                 let mut core = inner.core.write();
                 core.pending.extend(ops);
             }
+            let t_enq = tracing.then(std::time::Instant::now);
             inner.enqueue_or_rollback(PendingBatch {
                 bytes,
                 n_ops,
                 last_seq,
             })?;
+            if let Some(t) = t_enq {
+                trace.span_since("live", "enqueue", t, "");
+            }
             w.next_seq = last_seq + 1;
             (n_ops as u64, last_seq, any_tombstone)
         };
-        inner.commit_wait(last_seq)?;
+        inner.commit_wait(last_seq, &mut trace)?;
         let m = crate::obs::metrics();
         m.deletes_acked.add(deleted);
         m.delete_batch_us.record_duration_us(t0.elapsed());
+        trace.set_detail(&format!("deleted={deleted} last_seq={last_seq}"));
+        trace.finish_publish();
         let needs_compaction = any_tombstone && {
             let core = inner.core.read();
             let stored: u64 = core

@@ -81,6 +81,12 @@ pub(crate) fn run_merge<const D: usize>(
 ) -> Result<(), LiveError> {
     let _serialize = inner.maintenance.lock();
     let merge_start = std::time::Instant::now();
+    let reclaim = matches!(kind, MergeKind::Full { reclaim: true });
+    // Background-op trace (sampled): one span per merge phase, plus the
+    // store layer's ambient commit spans absorbed in phase 5.
+    let mut trace = pr_obs::SpanCtx::off();
+    trace.arm_sampled(if reclaim { "compaction" } else { "merge" });
+    let tracing = trace.is_active();
     pr_obs::events().emit("merge_start", format!("kind={kind:?}"));
 
     // Phase 1: seal the memtable (if this merge wants it). Quiesce
@@ -90,6 +96,8 @@ pub(crate) fn run_merge<const D: usize>(
     // must find its resident; an enqueued insert must not miss the
     // seal and then double-apply after it).
     {
+        let t_seal = tracing.then(std::time::Instant::now);
+        let mut sealed_items = 0usize;
         let w = inner.writer.lock();
         inner.group.wait_applied(w.next_seq.saturating_sub(1))?;
         let mut core = inner.core.write();
@@ -100,6 +108,7 @@ pub(crate) fn run_merge<const D: usize>(
             };
             if should {
                 let batch = core.memtable.drain();
+                sealed_items = batch.len();
                 let m = crate::obs::metrics();
                 m.memtable_seals.inc();
                 m.memtable_items.set(0);
@@ -110,12 +119,16 @@ pub(crate) fn run_merge<const D: usize>(
                 core.structure_epoch += 1;
             }
         }
+        drop(core);
+        drop(w);
+        if let Some(t0) = t_seal {
+            trace.span_since("live", "seal", t0, &format!("items={sealed_items}"));
+        }
     }
 
     // Phase 2: snapshot the inputs. `planned_target` is the geometric
     // slot an Overflow/Force merge aims for; a Full merge decides after
     // filtering.
-    let reclaim = matches!(kind, MergeKind::Full { reclaim: true });
     let (sealed, inputs, input_slots, planned_target) = {
         let core = inner.core.read();
         let sealed = core.sealed.clone();
@@ -172,13 +185,22 @@ pub(crate) fn run_merge<const D: usize>(
                 }
             }
         }
-        for c in &inputs {
+        for (c, slot) in inputs.iter().zip(&input_slots) {
+            let t_read = tracing.then(std::time::Instant::now);
             for it in c.items()? {
                 if filter.admit(&it) {
                     items.push(it);
                 } else {
                     consumed.add(&it);
                 }
+            }
+            if let Some(t0) = t_read {
+                trace.span_since(
+                    "em",
+                    "component_read",
+                    t0,
+                    &format!("slot={slot} items={}", c.len()),
+                );
             }
         }
     }
@@ -192,8 +214,14 @@ pub(crate) fn run_merge<const D: usize>(
     let new_tree: Option<RTree<D>> = if items.is_empty() {
         None
     } else {
+        let n_items = items.len();
+        let t_build = tracing.then(std::time::Instant::now);
         let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(inner.params.page_size));
-        Some(PrTreeLoader::default().load(dev, inner.params, items)?)
+        let tree = PrTreeLoader::default().load(dev, inner.params, items)?;
+        if let Some(t0) = t_build {
+            trace.span_since("tree", "bulk_load", t0, &format!("items={n_items}"));
+        }
+        Some(tree)
     };
 
     // Phase 4: the cut. Brief writer lock: quiesce the commit pipeline
@@ -203,6 +231,7 @@ pub(crate) fn run_merge<const D: usize>(
     // complete, durable segments behind; this is also what drains the
     // async in-flight window on flush) — rotate, and snapshot the
     // manifest state; then release so writers run during the commit.
+    let t_cut = tracing.then(std::time::Instant::now);
     let (cut_seq, survivors, manifest_tombstones, memtable_snapshot) = {
         let w = inner.writer.lock();
         inner.group.wait_applied(w.next_seq.saturating_sub(1))?;
@@ -230,6 +259,9 @@ pub(crate) fn run_merge<const D: usize>(
         after.subtract(&consumed);
         (cut_seq, survivors, after, core.memtable.items().to_vec())
     };
+    if let Some(t0) = t_cut {
+        trace.span_since("live", "cut", t0, &format!("cut_seq={cut_seq}"));
+    }
     let mut slots: Vec<u32> = Vec::new();
     let mut refs: Vec<&RTree<D>> = Vec::new();
     for (slot, survivor) in survivors.iter().enumerate() {
@@ -255,6 +287,11 @@ pub(crate) fn run_merge<const D: usize>(
     // acknowledged during this window carry seqs past the cut and are
     // covered by WAL replay; the next merge picks them up.
     inner.crash_check(CrashPoint::BeforeCommit)?;
+    // Collect the store layer's ambient spans (commit, fsync_body,
+    // fsync_flip, store_open) for the whole commit window; the scope's
+    // Drop clears the thread-local on any error path.
+    let t_commit = tracing.then(std::time::Instant::now);
+    let ambient = pr_obs::AmbientScope::begin(tracing);
     let mut reopened: Vec<RTree<D>> = {
         let mut store = inner.store.lock();
         if reclaim {
@@ -288,6 +325,15 @@ pub(crate) fn run_merge<const D: usize>(
         }
         t.warm_cache()?;
     }
+    trace.absorb(ambient.finish());
+    if let Some(t0) = t_commit {
+        trace.span_since(
+            "store",
+            "commit_snapshot",
+            t0,
+            &format!("components={} reclaim={reclaim}", refs.len()),
+        );
+    }
     inner.crash_check(CrashPoint::AfterCommit)?;
 
     // Phase 6: swap + prune. The tombstone set is re-derived from the
@@ -297,6 +343,7 @@ pub(crate) fn run_merge<const D: usize>(
     // across the swap because a merge preserves per-identity stored-copy
     // and tombstone counts.)
     let _w = inner.writer.lock();
+    let t_swap = tracing.then(std::time::Instant::now);
     {
         let mut core = inner.core.write();
         let mut components: Vec<Option<Arc<RTree<D>>>> = vec![None; survivors.len()];
@@ -318,11 +365,19 @@ pub(crate) fn run_merge<const D: usize>(
     if let (Some(cache), Some(epoch)) = (&inner.leaf_cache, cache_epoch) {
         cache.retain_epoch(epoch);
     }
+    if let Some(t0) = t_swap {
+        trace.span_since("live", "swap", t0, "");
+    }
     // The manifest at cut_seq is durable; segments at or below the
     // rotation hold nothing newer than cut_seq.
     {
+        let t_prune = tracing.then(std::time::Instant::now);
         let mut wal = inner.group.wal.lock().expect("wal mutex");
         wal.prune_old()?;
+        drop(wal);
+        if let Some(t0) = t_prune {
+            trace.span_since("live", "wal_prune", t0, "");
+        }
     }
     let elapsed = merge_start.elapsed();
     let m = crate::obs::metrics();
@@ -333,6 +388,8 @@ pub(crate) fn run_merge<const D: usize>(
         format!("cut_seq={cut_seq} components={}", slots.len()),
         elapsed,
     );
+    trace.set_detail(&format!("cut_seq={cut_seq} components={}", slots.len()));
+    trace.finish_publish();
     Ok(())
 }
 

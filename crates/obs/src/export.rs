@@ -129,6 +129,18 @@ pub fn event_json(e: &crate::events::Event) -> String {
 /// metric, and (optionally) the event log. This is what
 /// `prtree stats --json` and `--metrics-file` emit.
 pub fn snapshot_json(snap: &RegistrySnapshot, events: Option<&EventLog>) -> String {
+    snapshot_json_full(snap, events, None)
+}
+
+/// [`snapshot_json`] plus an optional `slow_traces` section — the
+/// flight recorder's slowest-per-kind digest, rendered via
+/// [`crate::trace::slow_traces_json`]. `prtree stats --json` passes
+/// the live recorder snapshot here.
+pub fn snapshot_json_full(
+    snap: &RegistrySnapshot,
+    events: Option<&EventLog>,
+    slow_traces: Option<&[(&'static str, Vec<crate::trace::Trace>)]>,
+) -> String {
     let mut metrics = JsonArr::new();
     for m in &snap.metrics {
         metrics.push_raw(metric_json(m));
@@ -144,6 +156,9 @@ pub fn snapshot_json(snap: &RegistrySnapshot, events: Option<&EventLog>) -> Stri
         }
         o.raw("events", &ev.finish_pretty())
             .u64("events_dropped", log.dropped);
+    }
+    if let Some(groups) = slow_traces {
+        o.raw("slow_traces", &crate::trace::slow_traces_json(groups));
     }
     o.finish()
 }
@@ -192,5 +207,22 @@ mod tests {
         assert!(doc.contains("\"p50\":"));
         assert!(doc.contains("\"kind\":\"merge_commit\""));
         assert!(doc.contains("\"events_dropped\":0"));
+        // The 2-arg form carries no slow_traces section; the full form
+        // includes the flight-recorder digest.
+        assert!(!doc.contains("\"slow_traces\""));
+        let slow = vec![(
+            "window",
+            vec![crate::trace::Trace {
+                kind: "window",
+                unix_ms: 5,
+                total_us: 99,
+                detail: String::new(),
+                spans: Vec::new(),
+                levels: Vec::new(),
+            }],
+        )];
+        let full = snapshot_json_full(&reg.snapshot(), None, Some(&slow));
+        assert!(full.contains("\"slow_traces\":[{\"kind\":\"window\""));
+        assert!(full.contains("\"total_us\":99"));
     }
 }

@@ -17,6 +17,10 @@
 //! * [`export`] — Prometheus-style text and versioned JSON renderings
 //!   of snapshots, surfaced by `prtree stats --json`, `prtree events`,
 //!   and `--metrics-file`.
+//! * [`trace`] — the sampling span tracer: per-operation phase
+//!   timelines ([`SpanCtx`]) across all four layers, a slowest-N
+//!   flight recorder, and a Chrome-trace-event exporter (`prtree
+//!   query --explain`, `prtree slow`, `ingest --trace-file`).
 //! * [`json`] — the workspace's single hand-rolled JSON encoder.
 //!
 //! Every other crate records into the process-wide [`global()`]
@@ -31,13 +35,20 @@ pub mod export;
 pub mod hist;
 pub mod json;
 pub mod registry;
+pub mod trace;
 
 pub use events::{Event, EventLog, EventRing};
-pub use export::{event_json, metric_json, prometheus_text, snapshot_json, SCHEMA_VERSION};
+pub use export::{
+    event_json, metric_json, prometheus_text, snapshot_json, snapshot_json_full, SCHEMA_VERSION,
+};
 pub use hist::{AtomicHistogram, LatencyHistogram};
 pub use registry::{
     global, recording, set_recording, Counter, Gauge, Histogram, MetricSnapshot, MetricValue,
     Registry, RegistrySnapshot,
+};
+pub use trace::{
+    ambient_span, chrome_trace_json, configure_recorder, recorder, slow_traces_json, trace_json,
+    AmbientScope, AmbientSpan, FlightRecorder, LevelCounters, Span, SpanCtx, SpanId, Trace,
 };
 
 /// The process-wide lifecycle event ring.

@@ -126,8 +126,14 @@ impl<const D: usize> RTree<D> {
             soa,
             dist,
             heap,
+            trace,
             ..
         } = scratch;
+        // Same tracing contract as `window_traverse`: one relaxed load
+        // when disabled, per-level tallies + per-I/O spans when sampled.
+        trace.arm_sampled("knn");
+        let tracing = trace.is_active();
+        let traverse = trace.begin("tree", "best_first");
         heap.clear();
         heap.push(Prioritized {
             dist2: 0.0,
@@ -151,6 +157,9 @@ impl<const D: usize> RTree<D> {
                         }
                     }
                     Candidate::Node(page) => {
+                        let (hits0, misses0) = (tally.leaf_hits, tally.leaf_misses);
+                        let t_node = tracing.then(std::time::Instant::now);
+                        let mut level = 0u8;
                         let ((), did_io) = self.with_soa_node(
                             page,
                             frozen.as_ref(),
@@ -158,6 +167,9 @@ impl<const D: usize> RTree<D> {
                             page_buf,
                             soa,
                             |n| {
+                                if tracing {
+                                    level = n.level();
+                                }
                                 stats.nodes_visited += 1;
                                 n.min_dist2_into(query, dist);
                                 if n.is_leaf() {
@@ -183,6 +195,21 @@ impl<const D: usize> RTree<D> {
                             },
                         )?;
                         stats.device_reads += did_io as u64;
+                        if tracing {
+                            if did_io {
+                                let t0 = t_node.expect("set while tracing");
+                                trace.span_since("em", "page_read", t0, &format!("page={page}"));
+                            }
+                            let is_leaf = level == 0;
+                            trace.tally_level(
+                                level as usize,
+                                is_leaf as u64,
+                                !is_leaf as u64,
+                                tally.leaf_hits - hits0,
+                                tally.leaf_misses - misses0,
+                                did_io as u64,
+                            );
+                        }
                     }
                 }
             }
@@ -192,6 +219,11 @@ impl<const D: usize> RTree<D> {
         stats.leaf_cache_misses = tally.leaf_misses;
         self.record_cache_tally(tally);
         crate::obs::record_query(crate::obs::QueryKind::Knn, &stats);
+        if tracing {
+            trace.end_detail(traverse, &format!("nodes={}", stats.nodes_visited));
+            trace.set_detail(&format!("results={}", stats.results));
+            trace.finish_publish();
+        }
         walk.map(|()| stats)
     }
 }

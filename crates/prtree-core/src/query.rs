@@ -171,14 +171,27 @@ impl<const D: usize> RTree<D> {
             page_buf,
             mask,
             soa,
+            trace,
             ..
         } = scratch;
+        // One relaxed atomic load when tracing is disabled; a sampled
+        // (or `--explain`-forced) query records per-node levels and
+        // per-I/O spans below.
+        trace.arm_sampled("window");
+        let tracing = trace.is_active();
+        let traverse = trace.begin("tree", "traverse");
         stack.clear();
         stack.push(self.root());
         let walk = (|| {
             while let Some(page) = stack.pop() {
+                let (hits0, misses0) = (tally.leaf_hits, tally.leaf_misses);
+                let t_node = tracing.then(std::time::Instant::now);
+                let mut level = 0u8;
                 let ((), did_io) =
                     self.with_soa_node(page, frozen.as_ref(), &mut tally, page_buf, soa, |n| {
+                        if tracing {
+                            level = n.level();
+                        }
                         stats.nodes_visited += 1;
                         if n.is_leaf() {
                             stats.leaves_visited += 1;
@@ -191,6 +204,21 @@ impl<const D: usize> RTree<D> {
                         }
                     })?;
                 stats.device_reads += did_io as u64;
+                if tracing {
+                    if did_io {
+                        let t0 = t_node.expect("set while tracing");
+                        trace.span_since("em", "page_read", t0, &format!("page={page}"));
+                    }
+                    let is_leaf = level == 0;
+                    trace.tally_level(
+                        level as usize,
+                        is_leaf as u64,
+                        !is_leaf as u64,
+                        tally.leaf_hits - hits0,
+                        tally.leaf_misses - misses0,
+                        did_io as u64,
+                    );
+                }
             }
             Ok(())
         })();
@@ -198,6 +226,11 @@ impl<const D: usize> RTree<D> {
         stats.leaf_cache_misses = tally.leaf_misses;
         self.record_cache_tally(tally);
         crate::obs::record_query(crate::obs::QueryKind::Window, &stats);
+        if tracing {
+            trace.end_detail(traverse, &format!("nodes={}", stats.nodes_visited));
+            trace.set_detail(&format!("results={}", stats.results));
+            trace.finish_publish();
+        }
         walk.map(|()| stats)
     }
 

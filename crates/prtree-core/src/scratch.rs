@@ -42,6 +42,11 @@ pub struct QueryScratch<const D: usize> {
     pub(crate) dist: Vec<f64>,
     /// Best-first candidate heap (k-NN).
     pub(crate) heap: BinaryHeap<Prioritized<D>>,
+    /// Span-trace context riding the query (see `pr_obs::trace`). The
+    /// engine arms it via sampling at the top of each traversal and
+    /// publishes the finished trace; callers wanting a guaranteed trace
+    /// (`--explain`) set it to [`pr_obs::SpanCtx::forced`] beforehand.
+    pub trace: pr_obs::SpanCtx,
 }
 
 impl<const D: usize> QueryScratch<D> {
@@ -55,6 +60,7 @@ impl<const D: usize> QueryScratch<D> {
             soa: SoaNode::new_empty(),
             dist: Vec::new(),
             heap: BinaryHeap::new(),
+            trace: pr_obs::SpanCtx::off(),
         }
     }
 }

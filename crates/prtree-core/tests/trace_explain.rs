@@ -1,0 +1,142 @@
+//! Pins the `--explain` contract: a traced query's per-level counters
+//! sum **exactly** to the same query's `QueryStats`, and tracing
+//! changes neither results nor statistics.
+
+use pr_em::{BlockDevice, MemDevice};
+use pr_geom::{Item, Point, Rect};
+use pr_tree::bulk::pr::PrTreeLoader;
+use pr_tree::bulk::BulkLoader;
+use pr_tree::{LeafCache, QueryScratch, RTree, TreeParams};
+use std::sync::Arc;
+
+fn build(n: u32, leaf_cache: bool) -> RTree<2> {
+    let params = TreeParams::with_cap::<2>(8);
+    let dev: Arc<dyn BlockDevice> = Arc::new(MemDevice::new(params.page_size));
+    let items: Vec<Item<2>> = (0..n)
+        .map(|i| {
+            let f = i as f64;
+            let x = f % 64.0;
+            let y = (f / 64.0).floor();
+            Item::new(Rect::xyxy(x, y, x + 0.6, y + 0.6), i)
+        })
+        .collect();
+    let mut tree = PrTreeLoader::default().load(dev, params, items).unwrap();
+    if leaf_cache {
+        let cache = Arc::new(LeafCache::new(4 << 20));
+        let epoch = cache.register_epoch();
+        tree.attach_leaf_cache(cache, epoch);
+    }
+    tree.warm_cache().unwrap();
+    tree
+}
+
+fn level_sums(t: &pr_obs::Trace) -> (u64, u64, u64, u64, u64, u64) {
+    t.levels.iter().fold((0, 0, 0, 0, 0, 0), |acc, l| {
+        (
+            acc.0 + l.nodes,
+            acc.1 + l.leaves,
+            acc.2 + l.internal,
+            acc.3 + l.cache_hits,
+            acc.4 + l.cache_misses,
+            acc.5 + l.device_reads,
+        )
+    })
+}
+
+fn assert_trace_matches_stats(t: &pr_obs::Trace, stats: &pr_tree::QueryStats) {
+    let (nodes, leaves, internal, hits, misses, reads) = level_sums(t);
+    assert_eq!(nodes, stats.nodes_visited, "per-level nodes sum");
+    assert_eq!(leaves, stats.leaves_visited, "per-level leaves sum");
+    assert_eq!(internal, stats.internal_visited, "per-level internal sum");
+    assert_eq!(hits, stats.leaf_cache_hits, "per-level cache hits sum");
+    assert_eq!(
+        misses, stats.leaf_cache_misses,
+        "per-level cache misses sum"
+    );
+    assert_eq!(reads, stats.device_reads, "per-level device reads sum");
+    // Every em `page_read` span is one device read.
+    let io_spans = t
+        .spans
+        .iter()
+        .filter(|s| s.layer == "em" && s.name == "page_read")
+        .count() as u64;
+    assert_eq!(io_spans, stats.device_reads, "one em span per device read");
+}
+
+/// One test (not several) because the collector and sampling switch are
+/// process-global; sequential phases keep them race-free.
+#[test]
+fn explain_levels_sum_exactly_to_query_stats() {
+    let tree = build(2_048, true);
+    let q = Rect::xyxy(3.0, 3.0, 30.0, 20.0);
+    let p = Point::new([17.0, 11.0]);
+
+    // Baseline: untraced queries against a separately built identical
+    // tree, so the traced tree's leaf cache stays cold for pass 0.
+    let oracle = build(2_048, false);
+    let mut plain = QueryScratch::new();
+    let mut want = Vec::new();
+    let want_stats = oracle.window_into(&q, &mut plain, &mut want).unwrap();
+    let mut want_nn = Vec::new();
+    let want_nn_stats = oracle
+        .nearest_neighbors_into(&p, 12, &mut plain, &mut want_nn)
+        .unwrap();
+
+    // Forced trace on a fresh scratch: identical results and stats,
+    // plus a published trace whose level sums match exactly. Run both
+    // a cold pass (cache misses + device reads) and a warm pass (leaf
+    // cache hits) so every counter column is exercised.
+    for pass in 0..2 {
+        let mut scratch = QueryScratch::new();
+        pr_obs::trace::install_collector(16);
+        scratch.trace = pr_obs::SpanCtx::forced("window");
+        let mut out = Vec::new();
+        let stats = tree.window_into(&q, &mut scratch, &mut out).unwrap();
+        assert_eq!(out, want, "tracing must not change results");
+        assert_eq!(stats.results, want_stats.results);
+        assert_eq!(stats.nodes_visited, want_stats.nodes_visited);
+        assert_eq!(stats.leaves_visited, want_stats.leaves_visited);
+
+        scratch.trace = pr_obs::SpanCtx::forced("knn");
+        let mut nn = Vec::new();
+        let nn_stats = tree
+            .nearest_neighbors_into(&p, 12, &mut scratch, &mut nn)
+            .unwrap();
+        assert_eq!(nn, want_nn, "tracing must not change k-NN results");
+        assert_eq!(nn_stats.results, want_nn_stats.results);
+        assert_eq!(nn_stats.leaves_visited, want_nn_stats.leaves_visited);
+
+        let traces = pr_obs::trace::drain_collector();
+        assert_eq!(traces.len(), 2, "window + knn traces collected");
+        let window = traces.iter().find(|t| t.kind == "window").unwrap();
+        assert_trace_matches_stats(window, &stats);
+        assert_eq!(window.detail, format!("results={}", stats.results));
+        assert!(
+            window.spans.iter().any(|s| s.name == "traverse"),
+            "tree-layer traversal span present"
+        );
+        let knn = traces.iter().find(|t| t.kind == "knn").unwrap();
+        assert_trace_matches_stats(knn, &nn_stats);
+        if pass == 0 {
+            assert!(stats.device_reads > 0, "cold pass must hit the device");
+        } else {
+            assert!(stats.leaf_cache_hits > 0, "warm pass must hit the cache");
+            assert_eq!(stats.device_reads, 0, "warm pass is cache-only");
+        }
+    }
+
+    // Sampled arming (1-in-1) through the engine's own arm_sampled: the
+    // scratch ctx starts off, arms itself, and publishes to the flight
+    // recorder.
+    pr_obs::recorder().clear();
+    pr_obs::trace::set_sampling(1);
+    let mut scratch = QueryScratch::new();
+    let mut out = Vec::new();
+    let stats = tree.window_into(&q, &mut scratch, &mut out).unwrap();
+    pr_obs::trace::set_sampling(0);
+    let slow = pr_obs::recorder().snapshot();
+    let window = &slow.iter().find(|(k, _)| *k == "window").unwrap().1;
+    assert!(!window.is_empty(), "sampled trace reached the recorder");
+    assert_trace_matches_stats(&window[0], &stats);
+    pr_obs::recorder().clear();
+}

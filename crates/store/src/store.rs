@@ -122,6 +122,9 @@ impl Store {
     /// or media) opens read-only: queries and verification work,
     /// [`Store::save`] returns [`StoreError::ReadOnly`].
     pub fn open(path: &Path) -> Result<Store, StoreError> {
+        // Reported into an enclosing trace (a live-dir open's WAL-replay
+        // trace) when one is collecting on this thread.
+        let mut open_span = pr_obs::ambient_span("store", "store_open");
         let (file, read_only) = match OpenOptions::new().read(true).write(true).open(path) {
             Ok(f) => (f, false),
             Err(rw_err) => match OpenOptions::new().read(true).open(path) {
@@ -172,6 +175,7 @@ impl Store {
                 Ok((checksums, manifest)) => {
                     let map = map_snapshot(&file, &sb);
                     let verified = Arc::new(VerifiedBitmap::new(checksums.len() as u64));
+                    open_span.detail(format!("epoch={} pages={}", sb.epoch, sb.num_pages));
                     return Ok(Store {
                         file,
                         path: path.to_path_buf(),
@@ -244,6 +248,9 @@ impl Store {
         app: Option<&[u8]>,
     ) -> Result<(), StoreError> {
         let commit_start = std::time::Instant::now();
+        // Reported into an enclosing trace (a merge/compaction) when one
+        // is collecting on this thread; free otherwise.
+        let mut commit_span = pr_obs::ambient_span("store", "commit");
         if self.read_only {
             return Err(StoreError::ReadOnly);
         }
@@ -351,7 +358,10 @@ impl Store {
         let mut fbuf = vec![0u8; Footer::ENCODED_SIZE];
         footer.encode(&mut fbuf);
         self.file.write_all_at(&fbuf, footer_offset)?;
-        self.file.sync_data()?;
+        {
+            let _s = pr_obs::ambient_span("store", "fsync_body");
+            self.file.sync_data()?;
+        }
 
         // The commit point: flip the inactive superblock slot. The
         // superblock's embedded meta is the first component (or an empty
@@ -377,7 +387,10 @@ impl Store {
         };
         let stale_slot = 1 - self.active_slot;
         write_superblock(&self.file, stale_slot, &new_sb)?;
-        self.file.sync_data()?;
+        {
+            let _s = pr_obs::ambient_span("store", "fsync_flip");
+            self.file.sync_data()?;
+        }
 
         self.active_slot = stale_slot;
         self.sb = new_sb;
@@ -389,6 +402,7 @@ impl Store {
         self.map = map_snapshot(&self.file, &self.sb);
         self.verified = Arc::new(VerifiedBitmap::new(self.sb.num_pages));
         self.manifest = manifest;
+        commit_span.detail(format!("epoch={} pages={written}", self.sb.epoch));
         let m = crate::obs::metrics();
         m.commits.inc();
         m.commit_pages.add(written);

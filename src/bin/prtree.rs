@@ -46,6 +46,8 @@ fn main() {
         Some("knn") => cmd_knn(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("events") => cmd_events(&args[1..]),
+        Some("slow") => cmd_slow(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("torture") => cmd_torture(&args[1..]),
         Some("--help") | Some("-h") | None => {
             usage();
@@ -73,7 +75,7 @@ fn usage() {
          \x20 ingest DIR [--data KIND] [--n N] [--seed S] [--id-base B] [--batch SIZE]\n\
          \x20        [--writers W] [--durability fsync|async|async:BYTES]\n\
          \x20        [--buffer-cap C] [--cap C] [--leaf-cache-bytes B] [--inline-merge]\n\
-         \x20        [--flush] [--metrics-file FILE]\n\
+         \x20        [--flush] [--metrics-file FILE] [--trace-file FILE]\n\
          \x20       durably insert N synthetic items into the live index at DIR\n\
          \x20       (created on first use). --writers W shards the stream over W\n\
          \x20       threads whose batches coalesce into shared group-commit\n\
@@ -85,24 +87,34 @@ fn usage() {
          \x20       stay unique; --flush forces a merge commit before exiting;\n\
          \x20       --metrics-file FILE periodically flushes the metrics registry\n\
          \x20       to FILE as JSON (atomic rename; final flush on exit);\n\
+         \x20       --trace-file FILE traces every operation and writes the run's\n\
+         \x20       span traces to FILE as Chrome trace-event JSON on exit (open\n\
+         \x20       in about://tracing or Perfetto);\n\
          \x20       --inline-merge runs merges on the writer instead of the\n\
          \x20       background thread. Every live-dir command accepts\n\
          \x20       --leaf-cache-bytes B (shared transcoded-leaf cache across the\n\
-         \x20       index's components; default 16 MiB, 0 disables)\n\
+         \x20       index's components; default 16 MiB, 0 disables) plus\n\
+         \x20       --trace-sample N (span-trace 1 op in N; 0 = off, the default)\n\
+         \x20       and --trace-slow-us U (flight-recorder admission threshold)\n\
          \x20 delete DIR --window X1,Y1,X2,Y2 [--limit N] [--leaf-cache-bytes B]\n\
          \x20       durably delete (up to N) live items intersecting the window\n\
          \x20 compact DIR [--leaf-cache-bytes B]\n\
          \x20       merge memtable + all components into one tree, drop all\n\
          \x20       tombstones, and rewrite the store file (reclaims space)\n\
          \x20 query FILE|DIR --window X1,Y1,X2,Y2 [--expect N] [--verbose] [--repeat R]\n\
-         \x20       [--leaf-cache-bytes B] [--paranoid]\n\
+         \x20       [--leaf-cache-bytes B] [--paranoid] [--explain]\n\
          \x20       reopen the index and run one window query (--expect N: exit 1\n\
          \x20       unless exactly N results — used by CI roundtrips; --repeat R:\n\
          \x20       rerun the query R times through one reused scratch and report\n\
          \x20       warm-cache throughput of the decode-free engine;\n\
          \x20       --leaf-cache-bytes B: budget of the transcoded-leaf cache in\n\
-         \x20       front of the store, 0 disables — default 16 MiB)\n\
+         \x20       front of the store, 0 disables — default 16 MiB;\n\
+         \x20       --explain: trace the traversal and print a per-level profile\n\
+         \x20       of nodes/leaves/cache-hits/device-reads plus phase timings,\n\
+         \x20       cross-checked exactly against the query's own statistics —\n\
+         \x20       exit 1 on any mismatch)\n\
          \x20 knn FILE|DIR --point X,Y [--k K] [--leaf-cache-bytes B] [--paranoid]\n\
+         \x20       [--explain]\n\
          \x20       reopen the index and report the K nearest rectangles (default K=5).\n\
          \x20       query/knn/stats accept --paranoid: re-hash every store page on\n\
          \x20       every read (CRC rechecked each touch) instead of verify-once\n\
@@ -115,11 +127,24 @@ fn usage() {
          \x20       --no-verify skips it). Both paths end\n\
          \x20       with the process-wide metrics registry (one formatter; the\n\
          \x20       --leaf-cache-bytes budget applies to both). --json emits the\n\
-         \x20       registry snapshot + lifecycle events as one JSON document\n\
-         \x20 events FILE|DIR [--limit N] [--json] [--paranoid]\n\
-         \x20       replay the lifecycle event ring after opening the index (store\n\
-         \x20       file: open + scrub; live dir: open + WAL replay) — WAL rotations,\n\
-         \x20       group flushes, seals, merges, compactions, scrubs, cache epochs\n\
+         \x20       registry snapshot + lifecycle events + the slow-op flight\n\
+         \x20       recorder as one JSON document\n\
+         \x20 events DIR [--limit N] [--since SEQ] [--json]\n\
+         \x20       replay the lifecycle event ring after opening the live index\n\
+         \x20       (open + WAL replay) — WAL rotations, group flushes, seals,\n\
+         \x20       merges, compactions, scrubs, cache epochs. --since SEQ tails\n\
+         \x20       only events with seq > SEQ (incremental polling; the report's\n\
+         \x20       dropped count covers the gap). Store files have no event\n\
+         \x20       history: a file path is an error\n\
+         \x20 slow DIR|FILE [--limit N] [--json]\n\
+         \x20       trace every operation of the open (live dir: WAL replay;\n\
+         \x20       store file: open + scrub) and dump the slow-op flight\n\
+         \x20       recorder: the N slowest traces per op-kind, slowest first\n\
+         \x20       (admission threshold via --trace-slow-us)\n\
+         \x20 trace DIR [--out FILE]\n\
+         \x20       trace every operation of open + flush on the live index and\n\
+         \x20       export the collected span traces as Chrome trace-event JSON\n\
+         \x20       to FILE (default stdout) — open in about://tracing or Perfetto\n\
          \x20 torture [DIR] [--seed S] [--batches B] [--batch SIZE] [--writers W]\n\
          \x20        [--durability fsync|async|async:BYTES] [--stride K]\n\
          \x20       fault-injection torture sweep: run a scripted ingest trace once\n\
@@ -149,7 +174,11 @@ fn report_registry(json: bool) -> i32 {
     let snap = pr_obs::global().snapshot();
     if json {
         let events = pr_obs::events().snapshot();
-        println!("{}", pr_obs::snapshot_json(&snap, Some(&events)));
+        let slow = pr_obs::recorder().snapshot();
+        println!(
+            "{}",
+            pr_obs::snapshot_json_full(&snap, Some(&events), Some(&slow))
+        );
     } else {
         print_metrics_human(&snap);
     }
@@ -194,6 +223,130 @@ fn write_metrics_file(path: &Path) -> std::io::Result<()> {
     let tmp = path.with_extension("tmp");
     std::fs::write(&tmp, doc)?;
     std::fs::rename(&tmp, path)
+}
+
+/// Writes collected traces to `path` as Chrome trace-event JSON,
+/// atomically (temp file + rename).
+fn write_trace_file(path: &Path, traces: &[pr_obs::Trace]) -> std::io::Result<()> {
+    let doc = pr_obs::chrome_trace_json(traces);
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, doc)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Prints a traced traversal profile — the `--explain` report — and
+/// cross-checks the trace's per-level counter sums **exactly** against
+/// the query's own [`pr_tree::QueryStats`]. Live-dir queries publish
+/// one trace per component; the profile aggregates them. Returns
+/// nonzero (the command's exit code) on any mismatch: the trace and
+/// the stats counters are two independent accountings of the same
+/// traversal, and disagreement means one of them lies.
+fn print_explain(traces: &[pr_obs::Trace], kind: &str, stats: &pr_tree::QueryStats) -> i32 {
+    let traces: Vec<&pr_obs::Trace> = traces.iter().filter(|t| t.kind == kind).collect();
+    let mut levels: Vec<pr_obs::LevelCounters> = Vec::new();
+    let mut total_us = 0u64;
+    for t in &traces {
+        total_us += t.total_us;
+        for (i, l) in t.levels.iter().enumerate() {
+            if levels.len() <= i {
+                levels.resize_with(i + 1, pr_obs::LevelCounters::default);
+            }
+            let acc = &mut levels[i];
+            acc.nodes += l.nodes;
+            acc.leaves += l.leaves;
+            acc.internal += l.internal;
+            acc.cache_hits += l.cache_hits;
+            acc.cache_misses += l.cache_misses;
+            acc.device_reads += l.device_reads;
+        }
+    }
+    let sum = levels
+        .iter()
+        .fold(pr_obs::LevelCounters::default(), |mut s, l| {
+            s.nodes += l.nodes;
+            s.leaves += l.leaves;
+            s.internal += l.internal;
+            s.cache_hits += l.cache_hits;
+            s.cache_misses += l.cache_misses;
+            s.device_reads += l.device_reads;
+            s
+        });
+    println!(
+        "explain ({kind}): {} traced traversal(s), {total_us} µs",
+        traces.len()
+    );
+    println!(
+        "  {:<5} {:>7} {:>7} {:>9} {:>6} {:>7} {:>6}",
+        "level", "nodes", "leaves", "internal", "hits", "misses", "reads"
+    );
+    for (i, l) in levels.iter().enumerate().rev() {
+        println!(
+            "  {:<5} {:>7} {:>7} {:>9} {:>6} {:>7} {:>6}",
+            i, l.nodes, l.leaves, l.internal, l.cache_hits, l.cache_misses, l.device_reads
+        );
+    }
+    println!(
+        "  {:<5} {:>7} {:>7} {:>9} {:>6} {:>7} {:>6}",
+        "sum",
+        sum.nodes,
+        sum.leaves,
+        sum.internal,
+        sum.cache_hits,
+        sum.cache_misses,
+        sum.device_reads
+    );
+    // Phase timings, aggregated by (layer, phase) across the traces.
+    let mut phases: std::collections::BTreeMap<(&str, &str), (u64, u64)> =
+        std::collections::BTreeMap::new();
+    for t in &traces {
+        for s in &t.spans {
+            let e = phases.entry((s.layer, s.name)).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += s.dur_us;
+        }
+    }
+    println!("phases:");
+    for ((layer, name), (count, us)) in &phases {
+        println!("  {:<24} x{count:<4} {us} µs", format!("{layer}/{name}"));
+    }
+    let ok = sum.nodes == stats.nodes_visited
+        && sum.leaves == stats.leaves_visited
+        && sum.internal == stats.internal_visited
+        && sum.cache_hits == stats.leaf_cache_hits
+        && sum.cache_misses == stats.leaf_cache_misses
+        && sum.device_reads == stats.device_reads;
+    if ok {
+        println!(
+            "cross-check vs QueryStats: exact (nodes={} leaves={} internal={} \
+             hits={} misses={} reads={})",
+            stats.nodes_visited,
+            stats.leaves_visited,
+            stats.internal_visited,
+            stats.leaf_cache_hits,
+            stats.leaf_cache_misses,
+            stats.device_reads
+        );
+        0
+    } else {
+        eprintln!(
+            "error: --explain cross-check FAILED: trace sums nodes={} leaves={} \
+             internal={} hits={} misses={} reads={} vs QueryStats nodes={} \
+             leaves={} internal={} hits={} misses={} reads={}",
+            sum.nodes,
+            sum.leaves,
+            sum.internal,
+            sum.cache_hits,
+            sum.cache_misses,
+            sum.device_reads,
+            stats.nodes_visited,
+            stats.leaves_visited,
+            stats.internal_visited,
+            stats.leaf_cache_hits,
+            stats.leaf_cache_misses,
+            stats.device_reads
+        );
+        1
+    }
 }
 
 /// Tiny flag parser: `--key value` pairs plus positional arguments.
@@ -428,6 +581,16 @@ fn live_opts(opts: &Opts) -> Result<LiveOptions, String> {
     if opts.has("paranoid") {
         lo.recheck_reads = true;
     }
+    if let Some(v) = opts.get("trace-sample") {
+        lo.trace_sample_every = v
+            .parse::<u64>()
+            .map_err(|_| "--trace-sample expects an integer (0 disables)")?;
+    }
+    if let Some(v) = opts.get("trace-slow-us") {
+        lo.trace_slow_us = v
+            .parse::<u64>()
+            .map_err(|_| "--trace-slow-us expects microseconds")?;
+    }
     lo.leaf_cache_bytes = parse_leaf_cache_bytes(opts, lo.leaf_cache_bytes)?;
     Ok(lo)
 }
@@ -523,6 +686,9 @@ fn cmd_ingest(args: &[String]) -> i32 {
             "durability",
             "writers",
             "metrics-file",
+            "trace-file",
+            "trace-sample",
+            "trace-slow-us",
         ],
         &["inline-merge", "flush"],
     ) {
@@ -560,10 +726,20 @@ fn cmd_ingest(args: &[String]) -> i32 {
             _ => return fail("--cap expects an integer >= 2"),
         },
     };
-    let lo = match live_opts(&opts) {
+    let mut lo = match live_opts(&opts) {
         Ok(lo) => lo,
         Err(e) => return fail(e),
     };
+    // --trace-file wants every operation in the export: trace 1-in-1
+    // unless the user chose an explicit sampling rate, and buffer the
+    // run's traces in a collector alongside the flight recorder.
+    let trace_file = opts.get("trace-file").map(PathBuf::from);
+    if trace_file.is_some() {
+        if lo.trace_sample_every == 0 {
+            lo.trace_sample_every = 1;
+        }
+        pr_obs::trace::install_collector(4096);
+    }
 
     let mut items = match generate(data, n, seed) {
         Ok(i) => i,
@@ -644,6 +820,17 @@ fn cmd_ingest(args: &[String]) -> i32 {
             Err(e) => return fail(format!("could not write {}: {e}", path.display())),
         }
     }
+    if let Some(path) = &trace_file {
+        let traces = pr_obs::trace::drain_collector();
+        match write_trace_file(path, &traces) {
+            Ok(()) => println!(
+                "wrote {} span trace(s) to {} (Chrome trace-event JSON)",
+                traces.len(),
+                path.display()
+            ),
+            Err(e) => return fail(format!("could not write {}: {e}", path.display())),
+        }
+    }
     println!(
         "ingested {n} items ({data}, seed {seed}, ids {id_base}..{}) with {writers} \
          writer(s) in {acked_s:.2}s acked ({:.0} items/s), {total_s:.2}s to idle",
@@ -656,7 +843,14 @@ fn cmd_ingest(args: &[String]) -> i32 {
 fn cmd_delete(args: &[String]) -> i32 {
     let opts = match Opts::parse(
         args,
-        &["window", "limit", "buffer-cap", "leaf-cache-bytes"],
+        &[
+            "window",
+            "limit",
+            "buffer-cap",
+            "leaf-cache-bytes",
+            "trace-sample",
+            "trace-slow-us",
+        ],
         &["inline-merge"],
     ) {
         Ok(o) => o,
@@ -712,7 +906,16 @@ fn cmd_delete(args: &[String]) -> i32 {
 }
 
 fn cmd_compact(args: &[String]) -> i32 {
-    let opts = match Opts::parse(args, &["buffer-cap", "leaf-cache-bytes"], &["inline-merge"]) {
+    let opts = match Opts::parse(
+        args,
+        &[
+            "buffer-cap",
+            "leaf-cache-bytes",
+            "trace-sample",
+            "trace-slow-us",
+        ],
+        &["inline-merge"],
+    ) {
         Ok(o) => o,
         Err(e) => return fail(e),
     };
@@ -768,12 +971,28 @@ fn cmd_query_live(dir: &str, opts: &Opts, q: &Rect<2>) -> i32 {
     let snap = ix.snapshot();
     let mut scratch = QueryScratch::new();
     let mut hits = Vec::new();
+    let explain = opts.has("explain");
+    if explain {
+        // Live queries traverse one tree per component; sample every
+        // traversal for this one query, then switch sampling back off so
+        // any --repeat hot loop runs untraced.
+        pr_obs::trace::install_collector(64);
+        pr_obs::trace::set_sampling(1);
+    }
     let t0 = Instant::now();
     let stats = match snap.window_into(q, &mut scratch, &mut hits) {
         Ok(s) => s,
         Err(e) => return fail(e),
     };
     let query_s = t0.elapsed().as_secs_f64();
+    if explain {
+        pr_obs::trace::set_sampling(0);
+        let traces = pr_obs::trace::drain_collector();
+        let code = print_explain(&traces, "window", &stats);
+        if code != 0 {
+            return code;
+        }
+    }
 
     println!("results: {}", hits.len());
     println!(
@@ -843,8 +1062,10 @@ fn cmd_query(args: &[String]) -> i32 {
             "repeat",
             "buffer-cap",
             "leaf-cache-bytes",
+            "trace-sample",
+            "trace-slow-us",
         ],
-        &["verbose", "inline-merge", "paranoid"],
+        &["verbose", "inline-merge", "paranoid", "explain"],
     ) {
         Ok(o) => o,
         Err(e) => return fail(e),
@@ -879,12 +1100,26 @@ fn cmd_query(args: &[String]) -> i32 {
     let open_s = t0.elapsed().as_secs_f64();
     let open_reads = tree.device().io_stats().reads;
 
+    let explain = opts.has("explain");
+    let mut scratch = pr_tree::QueryScratch::new();
+    if explain {
+        pr_obs::trace::install_collector(16);
+        scratch.trace = pr_obs::SpanCtx::forced("window");
+    }
+    let mut hits = Vec::new();
     let t0 = Instant::now();
-    let (hits, stats) = match tree.window_with_stats(&q) {
-        Ok(r) => r,
+    let stats = match tree.window_into(&q, &mut scratch, &mut hits) {
+        Ok(s) => s,
         Err(e) => return fail(e),
     };
     let query_s = t0.elapsed().as_secs_f64();
+    if explain {
+        let traces = pr_obs::trace::drain_collector();
+        let code = print_explain(&traces, "window", &stats);
+        if code != 0 {
+            return code;
+        }
+    }
 
     println!("results: {}", hits.len());
     println!(
@@ -963,8 +1198,15 @@ fn cmd_query(args: &[String]) -> i32 {
 fn cmd_knn(args: &[String]) -> i32 {
     let opts = match Opts::parse(
         args,
-        &["point", "k", "buffer-cap", "leaf-cache-bytes"],
-        &["inline-merge", "paranoid"],
+        &[
+            "point",
+            "k",
+            "buffer-cap",
+            "leaf-cache-bytes",
+            "trace-sample",
+            "trace-slow-us",
+        ],
+        &["inline-merge", "paranoid", "explain"],
     ) {
         Ok(o) => o,
         Err(e) => return fail(e),
@@ -992,12 +1234,30 @@ fn cmd_knn(args: &[String]) -> i32 {
             Ok(ix) => ix,
             Err(code) => return code,
         };
+        let snap = ix.snapshot();
+        let mut scratch = QueryScratch::new();
+        let mut neighbors = Vec::new();
+        let explain = opts.has("explain");
+        if explain {
+            pr_obs::trace::install_collector(64);
+            pr_obs::trace::set_sampling(1);
+        }
         let t0 = Instant::now();
-        let (neighbors, stats) = match ix.nearest_neighbors(&Point::new([x, y]), k) {
-            Ok(r) => r,
-            Err(e) => return fail(e),
-        };
+        let stats =
+            match snap.nearest_neighbors_into(&Point::new([x, y]), k, &mut scratch, &mut neighbors)
+            {
+                Ok(s) => s,
+                Err(e) => return fail(e),
+            };
         let knn_s = t0.elapsed().as_secs_f64();
+        if explain {
+            pr_obs::trace::set_sampling(0);
+            let traces = pr_obs::trace::drain_collector();
+            let code = print_explain(&traces, "knn", &stats);
+            if code != 0 {
+                return code;
+            }
+        }
         println!("{} nearest to ({x}, {y}):", neighbors.len());
         for (item, dist) in &neighbors {
             println!("  id {:>8}  dist {dist:.6}  rect {:?}", item.id, item.rect);
@@ -1021,12 +1281,27 @@ fn cmd_knn(args: &[String]) -> i32 {
     if let Err(e) = tree.warm_cache() {
         return fail(e);
     }
+    let explain = opts.has("explain");
+    let mut scratch = pr_tree::QueryScratch::new();
+    if explain {
+        pr_obs::trace::install_collector(16);
+        scratch.trace = pr_obs::SpanCtx::forced("knn");
+    }
+    let mut neighbors = Vec::new();
     let t0 = Instant::now();
-    let (neighbors, stats) = match tree.nearest_neighbors_with_stats(&Point::new([x, y]), k) {
-        Ok(r) => r,
-        Err(e) => return fail(e),
-    };
+    let stats =
+        match tree.nearest_neighbors_into(&Point::new([x, y]), k, &mut scratch, &mut neighbors) {
+            Ok(s) => s,
+            Err(e) => return fail(e),
+        };
     let knn_s = t0.elapsed().as_secs_f64();
+    if explain {
+        let traces = pr_obs::trace::drain_collector();
+        let code = print_explain(&traces, "knn", &stats);
+        if code != 0 {
+            return code;
+        }
+    }
     println!("{} nearest to ({x}, {y}):", neighbors.len());
     for (item, dist) in &neighbors {
         println!("  id {:>8}  dist {dist:.6}  rect {:?}", item.id, item.rect);
@@ -1043,7 +1318,12 @@ fn cmd_knn(args: &[String]) -> i32 {
 fn cmd_stats(args: &[String]) -> i32 {
     let opts = match Opts::parse(
         args,
-        &["buffer-cap", "leaf-cache-bytes"],
+        &[
+            "buffer-cap",
+            "leaf-cache-bytes",
+            "trace-sample",
+            "trace-slow-us",
+        ],
         &["no-verify", "inline-merge", "paranoid", "json"],
     ) {
         Ok(o) => o,
@@ -1200,14 +1480,21 @@ fn cmd_stats(args: &[String]) -> i32 {
 fn cmd_events(args: &[String]) -> i32 {
     let opts = match Opts::parse(
         args,
-        &["buffer-cap", "leaf-cache-bytes", "limit"],
+        &[
+            "buffer-cap",
+            "leaf-cache-bytes",
+            "limit",
+            "since",
+            "trace-sample",
+            "trace-slow-us",
+        ],
         &["inline-merge", "paranoid", "json"],
     ) {
         Ok(o) => o,
         Err(e) => return fail(e),
     };
     let [file] = opts.positional.as_slice() else {
-        return fail("events expects exactly one FILE argument");
+        return fail("events expects exactly one DIR argument");
     };
     let json = opts.has("json");
     let limit: usize = match opts.get("limit").map(str::parse) {
@@ -1215,30 +1502,36 @@ fn cmd_events(args: &[String]) -> i32 {
         Some(Ok(l)) => l,
         Some(Err(_)) => return fail("--limit expects an integer"),
     };
-    // Drive the index through its lifecycle so the ring has something
-    // to say: a live dir replays its WAL on open, a store file gets a
-    // full scrub.
-    if Path::new(file).is_dir() {
-        let lo = match live_opts(&opts) {
-            Ok(lo) => lo,
-            Err(e) => return fail(e),
-        };
-        let _ix = match open_live(file, lo) {
-            Ok(ix) => ix,
-            Err(code) => return code,
-        };
-    } else {
-        let store = match Store::open(Path::new(file)) {
-            Ok(s) => s,
-            Err(e) => return fail(e),
-        };
-        if store.superblock().has_snapshot() {
-            if let Err(e) = store.scrub() {
-                return fail(e);
-            }
-        }
+    let since: Option<u64> = match opts.get("since").map(str::parse) {
+        None => None,
+        Some(Ok(s)) => Some(s),
+        Some(Err(_)) => return fail("--since expects an event sequence number"),
+    };
+    // Lifecycle events are emitted by the live engine (WAL replay,
+    // merges, seals); a bare store file never produces any, so asking
+    // for its history is a usage error, not an empty success.
+    if !Path::new(file).is_dir() {
+        return fail(format!(
+            "'{file}' is a store file; store files have no event history — \
+             events requires a live index directory"
+        ));
     }
-    let log = pr_obs::events().snapshot();
+    // Opening the live dir replays its WAL, so the ring always has the
+    // recovery story to tell even on a fresh process.
+    let lo = match live_opts(&opts) {
+        Ok(lo) => lo,
+        Err(e) => return fail(e),
+    };
+    let _ix = match open_live(file, lo) {
+        Ok(ix) => ix,
+        Err(code) => return code,
+    };
+    let log = match since {
+        // Incremental poll: only events after SEQ, and `dropped` counts
+        // how many of the requested events the bounded ring lost.
+        Some(seq) => pr_obs::events().snapshot_since(seq),
+        None => pr_obs::events().snapshot(),
+    };
     let skip = log.events.len().saturating_sub(limit);
     if json {
         let mut arr = pr_obs::json::JsonArr::new();
@@ -1251,11 +1544,18 @@ fn cmd_events(args: &[String]) -> i32 {
             .u64("events_dropped", log.dropped);
         println!("{}", obj.finish());
     } else {
-        println!(
-            "{} lifecycle event(s) ({} dropped by the bounded ring):",
-            log.events.len(),
-            log.dropped
-        );
+        match since {
+            Some(seq) => println!(
+                "{} lifecycle event(s) after #{seq} ({} lost to the bounded ring):",
+                log.events.len(),
+                log.dropped
+            ),
+            None => println!(
+                "{} lifecycle event(s) ({} dropped by the bounded ring):",
+                log.events.len(),
+                log.dropped
+            ),
+        }
         for e in &log.events[skip..] {
             let dur = e
                 .duration_us
@@ -1263,6 +1563,165 @@ fn cmd_events(args: &[String]) -> i32 {
                 .unwrap_or_default();
             println!("  #{:<4} {:<18} {}{dur}", e.seq, e.kind, e.detail);
         }
+    }
+    0
+}
+
+fn cmd_slow(args: &[String]) -> i32 {
+    let opts = match Opts::parse(
+        args,
+        &[
+            "limit",
+            "buffer-cap",
+            "leaf-cache-bytes",
+            "trace-sample",
+            "trace-slow-us",
+        ],
+        &["inline-merge", "paranoid", "json"],
+    ) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let [file] = opts.positional.as_slice() else {
+        return fail("slow expects exactly one DIR|FILE argument");
+    };
+    let json = opts.has("json");
+    let limit: usize = match opts.get("limit").map(str::parse) {
+        None => usize::MAX,
+        Some(Ok(l)) if l > 0 => l,
+        _ => return fail("--limit expects a positive integer"),
+    };
+    // Trace every op unless the caller picked their own sampling rate
+    // (live_opts applies --trace-sample / --trace-slow-us globally).
+    if opts.get("trace-sample").is_none() {
+        pr_obs::trace::set_sampling(1);
+    }
+    if Path::new(file).is_dir() {
+        // Opening replays the WAL under tracing; anything slow lands in
+        // the flight recorder.
+        let lo = match live_opts(&opts) {
+            Ok(lo) => lo,
+            Err(e) => return fail(e),
+        };
+        let _ix = match open_live(file, lo) {
+            Ok(ix) => ix,
+            Err(code) => return code,
+        };
+    } else {
+        // A bare store file has no write pipeline; trace the next best
+        // thing — open + full scrub — absorbing the store layer's
+        // ambient spans so the trace shows where the time went.
+        let mut trace = pr_obs::SpanCtx::forced("scrub");
+        let ambient = pr_obs::AmbientScope::begin(true);
+        let t0 = Instant::now();
+        let store = match Store::open(Path::new(file)) {
+            Ok(s) => s,
+            Err(e) => return fail(e),
+        };
+        if store.superblock().has_snapshot() {
+            if let Err(e) = store.scrub() {
+                return fail(e);
+            }
+        }
+        trace.absorb(ambient.finish());
+        trace.span_since(
+            "store",
+            "scrub",
+            t0,
+            &format!("epoch={}", store.superblock().epoch),
+        );
+        trace.finish_publish();
+    }
+    pr_obs::trace::set_sampling(0);
+    let mut groups = pr_obs::recorder().snapshot();
+    for (_, traces) in groups.iter_mut() {
+        traces.truncate(limit);
+    }
+    if json {
+        println!("{}", pr_obs::slow_traces_json(&groups));
+    } else if groups.is_empty() {
+        println!("flight recorder: no ops above the slow threshold");
+    } else {
+        for (kind, traces) in &groups {
+            println!("{kind}: {} slowest retained", traces.len());
+            for t in traces {
+                println!("  {:>9} µs total  {}", t.total_us, t.detail);
+                for s in &t.spans {
+                    let detail = if s.detail.is_empty() {
+                        String::new()
+                    } else {
+                        format!("  {}", s.detail)
+                    };
+                    println!("    {:>9} µs  {}/{}{detail}", s.dur_us, s.layer, s.name);
+                }
+            }
+        }
+    }
+    0
+}
+
+fn cmd_trace(args: &[String]) -> i32 {
+    let opts = match Opts::parse(
+        args,
+        &[
+            "out",
+            "buffer-cap",
+            "leaf-cache-bytes",
+            "trace-sample",
+            "trace-slow-us",
+        ],
+        &["inline-merge"],
+    ) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    let [dir] = opts.positional.as_slice() else {
+        return fail("trace expects exactly one DIR argument");
+    };
+    if !Path::new(dir).is_dir() {
+        return fail(format!(
+            "'{dir}' is not a live index directory — trace captures the \
+             live engine's pipeline (replay + flush)"
+        ));
+    }
+    pr_obs::trace::install_collector(256);
+    if opts.get("trace-sample").is_none() {
+        pr_obs::trace::set_sampling(1);
+    }
+    let lo = match live_opts(&opts) {
+        Ok(lo) => lo,
+        Err(e) => return fail(e),
+    };
+    let ix = match open_live(dir, lo) {
+        Ok(ix) => ix,
+        Err(code) => return code,
+    };
+    // Force the memtable through a merge so the capture covers the full
+    // pipeline (seal -> bulk-load -> store commit -> swap), not just
+    // WAL replay.
+    if let Err(e) = ix.flush() {
+        return fail(e);
+    }
+    pr_obs::trace::set_sampling(0);
+    let traces = pr_obs::trace::drain_collector();
+    if traces.is_empty() {
+        println!("no traces captured (empty WAL, empty memtable)");
+        return 0;
+    }
+    match opts.get("out") {
+        Some(path) => {
+            let path = Path::new(path);
+            if let Err(e) = write_trace_file(path, &traces) {
+                return fail(format!("writing {}: {e}", path.display()));
+            }
+            println!(
+                "wrote {} span trace(s) to {} (Chrome trace-event JSON — \
+                 load in chrome://tracing or Perfetto)",
+                traces.len(),
+                path.display()
+            );
+        }
+        None => println!("{}", pr_obs::chrome_trace_json(&traces)),
     }
     0
 }
