@@ -1,0 +1,225 @@
+//! `merge_storm`: write amplification of incremental merge commits
+//! under repeated forced seals over a large resident index.
+//!
+//! A big compacted component (the "resident index") sits in a high
+//! slot while a storm of small batches is sealed and merged over and
+//! over. Every storm merge must commit the resident run **by
+//! reference** — same stable id, same byte offset, zero pages
+//! rewritten — while only the small merged component is appended.
+//! Reported to `BENCH_merge_storm.json`:
+//!
+//! * **storm write-amp** — store bytes written by merges per byte of
+//!   user data ingested during the storm (the O(levels) amortized
+//!   geometric cost; a full-rewrite store would be O(index size));
+//! * **ingest p50/p95/p99** — per-batch acked latency *during* the
+//!   storm (merge commits must not stall the WAL path);
+//! * **small-merge page fraction** — pages written by one forced
+//!   small-level merge over the total live pages (< 10%: the proof
+//!   that a small merge does not rewrite the index);
+//! * **resident reuse** — the resident run's (id, offset, pages)
+//!   triple before vs after the storm, byte-identical by offset.
+//!
+//! Set `PRTREE_REQUIRE_WRITE_AMP=1` (the CI gate) to assert the
+//! steady-state write-amp bound, the <10% small-merge fraction, and
+//! in-place resident reuse.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pr_bench::LatencyHistogram;
+use pr_geom::{Item, Rect};
+use pr_live::{LiveIndex, LiveOptions, LiveStats, StoreRunStat};
+use pr_tree::TreeParams;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Items in the resident (compacted, high-slot) component.
+const BASE_N: u32 = 100_000;
+/// Storm rounds: each seals + merges one small batch.
+const ROUNDS: u32 = 24;
+/// Items per storm round.
+const ROUND_N: u32 = 512;
+/// Acked batch size within a round.
+const BATCH: usize = 128;
+const BUFFER_CAP: usize = 2048;
+/// Steady-state write-amp acceptance bound (×): geometric merging
+/// rewrites each ingested byte once per level it cascades through —
+/// a handful — plus page-packing overhead. A full-rewrite commit
+/// would sit at BASE_N/ROUND_N ≈ 195×.
+const WRITE_AMP_BOUND: f64 = 8.0;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pr-bench-storm-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn opts() -> LiveOptions {
+    LiveOptions {
+        buffer_cap: BUFFER_CAP,
+        background_merge: false, // merges run inline: deterministic deltas
+        backpressure_factor: 4,
+        ..LiveOptions::default()
+    }
+}
+
+fn item(i: u32) -> Item<2> {
+    let x = ((i as f64 * 0.754_877_666) % 1.0).abs();
+    let y = ((i as f64 * 0.569_840_290) % 1.0).abs();
+    Item::new(Rect::xyxy(x, y, x, y), i)
+}
+
+/// Bytes merges wrote to the store so far (pages × block size).
+fn written_bytes(s: &LiveStats, block: u64) -> u64 {
+    s.store_pages_written * block
+}
+
+fn total_live_pages(s: &LiveStats) -> u64 {
+    s.store_runs.iter().map(|r| r.num_pages).sum()
+}
+
+fn find_run(s: &LiveStats, id: u64) -> Option<StoreRunStat> {
+    s.store_runs.iter().find(|r| r.id == id).copied()
+}
+
+fn bench_merge_storm(_c: &mut Criterion) {
+    let dir = tmpdir("storm");
+    let params = TreeParams::paper_2d();
+    let ix = LiveIndex::<2>::create(&dir, params, opts()).unwrap();
+    let block = params.page_size as u64; // pages are one store block
+
+    // Resident index: bulk ingest, then compact into one big component.
+    let base: Vec<Item<2>> = (0..BASE_N).map(item).collect();
+    for chunk in base.chunks(BUFFER_CAP) {
+        ix.insert_batch(chunk).unwrap();
+    }
+    ix.compact().unwrap();
+    let start = ix.stats().unwrap();
+    assert_eq!(start.store_runs.len(), 1, "setup: one resident run");
+    let resident = start.store_runs[0];
+
+    // The storm: forced seal + inline merge every ROUND_N items.
+    let mut hist = LatencyHistogram::new();
+    let t0 = Instant::now();
+    for r in 0..ROUNDS {
+        let lo = 1_000_000 + r * ROUND_N;
+        let round: Vec<Item<2>> = (lo..lo + ROUND_N).map(item).collect();
+        for chunk in round.chunks(BATCH) {
+            let b0 = Instant::now();
+            ix.insert_batch(chunk).unwrap();
+            hist.record(b0.elapsed().as_nanos() as u64);
+        }
+        ix.flush().unwrap();
+    }
+    let storm_secs = t0.elapsed().as_secs_f64();
+    let after = ix.stats().unwrap();
+    assert_eq!(after.live, (BASE_N + ROUNDS * ROUND_N) as u64);
+
+    let ingested = (ROUNDS * ROUND_N) as u64 * Item::<2>::ENCODED_SIZE as u64;
+    let storm_written = written_bytes(&after, block) - written_bytes(&start, block);
+    let write_amp = storm_written as f64 / ingested as f64;
+    let reused_pages = after.store_pages_reused - start.store_pages_reused;
+
+    // Resident reuse: the big run never moved and was never rewritten.
+    let resident_after = find_run(&after, resident.id);
+    let resident_reused = resident_after == Some(resident);
+
+    // One forced small-level merge over the now-large index. Settle
+    // slot 0 first so the probe cannot land on a cascade boundary: as
+    // long as slot 0 cannot absorb a small batch, keep storming.
+    let slot0 = |s: &LiveStats| {
+        s.components
+            .iter()
+            .find(|(slot, _)| *slot == 0)
+            .map_or(0, |(_, n)| *n)
+    };
+    let mut extra = 0u32;
+    while slot0(&ix.stats().unwrap()) + 64 > BUFFER_CAP as u64 {
+        let lo = 2_000_000 + extra * ROUND_N;
+        let round: Vec<Item<2>> = (lo..lo + ROUND_N).map(item).collect();
+        ix.insert_batch(&round).unwrap();
+        ix.flush().unwrap();
+        extra += 1;
+        assert!(extra < 8, "slot 0 never settled");
+    }
+    let before_probe = ix.stats().unwrap();
+    let probe: Vec<Item<2>> = (3_000_000..3_000_064).map(item).collect();
+    ix.insert_batch(&probe).unwrap();
+    ix.flush().unwrap();
+    let after_probe = ix.stats().unwrap();
+    let probe_pages = after_probe.store_pages_written - before_probe.store_pages_written;
+    let probe_fraction = probe_pages as f64 / total_live_pages(&after_probe) as f64;
+
+    let us = |q: f64| hist.quantile(q) as f64 / 1e3;
+    let mut obj = pr_obs::json::JsonObj::new();
+    obj.u64("schema_version", pr_obs::SCHEMA_VERSION)
+        .str("experiment", "merge_storm")
+        .u64("base_n", BASE_N as u64)
+        .u64("rounds", ROUNDS as u64)
+        .u64("round_n", ROUND_N as u64)
+        .u64("buffer_cap", BUFFER_CAP as u64)
+        .f64p("storm_write_amp", write_amp, 2)
+        .f64p("write_amp_bound", WRITE_AMP_BOUND, 1)
+        .u64("storm_pages_written", storm_written / block)
+        .u64("storm_pages_reused", reused_pages)
+        .f64p("index_write_amp", after.write_amp_x100 as f64 / 100.0, 2)
+        .f64p(
+            "storm_items_per_s",
+            (ROUNDS * ROUND_N) as f64 / storm_secs.max(1e-9),
+            0,
+        )
+        .f64p("ingest_batch_p50_us", us(0.50), 1)
+        .f64p("ingest_batch_p95_us", us(0.95), 1)
+        .f64p("ingest_batch_p99_us", us(0.99), 1)
+        .u64("small_merge_pages", probe_pages)
+        .u64("total_live_pages", total_live_pages(&after_probe))
+        .f64p("small_merge_page_fraction", probe_fraction, 4)
+        .u64("resident_run_id", resident.id)
+        .u64("resident_data_offset", resident.data_offset)
+        .u64("resident_num_pages", resident.num_pages)
+        .bool("resident_reused_in_place", resident_reused)
+        .u64("store_garbage_bytes", after_probe.store_garbage_bytes)
+        .str(
+            "gate",
+            "PRTREE_REQUIRE_WRITE_AMP=1: write-amp bound + <10% small-merge \
+             fraction + byte-identical resident reuse",
+        );
+    let row = obj.finish();
+    println!("{row}");
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_merge_storm.json");
+    if let Err(e) = std::fs::write(&out, &row) {
+        eprintln!("warning: could not write {}: {e}", out.display());
+    } else {
+        println!("wrote {}", out.display());
+    }
+
+    drop(ix);
+    std::fs::remove_dir_all(&dir).ok();
+
+    if std::env::var("PRTREE_REQUIRE_WRITE_AMP").as_deref() == Ok("1") {
+        assert!(
+            write_amp <= WRITE_AMP_BOUND,
+            "storm write-amp {write_amp:.2}x exceeds the {WRITE_AMP_BOUND}x bound"
+        );
+        assert!(
+            probe_fraction < 0.10,
+            "a small-level merge wrote {probe_pages} of {} live pages \
+             ({:.1}%) — incremental commits are rewriting the index",
+            total_live_pages(&after_probe),
+            probe_fraction * 100.0
+        );
+        assert!(
+            resident_reused,
+            "resident run {:?} vs {resident_after:?}: the surviving \
+             component was rewritten or moved",
+            resident
+        );
+        assert!(
+            reused_pages >= ROUNDS as u64 * resident.num_pages,
+            "every storm commit must reuse the resident run in place \
+             ({reused_pages} reused pages over {ROUNDS} rounds of {} pages)",
+            resident.num_pages
+        );
+    }
+}
+
+criterion_group!(benches, bench_merge_storm);
+criterion_main!(benches);

@@ -157,6 +157,11 @@ impl CommitQueue {
     }
 }
 
+/// Cap on pooled spare encode buffers: generous for any realistic
+/// writer count, small enough that one ingest burst can't pin
+/// unbounded memory in the pool forever.
+const SPARE_BUFS_CAP: usize = 64;
+
 /// The commit pipeline: queue + condvar + the WAL itself + counters.
 pub(crate) struct GroupCommit {
     pub(crate) q: Mutex<CommitQueue>,
@@ -171,6 +176,16 @@ pub(crate) struct GroupCommit {
     pub(crate) groups: AtomicU64,
     /// Records written through groups.
     pub(crate) records: AtomicU64,
+    /// The encode arena: spare frame buffers recycled across batches.
+    /// Writers take one under the sequencing lock ([`GroupCommit::
+    /// take_buf`]); the leader returns the whole group's buffers after
+    /// landing (or rolling back) it. Lock order: only ever taken with
+    /// `q` already held or with no pipeline lock at all — never the
+    /// reverse.
+    spare: Mutex<Vec<Vec<u8>>>,
+    /// Fresh buffer allocations — pool-empty takes. Pinned by the
+    /// group-commit test: once the pool warms, batches stop allocating.
+    pub(crate) arena_allocs: AtomicU64,
 }
 
 impl GroupCommit {
@@ -197,6 +212,34 @@ impl GroupCommit {
             fsyncs: AtomicU64::new(0),
             groups: AtomicU64::new(0),
             records: AtomicU64::new(0),
+            spare: Mutex::new(Vec::new()),
+            arena_allocs: AtomicU64::new(0),
+        }
+    }
+
+    /// Hands out a cleared encode buffer from the arena pool — the
+    /// per-batch frame `Vec` without the per-batch allocation. The
+    /// buffer rides the queue inside its [`PendingBatch`] and returns
+    /// to the pool once its group's leader is done with it.
+    pub(crate) fn take_buf(&self) -> Vec<u8> {
+        if let Some(buf) = self.spare.lock().expect("spare buffers").pop() {
+            return buf;
+        }
+        self.arena_allocs.fetch_add(1, Ordering::Relaxed);
+        Vec::new()
+    }
+
+    /// Returns a landed (or rolled-back — either way never again read)
+    /// group's encode buffers to the arena pool.
+    fn recycle(&self, group: Vec<PendingBatch>) {
+        let mut pool = self.spare.lock().expect("spare buffers");
+        for b in group {
+            if pool.len() >= SPARE_BUFS_CAP {
+                break;
+            }
+            let mut bytes = b.bytes;
+            bytes.clear();
+            pool.push(bytes);
         }
     }
 
@@ -312,6 +355,7 @@ impl GroupCommit {
                             ),
                         );
                         self.cv.notify_all();
+                        self.recycle(group);
                     }
                     Err(e) => {
                         // The lead closure rolled the group back (WAL
@@ -346,6 +390,7 @@ impl GroupCommit {
                             ),
                         );
                         self.cv.notify_all();
+                        self.recycle(group);
                         return Err(LiveError::GroupFailed { reason, transient });
                     }
                 }

@@ -47,7 +47,7 @@ use crate::error::LiveError;
 use crate::manifest::LiveManifest;
 use crate::memtable::Memtable;
 use crate::merge::{run_merge, MergeKind};
-use crate::wal::{encode_records, Wal, WalOp, WalRecord};
+use crate::wal::{Wal, WalOp, WalRecord};
 use parking_lot::{Mutex, RwLock};
 use pr_geom::{Item, Point, Rect};
 use pr_store::{ReadPath, Store};
@@ -55,7 +55,7 @@ use pr_tree::dynamic::{same_identity, GeometricPolicy, Tombstones};
 use pr_tree::{LeafCache, QueryScratch, QueryStats, RTree, TreeParams};
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -162,6 +162,18 @@ pub(crate) enum PendingApply<const D: usize> {
     DeleteTomb(Item<D>),
 }
 
+/// Identity of one committed component slot: the store's stable
+/// component id (unchanged across commits that reuse the run in place)
+/// and the leaf-cache epoch the slot's tree is attached under (`None`
+/// with the cache disabled). Merges use the id to commit surviving
+/// slots as in-place run references — no page rewrite — and the epoch
+/// to keep those slots' cached leaves alive across the swap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SlotIdentity {
+    pub(crate) component_id: u64,
+    pub(crate) cache_epoch: Option<u64>,
+}
+
 /// The queryable state, swapped atomically under the core write lock.
 pub(crate) struct Core<const D: usize> {
     pub(crate) memtable: Memtable<D>,
@@ -169,6 +181,8 @@ pub(crate) struct Core<const D: usize> {
     pub(crate) sealed: Option<Arc<Vec<Item<D>>>>,
     /// Geometric component slots; every tree is store-backed and warmed.
     pub(crate) components: Vec<Option<Arc<RTree<D>>>>,
+    /// Parallel to `components`: each occupied slot's [`SlotIdentity`].
+    pub(crate) slot_ids: Vec<Option<SlotIdentity>>,
     /// Dead identities among sealed + components (never the memtable).
     pub(crate) tombstones: Arc<Tombstones<D>>,
     /// Enqueued-but-unacknowledged ops, in sequence order. Invisible to
@@ -235,6 +249,15 @@ pub(crate) struct LiveInner<const D: usize> {
     /// components attach under a fresh cache epoch; the merge swap
     /// retires all older epochs.
     pub(crate) leaf_cache: Option<Arc<LeafCache<D>>>,
+    /// Cumulative store pages appended by this process's merge commits
+    /// — the write-amplification numerator (× `params.page_size`).
+    pub(crate) merge_pages_written: AtomicU64,
+    /// Cumulative store pages committed by in-place reference instead
+    /// of rewritten.
+    pub(crate) merge_pages_reused: AtomicU64,
+    /// Cumulative bytes of items sealed out of the memtable — the
+    /// write-amplification denominator.
+    pub(crate) ingest_bytes: AtomicU64,
     /// Failure injection: 0 = none, else a [`CrashPoint`] discriminant,
     /// consumed by the next merge.
     pub(crate) crash_at: AtomicU8,
@@ -621,10 +644,12 @@ impl<const D: usize> LiveIndex<D> {
         if opts.trace_slow_us > 0 {
             pr_obs::recorder().configure(8, opts.trace_slow_us);
         }
-        // Components out of the store, arranged into their slots. All
-        // components of one snapshot share one page-id space (and one
-        // store device), so they attach to the shared leaf cache under
-        // a single fresh epoch.
+        // Components out of the store, arranged into their slots. Page
+        // ids are run-relative (every component's root is page 0), so
+        // each component attaches to the shared leaf cache under its
+        // own epoch — a shared epoch would alias cache keys across
+        // components and serve one component's cached leaves to
+        // another's queries.
         let leaf_cache: Option<Arc<LeafCache<D>>> =
             (opts.leaf_cache_bytes > 0).then(|| Arc::new(LeafCache::new(opts.leaf_cache_bytes)));
         let read_path = if opts.recheck_reads {
@@ -633,6 +658,7 @@ impl<const D: usize> LiveIndex<D> {
             ReadPath::ZeroCopy
         };
         let trees = store.components_with::<D>(read_path)?;
+        let runs = store.component_runs();
         if trees.len() != manifest.slots.len() {
             return Err(LiveError::Corrupt(format!(
                 "store holds {} components but the live manifest places {}",
@@ -646,21 +672,29 @@ impl<const D: usize> LiveIndex<D> {
             .map(|&s| s as usize + 1)
             .max()
             .unwrap_or(0);
-        let cache_epoch = leaf_cache.as_ref().map(|c| c.register_epoch());
         let mut components: Vec<Option<Arc<RTree<D>>>> = Vec::new();
         components.resize_with(nslots, || None);
-        for (slot, mut tree) in manifest.slots.iter().zip(trees) {
+        let mut slot_ids: Vec<Option<SlotIdentity>> = vec![None; nslots];
+        // The manifest's slot list, the store's runs, and
+        // `components_with`'s trees all share commit order, so they zip
+        // 1:1 — that is how each slot learns its stable component id.
+        for ((slot, mut tree), run) in manifest.slots.iter().zip(trees).zip(runs) {
             let slot = *slot as usize;
             if components[slot].is_some() {
                 return Err(LiveError::Corrupt(format!(
                     "live manifest places two components in slot {slot}"
                 )));
             }
+            let cache_epoch = leaf_cache.as_ref().map(|c| c.register_epoch());
             if let (Some(cache), Some(epoch)) = (&leaf_cache, cache_epoch) {
                 tree.attach_leaf_cache(Arc::clone(cache), epoch);
             }
             tree.warm_cache()?;
             components[slot] = Some(Arc::new(tree));
+            slot_ids[slot] = Some(SlotIdentity {
+                component_id: run.id,
+                cache_epoch,
+            });
         }
 
         let stored: u64 = components.iter().flatten().map(|c| c.len()).sum::<u64>();
@@ -668,6 +702,7 @@ impl<const D: usize> LiveIndex<D> {
             memtable: Memtable::from_items(manifest.memtable),
             sealed: None,
             components,
+            slot_ids,
             tombstones: Arc::new(manifest.tombstones),
             pending: VecDeque::new(),
             structure_epoch: 0,
@@ -756,6 +791,9 @@ impl<const D: usize> LiveIndex<D> {
             }),
             cv: Condvar::new(),
             leaf_cache,
+            merge_pages_written: AtomicU64::new(0),
+            merge_pages_reused: AtomicU64::new(0),
+            ingest_bytes: AtomicU64::new(0),
             crash_at: AtomicU8::new(0),
             _lock: lock,
         });
@@ -827,16 +865,18 @@ impl<const D: usize> LiveIndex<D> {
             let mut w = inner.writer.lock();
             let first = w.next_seq;
             let t_enc = tracing.then(std::time::Instant::now);
-            let records: Vec<WalRecord<D>> = items
-                .iter()
-                .enumerate()
-                .map(|(i, item)| WalRecord {
+            // Encode straight into an arena buffer (recycled once the
+            // group leader lands the batch): the steady-state enqueue
+            // path allocates nothing per batch.
+            let mut bytes = inner.group.take_buf();
+            for (i, item) in items.iter().enumerate() {
+                WalRecord {
                     seq: first + i as u64,
                     op: WalOp::Insert,
                     item: *item,
-                })
-                .collect();
-            let bytes = encode_records(&records);
+                }
+                .encode_into(&mut bytes);
+            }
             if let Some(t) = t_enc {
                 trace.span_since(
                     "live",
@@ -988,23 +1028,20 @@ impl<const D: usize> LiveIndex<D> {
                 return Ok(0);
             }
             let first = w.next_seq;
-            let records: Vec<WalRecord<D>> = ops
-                .iter()
-                .enumerate()
-                .map(|(i, op)| {
-                    let item = match op {
-                        PendingApply::Insert(it)
-                        | PendingApply::DeleteMem(it)
-                        | PendingApply::DeleteTomb(it) => *it,
-                    };
-                    WalRecord {
-                        seq: first + i as u64,
-                        op: WalOp::Delete,
-                        item,
-                    }
-                })
-                .collect();
-            let bytes = encode_records(&records);
+            let mut bytes = inner.group.take_buf();
+            for (i, op) in ops.iter().enumerate() {
+                let item = match op {
+                    PendingApply::Insert(it)
+                    | PendingApply::DeleteMem(it)
+                    | PendingApply::DeleteTomb(it) => *it,
+                };
+                WalRecord {
+                    seq: first + i as u64,
+                    op: WalOp::Delete,
+                    item,
+                }
+                .encode_into(&mut bytes);
+            }
             let n_ops = ops.len();
             let last_seq = first + n_ops as u64 - 1;
             if let Some(t) = t_decide {
@@ -1122,6 +1159,24 @@ impl<const D: usize> LiveIndex<D> {
         Ok(())
     }
 
+    /// [`LiveIndex::compact`], but only when reclaimable garbage
+    /// exceeds `max_garbage_pct` percent of the store file. Routine
+    /// merges reuse surviving runs in place, so the file grows by the
+    /// superseded runs' bytes rather than by whole-index rewrites —
+    /// this is the explicit trigger that trades one full rewrite for
+    /// that accrued space. Returns whether a compaction ran.
+    pub fn compact_if_garbage(&self, max_garbage_pct: u8) -> Result<bool, LiveError> {
+        let (garbage, file_len) = {
+            let store = self.inner.store.lock();
+            (store.garbage_bytes()?, store.file_len()?)
+        };
+        if garbage * 100 <= u64::from(max_garbage_pct) * file_len {
+            return Ok(false);
+        }
+        self.compact()?;
+        Ok(true)
+    }
+
     /// An explicit merge just succeeded: lift merges-paused degraded
     /// mode if a transient failure had set it.
     fn merge_recovered(&self) {
@@ -1184,14 +1239,31 @@ impl<const D: usize> LiveIndex<D> {
         let wal_fsyncs = self.inner.group.fsyncs.load(Ordering::Relaxed);
         let wal_groups = self.inner.group.groups.load(Ordering::Relaxed);
         let wal_group_records = self.inner.group.records.load(Ordering::Relaxed);
-        let (store_epoch, store_file_bytes, store_degraded) = {
+        let (store_epoch, store_file_bytes, store_degraded, store_garbage_bytes, store_runs) = {
             let store = self.inner.store.lock();
             (
                 store.superblock().epoch,
                 store.file_len()?,
                 store.degraded(),
+                store.garbage_bytes()?,
+                store
+                    .component_runs()
+                    .iter()
+                    .map(|r| StoreRunStat {
+                        id: r.id,
+                        data_offset: r.data_offset,
+                        num_pages: r.num_pages,
+                    })
+                    .collect::<Vec<_>>(),
             )
         };
+        let store_pages_written = self.inner.merge_pages_written.load(Ordering::Relaxed);
+        let store_pages_reused = self.inner.merge_pages_reused.load(Ordering::Relaxed);
+        let ingest_bytes = self.inner.ingest_bytes.load(Ordering::Relaxed);
+        let write_amp_x100 = (store_pages_written * self.inner.params.page_size as u64 * 100)
+            .checked_div(ingest_bytes)
+            .unwrap_or(0);
+        let wal_arena_allocs = self.inner.group.arena_allocs.load(Ordering::Relaxed);
         let merges_paused = {
             let sig = self.inner.signal.lock().expect("signal mutex");
             sig.merges_paused
@@ -1200,13 +1272,14 @@ impl<const D: usize> LiveIndex<D> {
             let q = self.inner.group.q.lock().expect("commit queue");
             q.degraded
         };
-        let (leaf_cache_hits, leaf_cache_misses, leaf_cache_bytes) = match &self.inner.leaf_cache {
-            Some(cache) => {
-                let (h, m) = cache.hit_stats();
-                (h, m, cache.resident_bytes() as u64)
-            }
-            None => (0, 0, 0),
-        };
+        let (leaf_cache_hits, leaf_cache_misses, leaf_cache_bytes, leaf_cache_ghost_hits) =
+            match &self.inner.leaf_cache {
+                Some(cache) => {
+                    let (h, m) = cache.hit_stats();
+                    (h, m, cache.resident_bytes() as u64, cache.ghost_hits())
+                }
+                None => (0, 0, 0, 0),
+            };
         Ok(LiveStats {
             live,
             memtable,
@@ -1230,6 +1303,13 @@ impl<const D: usize> LiveIndex<D> {
             leaf_cache_hits,
             leaf_cache_misses,
             leaf_cache_bytes,
+            leaf_cache_ghost_hits,
+            store_pages_written,
+            store_pages_reused,
+            write_amp_x100,
+            store_garbage_bytes,
+            store_runs,
+            wal_arena_allocs,
         })
     }
 
@@ -1533,6 +1613,40 @@ pub struct LiveStats {
     pub leaf_cache_misses: u64,
     /// Approximate bytes resident in the shared leaf cache.
     pub leaf_cache_bytes: u64,
+    /// Leaf-cache misses admitted on their second touch (the cache's
+    /// scan-resistant admission; 0 when the cache is disabled).
+    pub leaf_cache_ghost_hits: u64,
+    /// Store pages appended by this process's merge commits.
+    pub store_pages_written: u64,
+    /// Store pages committed by in-place reference (their bytes were
+    /// **not** rewritten) by this process's merge commits.
+    pub store_pages_reused: u64,
+    /// Write amplification, fixed-point ×100: store bytes written by
+    /// merge commits per byte sealed out of the memtable (0 before the
+    /// first seal). Steady-state ingest under the geometric policy
+    /// keeps this O(levels), not O(index size).
+    pub write_amp_x100: u64,
+    /// Store file bytes no active run references — reclaimable by
+    /// [`LiveIndex::compact`] / [`LiveIndex::compact_if_garbage`].
+    pub store_garbage_bytes: u64,
+    /// Active component runs in store (commit) order. Byte-identical
+    /// page reuse across merges is observable here as unchanged
+    /// `(id, data_offset)` pairs.
+    pub store_runs: Vec<StoreRunStat>,
+    /// Fresh WAL-encode buffer allocations (arena-pool misses); flat
+    /// once the pool warms regardless of batch count.
+    pub wal_arena_allocs: u64,
+}
+
+/// One active component run, as reported by [`LiveStats::store_runs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreRunStat {
+    /// Stable component id — survives every commit that reuses the run.
+    pub id: u64,
+    /// Absolute byte offset of the run's first page in the store file.
+    pub data_offset: u64,
+    /// Pages in the run.
+    pub num_pages: u64,
 }
 
 /// An immutable, point-in-time view of a [`LiveIndex`].

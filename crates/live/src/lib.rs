@@ -55,8 +55,10 @@ pub mod torture;
 pub mod wal;
 
 pub use error::LiveError;
-pub use index::{CrashPoint, Durability, LiveIndex, LiveOptions, LiveSnapshot, LiveStats};
+pub use index::{
+    CrashPoint, Durability, LiveIndex, LiveOptions, LiveSnapshot, LiveStats, StoreRunStat,
+};
 pub use manifest::LiveManifest;
 pub use memtable::Memtable;
 pub use torture::{run_torture, run_torture_multi, TortureConfig, TortureReport};
-pub use wal::{encode_records, Wal, WalOp, WalRecord};
+pub use wal::{encode_records, encode_records_into, Wal, WalOp, WalRecord};

@@ -25,36 +25,44 @@
 //!    segment (seqs past the cut, covered by replay) for the whole
 //!    commit.
 //! 5. **Commit** (`store` lock only): write the snapshot whose manifest
-//!    checkpoints the cut, fsync, flip the superblock; reopen + warm
-//!    the committed components. Readers *and writers* run throughout.
+//!    checkpoints the cut, fsync, flip the superblock; open + warm the
+//!    freshly written component. Readers *and writers* run throughout.
 //! 6. **Swap + prune** (`writer`, then briefly `core` write): exchange
 //!    the component set, clear the sealed batch, and subtract exactly
 //!    the consumed tombstones from the *current* set — deletes recorded
 //!    while the commit ran are thereby preserved. Then delete WAL
 //!    segments below the rotation.
 //!
-//! **Known cost trade-off:** a commit re-copies every *surviving*
-//! component into the new snapshot, not just the merged one — the store
-//! is a whole-snapshot format, so ingest write amplification is
-//! O(index size) per merge and the file grows until `compact()`
-//! rewrites it. Incremental commits (manifest entries referencing the
-//! unchanged page runs of earlier snapshots) are the designated next
-//! step in ROADMAP.md's open items.
+//! **Incremental commits:** phase 5 rewrites only what changed. Every
+//! *surviving* component is committed as an in-place run reference —
+//! the store's manifest points at its existing pages under the same
+//! stable component id, and the open `RTree` (devices, pinned mmap,
+//! verify-once CRC bitmap, leaf-cache epoch) is carried across the
+//! swap untouched — while the merged target is the only component
+//! whose pages are appended. Bytes written per merge are therefore
+//! O(new component); sustained ingest pays the geometric policy's
+//! O(levels) amortized write amplification instead of O(index size).
+//! Superseded runs are *not* recycled in place: their bytes accrue as
+//! garbage ([`pr_store::Store::garbage_bytes`]) until an explicit
+//! [`crate::LiveIndex::compact`] /
+//! [`crate::LiveIndex::compact_if_garbage`] — which keep full-rewrite
+//! semantics (fresh file, atomic rename) — reclaims them.
 //!
 //! Crash anywhere before the superblock flip → the old manifest + old
 //! segments replay everything acknowledged. Crash after the flip →
 //! the new manifest's `cut_seq` filters the not-yet-pruned old segments.
 
 use crate::error::LiveError;
-use crate::index::{Core, CrashPoint, LiveInner};
+use crate::index::{Core, CrashPoint, LiveInner, SlotIdentity};
 use crate::manifest::LiveManifest;
 use pr_em::{fsync_dir, BlockDevice, MemDevice};
 use pr_geom::Item;
-use pr_store::Store;
+use pr_store::{CommitComponent, Store};
 use pr_tree::bulk::pr::PrTreeLoader;
 use pr_tree::bulk::BulkLoader;
 use pr_tree::dynamic::Tombstones;
 use pr_tree::RTree;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// What kind of merge to run.
@@ -121,6 +129,14 @@ pub(crate) fn run_merge<const D: usize>(
         }
         drop(core);
         drop(w);
+        if sealed_items > 0 {
+            // Write-amp denominator: bytes of user data leaving the
+            // memtable for durable storage.
+            inner.ingest_bytes.fetch_add(
+                sealed_items as u64 * Item::<D>::ENCODED_SIZE as u64,
+                Ordering::Relaxed,
+            );
+        }
         if let Some(t0) = t_seal {
             trace.span_since("live", "seal", t0, &format!("items={sealed_items}"));
         }
@@ -243,13 +259,14 @@ pub(crate) fn run_merge<const D: usize>(
         let cut_seq = w.next_seq - 1;
         let core = inner.core.read();
         let nslots = core.components.len().max(target.map_or(0, |t| t + 1));
-        let mut survivors: Vec<Option<Arc<RTree<D>>>> = vec![None; nslots];
+        let mut survivors: Vec<Option<(Arc<RTree<D>>, SlotIdentity)>> = vec![None; nslots];
         for (slot, c) in core.components.iter().enumerate() {
             if input_slots.contains(&slot) {
                 continue;
             }
             if let Some(t) = c {
-                survivors[slot] = Some(Arc::clone(t));
+                let id = core.slot_ids[slot].expect("occupied slot has an identity");
+                survivors[slot] = Some((Arc::clone(t), id));
             }
         }
         if let Some(t) = target {
@@ -262,17 +279,21 @@ pub(crate) fn run_merge<const D: usize>(
     if let Some(t0) = t_cut {
         trace.span_since("live", "cut", t0, &format!("cut_seq={cut_seq}"));
     }
+    // The commit plan, in ascending slot order — the one order the
+    // manifest's slot list, the store's runs, and `components_with` all
+    // share. Survivors become in-place run references under their
+    // stable ids; the target slot (if any) is the sole new component.
     let mut slots: Vec<u32> = Vec::new();
-    let mut refs: Vec<&RTree<D>> = Vec::new();
+    let mut comps: Vec<CommitComponent<'_, D>> = Vec::new();
     for (slot, survivor) in survivors.iter().enumerate() {
         if target == Some(slot) {
             if let Some(t) = &new_tree {
                 slots.push(slot as u32);
-                refs.push(t);
+                comps.push(CommitComponent::New(t));
             }
-        } else if let Some(t) = survivor {
+        } else if let Some((_, id)) = survivor {
             slots.push(slot as u32);
-            refs.push(t.as_ref());
+            comps.push(CommitComponent::Reuse(id.component_id));
         }
     }
     let app = LiveManifest {
@@ -292,12 +313,28 @@ pub(crate) fn run_merge<const D: usize>(
     // Drop clears the thread-local on any error path.
     let t_commit = tracing.then(std::time::Instant::now);
     let ambient = pr_obs::AmbientScope::begin(tracing);
-    let mut reopened: Vec<RTree<D>> = {
+    // What the swap will install, per committed slot: the open tree,
+    // its stable store id, and the leaf-cache epoch it lives under.
+    let mut installed: Vec<(u32, Arc<RTree<D>>, SlotIdentity)> = Vec::with_capacity(slots.len());
+    let (pages_written, pages_reused) = {
         let mut store = inner.store.lock();
         if reclaim {
-            // Compaction rewrites into a fresh file and renames it over
-            // the old one: superseded snapshot regions are reclaimed,
-            // pinned readers keep the unlinked inode alive.
+            // Compaction keeps full-rewrite semantics: every component
+            // is copied into a fresh file renamed over the old one, so
+            // superseded runs' space is reclaimed; pinned readers keep
+            // the unlinked inode alive.
+            let refs: Vec<&RTree<D>> = comps
+                .iter()
+                .zip(&slots)
+                .map(|(c, slot)| match c {
+                    CommitComponent::New(t) => *t,
+                    CommitComponent::Reuse(_) => survivors[*slot as usize]
+                        .as_ref()
+                        .expect("reused slot has a survivor")
+                        .0
+                        .as_ref(),
+                })
+                .collect();
             let tmp = inner.dir.join("index.prt.tmp");
             let mut fresh = Store::create::<D>(&tmp, inner.params)?;
             fresh.save_components(&refs, &app)?;
@@ -310,28 +347,83 @@ pub(crate) fn run_merge<const D: usize>(
                 "compaction",
                 format!("cut_seq={cut_seq} components={}", refs.len()),
             );
+            // Everything was rewritten: fresh ids, fresh trees, and a
+            // fresh cache epoch *per component* — page ids are
+            // run-relative, so a shared epoch would alias cache keys
+            // across components.
+            let reopened = store.components_with::<D>(inner.read_path())?;
+            let runs = store.component_runs();
+            let written: u64 = runs.iter().map(|r| r.num_pages).sum();
+            for ((slot, mut tree), run) in slots.iter().zip(reopened).zip(runs) {
+                let epoch = inner.leaf_cache.as_ref().map(|c| c.register_epoch());
+                if let (Some(cache), Some(e)) = (&inner.leaf_cache, epoch) {
+                    tree.attach_leaf_cache(Arc::clone(cache), e);
+                }
+                tree.warm_cache()?;
+                installed.push((
+                    *slot,
+                    Arc::new(tree),
+                    SlotIdentity {
+                        component_id: run.id,
+                        cache_epoch: epoch,
+                    },
+                ));
+            }
+            (written, 0)
         } else {
-            store.save_components(&refs, &app)?;
+            // Incremental commit: surviving runs stay exactly where
+            // they are — pages, checksum tables, and verify-once
+            // bitmaps referenced, not copied — and their already-open
+            // trees (devices, pinned mmap, warmed caches) carry over
+            // untouched. Only the merged target's pages are appended,
+            // and only that one component is opened and warmed.
+            let outcome = store.commit_components(&comps, &app)?;
+            for (i, (slot, comp)) in slots.iter().zip(&comps).enumerate() {
+                match comp {
+                    CommitComponent::New(_) => {
+                        let mut tree = store.component_with::<D>(i, inner.read_path())?;
+                        let epoch = inner.leaf_cache.as_ref().map(|c| c.register_epoch());
+                        if let (Some(cache), Some(e)) = (&inner.leaf_cache, epoch) {
+                            tree.attach_leaf_cache(Arc::clone(cache), e);
+                        }
+                        tree.warm_cache()?;
+                        installed.push((
+                            *slot,
+                            Arc::new(tree),
+                            SlotIdentity {
+                                component_id: outcome.component_ids[i],
+                                cache_epoch: epoch,
+                            },
+                        ));
+                    }
+                    CommitComponent::Reuse(_) => {
+                        let (tree, id) = survivors[*slot as usize]
+                            .clone()
+                            .expect("reused slot has a survivor");
+                        installed.push((*slot, tree, id));
+                    }
+                }
+            }
+            (outcome.pages_written, outcome.pages_reused)
         }
-        store.components_with::<D>(inner.read_path())?
     };
-    // The committed snapshot's components share one page-id space, so
-    // they join the shared leaf cache under one fresh epoch; the swap
-    // below retires every older epoch's entries wholesale.
-    let cache_epoch = inner.leaf_cache.as_ref().map(|c| c.register_epoch());
-    for t in &mut reopened {
-        if let (Some(cache), Some(epoch)) = (&inner.leaf_cache, cache_epoch) {
-            t.attach_leaf_cache(Arc::clone(cache), epoch);
-        }
-        t.warm_cache()?;
-    }
+    inner
+        .merge_pages_written
+        .fetch_add(pages_written, Ordering::Relaxed);
+    inner
+        .merge_pages_reused
+        .fetch_add(pages_reused, Ordering::Relaxed);
+    update_write_amp(inner);
     trace.absorb(ambient.finish());
     if let Some(t0) = t_commit {
         trace.span_since(
             "store",
             "commit_snapshot",
             t0,
-            &format!("components={} reclaim={reclaim}", refs.len()),
+            &format!(
+                "components={} written={pages_written} reused={pages_reused} reclaim={reclaim}",
+                slots.len()
+            ),
         );
     }
     inner.crash_check(CrashPoint::AfterCommit)?;
@@ -347,10 +439,13 @@ pub(crate) fn run_merge<const D: usize>(
     {
         let mut core = inner.core.write();
         let mut components: Vec<Option<Arc<RTree<D>>>> = vec![None; survivors.len()];
-        for (slot, tree) in slots.iter().zip(reopened) {
-            components[*slot as usize] = Some(Arc::new(tree));
+        let mut slot_ids: Vec<Option<SlotIdentity>> = vec![None; survivors.len()];
+        for (slot, tree, id) in &installed {
+            components[*slot as usize] = Some(Arc::clone(tree));
+            slot_ids[*slot as usize] = Some(*id);
         }
         core.components = components;
+        core.slot_ids = slot_ids;
         core.sealed = None;
         let mut after = (*core.tombstones).clone();
         after.subtract(&consumed);
@@ -359,11 +454,16 @@ pub(crate) fn run_merge<const D: usize>(
         core.merges += 1;
         core.structure_epoch += 1;
     }
-    // Old snapshots' leaves are dead to the live index (pinned reader
-    // snapshots keep their own component Arcs and simply miss the
-    // cache): drop every epoch but the one just installed.
-    if let (Some(cache), Some(epoch)) = (&inner.leaf_cache, cache_epoch) {
-        cache.retain_epoch(epoch);
+    // Cache epochs are a *set*: surviving components keep their (older)
+    // epochs — and every warmed leaf under them — across the swap; only
+    // the merged-away inputs' epochs die. Pinned reader snapshots keep
+    // their own component Arcs and simply miss the cache.
+    if let Some(cache) = &inner.leaf_cache {
+        let live: Vec<u64> = installed
+            .iter()
+            .filter_map(|(_, _, id)| id.cache_epoch)
+            .collect();
+        cache.retain_epochs(&live);
     }
     if let Some(t0) = t_swap {
         trace.span_since("live", "swap", t0, "");
@@ -385,12 +485,32 @@ pub(crate) fn run_merge<const D: usize>(
     m.merge_us.record_duration_us(elapsed);
     pr_obs::events().emit_timed(
         "merge_commit",
-        format!("cut_seq={cut_seq} components={}", slots.len()),
+        format!(
+            "cut_seq={cut_seq} components={} written={pages_written} reused={pages_reused}",
+            slots.len()
+        ),
         elapsed,
     );
-    trace.set_detail(&format!("cut_seq={cut_seq} components={}", slots.len()));
+    trace.set_detail(&format!(
+        "cut_seq={cut_seq} components={} written={pages_written} reused={pages_reused}",
+        slots.len()
+    ));
     trace.finish_publish();
     Ok(())
+}
+
+/// Publishes the cumulative write-amplification gauge: store bytes
+/// written by merge commits per byte sealed out of the memtable,
+/// fixed-point ×100.
+fn update_write_amp<const D: usize>(inner: &LiveInner<D>) {
+    let ingested = inner.ingest_bytes.load(Ordering::Relaxed);
+    if ingested == 0 {
+        return;
+    }
+    let written = inner.merge_pages_written.load(Ordering::Relaxed) * inner.params.page_size as u64;
+    crate::obs::metrics()
+        .write_amp
+        .set(written * 100 / ingested);
 }
 
 fn collect_inputs<const D: usize>(

@@ -44,6 +44,11 @@ pub struct Metrics {
     /// `live_compactions_total` — merges that rewrote the store file to
     /// reclaim dead snapshot space.
     pub compactions: pr_obs::Counter,
+    /// `live_write_amp` — cumulative write amplification, fixed-point
+    /// ×100: store bytes written by merge commits per byte sealed out
+    /// of the memtable. Incremental commits keep this O(levels) under
+    /// sustained ingest; 100 would mean write-once.
+    pub write_amp: pr_obs::Gauge,
     /// `live_wal_io_errors_total` — group writes / fsyncs that failed
     /// with an I/O error (transient and fatal alike).
     pub wal_io_errors: pr_obs::Counter,
@@ -109,6 +114,10 @@ pub fn metrics() -> &'static Metrics {
             compactions: r.counter(
                 "live_compactions_total",
                 "merges that rewrote the store file to reclaim space",
+            ),
+            write_amp: r.gauge(
+                "live_write_amp",
+                "store bytes written by merges per byte ingested, fixed-point x100",
             ),
             wal_io_errors: r.counter(
                 "live_wal_io_errors_total",

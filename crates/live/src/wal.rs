@@ -117,15 +117,23 @@ impl<const D: usize> WalRecord<D> {
     /// Payload bytes of one record (seq + op + item).
     pub const PAYLOAD_SIZE: usize = 8 + 1 + Item::<D>::ENCODED_SIZE;
 
-    fn encode_into(&self, buf: &mut Vec<u8>) {
-        let mut payload = vec![0u8; Self::PAYLOAD_SIZE];
-        payload[0..8].copy_from_slice(&self.seq.to_le_bytes());
-        payload[8] = self.op.to_byte();
-        self.item.encode(&mut payload[9..]);
-        let crc = crc32(&payload);
+    /// Appends this record's frame (length + CRC header, then the
+    /// payload) to `buf`. Allocation-free: the payload is encoded
+    /// directly into `buf` and the CRC patched over it afterwards, so
+    /// encoding into a recycled arena buffer touches the heap only to
+    /// grow the buffer's capacity.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let frame = buf.len();
         buf.extend_from_slice(&(Self::PAYLOAD_SIZE as u32).to_le_bytes());
-        buf.extend_from_slice(&crc.to_le_bytes());
-        buf.extend_from_slice(&payload);
+        buf.extend_from_slice(&[0u8; 4]); // CRC, patched below
+        let payload = buf.len();
+        buf.extend_from_slice(&self.seq.to_le_bytes());
+        buf.push(self.op.to_byte());
+        let item = buf.len();
+        buf.resize(item + Item::<D>::ENCODED_SIZE, 0);
+        self.item.encode(&mut buf[item..]);
+        let crc = crc32(&buf[payload..]);
+        buf[frame + 4..frame + 8].copy_from_slice(&crc.to_le_bytes());
     }
 
     fn decode(payload: &[u8]) -> Option<Self> {
@@ -392,10 +400,18 @@ impl Wal {
 pub fn encode_records<const D: usize>(records: &[WalRecord<D>]) -> Vec<u8> {
     let mut buf =
         Vec::with_capacity(records.len() * (RECORD_HEADER_SIZE + WalRecord::<D>::PAYLOAD_SIZE));
-    for r in records {
-        r.encode_into(&mut buf);
-    }
+    encode_records_into(records, &mut buf);
     buf
+}
+
+/// [`encode_records`] into a caller-owned buffer (appended, not
+/// cleared) — the arena-backed enqueue path's form, which allocates
+/// nothing once the buffer's capacity has warmed.
+pub fn encode_records_into<const D: usize>(records: &[WalRecord<D>], buf: &mut Vec<u8>) {
+    buf.reserve(records.len() * (RECORD_HEADER_SIZE + WalRecord::<D>::PAYLOAD_SIZE));
+    for r in records {
+        r.encode_into(buf);
+    }
 }
 
 /// Walks one segment's bytes, pushing intact records. Returns the byte

@@ -167,6 +167,98 @@ fn enospc_then_free_async() {
     );
 }
 
+/// Fail **every single I/O op of a partial merge commit**, one run per
+/// op: the commit that reuses a big surviving component's pages in
+/// place, appends one small new component, and flips the manifest.
+/// Whatever op dies — WAL rotation fsync, a page append, the checksum
+/// table, the manifest, the superblock flip, the prune — the reopened
+/// index must recover exactly the acked set, and the surviving run must
+/// still be referenced at its original byte offset (its pages were
+/// never rewritten, and recovery never reads a reclaimed run).
+fn partial_merge_fault_sweep(durability: Durability, name: &str) {
+    let _hook = fault::exclusive();
+    let opts = || LiveOptions {
+        buffer_cap: 8,
+        background_merge: false,
+        durability,
+        ..LiveOptions::default()
+    };
+    for at_op in 0u64.. {
+        let dir = tmpdir(&format!("{name}-{at_op}"));
+        let survivor_run;
+        {
+            // Build outside the schedule: a big compacted component plus
+            // a small synced memtable tail — everything below is acked
+            // *and synced* before the first fault can fire.
+            let ix = LiveIndex::<2>::create(&dir, params(), opts()).expect("create");
+            let big: Vec<Item<2>> = (0..120).map(item).collect();
+            ix.insert_batch(&big).expect("big batch");
+            ix.compact().expect("compact");
+            survivor_run = ix.stats().expect("stats").store_runs[0];
+            let small: Vec<Item<2>> = (1000..1006).map(item).collect();
+            ix.insert_batch(&small).expect("small batch");
+            ix.sync_wal().expect("sync");
+
+            let guard = fault::install(FaultSchedule::fail_op(
+                0x9e_17 + at_op,
+                at_op,
+                None,
+                FaultKind::Errno(Errno::Eio),
+            ));
+            let res = ix.flush(); // the partial merge under fire
+            let fired = fault::injected_count() > 0;
+            drop(guard);
+            if !fired {
+                // The schedule outlived the merge's op trace: the merge
+                // ran clean and the sweep is complete (every op below
+                // `at_op` was faulted in an earlier run).
+                res.expect("un-faulted merge must succeed");
+                assert!(at_op > 10, "trace too small: {at_op} faulted ops");
+                break;
+            }
+            drop(ix); // crash: no shutdown, poisoned or not
+        }
+        let ix = LiveIndex::<2>::open(&dir, opts()).expect("reopen");
+        let mut ids: Vec<u32> = ix
+            .snapshot()
+            .items()
+            .expect("scan")
+            .iter()
+            .map(|it| it.id)
+            .collect();
+        ids.sort_unstable();
+        let want: Vec<u32> = (0..120).chain(1000..1006).collect();
+        assert_eq!(ids, want, "op {at_op}: acked set after faulted merge");
+        let stats = ix.stats().expect("stats");
+        let kept: Vec<_> = stats
+            .store_runs
+            .iter()
+            .filter(|r| r.id == survivor_run.id)
+            .collect();
+        assert_eq!(kept.len(), 1, "op {at_op}: surviving run dropped");
+        assert_eq!(
+            (kept[0].data_offset, kept[0].num_pages),
+            (survivor_run.data_offset, survivor_run.num_pages),
+            "op {at_op}: reused run moved — pages were rewritten"
+        );
+    }
+}
+
+#[test]
+fn partial_merge_fault_sweep_fsync() {
+    partial_merge_fault_sweep(Durability::Fsync, "merge-sweep-fsync");
+}
+
+#[test]
+fn partial_merge_fault_sweep_async() {
+    partial_merge_fault_sweep(
+        Durability::Async {
+            max_inflight_bytes: 1 << 16,
+        },
+        "merge-sweep-async",
+    );
+}
+
 /// A fatal error (EIO) keeps the classic semantics: the failed batch
 /// rolls back, but the write path stays poisoned until reopen.
 #[test]

@@ -257,6 +257,130 @@ fn injected_crashes_with_outstanding_tombstones() {
     }
 }
 
+/// Crash on both sides of a **partial** (incremental) merge commit —
+/// the commit that reuses a surviving component's pages in place,
+/// appends one new component, and flips the manifest. Either way the
+/// reopened index recovers exactly the acked prefix, and the surviving
+/// run's stable id **and byte offset** are unchanged: recovery reads
+/// the reused pages where they always were, never a rewritten copy.
+#[test]
+fn crash_at_partial_merge_boundaries_preserves_reused_runs() {
+    for point in [CrashPoint::BeforeCommit, CrashPoint::AfterCommit] {
+        let dir = tmpdir(&format!("partial-merge-{point:?}"));
+        let big: Vec<Item<2>> = (0..120).map(item).collect();
+        let survivor_run;
+        let epoch_before;
+        {
+            let ix = LiveIndex::<2>::create(&dir, params(), opts(8)).unwrap();
+            ix.insert_batch(&big).unwrap();
+            ix.compact().unwrap(); // one big committed component, slot 4
+            let stats = ix.stats().unwrap();
+            assert_eq!(stats.store_runs.len(), 1, "setup: a single run");
+            survivor_run = stats.store_runs[0];
+            epoch_before = stats.store_epoch;
+            // A small second batch: its merge targets slot 0, so the big
+            // component survives and its run is committed by reference —
+            // the partial-merge shape under test.
+            let small: Vec<Item<2>> = (1000..1006).map(item).collect();
+            ix.insert_batch(&small).unwrap();
+            ix.inject_crash(point);
+            match ix.flush() {
+                Err(LiveError::Injected(_)) => {}
+                other => panic!("expected injected crash, got {other:?}"),
+            }
+            // Process "dies": plain drop.
+        }
+        let ix = LiveIndex::<2>::open(&dir, opts(8)).unwrap();
+        let mut oracle: Vec<Item<2>> = big.clone();
+        oracle.extend((1000..1006).map(item));
+        assert_state_matches(&ix, &oracle, &format!("partial merge {point:?}"));
+        let stats = ix.stats().unwrap();
+        let reopened: Vec<_> = stats
+            .store_runs
+            .iter()
+            .filter(|r| r.id == survivor_run.id)
+            .collect();
+        assert_eq!(
+            reopened.len(),
+            1,
+            "{point:?}: surviving component id must still be live"
+        );
+        assert_eq!(
+            (reopened[0].data_offset, reopened[0].num_pages),
+            (survivor_run.data_offset, survivor_run.num_pages),
+            "{point:?}: reused run moved — pages were rewritten"
+        );
+        match point {
+            CrashPoint::BeforeCommit => {
+                assert_eq!(stats.store_epoch, epoch_before, "flip must not have landed");
+                assert_eq!(stats.store_runs.len(), 1, "no new run before the flip");
+            }
+            CrashPoint::AfterCommit => {
+                assert!(stats.store_epoch > epoch_before, "the flip did commit");
+                assert_eq!(
+                    stats.store_runs.len(),
+                    2,
+                    "partial commit: reused run + one new run"
+                );
+            }
+        }
+    }
+}
+
+/// Incremental commits leave superseded runs behind as garbage;
+/// `compact_if_garbage` reclaims them only past its threshold, and a
+/// reopened index never reads a reclaimed page run — every live run
+/// sits inside the fresh file, under fresh offsets, and the full
+/// scan/query oracle still agrees.
+#[test]
+fn reopened_index_never_reads_reclaimed_runs() {
+    let dir = tmpdir("reclaimed-runs");
+    let mut oracle = Vec::new();
+    let ix = LiveIndex::<2>::create(&dir, params(), opts(16)).unwrap();
+    // Many small merges: low slots are superseded over and over, so the
+    // file accrues garbage while high slots are committed by reference.
+    for k in 0..160 {
+        apply_op(&ix, &mut oracle, k);
+    }
+    ix.flush().unwrap();
+    let before = ix.stats().unwrap();
+    assert!(
+        before.store_pages_reused > 0,
+        "steady-state merges must reuse runs in place"
+    );
+    assert!(
+        before.store_garbage_bytes > 0,
+        "superseded runs must accrue as garbage"
+    );
+    // Threshold not reached (garbage can never exceed 100% of the
+    // file): no rewrite, identical runs.
+    assert!(!ix.compact_if_garbage(100).unwrap());
+    assert_eq!(ix.stats().unwrap().store_runs, before.store_runs);
+    // Threshold reached: full rewrite into a fresh file. What remains
+    // as "garbage" is block-alignment slack, not reclaimed runs.
+    assert!(ix.compact_if_garbage(0).unwrap());
+    let after = ix.stats().unwrap();
+    assert!(
+        after.store_garbage_bytes < before.store_garbage_bytes,
+        "compaction reclaims garbage ({} -> {})",
+        before.store_garbage_bytes,
+        after.store_garbage_bytes
+    );
+    assert!(after.store_file_bytes < before.store_file_bytes);
+    for run in &after.store_runs {
+        assert!(
+            run.data_offset < after.store_file_bytes,
+            "live run points outside the fresh file"
+        );
+    }
+    assert_state_matches(&ix, &oracle, "after threshold compaction");
+    drop(ix);
+    let ix = LiveIndex::<2>::open(&dir, opts(16)).unwrap();
+    assert_state_matches(&ix, &oracle, "reopen after reclamation");
+    // Nothing below the threshold to reclaim on the fresh file.
+    assert!(!ix.compact_if_garbage(50).unwrap());
+}
+
 /// Compaction rewrites the store into a fresh file via atomic rename;
 /// data survives, superseded snapshot space is reclaimed, and a stale
 /// temp file from a crashed compaction is ignored at open.

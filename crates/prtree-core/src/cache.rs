@@ -60,16 +60,27 @@
 //! pages wholesale. Epochs come from [`LeafCache::register_epoch`]
 //! (monotonic, never reused — store commit epochs restart after a
 //! `compact()` rewrite, so they cannot key a shared cache), and
-//! [`LeafCache::retain_epoch`] evicts every dead snapshot's entries
-//! after a merge/compaction swap. Caching leaves is only sound because
-//! committed snapshots are immutable — there is no invalidation path,
-//! only whole-epoch retirement.
+//! [`LeafCache::retain_epochs`] evicts every dead snapshot's entries
+//! after a merge/compaction swap. The live set is exactly that — a
+//! **set**, not a floor: incremental merges reuse components in place,
+//! so a surviving component's old epoch stays live while *newer*
+//! epochs (the merged-away inputs) die. Caching leaves is only sound
+//! because committed snapshots are immutable — there is no
+//! invalidation path, only whole-epoch retirement.
+//!
+//! Admission is **scan-resistant**: a leaf enters the LRU only on its
+//! second touch. The first miss records the key in a small per-shard
+//! ghost ring (keys only, no node bytes) and drops the node; a later
+//! miss that finds its key in the ring ([`LeafCache::ghost_hits`])
+//! admits for real. A one-pass cold scan over 100% of the index
+//! touches every page once, so it fills only the ghost rings and
+//! cannot evict the hot set that repeated queries have established.
 
 use crate::soa::SoaNode;
 use parking_lot::{Mutex, RwLock};
 use pr_em::lru::LruCache;
 use pr_em::{BlockId, HitCounters};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -368,18 +379,50 @@ impl<const D: usize> ShardedNodeCache<D> {
 }
 
 /// One shard of the [`LeafCache`]: an LRU over `(epoch, page)` with
-/// byte accounting. The entry-count cap handed to the inner
-/// [`LruCache`] is a generous upper bound (a leaf `SoaNode` is never
-/// smaller than [`LEAF_ENTRY_FLOOR`] bytes); the **byte** budget is what
-/// actually bounds residency.
+/// byte accounting, plus a fixed ring of **ghost keys** — pages seen
+/// exactly once, holding no node bytes. The entry-count cap handed to
+/// the inner [`LruCache`] is a generous upper bound (a leaf `SoaNode`
+/// is never smaller than [`LEAF_ENTRY_FLOOR`] bytes); the **byte**
+/// budget is what actually bounds residency.
 struct LeafShard<const D: usize> {
     lru: LruCache<(u64, BlockId), Arc<SoaNode<D>>>,
     bytes: usize,
+    /// Second-touch admission filter: keys recently missed (or evicted
+    /// under byte pressure) that will be admitted if touched again
+    /// while still in the ring. Overwritten FIFO at `ghost_cursor`.
+    ghosts: Vec<Option<(u64, BlockId)>>,
+    ghost_cursor: usize,
+}
+
+impl<const D: usize> LeafShard<D> {
+    /// Records a key in the ghost ring, overwriting the oldest slot.
+    fn note_ghost(&mut self, key: (u64, BlockId)) {
+        let cur = self.ghost_cursor;
+        self.ghosts[cur] = Some(key);
+        self.ghost_cursor = (cur + 1) % self.ghosts.len();
+    }
+
+    /// Consumes a ghost entry for `key`, if present.
+    fn take_ghost(&mut self, key: (u64, BlockId)) -> bool {
+        match self.ghosts.iter().position(|g| *g == Some(key)) {
+            Some(slot) => {
+                self.ghosts[slot] = None;
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// Conservative lower bound on the resident size of one cached leaf,
 /// used only to cap the per-shard entry count.
 const LEAF_ENTRY_FLOOR: usize = 128;
+
+/// Ghost-key slots per shard. Keys are 16 bytes, so the whole filter
+/// costs ~2 KiB per shard — noise next to the byte budget — while
+/// remembering the last ~2 k distinct misses across the cache, enough
+/// for a hot set's second touches to land before its keys rotate out.
+const GHOST_RING_CAPACITY: usize = 128;
 
 /// A bounded, sharded cache of transcoded leaf nodes shared across the
 /// trees of one snapshot lineage (see the module docs). All methods take
@@ -392,12 +435,17 @@ pub struct LeafCache<const D: usize> {
     shard_budget: usize,
     capacity_bytes: usize,
     next_epoch: AtomicU64,
-    /// Epochs below this are retired: [`LeafCache::retain_epoch`] raises
-    /// it so pinned readers of replaced snapshots (which still hold the
-    /// cache under their dead epoch) cannot re-admit dead leaves and
-    /// evict the live snapshot's hot set — their admits become no-ops
-    /// and their lookups miss.
-    retired_below: AtomicU64,
+    /// The set of epochs whose admissions are accepted. Registration
+    /// inserts; [`LeafCache::retain_epochs`] replaces the set with the
+    /// survivors, so pinned readers of replaced snapshots (which still
+    /// hold the cache under their dead epoch) cannot re-admit dead
+    /// leaves and evict the live snapshot's hot set — their admits
+    /// become no-ops and their lookups miss. A set rather than a
+    /// high-water mark because incremental merges keep *old* epochs
+    /// live (reused components) while retiring newer ones (merged
+    /// inputs).
+    live: RwLock<HashSet<u64>>,
+    ghost_hits: AtomicU64,
     stats: HitCounters,
 }
 
@@ -419,24 +467,29 @@ impl<const D: usize> LeafCache<D> {
                     Mutex::new(LeafShard {
                         lru: LruCache::new(max_entries),
                         bytes: 0,
+                        ghosts: vec![None; GHOST_RING_CAPACITY],
+                        ghost_cursor: 0,
                     })
                 })
                 .collect(),
             shard_budget,
             capacity_bytes,
             next_epoch: AtomicU64::new(1),
-            retired_below: AtomicU64::new(0),
+            live: RwLock::new(HashSet::new()),
+            ghost_hits: AtomicU64::new(0),
             stats: HitCounters::new(),
         }
     }
 
-    /// Hands out a fresh, never-reused epoch. Every snapshot (a store
-    /// commit's component set) attaches under its own epoch, so entries
-    /// of a replaced snapshot can never alias a new one's page ids —
-    /// store commit epochs restart when `compact()` rewrites the file,
-    /// which is exactly why the cache numbers its own.
+    /// Hands out a fresh, never-reused epoch and marks it live. Every
+    /// component attaches under its own epoch, so entries of a replaced
+    /// component can never alias a new one's page ids — store commit
+    /// epochs restart when `compact()` rewrites the file, which is
+    /// exactly why the cache numbers its own.
     pub fn register_epoch(&self) -> u64 {
-        self.next_epoch.fetch_add(1, Ordering::Relaxed)
+        let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
+        self.live.write().insert(epoch);
+        epoch
     }
 
     #[inline]
@@ -451,37 +504,64 @@ impl<const D: usize> LeafCache<D> {
         self.shard(page).lock().lru.get(&(epoch, page)).cloned()
     }
 
-    /// Admits a freshly transcoded leaf, evicting least-recently-used
-    /// entries (of any epoch) until the shard is back under its byte
-    /// budget. A node larger than the whole shard budget is admitted and
-    /// immediately evicted — harmless, and it keeps the bound strict.
-    /// Admissions under a retired epoch (a pinned reader of a replaced
-    /// snapshot) are dropped: dead leaves must not evict the live
-    /// snapshot's hot set.
+    /// Offers a freshly transcoded leaf. Admission is second-touch: the
+    /// first offer of a key only records it in the shard's ghost ring
+    /// and drops the node; an offer whose key is still in the ring (or
+    /// already resident — a replacement) inserts for real, evicting
+    /// least-recently-used entries (of any epoch) until the shard is
+    /// back under its byte budget. Evicted keys re-enter the ghost
+    /// ring, so a hot page squeezed out by pressure returns after one
+    /// touch. A node larger than the whole shard budget is admitted
+    /// and immediately evicted — harmless, and it keeps the bound
+    /// strict. Admissions under a retired epoch (a pinned reader of a
+    /// replaced snapshot) are dropped entirely: dead leaves must not
+    /// evict the live snapshot's hot set nor squat in its ghost ring.
     pub fn admit(&self, epoch: u64, page: BlockId, node: Arc<SoaNode<D>>) {
-        let add = node.approx_bytes();
+        self.admit_with(epoch, page, || node);
+    }
+
+    /// Closure form of [`LeafCache::admit`]: `make` materializes the
+    /// owned node and runs only when the cache will actually insert, so
+    /// the common first touch of a cold scan costs a 16-byte ghost-ring
+    /// write and **zero** allocation. (`make` runs under the shard
+    /// lock; it must be short — the tree's leaf clone is.)
+    pub fn admit_with(&self, epoch: u64, page: BlockId, make: impl FnOnce() -> Arc<SoaNode<D>>) {
+        let key = (epoch, page);
         let mut shard = self.shard(page).lock();
-        // Checked *under the shard lock*: `retain_epoch` raises the
-        // floor before sweeping the shards, so either this admit sees
-        // the new floor here and drops out, or it completes before the
-        // sweep takes this shard's lock and the sweep removes the
-        // entry. A check outside the lock would leave a window where a
-        // dead-epoch admission lands just after the sweep and squats in
-        // the budget until the next merge.
-        if epoch < self.retired_below.load(Ordering::Acquire) {
+        // Checked *under the shard lock*: `retain_epochs` replaces the
+        // live set before sweeping the shards, so either this admit
+        // sees the shrunk set here and drops out, or it completes
+        // before the sweep takes this shard's lock and the sweep
+        // removes the entry. A check outside the lock would leave a
+        // window where a dead-epoch admission lands just after the
+        // sweep and squats in the budget until the next merge.
+        if !self.live.read().contains(&epoch) {
             return;
         }
+        if shard.lru.peek(&key).is_none() {
+            if shard.take_ghost(key) {
+                self.ghost_hits.fetch_add(1, Ordering::Relaxed);
+                crate::obs::leaf_cache_ghost_hit();
+            } else {
+                // First touch: remember the key, keep no bytes.
+                shard.note_ghost(key);
+                return;
+            }
+        }
+        let node = make();
+        let add = node.approx_bytes();
         let mut delta = add as i64;
-        if let Some((_, old)) = shard.lru.insert((epoch, page), node) {
+        if let Some((_, old)) = shard.lru.insert(key, node) {
             shard.bytes -= old.approx_bytes();
             delta -= old.approx_bytes() as i64;
         }
         shard.bytes += add;
         while shard.bytes > self.shard_budget {
             match shard.lru.pop_lru() {
-                Some((_, evicted)) => {
+                Some((evicted_key, evicted)) => {
                     shard.bytes -= evicted.approx_bytes();
                     delta -= evicted.approx_bytes() as i64;
+                    shard.note_ghost(evicted_key);
                 }
                 None => break,
             }
@@ -506,14 +586,26 @@ impl<const D: usize> LeafCache<D> {
         }
     }
 
-    /// Evicts every entry whose epoch is **not** `epoch` — the
-    /// merge/compaction swap calls this with the epoch of the snapshot
-    /// that just became current, dropping all dead snapshots' leaves at
-    /// once. Also retires every older epoch permanently: pinned readers
-    /// of replaced snapshots keep querying (and simply miss), but their
-    /// admissions no longer land in the shared budget.
+    /// Single-survivor form of [`LeafCache::retain_epochs`] — the full
+    /// rewrite (`compact()`, legacy merge) replaces every component, so
+    /// exactly one epoch survives.
     pub fn retain_epoch(&self, epoch: u64) {
-        self.retired_below.fetch_max(epoch, Ordering::AcqRel);
+        self.retain_epochs(&[epoch]);
+    }
+
+    /// Evicts every entry whose epoch is not in `live` — the
+    /// merge/compaction swap calls this with the epochs of the
+    /// components that make up the snapshot that just became current
+    /// (an incremental merge keeps reused components' *old* epochs
+    /// alive alongside the new output's), dropping all dead snapshots'
+    /// leaves at once. Every other epoch is retired permanently: pinned
+    /// readers of replaced snapshots keep querying (and simply miss),
+    /// but their admissions no longer land in the shared budget.
+    pub fn retain_epochs(&self, live: &[u64]) {
+        let keep: HashSet<u64> = live.iter().copied().collect();
+        // Replace the live set *before* sweeping: see the ordering
+        // comment in `admit_with`.
+        *self.live.write() = keep.clone();
         let mut evicted = 0u64;
         let mut freed = 0u64;
         for shard in &self.shards {
@@ -521,7 +613,7 @@ impl<const D: usize> LeafCache<D> {
             let dead: Vec<(u64, BlockId)> = shard
                 .lru
                 .iter()
-                .filter(|((e, _), _)| *e != epoch)
+                .filter(|((e, _), _)| !keep.contains(e))
                 .map(|(k, _)| *k)
                 .collect();
             for key in dead {
@@ -531,16 +623,25 @@ impl<const D: usize> LeafCache<D> {
                     freed += node.approx_bytes() as u64;
                 }
             }
+            // Dead ghost keys can never be admitted again; free their
+            // slots for the live epochs' misses.
+            for slot in shard.ghosts.iter_mut() {
+                if matches!(slot, Some((e, _)) if !keep.contains(e)) {
+                    *slot = None;
+                }
+            }
         }
         crate::obs::leaf_cache_bytes_delta(-(freed as i64));
         crate::obs::metrics().cache_epochs_retired.inc();
+        let mut lives: Vec<u64> = keep.into_iter().collect();
+        lives.sort_unstable();
         pr_obs::events().emit(
             "cache_epoch_retire",
-            format!("epoch={epoch} evicted={evicted} freed_bytes={freed}"),
+            format!("live={lives:?} evicted={evicted} freed_bytes={freed}"),
         );
     }
 
-    /// Drops everything (keeps hit statistics).
+    /// Drops everything, ghost keys included (keeps hit statistics).
     pub fn clear(&self) {
         let mut freed = 0u64;
         for shard in &self.shards {
@@ -548,6 +649,8 @@ impl<const D: usize> LeafCache<D> {
             shard.lru.drain();
             freed += shard.bytes as u64;
             shard.bytes = 0;
+            shard.ghosts.fill(None);
+            shard.ghost_cursor = 0;
         }
         crate::obs::leaf_cache_bytes_delta(-(freed as i64));
     }
@@ -575,6 +678,15 @@ impl<const D: usize> LeafCache<D> {
     /// `(hits, misses)` since construction.
     pub fn hit_stats(&self) -> (u64, u64) {
         self.stats.snapshot()
+    }
+
+    /// Misses whose key was found in a ghost ring — i.e. second touches
+    /// that turned into real admissions. High ghost hits relative to
+    /// misses means the working set cycles faster than the rings
+    /// remember; near zero under a pure scan means the filter is doing
+    /// its job.
+    pub fn ghost_hits(&self) -> u64 {
+        self.ghost_hits.load(Ordering::Relaxed)
     }
 }
 
@@ -760,20 +872,82 @@ mod tests {
         Arc::new(SoaNode::from_page(&NodePage::new(0, ents)))
     }
 
+    /// Offers a leaf twice so it passes second-touch admission — the
+    /// shorthand for tests that want a page *resident*.
+    fn admit2(c: &LeafCache<2>, e: u64, page: BlockId, n: Arc<SoaNode<2>>) {
+        c.admit(e, page, Arc::clone(&n));
+        c.admit(e, page, n);
+    }
+
     #[test]
     fn leaf_cache_roundtrip_and_epoch_isolation() {
         let c = LeafCache::<2>::new(1 << 20);
         let e1 = c.register_epoch();
         let e2 = c.register_epoch();
         assert_ne!(e1, e2);
-        c.admit(e1, 7, leaf(5));
+        admit2(&c, e1, 7, leaf(5));
         assert!(c.get(e1, 7).is_some());
         // Same page id under another epoch is a distinct entry.
         assert!(c.get(e2, 7).is_none());
-        c.admit(e2, 7, leaf(9));
+        admit2(&c, e2, 7, leaf(9));
         assert_eq!(c.get(e1, 7).unwrap().len(), 5);
         assert_eq!(c.get(e2, 7).unwrap().len(), 9);
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn leaf_cache_admits_on_second_touch_only() {
+        let c = LeafCache::<2>::new(1 << 20);
+        let e = c.register_epoch();
+        c.admit(e, 7, leaf(5));
+        assert!(c.get(e, 7).is_none(), "first touch only ghosts the key");
+        assert_eq!(c.resident_bytes(), 0, "a ghost holds no node bytes");
+        assert_eq!(c.ghost_hits(), 0);
+        c.admit(e, 7, leaf(5));
+        assert!(c.get(e, 7).is_some(), "second touch admits for real");
+        assert_eq!(c.ghost_hits(), 1);
+        // A resident page re-admitted (replacement) is not a ghost hit.
+        c.admit(e, 7, leaf(6));
+        assert_eq!(c.get(e, 7).unwrap().len(), 6);
+        assert_eq!(c.ghost_hits(), 1);
+    }
+
+    #[test]
+    fn leaf_cache_admit_with_skips_materialization_on_first_touch() {
+        let c = LeafCache::<2>::new(1 << 20);
+        let e = c.register_epoch();
+        let mut made = 0u32;
+        c.admit_with(e, 9, || {
+            made += 1;
+            leaf(4)
+        });
+        assert_eq!(made, 0, "first touch must not build the node");
+        c.admit_with(e, 9, || {
+            made += 1;
+            leaf(4)
+        });
+        assert_eq!(made, 1);
+        assert!(c.get(e, 9).is_some());
+    }
+
+    #[test]
+    fn leaf_cache_scan_survives_one_pass_over_cold_pages() {
+        let c = LeafCache::<2>::new(1 << 20);
+        let e = c.register_epoch();
+        // Establish a hot set with repeated touches.
+        for p in 0..8u64 {
+            admit2(&c, e, p, leaf(10));
+        }
+        assert_eq!(c.len(), 8);
+        // A full cold scan: thousands of pages, each touched once.
+        for p in 100..4100u64 {
+            c.admit(e, p, leaf(10));
+        }
+        // Nothing was admitted, so nothing hot was evicted.
+        assert_eq!(c.len(), 8, "one-pass scan must not displace the hot set");
+        for p in 0..8u64 {
+            assert!(c.get(e, p).is_some(), "hot page {p} was evicted by a scan");
+        }
     }
 
     #[test]
@@ -785,13 +959,24 @@ mod tests {
         let c = LeafCache::<2>::new(budget);
         let e = c.register_epoch();
         for i in 0..64u64 {
-            c.admit(e, i * SHARD_COUNT as u64, leaf(100));
+            admit2(&c, e, i * SHARD_COUNT as u64, leaf(100));
         }
         assert!(c.len() <= 4, "shard holds {} > 4 leaves", c.len());
         assert!(c.resident_bytes() <= budget / SHARD_COUNT);
         // Eviction is LRU: the most recent page survives.
         assert!(c.get(e, 63 * SHARD_COUNT as u64).is_some());
         assert!(c.get(e, 0).is_none());
+        // An evicted key went back into the ghost ring, so a hot page
+        // squeezed out by pressure returns after a single re-touch.
+        assert!(
+            c.get(e, 59 * SHARD_COUNT as u64).is_none(),
+            "59 was evicted"
+        );
+        c.admit(e, 59 * SHARD_COUNT as u64, leaf(100));
+        assert!(
+            c.get(e, 59 * SHARD_COUNT as u64).is_some(),
+            "pressure-evicted page must re-enter on one touch"
+        );
     }
 
     #[test]
@@ -800,10 +985,10 @@ mod tests {
         let old = c.register_epoch();
         let new = c.register_epoch();
         for p in 0..20u64 {
-            c.admit(old, p, leaf(3));
+            admit2(&c, old, p, leaf(3));
         }
         for p in 0..5u64 {
-            c.admit(new, p, leaf(3));
+            admit2(&c, new, p, leaf(3));
         }
         c.retain_epoch(new);
         assert_eq!(c.len(), 5);
@@ -817,21 +1002,47 @@ mod tests {
     }
 
     #[test]
+    fn leaf_cache_retain_epochs_keeps_a_noncontiguous_live_set() {
+        // The incremental-merge shape: the *oldest* epoch (a reused
+        // component) survives, a newer one (a merged input) dies, and
+        // the newest (the merge output) joins — a floor cannot express
+        // this; the live set must.
+        let c = LeafCache::<2>::new(1 << 20);
+        let reused = c.register_epoch();
+        let merged_away = c.register_epoch();
+        let output = c.register_epoch();
+        admit2(&c, reused, 1, leaf(3));
+        admit2(&c, merged_away, 2, leaf(3));
+        admit2(&c, output, 3, leaf(3));
+        c.retain_epochs(&[reused, output]);
+        assert!(c.get(reused, 1).is_some(), "reused component's epoch lives");
+        assert!(c.get(merged_away, 2).is_none());
+        assert!(c.get(output, 3).is_some());
+        assert_eq!(c.len(), 2);
+        // The old-but-live epoch still accepts admissions; the newer
+        // retired one does not.
+        admit2(&c, reused, 10, leaf(3));
+        assert!(c.get(reused, 10).is_some());
+        admit2(&c, merged_away, 11, leaf(3));
+        assert!(c.get(merged_away, 11).is_none());
+    }
+
+    #[test]
     fn leaf_cache_refuses_retired_epoch_admissions() {
         let c = LeafCache::<2>::new(1 << 20);
         let old = c.register_epoch();
         let new = c.register_epoch();
-        c.admit(old, 1, leaf(3));
+        admit2(&c, old, 1, leaf(3));
         c.retain_epoch(new);
         // A pinned reader of the replaced snapshot keeps querying: its
         // lookups miss and its admissions are dropped, so dead leaves
         // can never evict the live snapshot's hot set.
         assert!(c.get(old, 1).is_none());
-        c.admit(old, 2, leaf(3));
+        admit2(&c, old, 2, leaf(3));
         assert!(c.get(old, 2).is_none());
         assert_eq!(c.resident_bytes(), 0);
         // The live epoch is unaffected.
-        c.admit(new, 2, leaf(3));
+        admit2(&c, new, 2, leaf(3));
         assert!(c.get(new, 2).is_some());
     }
 
@@ -839,7 +1050,7 @@ mod tests {
     fn leaf_cache_evict_and_reinsert_accounting() {
         let c = LeafCache::<2>::new(1 << 20);
         let e = c.register_epoch();
-        c.admit(e, 3, leaf(10));
+        admit2(&c, e, 3, leaf(10));
         let one = c.resident_bytes();
         // Re-admitting the same page replaces, not double-counts.
         c.admit(e, 3, leaf(10));

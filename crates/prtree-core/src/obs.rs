@@ -40,6 +40,9 @@ pub struct Metrics {
     pub leaf_cache_hits: pr_obs::Counter,
     /// See [`Metrics::leaf_cache_hits`].
     pub leaf_cache_misses: pr_obs::Counter,
+    /// `tree_leaf_cache_ghost_hits_total` — misses whose key was in a
+    /// ghost ring (second touches admitted for real).
+    pub leaf_cache_ghost_hits: pr_obs::Counter,
     /// `tree_leaf_cache_resident_bytes` — bytes resident across all
     /// leaf caches in the process.
     pub leaf_cache_resident_bytes: pr_obs::Gauge,
@@ -92,6 +95,10 @@ pub fn metrics() -> &'static Metrics {
                 "tree_leaf_cache_misses_total",
                 "leaf-cache probes that read the device",
             ),
+            leaf_cache_ghost_hits: r.counter(
+                "tree_leaf_cache_ghost_hits_total",
+                "leaf-cache misses admitted on their second touch",
+            ),
             leaf_cache_resident_bytes: r.gauge(
                 "tree_leaf_cache_resident_bytes",
                 "approximate bytes resident across all leaf caches",
@@ -132,6 +139,13 @@ pub(crate) fn record_cache(tally: &CacheTally) {
     if tally.leaf_misses > 0 {
         m.leaf_cache_misses.add(tally.leaf_misses);
     }
+}
+
+/// Counts one ghost-ring hit (a second touch turning into a real
+/// admission). Per-event is fine: it sits on the device-read miss
+/// path, where one atomic add is noise.
+pub(crate) fn leaf_cache_ghost_hit() {
+    metrics().leaf_cache_ghost_hits.inc();
 }
 
 /// Applies a resident-bytes change to the process-wide leaf-cache

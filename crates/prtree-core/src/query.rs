@@ -628,12 +628,22 @@ mod tests {
         let (want, want_stats) = plain.window_with_stats(&q).unwrap();
 
         // Cold pass: every leaf is a device read AND a leaf-cache miss.
+        // Admission is second-touch, so this pass only ghosts the keys.
         let (got, cold) = cached.window_with_stats(&q).unwrap();
         assert_eq!(got, want);
         assert_eq!(cold.leaves_visited, want_stats.leaves_visited);
         assert_eq!(cold.device_reads, want_stats.device_reads);
         assert_eq!(cold.leaf_cache_misses, cold.leaves_visited);
         assert_eq!(cold.leaf_cache_hits, 0);
+        assert!(cache.is_empty(), "one touch must not admit");
+        assert_eq!(cache.ghost_hits(), 0);
+
+        // Second pass: still misses (device reads), but every key is in
+        // the ghost rings, so now the leaves are admitted for real.
+        let (second, touch2) = cached.window_with_stats(&q).unwrap();
+        assert_eq!(second, want);
+        assert_eq!(touch2.leaf_cache_misses, touch2.leaves_visited);
+        assert_eq!(cache.ghost_hits(), touch2.leaves_visited);
 
         // Warm pass: bit-identical results and traversal shape, zero
         // device reads — every leaf visit is a cache hit.
@@ -647,7 +657,13 @@ mod tests {
 
         // The per-query tallies flushed into the cache's counters.
         let (h, m) = cache.hit_stats();
-        assert_eq!((h, m), (warm.leaf_cache_hits, cold.leaf_cache_misses));
+        assert_eq!(
+            (h, m),
+            (
+                warm.leaf_cache_hits,
+                cold.leaf_cache_misses + touch2.leaf_cache_misses
+            )
+        );
 
         // k-NN takes the same path.
         let p = pr_geom::Point::new([42.0, 0.5]);

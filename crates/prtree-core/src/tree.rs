@@ -255,7 +255,10 @@ impl<const D: usize> RTree<D> {
         } else if soa.is_leaf() {
             if let Some((cache, epoch)) = &self.leaf_cache {
                 tally.leaf_misses += 1;
-                cache.admit(*epoch, page, Arc::new(soa.clone()));
+                // Second-touch admission: the closure (and its clone of
+                // the leaf) runs only when the cache actually inserts,
+                // so a cold scan's one-time touches allocate nothing.
+                cache.admit_with(*epoch, page, || Arc::new(soa.clone()));
             }
         }
         let f = f.take().expect("miss path runs f once");

@@ -57,6 +57,9 @@ pub enum StoreError {
     /// that does not hold exactly one tree; use
     /// [`crate::Store::components`] instead.
     NotSingleComponent(usize),
+    /// An incremental commit asked to reuse a component id that is not
+    /// part of the active snapshot.
+    UnknownComponent(u64),
     /// Structural corruption not covered by a more specific variant.
     Corrupt(String),
 }
@@ -102,6 +105,9 @@ impl fmt::Display for StoreError {
                     f,
                     "snapshot holds {n} components, not a single tree (use components())"
                 )
+            }
+            StoreError::UnknownComponent(id) => {
+                write!(f, "component id {id} is not part of the active snapshot")
             }
             StoreError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
         }

@@ -26,11 +26,16 @@
 //! ```
 //!
 //! A **manifest** ([`ManifestRecord`]) turns a snapshot into a
-//! *multi-component* commit: several trees share one page region (each
-//! component's pages are a contiguous BFS run inside it; its root id is
-//! recorded in its `TreeMeta`), and an opaque application blob rides
-//! along under the same CRC — `pr-live` stores its WAL position,
-//! tombstones, and memtable checkpoint there. Layout:
+//! *multi-component* commit: each component is an independent
+//! contiguous **page run** somewhere in the file, described by a
+//! [`ComponentRun`] — a stable identity, a BFS page run at an absolute
+//! byte offset, and that run's own CRC32 table. Runs written by earlier
+//! epochs are referenced **in place**: a commit only appends the pages
+//! of components that actually changed and re-points everything else,
+//! which is what makes merge I/O O(merged levels) instead of O(index).
+//! An opaque application blob rides along under the same CRC —
+//! `pr-live` stores its WAL position, tombstones, and memtable
+//! checkpoint there. Layout:
 //!
 //! ```text
 //! Manifest (variable)
@@ -40,10 +45,27 @@
 //! 8         8     epoch (must match the superblock)
 //! 16        4     num_components
 //! 20        4     app_len
-//! 24        40·k  component TreeMetas (roots are snapshot-relative)
-//! 24+40k    app   application blob
+//! 24        76·k  component runs (see ComponentRun)
+//! 24+76k    app   application blob
 //! ...       4     manifest_crc over all previous bytes
+//!
+//! ComponentRun (76 bytes)
+//! off sz field
+//! 0   8  component id (stable across epochs while the run is reused)
+//! 8   40 TreeMeta (root is run-relative; always page 0)
+//! 48  8  data_offset (absolute byte offset of the run's first page)
+//! 56  8  num_pages
+//! 64  8  table_offset (absolute byte offset of the run's CRC table)
+//! 72  4  table_crc (CRC32 of the run's table bytes)
 //! ```
+//!
+//! The superblock's own `data_offset`/`num_pages`/`table_offset`/
+//! `table_crc` describe only the region **newly written by this
+//! epoch's commit** (reused runs were proven by the epoch that wrote
+//! them and are re-verified against their per-run `table_crc` at open);
+//! the footer commits that new region. A commit that reuses every
+//! component writes zero pages and an empty table — still a valid,
+//! fully CRC-guarded commit.
 
 use crate::crc::crc32;
 use crate::error::StoreError;
@@ -55,8 +77,11 @@ pub const SB_MAGIC: [u8; 8] = *b"PRSTORE1";
 pub const FOOTER_MAGIC: [u8; 4] = *b"PRFO";
 /// Manifest record magic.
 pub const MANIFEST_MAGIC: [u8; 4] = *b"PRMF";
-/// Current format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current format version. Version 2 replaced the manifest's packed
+/// `TreeMeta` list with per-component page runs ([`ComponentRun`]),
+/// enabling incremental commits that reference unchanged components'
+/// pages in place.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// One committed (or empty) store state. Two slots of these alternate;
 /// the one with the highest epoch that validates wins at open.
@@ -194,29 +219,94 @@ impl Superblock {
     }
 }
 
-/// A multi-component commit record: the snapshot holds `metas.len()`
-/// trees sharing one page region, plus an opaque application blob. See
+/// One component's page run: a stable identity plus the absolute
+/// location of its BFS pages and their CRC table. Page ids inside a run
+/// are run-relative (the root is always page 0), so a run means the
+/// same tree no matter which epoch's manifest references it — that is
+/// what lets a commit leave unchanged components' pages in place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComponentRun {
+    /// Stable component identity. Assigned once when the component's
+    /// pages are written; every later manifest that reuses the run
+    /// carries the same id, so higher layers can recognize "same bytes,
+    /// same tree" across epochs.
+    pub id: u64,
+    /// The component's tree metadata; `root` is run-relative (0).
+    pub meta: TreeMeta,
+    /// Absolute byte offset of the run's first page.
+    pub data_offset: u64,
+    /// Number of pages in the run.
+    pub num_pages: u64,
+    /// Absolute byte offset of the run's per-page CRC32 table
+    /// (`num_pages * 4` bytes).
+    pub table_offset: u64,
+    /// CRC32 of the run's table bytes.
+    pub table_crc: u32,
+}
+
+impl ComponentRun {
+    /// Encoded size in bytes.
+    pub const ENCODED_SIZE: usize = 76;
+
+    /// Serializes into `buf` (exactly [`ComponentRun::ENCODED_SIZE`]
+    /// bytes).
+    pub fn encode(&self, buf: &mut [u8]) {
+        assert_eq!(buf.len(), Self::ENCODED_SIZE);
+        buf[0..8].copy_from_slice(&self.id.to_le_bytes());
+        self.meta.encode(&mut buf[8..48]);
+        buf[48..56].copy_from_slice(&self.data_offset.to_le_bytes());
+        buf[56..64].copy_from_slice(&self.num_pages.to_le_bytes());
+        buf[64..72].copy_from_slice(&self.table_offset.to_le_bytes());
+        buf[72..76].copy_from_slice(&self.table_crc.to_le_bytes());
+    }
+
+    /// Deserializes one run entry (integrity is the enclosing
+    /// manifest's CRC).
+    pub fn decode(buf: &[u8]) -> Result<Self, StoreError> {
+        if buf.len() != Self::ENCODED_SIZE {
+            return Err(StoreError::Corrupt(format!(
+                "component run is {} bytes, want {}",
+                buf.len(),
+                Self::ENCODED_SIZE
+            )));
+        }
+        let meta = TreeMeta::decode(&buf[8..48])
+            .map_err(|e| StoreError::Corrupt(format!("component run metadata: {e}")))?;
+        Ok(ComponentRun {
+            id: u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes")),
+            meta,
+            data_offset: u64::from_le_bytes(buf[48..56].try_into().expect("8 bytes")),
+            num_pages: u64::from_le_bytes(buf[56..64].try_into().expect("8 bytes")),
+            table_offset: u64::from_le_bytes(buf[64..72].try_into().expect("8 bytes")),
+            table_crc: u32::from_le_bytes(buf[72..76].try_into().expect("4 bytes")),
+        })
+    }
+}
+
+/// A multi-component commit record: the snapshot holds `runs.len()`
+/// trees, each an independent page run (possibly written by an earlier
+/// epoch and referenced in place), plus an opaque application blob. See
 /// the module docs for the byte layout. The record's own CRC covers the
-/// metas *and* the blob, so a torn manifest invalidates the whole
+/// runs *and* the blob, so a torn manifest invalidates the whole
 /// candidate snapshot at open (falling back one epoch, exactly like a
 /// torn footer).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ManifestRecord {
     /// Epoch this manifest belongs to (must match its superblock).
     pub epoch: u64,
-    /// One metadata record per component; `root` is snapshot-relative.
-    pub metas: Vec<TreeMeta>,
+    /// One page run per component.
+    pub runs: Vec<ComponentRun>,
     /// Opaque application payload (pr-live's checkpoint).
     pub app: Vec<u8>,
 }
 
 impl ManifestRecord {
-    /// Fixed header bytes before the metas.
+    /// Fixed header bytes before the runs.
     pub const HEADER_SIZE: usize = 24;
 
     /// Encoded size of this record in bytes.
     pub fn encoded_size(&self) -> usize {
-        Self::HEADER_SIZE + self.metas.len() * TreeMeta::ENCODED_SIZE + self.app.len() + 4
+        Self::HEADER_SIZE + self.runs.len() * ComponentRun::ENCODED_SIZE + self.app.len() + 4
     }
 
     /// Serializes into a fresh buffer.
@@ -225,12 +315,12 @@ impl ManifestRecord {
         buf[0..4].copy_from_slice(&MANIFEST_MAGIC);
         buf[4..8].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
         buf[8..16].copy_from_slice(&self.epoch.to_le_bytes());
-        buf[16..20].copy_from_slice(&(self.metas.len() as u32).to_le_bytes());
+        buf[16..20].copy_from_slice(&(self.runs.len() as u32).to_le_bytes());
         buf[20..24].copy_from_slice(&(self.app.len() as u32).to_le_bytes());
         let mut off = Self::HEADER_SIZE;
-        for meta in &self.metas {
-            meta.encode(&mut buf[off..off + TreeMeta::ENCODED_SIZE]);
-            off += TreeMeta::ENCODED_SIZE;
+        for run in &self.runs {
+            run.encode(&mut buf[off..off + ComponentRun::ENCODED_SIZE]);
+            off += ComponentRun::ENCODED_SIZE;
         }
         buf[off..off + self.app.len()].copy_from_slice(&self.app);
         off += self.app.len();
@@ -257,7 +347,7 @@ impl ManifestRecord {
         let epoch = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
         let num = u32::from_le_bytes(buf[16..20].try_into().expect("4 bytes")) as usize;
         let app_len = u32::from_le_bytes(buf[20..24].try_into().expect("4 bytes")) as usize;
-        let want = Self::HEADER_SIZE + num * TreeMeta::ENCODED_SIZE + app_len + 4;
+        let want = Self::HEADER_SIZE + num * ComponentRun::ENCODED_SIZE + app_len + 4;
         if buf.len() != want {
             return Err(StoreError::Corrupt(format!(
                 "manifest record is {} bytes, header implies {want}",
@@ -271,16 +361,16 @@ impl ManifestRecord {
                 "manifest checksum mismatch (stored {stored_crc:08x}, computed {computed:08x})"
             )));
         }
-        let mut metas = Vec::with_capacity(num);
+        let mut runs = Vec::with_capacity(num);
         let mut off = Self::HEADER_SIZE;
         for _ in 0..num {
-            let meta = TreeMeta::decode(&buf[off..off + TreeMeta::ENCODED_SIZE])
-                .map_err(|e| StoreError::Corrupt(format!("manifest component metadata: {e}")))?;
-            metas.push(meta);
-            off += TreeMeta::ENCODED_SIZE;
+            runs.push(ComponentRun::decode(
+                &buf[off..off + ComponentRun::ENCODED_SIZE],
+            )?);
+            off += ComponentRun::ENCODED_SIZE;
         }
         let app = buf[off..off + app_len].to_vec();
-        Ok(ManifestRecord { epoch, metas, app })
+        Ok(ManifestRecord { epoch, runs, app })
     }
 }
 
@@ -430,31 +520,43 @@ mod tests {
         assert!(Footer::decode(&bad).is_err());
     }
 
+    fn sample_run(id: u64, root_level: u8, len: u64, data_offset: u64) -> ComponentRun {
+        ComponentRun {
+            id,
+            meta: TreeMeta {
+                params: TreeParams::paper_2d(),
+                root: 0,
+                root_level,
+                len,
+            },
+            data_offset,
+            num_pages: len.div_ceil(100).max(1),
+            table_offset: data_offset + len * 4096,
+            table_crc: 0xABCD_0000 | id as u32,
+        }
+    }
+
+    #[test]
+    fn component_run_roundtrip() {
+        let run = sample_run(7, 2, 1000, 8192);
+        let mut buf = vec![0u8; ComponentRun::ENCODED_SIZE];
+        run.encode(&mut buf);
+        assert_eq!(ComponentRun::decode(&buf).unwrap(), run);
+        assert!(ComponentRun::decode(&buf[..10]).is_err());
+    }
+
     #[test]
     fn manifest_roundtrip_and_corruption() {
         let m = ManifestRecord {
             epoch: 9,
-            metas: vec![
-                TreeMeta {
-                    params: TreeParams::paper_2d(),
-                    root: 0,
-                    root_level: 2,
-                    len: 1000,
-                },
-                TreeMeta {
-                    params: TreeParams::paper_2d(),
-                    root: 57,
-                    root_level: 1,
-                    len: 64,
-                },
-            ],
+            runs: vec![sample_run(1, 2, 1000, 8192), sample_run(4, 1, 64, 500_000)],
             app: b"opaque payload".to_vec(),
         };
         let buf = m.encode();
         assert_eq!(buf.len(), m.encoded_size());
         assert_eq!(ManifestRecord::decode(&buf).unwrap(), m);
-        // A flip anywhere — header, meta, app blob, crc — is caught.
-        for off in [0, 9, 17, 30, 70, buf.len() - 10, buf.len() - 2] {
+        // A flip anywhere — header, run entry, app blob, crc — is caught.
+        for off in [0, 9, 17, 30, 70, 110, buf.len() - 10, buf.len() - 2] {
             let mut bad = buf.clone();
             bad[off] ^= 0x20;
             assert!(ManifestRecord::decode(&bad).is_err(), "flip at {off}");
@@ -468,7 +570,7 @@ mod tests {
     fn empty_manifest_is_valid() {
         let m = ManifestRecord {
             epoch: 1,
-            metas: Vec::new(),
+            runs: Vec::new(),
             app: Vec::new(),
         };
         let buf = m.encode();

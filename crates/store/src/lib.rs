@@ -101,5 +101,5 @@ pub mod store;
 pub use crc::crc32;
 pub use device::{ScrubReport, StoreDevice, VerifiedBitmap};
 pub use error::StoreError;
-pub use format::{Footer, ManifestRecord, Superblock, FORMAT_VERSION};
-pub use store::{ReadPath, Store};
+pub use format::{ComponentRun, Footer, ManifestRecord, Superblock, FORMAT_VERSION};
+pub use store::{CommitComponent, CommitOutcome, ReadPath, Store};

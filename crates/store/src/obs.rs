@@ -14,6 +14,14 @@ pub struct Metrics {
     pub commits: pr_obs::Counter,
     /// `store_commit_pages_total` — pages written by commits.
     pub commit_pages: pr_obs::Counter,
+    /// `store_pages_written_total` — pages freshly appended by commits
+    /// (new components). With `store_pages_reused_total` this is the
+    /// write-amplification ledger: written / (written + reused) is the
+    /// fraction of each commit that actually hit the disk.
+    pub pages_written: pr_obs::Counter,
+    /// `store_pages_reused_total` — pages referenced in place by
+    /// commits (unchanged components' runs).
+    pub pages_reused: pr_obs::Counter,
     /// `store_commit_us` — commit latency (BFS copy through superblock
     /// flip).
     pub commit_us: pr_obs::Histogram,
@@ -42,6 +50,14 @@ pub fn metrics() -> &'static Metrics {
                 "successful snapshot commits (superblock flips)",
             ),
             commit_pages: r.counter("store_commit_pages_total", "pages written by commits"),
+            pages_written: r.counter(
+                "store_pages_written_total",
+                "pages freshly appended by commits (new components)",
+            ),
+            pages_reused: r.counter(
+                "store_pages_reused_total",
+                "pages referenced in place by commits (unchanged components)",
+            ),
             commit_us: r.histogram(
                 "store_commit_us",
                 "commit latency in microseconds (copy, fsync, flip)",

@@ -1,9 +1,34 @@
 //! Store lifecycle: create, save (commit), open, verify.
+//!
+//! # Incremental commits
+//!
+//! Since format v2 a snapshot is a set of **component page runs**
+//! ([`ComponentRun`]): each component's pages live in their own
+//! contiguous region with run-relative page ids (root = page 0) and
+//! their own CRC table. A commit ([`Store::commit_components`]) takes a
+//! mix of [`CommitComponent::New`] trees — BFS-copied into freshly
+//! appended pages — and [`CommitComponent::Reuse`] references to
+//! components of the *current* snapshot, whose pages stay exactly where
+//! they are. Only new pages, their tables, the manifest, and the footer
+//! are written, so a merge that replaces the small levels of an index
+//! costs O(pages of merged components), not O(index).
+//!
+//! Because a reused run's bytes, offsets, and page ids are identical
+//! across epochs, everything pinned to it survives the commit: the
+//! shared mmap (the new mapping covers a superset of the old), the
+//! verify-once bitmap (carried forward, so pages proven once stay
+//! proven), and any `RTree` handle opened on it. Space freed by
+//! dropped components is reclaimed only by an explicit full rewrite
+//! (`pr-live`'s `compact()`), which the [`Store::garbage_bytes`]
+//! accounting makes an informed decision about.
+//!
+//! The legacy single-tree [`Store::save`] path remains a full rewrite
+//! (one `New` component, no manifest record).
 
 use crate::crc::crc32;
 use crate::device::{ScrubReport, StoreDevice, VerifiedBitmap};
 use crate::error::StoreError;
-use crate::format::{Footer, ManifestRecord, Superblock};
+use crate::format::{ComponentRun, Footer, ManifestRecord, Superblock};
 use pr_em::{BlockDevice, BlockId, Mmap, PositionedFile};
 use pr_tree::writer::page_ptr;
 use pr_tree::{RTree, TreeMeta, TreeParams};
@@ -28,6 +53,40 @@ pub enum ReadPath {
     Recheck,
 }
 
+/// One component a commit is made of: either a tree whose pages are
+/// appended by this commit, or the id of a current-snapshot component
+/// whose existing page run is referenced in place.
+pub enum CommitComponent<'a, const D: usize> {
+    /// BFS-copy this tree into freshly appended pages.
+    New(&'a RTree<D>),
+    /// Keep the identified current component's pages where they are.
+    /// The id must name a component of the active snapshot.
+    Reuse(u64),
+}
+
+/// What a commit did, for write-amplification accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitOutcome {
+    /// Pages appended by this commit (new components only).
+    pub pages_written: u64,
+    /// Pages referenced in place (reused components).
+    pub pages_reused: u64,
+    /// Component id of every committed component, in commit order.
+    /// Reused components keep their id; new ones get a fresh one.
+    pub component_ids: Vec<u64>,
+}
+
+/// Per-component read-path state: the run's location plus the shared
+/// checksum table and verify-once bitmap every device of this run uses.
+/// Reused runs carry these `Arc`s across commits, so pages proven once
+/// stay proven for the component's whole lifetime.
+#[derive(Clone)]
+struct RunState {
+    run: ComponentRun,
+    checksums: Arc<Vec<u32>>,
+    verified: Arc<VerifiedBitmap>,
+}
+
 /// A durable index file. See the crate docs for the format and commit
 /// protocol.
 pub struct Store {
@@ -37,18 +96,20 @@ pub struct Store {
     /// other one.
     active_slot: usize,
     sb: Superblock,
-    /// CRC32 per page of the active snapshot (empty when no snapshot).
-    checksums: Arc<Vec<u32>>,
-    /// Shared mapping of the active snapshot region (`None` off-unix,
-    /// on mapping failure, or when there is no snapshot). Devices clone
-    /// the `Arc`, so pinned readers outlive later commits and renames.
+    /// Per-component state of the active snapshot, in manifest order
+    /// (one synthetic entry for a legacy single-tree snapshot; empty
+    /// when no snapshot).
+    runs: Vec<RunState>,
+    /// Shared mapping of the file prefix covering every run (`None`
+    /// off-unix, on mapping failure, or when there is no snapshot).
+    /// Devices clone the `Arc`, so pinned readers outlive later commits
+    /// and renames.
     map: Option<Arc<Mmap>>,
-    /// Shared verify-once state of the active snapshot: every device of
-    /// this snapshot marks/consults the same bitmap, so no page is ever
-    /// CRC-checked twice across handles.
-    verified: Arc<VerifiedBitmap>,
     /// Multi-component manifest of the active snapshot, when present.
     manifest: Option<ManifestRecord>,
+    /// Next component id to assign (monotone within this handle; seeded
+    /// past the largest committed id at open).
+    next_component_id: u64,
     /// Shared degraded flag (see [`StoreDevice`]): set by any handle or
     /// scrub that catches corruption; while set, every read re-hashes.
     /// Lives for the whole `Store` (not per snapshot): once rot is seen,
@@ -99,10 +160,10 @@ impl Store {
             path: path.to_path_buf(),
             active_slot: 0,
             sb,
-            checksums: Arc::new(Vec::new()),
+            runs: Vec::new(),
             map: None,
-            verified: Arc::new(VerifiedBitmap::new(0)),
             manifest: None,
+            next_component_id: 1,
             degraded: Arc::new(std::sync::atomic::AtomicBool::new(false)),
             read_only: false,
         })
@@ -112,8 +173,10 @@ impl Store {
     ///
     /// Both superblock slots are decoded; candidates are tried newest
     /// epoch first, and each must prove its snapshot intact (footer
-    /// record present and self-consistent, checksum table matching its
-    /// committed CRC) before it is accepted. A save torn anywhere before
+    /// record present and self-consistent, the commit's newly written
+    /// checksum table matching its committed CRC, and **every**
+    /// component run — reused ones included — matching its per-run
+    /// table CRC) before it is accepted. A save torn anywhere before
     /// its superblock flip therefore falls back to the previous
     /// committed snapshot; a store with no intact state at all is a
     /// typed error, never a panic.
@@ -172,19 +235,35 @@ impl Store {
                 continue;
             }
             match validate_snapshot(&file, &sb) {
-                Ok((checksums, manifest)) => {
-                    let map = map_snapshot(&file, &sb);
-                    let verified = Arc::new(VerifiedBitmap::new(checksums.len() as u64));
-                    open_span.detail(format!("epoch={} pages={}", sb.epoch, sb.num_pages));
+                Ok((run_tables, manifest)) => {
+                    let runs: Vec<RunState> = run_tables
+                        .into_iter()
+                        .map(|(run, checksums)| {
+                            let verified = Arc::new(VerifiedBitmap::new(checksums.len() as u64));
+                            RunState {
+                                run,
+                                checksums: Arc::new(checksums),
+                                verified,
+                            }
+                        })
+                        .collect();
+                    let map = map_runs(&file, &runs, sb.block_size as u64);
+                    let next_component_id = runs.iter().map(|r| r.run.id).max().unwrap_or(0) + 1;
+                    let total: u64 = runs.iter().map(|r| r.run.num_pages).sum();
+                    open_span.detail(format!(
+                        "epoch={} components={} pages={total}",
+                        sb.epoch,
+                        runs.len()
+                    ));
                     return Ok(Store {
                         file,
                         path: path.to_path_buf(),
                         active_slot: slot,
                         sb,
-                        checksums: Arc::new(checksums),
+                        runs,
                         map,
-                        verified,
                         manifest,
+                        next_component_id,
                         degraded: Arc::new(std::sync::atomic::AtomicBool::new(false)),
                         read_only,
                     });
@@ -217,17 +296,17 @@ impl Store {
     /// anywhere earlier leaves the previous superblock pointing at its
     /// intact snapshot.
     pub fn save<const D: usize>(&mut self, tree: &RTree<D>) -> Result<(), StoreError> {
-        self.commit(&[tree], None)
+        self.commit(&[CommitComponent::New(tree)], None).map(|_| ())
     }
 
-    /// Commits a **multi-component** snapshot: every tree in
-    /// `components` is BFS-copied into one shared page region (each
-    /// component a contiguous run, its rewritten root id recorded in the
-    /// manifest), followed by the checksum table, a [`ManifestRecord`]
-    /// carrying the component list plus the opaque `app` blob, and the
-    /// footer — all fsynced before the superblock flip, exactly like
-    /// [`Store::save`]. `pr-live` commits its component set and
-    /// WAL-position checkpoint through this in one atomic step.
+    /// Commits a **multi-component** snapshot where every component is
+    /// freshly written: each tree is BFS-copied into its own appended
+    /// page run, followed by the checksum tables, a [`ManifestRecord`]
+    /// carrying the run list plus the opaque `app` blob, and the footer
+    /// — all fsynced before the superblock flip, exactly like
+    /// [`Store::save`]. This is the full-rewrite commit `pr-live`'s
+    /// `compact()` uses; steady-state merges go through
+    /// [`Store::commit_components`] to reuse unchanged runs.
     ///
     /// An empty component list is a valid commit (all data lives in the
     /// app blob). Reopen with [`Store::components`] / [`Store::app`].
@@ -236,7 +315,21 @@ impl Store {
         components: &[&RTree<D>],
         app: &[u8],
     ) -> Result<(), StoreError> {
-        self.commit(components, Some(app))
+        let comps: Vec<CommitComponent<'_, D>> =
+            components.iter().map(|t| CommitComponent::New(t)).collect();
+        self.commit(&comps, Some(app)).map(|_| ())
+    }
+
+    /// Commits an **incremental** multi-component snapshot: `New`
+    /// components are appended, `Reuse` components' existing page runs
+    /// are referenced in place (see the module docs). Returns what was
+    /// written vs reused for write-amplification accounting.
+    pub fn commit_components<const D: usize>(
+        &mut self,
+        comps: &[CommitComponent<'_, D>],
+        app: &[u8],
+    ) -> Result<CommitOutcome, StoreError> {
+        self.commit(comps, Some(app))
     }
 
     /// The shared commit path. `app == None` writes the legacy
@@ -244,9 +337,9 @@ impl Store {
     /// manifest, even for zero or one component.
     fn commit<const D: usize>(
         &mut self,
-        trees: &[&RTree<D>],
+        comps: &[CommitComponent<'_, D>],
         app: Option<&[u8]>,
-    ) -> Result<(), StoreError> {
+    ) -> Result<CommitOutcome, StoreError> {
         let commit_start = std::time::Instant::now();
         // Reported into an enclosing trace (a merge/compaction) when one
         // is collecting on this thread; free otherwise.
@@ -261,16 +354,28 @@ impl Store {
             });
         }
         assert!(
-            app.is_some() || trees.len() == 1,
-            "legacy save commits exactly one tree"
+            app.is_some() || (comps.len() == 1 && matches!(comps[0], CommitComponent::New(_))),
+            "legacy save commits exactly one new tree"
         );
         let bs = self.block_size();
-        for tree in trees {
-            if tree.params().page_size != bs {
-                return Err(StoreError::BlockSizeMismatch {
-                    store: bs,
-                    tree: tree.params().page_size,
-                });
+        // Resolve every component up front: block-size check for new
+        // trees, current-snapshot lookup for reuses — so nothing has
+        // been written when a bad reuse id errors out.
+        for comp in comps {
+            match comp {
+                CommitComponent::New(tree) => {
+                    if tree.params().page_size != bs {
+                        return Err(StoreError::BlockSizeMismatch {
+                            store: bs,
+                            tree: tree.params().page_size,
+                        });
+                    }
+                }
+                CommitComponent::Reuse(id) => {
+                    if !self.runs.iter().any(|r| r.run.id == *id) {
+                        return Err(StoreError::UnknownComponent(*id));
+                    }
+                }
             }
         }
         let bs64 = bs as u64;
@@ -281,61 +386,112 @@ impl Store {
             .div_ceil(bs64)
             * bs64;
 
-        // Breadth-first copy with pointer rewriting, one component after
-        // another in a single dense id space. Ids are assigned in
-        // enqueue order, so each component's root is its first page and
-        // every level occupies a contiguous run — warm_cache on reopen
-        // reads a sequential prefix of the component's region.
-        let mut next_id: u64 = 0;
+        // Breadth-first copy of each new component into its own run
+        // with run-relative page ids (root = 0). Ids are assigned in
+        // enqueue order, so every level occupies a contiguous range —
+        // warm_cache on reopen reads a sequential prefix of the run.
+        // Reused components are resolved to their existing state; their
+        // pages are not touched.
+        enum Pending {
+            New {
+                run: ComponentRun,
+                checksums: Vec<u32>,
+            },
+            Reused(RunState),
+        }
+        let mut pending: Vec<Pending> = Vec::with_capacity(comps.len());
         let mut written: u64 = 0;
-        let mut checksums: Vec<u32> = Vec::new();
-        let mut metas: Vec<pr_tree::TreeMeta> = Vec::with_capacity(trees.len());
+        let mut reused: u64 = 0;
         let mut buf = vec![0u8; bs];
-        for tree in trees {
-            let mut meta = tree.meta();
-            meta.root = next_id;
-            metas.push(meta);
-            next_id += 1;
-            let mut queue: VecDeque<BlockId> = VecDeque::new();
-            queue.push_back(tree.root());
-            while let Some(old_page) = queue.pop_front() {
-                let (node, _) = tree.read_node(old_page)?;
-                if node.is_leaf() {
-                    // Leaves (the vast majority of pages) need no pointer
-                    // rewrite: encode straight from the shared handle.
-                    node.encode(&mut buf);
-                } else {
-                    let mut node = (*node).clone();
-                    for e in &mut node.entries {
-                        queue.push_back(e.ptr as BlockId);
-                        e.ptr = page_ptr(next_id).map_err(StoreError::Em)?;
-                        next_id += 1;
+        let mut next_component_id = self.next_component_id;
+        for comp in comps {
+            match comp {
+                CommitComponent::New(tree) => {
+                    let run_offset = data_offset + written * bs64;
+                    let mut meta = tree.meta();
+                    meta.root = 0;
+                    let mut next_id: u64 = 0;
+                    let mut checksums: Vec<u32> = Vec::new();
+                    let mut queue: VecDeque<BlockId> = VecDeque::new();
+                    queue.push_back(tree.root());
+                    next_id += 1;
+                    while let Some(old_page) = queue.pop_front() {
+                        let (node, _) = tree.read_node(old_page)?;
+                        if node.is_leaf() {
+                            // Leaves (the vast majority of pages) need no
+                            // pointer rewrite: encode straight from the
+                            // shared handle.
+                            node.encode(&mut buf);
+                        } else {
+                            let mut node = (*node).clone();
+                            for e in &mut node.entries {
+                                queue.push_back(e.ptr as BlockId);
+                                e.ptr = page_ptr(next_id).map_err(StoreError::Em)?;
+                                next_id += 1;
+                            }
+                            node.encode(&mut buf);
+                        }
+                        let crc = crc32(&buf);
+                        self.file.write_all_at(&buf, data_offset + written * bs64)?;
+                        checksums.push(crc);
+                        written += 1;
                     }
-                    node.encode(&mut buf);
+                    debug_assert_eq!(checksums.len() as u64, next_id);
+                    let run = ComponentRun {
+                        id: next_component_id,
+                        meta,
+                        data_offset: run_offset,
+                        num_pages: checksums.len() as u64,
+                        table_offset: 0, // patched once the table lands
+                        table_crc: 0,
+                    };
+                    next_component_id += 1;
+                    pending.push(Pending::New { run, checksums });
                 }
-                let crc = crc32(&buf);
-                self.file.write_all_at(&buf, data_offset + written * bs64)?;
-                checksums.push(crc);
-                written += 1;
+                CommitComponent::Reuse(id) => {
+                    let state = self
+                        .runs
+                        .iter()
+                        .find(|r| r.run.id == *id)
+                        .expect("checked above")
+                        .clone();
+                    reused += state.run.num_pages;
+                    pending.push(Pending::Reused(state));
+                }
             }
         }
-        debug_assert_eq!(written, next_id);
 
-        // Checksum table, manifest (if any), footer — one fsync for the
-        // whole body.
+        // New runs' checksum tables, concatenated — the superblock /
+        // footer commit exactly this newly written region; each run also
+        // records its own slice's offset and CRC so it can be
+        // re-validated independently for as long as it is reused.
         let table_offset = data_offset + written * bs64;
-        let mut table = Vec::with_capacity(checksums.len() * 4);
-        for crc in &checksums {
-            table.extend_from_slice(&crc.to_le_bytes());
+        let mut table: Vec<u8> = Vec::new();
+        for p in &mut pending {
+            if let Pending::New { run, checksums } = p {
+                run.table_offset = table_offset + table.len() as u64;
+                let start = table.len();
+                for crc in checksums.iter() {
+                    table.extend_from_slice(&crc.to_le_bytes());
+                }
+                run.table_crc = crc32(&table[start..]);
+            }
         }
         let table_crc = crc32(&table);
         self.file.write_all_at(&table, table_offset)?;
         let mut tail_offset = table_offset + table.len() as u64;
 
         let epoch = self.sb.epoch + 1;
+        let all_runs: Vec<ComponentRun> = pending
+            .iter()
+            .map(|p| match p {
+                Pending::New { run, .. } => *run,
+                Pending::Reused(state) => state.run,
+            })
+            .collect();
         let manifest = app.map(|app| ManifestRecord {
             epoch,
-            metas: metas.clone(),
+            runs: all_runs.clone(),
             app: app.to_vec(),
         });
         let (manifest_offset, manifest_len) = match &manifest {
@@ -365,8 +521,9 @@ impl Store {
 
         // The commit point: flip the inactive superblock slot. The
         // superblock's embedded meta is the first component (or an empty
-        // synthetic one), kept for the single-tree open path and stats.
-        let meta = metas.first().copied().unwrap_or(pr_tree::TreeMeta {
+        // synthetic one), kept for the single-tree open path and stats;
+        // its data/table fields describe only this commit's new region.
+        let meta = all_runs.first().map(|r| r.meta).unwrap_or(TreeMeta {
             params: self.sb.meta.params,
             root: 0,
             root_level: 0,
@@ -394,30 +551,54 @@ impl Store {
 
         self.active_slot = stale_slot;
         self.sb = new_sb;
-        self.checksums = Arc::new(checksums);
-        // Fresh per-snapshot read-path state: the new region gets its own
-        // mapping and an all-unverified bitmap (the bytes were just
-        // written by us, but verify-once semantics are per *committed
-        // snapshot* — the first reader proves the disk kept them).
-        self.map = map_snapshot(&self.file, &self.sb);
-        self.verified = Arc::new(VerifiedBitmap::new(self.sb.num_pages));
+        // Per-run read-path state: new runs get a fresh all-unverified
+        // bitmap (the bytes were just written by us, but verify-once
+        // semantics are per *committed run* — the first reader proves
+        // the disk kept them); reused runs carry their bitmap and table
+        // forward, so pages proven under an earlier epoch stay proven.
+        self.runs = pending
+            .into_iter()
+            .map(|p| match p {
+                Pending::New { run, checksums } => {
+                    let verified = Arc::new(VerifiedBitmap::new(run.num_pages));
+                    RunState {
+                        run,
+                        checksums: Arc::new(checksums),
+                        verified,
+                    }
+                }
+                Pending::Reused(state) => state,
+            })
+            .collect();
+        self.map = map_runs(&self.file, &self.runs, bs64);
         self.manifest = manifest;
-        commit_span.detail(format!("epoch={} pages={written}", self.sb.epoch));
+        self.next_component_id = next_component_id;
+        commit_span.detail(format!(
+            "epoch={} written={written} reused={reused}",
+            self.sb.epoch
+        ));
         let m = crate::obs::metrics();
         m.commits.inc();
         m.commit_pages.add(written);
+        m.pages_written.add(written);
+        m.pages_reused.add(reused);
         m.commit_us.record_duration_us(commit_start.elapsed());
         pr_obs::events().emit_timed(
             "store_commit",
             format!(
-                "epoch={} components={} pages={}",
+                "epoch={} components={} written={} reused={}",
                 self.sb.epoch,
-                trees.len(),
-                written
+                comps.len(),
+                written,
+                reused
             ),
             commit_start.elapsed(),
         );
-        Ok(())
+        Ok(CommitOutcome {
+            pages_written: written,
+            pages_reused: reused,
+            component_ids: self.runs.iter().map(|r| r.run.id).collect(),
+        })
     }
 
     /// Reopens the committed tree. The returned handle reads through a
@@ -432,8 +613,8 @@ impl Store {
     /// [`Store::tree`] with an explicit [`ReadPath`].
     pub fn tree_with<const D: usize>(&self, path: ReadPath) -> Result<RTree<D>, StoreError> {
         if let Some(m) = &self.manifest {
-            if m.metas.len() != 1 {
-                return Err(StoreError::NotSingleComponent(m.metas.len()));
+            if m.runs.len() != 1 {
+                return Err(StoreError::NotSingleComponent(m.runs.len()));
             }
         }
         if D as u32 != self.sb.dim {
@@ -445,16 +626,15 @@ impl Store {
         if !self.sb.has_snapshot() {
             return Err(StoreError::NoCommittedSnapshot);
         }
-        let dev: Arc<dyn BlockDevice> = self.snapshot_device(path);
-        RTree::from_parts(dev, self.sb.meta).map_err(StoreError::from)
+        self.component_with(0, path)
     }
 
     /// Reopens **all** committed components. A manifest-bearing snapshot
     /// yields one tree per manifest entry (in manifest order); a legacy
     /// single-tree snapshot yields that one tree; an empty store yields
-    /// no trees. All trees read through one shared checksum-verifying
-    /// [`StoreDevice`] pinned to this snapshot — later saves never move
-    /// pages out from under them.
+    /// no trees. Each tree reads through its own run-scoped
+    /// checksum-verifying [`StoreDevice`] pinned to this snapshot —
+    /// later saves never move pages out from under them.
     pub fn components<const D: usize>(&self) -> Result<Vec<RTree<D>>, StoreError> {
         self.components_with(ReadPath::ZeroCopy)
     }
@@ -470,18 +650,31 @@ impl Store {
                 requested: D as u32,
             });
         }
-        if !self.sb.has_snapshot() {
-            return Ok(Vec::new());
-        }
-        let metas: &[pr_tree::TreeMeta] = match &self.manifest {
-            Some(m) => &m.metas,
-            None => std::slice::from_ref(&self.sb.meta),
-        };
-        let dev: Arc<dyn BlockDevice> = self.snapshot_device(path);
-        metas
-            .iter()
-            .map(|meta| RTree::from_parts(Arc::clone(&dev), *meta).map_err(StoreError::from))
+        (0..self.runs.len())
+            .map(|i| self.component_with(i, path))
             .collect()
+    }
+
+    /// Reopens the component at `index` (manifest order). `pr-live`'s
+    /// incremental merge uses this to open **only** the freshly written
+    /// component while keeping its existing handles for reused ones.
+    pub fn component_with<const D: usize>(
+        &self,
+        index: usize,
+        path: ReadPath,
+    ) -> Result<RTree<D>, StoreError> {
+        if D as u32 != self.sb.dim {
+            return Err(StoreError::DimensionMismatch {
+                file: self.sb.dim,
+                requested: D as u32,
+            });
+        }
+        let state = self
+            .runs
+            .get(index)
+            .ok_or(StoreError::NotSingleComponent(self.runs.len()))?;
+        let dev: Arc<dyn BlockDevice> = self.run_device(state, path);
+        RTree::from_parts(dev, state.run.meta).map_err(StoreError::from)
     }
 
     /// The application blob committed alongside the components (empty
@@ -495,57 +688,88 @@ impl Store {
         self.manifest.as_ref()
     }
 
-    /// Number of trees in the active snapshot (0 for an empty store).
-    pub fn num_components(&self) -> usize {
-        match &self.manifest {
-            Some(m) => m.metas.len(),
-            None => usize::from(self.sb.has_snapshot()),
-        }
+    /// The active snapshot's component runs (ids, offsets, page
+    /// counts), in manifest order. A legacy single-tree snapshot shows
+    /// its one synthetic run; an empty store none.
+    pub fn component_runs(&self) -> Vec<ComponentRun> {
+        self.runs.iter().map(|r| r.run).collect()
     }
 
-    /// A fresh device pinned to the active snapshot. Counters are
+    /// Number of trees in the active snapshot (0 for an empty store).
+    pub fn num_components(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// A fresh device pinned to one component run. Counters are
     /// per-device (each handle's I/O accounting starts at zero), but the
-    /// mapping and verify-once bitmap are the shared per-snapshot state.
-    pub(crate) fn snapshot_device(&self, path: ReadPath) -> Arc<StoreDevice> {
+    /// mapping and verify-once bitmap are the shared per-run state.
+    fn run_device(&self, state: &RunState, path: ReadPath) -> Arc<StoreDevice> {
         let recheck = matches!(path, ReadPath::Recheck);
+        let map = if recheck { None } else { self.map.clone() };
+        // The shared mapping must cover this run; a shorter mapping
+        // (mmap raced a concurrent truncation) falls back to reads.
+        let run_end = state.run.data_offset + state.run.num_pages * self.sb.block_size as u64;
+        let map = map.filter(|m| m.len() as u64 >= run_end);
         Arc::new(StoreDevice::new(
             Arc::clone(&self.file),
-            if recheck { None } else { self.map.clone() },
+            map,
             self.block_size(),
-            self.sb.data_offset,
-            Arc::clone(&self.checksums),
-            Arc::clone(&self.verified),
+            state.run.data_offset,
+            Arc::clone(&state.checksums),
+            Arc::clone(&state.verified),
             recheck,
             Arc::clone(&self.degraded),
         ))
     }
 
-    /// Eagerly re-hashes every page of the committed snapshot against
-    /// the checksum table — the scrub sweep behind `prtree stats`.
-    /// Unlike lazy query-path verification this **always** recomputes
-    /// (its job is catching bit rot that happened after a page's first
+    /// Eagerly re-hashes every page of every committed run against its
+    /// checksum table — the scrub sweep behind `prtree stats`. Unlike
+    /// lazy query-path verification this **always** recomputes (its job
+    /// is catching bit rot that happened after a page's first
     /// verification), but it routes through the shared verify-once
-    /// bitmap: pages that pass are marked so every later read of this
+    /// bitmaps: pages that pass are marked so every later read of this
     /// snapshot skips its CRC, and the report says how many pages the
-    /// bitmap had already covered. A failing page has its bit cleared
+    /// bitmaps had already covered. A failing page has its bit cleared
     /// before the typed error returns, so it cannot be served from its
-    /// stale verification afterwards.
+    /// stale verification afterwards. All runs are swept even when an
+    /// early one fails; the error names the first bad page found.
     pub fn scrub(&self) -> Result<ScrubReport, StoreError> {
         let start = std::time::Instant::now();
-        let report = self.snapshot_device(ReadPath::ZeroCopy).scrub()?;
+        let mut total = ScrubReport {
+            pages: 0,
+            already_verified: 0,
+        };
+        let mut first_err: Option<StoreError> = None;
+        for state in &self.runs {
+            match self.run_device(state, ReadPath::ZeroCopy).scrub() {
+                Ok(report) => {
+                    total.pages += report.pages;
+                    total.already_verified += report.already_verified;
+                }
+                Err(e) => {
+                    total.pages += state.run.num_pages;
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
         let m = crate::obs::metrics();
         m.scrubs.inc();
-        m.scrub_pages.add(report.pages);
+        m.scrub_pages.add(total.pages);
         m.scrub_us.record_duration_us(start.elapsed());
         pr_obs::events().emit_timed(
             "scrub",
             format!(
                 "epoch={} pages={} already_verified={}",
-                self.sb.epoch, report.pages, report.already_verified
+                self.sb.epoch, total.pages, total.already_verified
             ),
             start.elapsed(),
         );
-        Ok(report)
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(total),
+        }
     }
 
     /// [`Store::scrub`] without the report (compatibility wrapper).
@@ -554,9 +778,41 @@ impl Store {
     }
 
     /// `(verified, total)` pages of the active snapshot per the shared
-    /// verify-once bitmap.
+    /// verify-once bitmaps, summed over all component runs.
     pub fn verified_pages(&self) -> (u64, u64) {
-        (self.verified.verified_pages(), self.sb.num_pages)
+        let verified = self.runs.iter().map(|r| r.verified.verified_pages()).sum();
+        let total = self.runs.iter().map(|r| r.run.num_pages).sum();
+        (verified, total)
+    }
+
+    /// Total pages across all committed component runs.
+    pub fn total_pages(&self) -> u64 {
+        self.runs.iter().map(|r| r.run.num_pages).sum()
+    }
+
+    /// Bytes of the file still referenced by the active snapshot:
+    /// superblock slots, every live run's pages and table, the
+    /// manifest, and the footer. Everything else — page runs of
+    /// replaced components, old tables/manifests/footers, alignment
+    /// padding — is garbage awaiting an explicit compaction rewrite.
+    pub fn live_bytes(&self) -> u64 {
+        let bs = self.sb.block_size as u64;
+        let mut live = Superblock::data_region_start();
+        for r in &self.runs {
+            live += r.run.num_pages * bs + r.run.num_pages * 4;
+        }
+        if self.sb.has_snapshot() {
+            live += self.sb.manifest_len as u64 + Footer::ENCODED_SIZE as u64;
+        }
+        live
+    }
+
+    /// Bytes of the file *not* referenced by the active snapshot (see
+    /// [`Store::live_bytes`]). Incremental commits only append, so this
+    /// grows with every replaced component until a compaction rewrite
+    /// reclaims it.
+    pub fn garbage_bytes(&self) -> Result<u64, StoreError> {
+        Ok(self.file_len()?.saturating_sub(self.live_bytes()))
     }
 
     /// True while detected corruption forces every read of this store
@@ -598,15 +854,16 @@ impl Store {
     }
 }
 
-/// Best-effort shared mapping of the file prefix covering `sb`'s
-/// snapshot region. `None` (no snapshot, non-unix, or mmap failure)
-/// means devices fall back to positioned reads — never an error: the
-/// mapping is an optimization, `read_at` is the ground truth.
-fn map_snapshot(file: &PositionedFile, sb: &Superblock) -> Option<Arc<Mmap>> {
-    if !sb.has_snapshot() || sb.num_pages == 0 {
-        return None;
-    }
-    let end = sb.data_offset + sb.num_pages * sb.block_size as u64;
+/// Best-effort shared mapping of the file prefix covering every run's
+/// pages. `None` (no runs, non-unix, or mmap failure) means devices
+/// fall back to positioned reads — never an error: the mapping is an
+/// optimization, `read_at` is the ground truth.
+fn map_runs(file: &PositionedFile, runs: &[RunState], block_size: u64) -> Option<Arc<Mmap>> {
+    let end = runs
+        .iter()
+        .map(|r| r.run.data_offset + r.run.num_pages * block_size)
+        .max()
+        .filter(|&end| end > 0)?;
     match file.map_readonly(end) {
         // A mapping shorter than the snapshot (file truncated under us)
         // must not be indexed past its end: fall back to reads.
@@ -623,13 +880,18 @@ fn write_superblock(file: &PositionedFile, slot: usize, sb: &Superblock) -> Resu
     Ok(())
 }
 
-/// Proves a superblock's snapshot is intact; returns the page checksum
-/// table and decoded manifest (if any) on success, a human-readable
-/// reason on failure.
+/// A run that passed validation, with its decoded page checksum table.
+type ValidatedRun = (ComponentRun, Vec<u32>);
+
+/// Proves a superblock's snapshot is intact; returns every component
+/// run with its decoded page checksum table, plus the manifest (if
+/// any), on success; a human-readable reason on failure. For a legacy
+/// single-tree snapshot one synthetic run (id 0) is derived from the
+/// superblock itself.
 fn validate_snapshot(
     file: &PositionedFile,
     sb: &Superblock,
-) -> Result<(Vec<u32>, Option<ManifestRecord>), String> {
+) -> Result<(Vec<ValidatedRun>, Option<ManifestRecord>), String> {
     if !sb.has_snapshot() {
         return Ok((Vec::new(), None));
     }
@@ -661,7 +923,8 @@ fn validate_snapshot(
     if footer.table_crc != sb.table_crc {
         return Err("footer and superblock disagree on the checksum table CRC".into());
     }
-    // The checksum table itself must hash to the committed value.
+    // The newly written region's checksum table must hash to the
+    // committed value (this is what the footer proves landed).
     let table_len = (sb.num_pages * 4) as usize;
     let mut table = vec![0u8; table_len];
     file.read_exact_or_zero_at(&mut table, sb.table_offset)
@@ -673,9 +936,12 @@ fn validate_snapshot(
             sb.table_crc
         ));
     }
-    // A manifest, when present, must decode (its CRC covers the
-    // component list and the app blob) and belong to this epoch.
-    let manifest = if sb.has_manifest() {
+    // A manifest, when present, must decode (its CRC covers the run
+    // list and the app blob) and belong to this epoch; then every run —
+    // including ones written by earlier epochs and reused — must fit
+    // the file and re-hash to its recorded per-run table CRC.
+    let bs = sb.block_size as u64;
+    if sb.has_manifest() {
         if sb.manifest_offset + sb.manifest_len as u64 > file_len {
             return Err(format!(
                 "manifest at {} (+{}) extends past end of file ({file_len} bytes)",
@@ -692,15 +958,64 @@ fn validate_snapshot(
                 m.epoch, sb.epoch
             ));
         }
-        Some(m)
+        let mut runs = Vec::with_capacity(m.runs.len());
+        for run in &m.runs {
+            if run.num_pages > 0 && run.data_offset < Superblock::data_region_start() {
+                return Err(format!(
+                    "component {} pages at {} overlap the superblocks",
+                    run.id, run.data_offset
+                ));
+            }
+            if run.data_offset + run.num_pages * bs > file_len {
+                return Err(format!(
+                    "component {} pages extend past end of file ({file_len} bytes)",
+                    run.id
+                ));
+            }
+            if run.table_offset + run.num_pages * 4 > file_len {
+                return Err(format!(
+                    "component {} table extends past end of file ({file_len} bytes)",
+                    run.id
+                ));
+            }
+            let mut rt = vec![0u8; (run.num_pages * 4) as usize];
+            file.read_exact_or_zero_at(&mut rt, run.table_offset)
+                .map_err(|e| e.to_string())?;
+            let computed = crc32(&rt);
+            if computed != run.table_crc {
+                return Err(format!(
+                    "component {} table CRC mismatch (committed {:08x}, computed {computed:08x})",
+                    run.id, run.table_crc
+                ));
+            }
+            runs.push((
+                *run,
+                rt.chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+                    .collect(),
+            ));
+        }
+        Ok((runs, Some(m)))
     } else {
-        None
-    };
-    Ok((
-        table
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
-            .collect(),
-        manifest,
-    ))
+        // Legacy single-tree snapshot: the superblock itself describes
+        // the one (always freshly written) run.
+        let run = ComponentRun {
+            id: 0,
+            meta: sb.meta,
+            data_offset: sb.data_offset,
+            num_pages: sb.num_pages,
+            table_offset: sb.table_offset,
+            table_crc: sb.table_crc,
+        };
+        Ok((
+            vec![(
+                run,
+                table
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+                    .collect(),
+            )],
+            None,
+        ))
+    }
 }

@@ -98,9 +98,13 @@ fn usage() {
          \x20       and --trace-slow-us U (flight-recorder admission threshold)\n\
          \x20 delete DIR --window X1,Y1,X2,Y2 [--limit N] [--leaf-cache-bytes B]\n\
          \x20       durably delete (up to N) live items intersecting the window\n\
-         \x20 compact DIR [--leaf-cache-bytes B]\n\
+         \x20 compact DIR [--max-garbage-pct P] [--leaf-cache-bytes B]\n\
          \x20       merge memtable + all components into one tree, drop all\n\
-         \x20       tombstones, and rewrite the store file (reclaims space)\n\
+         \x20       tombstones, and rewrite the store file (reclaims the garbage\n\
+         \x20       incremental merge commits leave behind). --max-garbage-pct P\n\
+         \x20       makes it conditional: rewrite only when garbage exceeds P%\n\
+         \x20       of the file, otherwise keep the incremental layout (exit 0,\n\
+         \x20       \"skipped\")\n\
          \x20 query FILE|DIR --window X1,Y1,X2,Y2 [--expect N] [--verbose] [--repeat R]\n\
          \x20       [--leaf-cache-bytes B] [--paranoid] [--explain]\n\
          \x20       reopen the index and run one window query (--expect N: exit 1\n\
@@ -128,7 +132,10 @@ fn usage() {
          \x20       with the process-wide metrics registry (one formatter; the\n\
          \x20       --leaf-cache-bytes budget applies to both). --json emits the\n\
          \x20       registry snapshot + lifecycle events + the slow-op flight\n\
-         \x20       recorder as one JSON document\n\
+         \x20       recorder as one JSON document; live dirs add an \"index\"\n\
+         \x20       summary (write amp, garbage, arena allocs) and the per-run\n\
+         \x20       \"store_runs\" layout (stable id + byte offset + pages —\n\
+         \x20       unchanged pairs across commits prove in-place page reuse)\n\
          \x20 events DIR [--limit N] [--since SEQ] [--json]\n\
          \x20       replay the lifecycle event ring after opening the live index\n\
          \x20       (open + WAL replay) — WAL rotations, group flushes, seals,\n\
@@ -171,14 +178,27 @@ fn init_obs() {
 /// with: the process-wide registry, as human-readable lines or as the
 /// versioned JSON document (with the lifecycle event ring).
 fn report_registry(json: bool) -> i32 {
+    report_registry_extra(json, None)
+}
+
+/// Like [`report_registry`], with optional extra top-level fields
+/// (raw `"key":value,...` JSON, no braces) spliced into the document —
+/// how `stats --json` on a live dir carries the index summary and the
+/// per-run layout next to the registry snapshot.
+fn report_registry_extra(json: bool, extra: Option<String>) -> i32 {
     let snap = pr_obs::global().snapshot();
     if json {
         let events = pr_obs::events().snapshot();
         let slow = pr_obs::recorder().snapshot();
-        println!(
-            "{}",
-            pr_obs::snapshot_json_full(&snap, Some(&events), Some(&slow))
-        );
+        let mut doc = pr_obs::snapshot_json_full(&snap, Some(&events), Some(&slow));
+        if let Some(extra) = extra {
+            assert!(doc.ends_with('}'));
+            doc.truncate(doc.len() - 1);
+            doc.push(',');
+            doc.push_str(&extra);
+            doc.push('}');
+        }
+        println!("{doc}");
     } else {
         print_metrics_human(&snap);
     }
@@ -626,13 +646,29 @@ fn print_live_stats(ix: &LiveIndex<2>, verify: bool) -> i32 {
         s.wal_group_records, s.wal_groups, s.wal_fsyncs
     );
     println!(
-        "store:        epoch {}, {} bytes on disk; {} merges this session",
-        s.store_epoch, s.store_file_bytes, s.merges
+        "store:        epoch {}, {} bytes on disk ({} garbage); {} merges this session",
+        s.store_epoch, s.store_file_bytes, s.store_garbage_bytes, s.merges
     );
     println!(
-        "leaf cache:   {} hits, {} misses, {} bytes resident",
-        s.leaf_cache_hits, s.leaf_cache_misses, s.leaf_cache_bytes
+        "merge I/O:    {} pages written, {} reused in place; write amp {}.{:02}x",
+        s.store_pages_written,
+        s.store_pages_reused,
+        s.write_amp_x100 / 100,
+        s.write_amp_x100 % 100
     );
+    print!("runs:         {} [", s.store_runs.len());
+    for (i, r) in s.store_runs.iter().enumerate() {
+        if i > 0 {
+            print!(", ");
+        }
+        print!("id {} @ {} x{}", r.id, r.data_offset, r.num_pages);
+    }
+    println!("]");
+    println!(
+        "leaf cache:   {} hits, {} misses ({} ghost admits), {} bytes resident",
+        s.leaf_cache_hits, s.leaf_cache_misses, s.leaf_cache_ghost_hits, s.leaf_cache_bytes
+    );
+    println!("wal arena:    {} buffer allocations", s.wal_arena_allocs);
     println!(
         "health:       wal {}, merges {}, store reads {}",
         if s.wal_degraded {
@@ -911,6 +947,7 @@ fn cmd_compact(args: &[String]) -> i32 {
         &[
             "buffer-cap",
             "leaf-cache-bytes",
+            "max-garbage-pct",
             "trace-sample",
             "trace-slow-us",
         ],
@@ -921,6 +958,11 @@ fn cmd_compact(args: &[String]) -> i32 {
     };
     let [dir] = opts.positional.as_slice() else {
         return fail("compact expects exactly one DIR argument");
+    };
+    let max_garbage_pct = match opts.get("max-garbage-pct").map(str::parse::<u8>) {
+        None => None,
+        Some(Ok(p)) if p <= 100 => Some(p),
+        Some(_) => return fail("--max-garbage-pct expects an integer 0..=100"),
     };
     let lo = match live_opts(&opts) {
         Ok(lo) => lo,
@@ -935,7 +977,21 @@ fn cmd_compact(args: &[String]) -> i32 {
         Err(e) => return fail(e),
     };
     let t0 = Instant::now();
-    if let Err(e) = ix.compact() {
+    if let Some(pct) = max_garbage_pct {
+        // Conditional reclamation: rewrite only past the garbage
+        // threshold, otherwise leave the incremental layout alone.
+        match ix.compact_if_garbage(pct) {
+            Ok(false) => {
+                println!(
+                    "skipped: {} garbage bytes of {} on disk is within {pct}%",
+                    before.store_garbage_bytes, before.store_file_bytes
+                );
+                return print_live_stats(&ix, false);
+            }
+            Ok(true) => {}
+            Err(e) => return fail(e),
+        }
+    } else if let Err(e) = ix.compact() {
         return fail(e);
     }
     let after = match ix.stats() {
@@ -1347,14 +1403,47 @@ fn cmd_stats(args: &[String]) -> i32 {
             if code != 0 {
                 return code;
             }
-        } else if !opts.has("no-verify") {
+            return report_registry(false);
+        }
+        if !opts.has("no-verify") {
             // JSON mode still scrubs (and still fails loudly on rot) —
             // the report just stays machine-readable.
             if let Err(e) = ix.scrub() {
                 return fail(e);
             }
         }
-        return report_registry(json);
+        // The live-index summary and the per-run store layout ride as
+        // extra top-level fields: CI diffs `store_runs` across commits
+        // to prove byte-identical page reuse (unchanged id + offset).
+        let s = match ix.stats() {
+            Ok(s) => s,
+            Err(e) => return fail(e),
+        };
+        let mut runs = pr_obs::json::JsonArr::new();
+        for r in &s.store_runs {
+            let mut o = pr_obs::json::JsonObj::new();
+            o.u64("id", r.id)
+                .u64("data_offset", r.data_offset)
+                .u64("num_pages", r.num_pages);
+            runs.push_raw(o.finish());
+        }
+        let mut live = pr_obs::json::JsonObj::new();
+        live.u64("live", s.live)
+            .u64("tombstones", s.tombstones)
+            .u64("store_epoch", s.store_epoch)
+            .u64("store_file_bytes", s.store_file_bytes)
+            .u64("store_garbage_bytes", s.store_garbage_bytes)
+            .u64("store_pages_written", s.store_pages_written)
+            .u64("store_pages_reused", s.store_pages_reused)
+            .f64p("write_amp", s.write_amp_x100 as f64 / 100.0, 2)
+            .u64("leaf_cache_ghost_hits", s.leaf_cache_ghost_hits)
+            .u64("wal_arena_allocs", s.wal_arena_allocs);
+        let extra = format!(
+            "\"index\":{},\"store_runs\":{}",
+            live.finish(),
+            runs.finish()
+        );
+        return report_registry_extra(true, Some(extra));
     }
     let store = match Store::open(Path::new(file)) {
         Ok(s) => s,
